@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the paper's
+scale (DESIGN.md Section 4 maps IDs to files) and prints its rows/series
+next to the published values (run with ``-s`` to see them; each bench also
+appends to ``benchmarks/results.txt``).
+
+Scenario runs are expensive (the baseline is the paper's full 43,200-job,
+six-hour, six-cluster test), so results are cached per session: the bench
+that owns an experiment times it via ``benchmark.pedantic(rounds=1)``, and
+dependent benches reuse the cached result.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+#: Paper-scale parameters; set REPRO_BENCH_SCALE=small for a quick pass.
+_SCALES = {
+    "paper": dict(n_jobs=43_200, span=21_600.0, n_sites=6, hosts_per_site=40),
+    "small": dict(n_jobs=6_000, span=3_600.0, n_sites=2, hosts_per_site=20),
+}
+
+
+def bench_scale():
+    return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "paper")]
+
+
+def modeling_n_jobs():
+    return 60_000 if os.environ.get("REPRO_BENCH_SCALE", "paper") == "paper" \
+        else 15_000
+
+
+@pytest.fixture(scope="session")
+def scenario_cache():
+    """Cross-bench cache: scenario name -> result object."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects rendered tables; written to results.txt at session end."""
+    lines = []
+    yield lines
+    if lines:
+        RESULTS_PATH.write_text("\n".join(lines) + "\n")
+
+
+@pytest.fixture
+def emit(report):
+    """Print a block and append it to the results file."""
+
+    def _emit(title, rows):
+        block = [f"\n== {title} =="] + [str(r) for r in rows]
+        for line in block:
+            print(line)
+        report.extend(block)
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def modeling_dataset():
+    from repro.experiments.modeling import prepare_dataset
+
+    return prepare_dataset(n_jobs=modeling_n_jobs(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def table2_rows(modeling_dataset):
+    from repro.experiments.modeling import regenerate_table2
+
+    return regenerate_table2(modeling_dataset, subsample=8000)

@@ -1,0 +1,58 @@
+"""Ablation benches over the paper's configurable design choices.
+
+Not paper figures — these quantify claims the paper makes in passing:
+run-time-selectable projections, dispatch-policy indifference, the
+parameterized decay, and the libaequus cache's traffic reduction.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    cache_ablation,
+    decay_ablation,
+    dispatch_ablation,
+    projection_ablation,
+)
+
+
+def test_ablation_projections(benchmark, emit):
+    runs = benchmark.pedantic(projection_ablation, rounds=1, iterations=1)
+    emit("Ablation - projection algorithms", [r.row() for r in runs])
+    # all three converge: the ordering, not the scalar encoding, steers
+    for run in runs:
+        assert run.final_deviation < 0.05, run.label
+        assert run.tail_utilization > 0.85, run.label
+
+
+def test_ablation_dispatch(benchmark, emit):
+    runs = benchmark.pedantic(dispatch_ablation, rounds=1, iterations=1)
+    emit("Ablation - dispatch policy (paper: no noticeable difference)",
+         [r.row() for r in runs])
+    # "without any noticeable difference"
+    deviations = [r.final_deviation for r in runs]
+    utils = [r.tail_utilization for r in runs]
+    assert abs(deviations[0] - deviations[1]) < 0.02
+    assert abs(utils[0] - utils[1]) < 0.05
+    for run in runs:
+        assert run.final_deviation < 0.05
+
+
+def test_ablation_decay(benchmark, emit):
+    runs = benchmark.pedantic(decay_ablation, rounds=1, iterations=1)
+    emit("Ablation - usage decay half-life", [r.row() for r in runs])
+    # the parameterized algorithm converges across a 36x half-life range
+    for run in runs:
+        assert run.final_deviation < 0.06, run.label
+        assert run.tail_utilization > 0.85, run.label
+
+
+def test_ablation_cache(benchmark, emit):
+    results = benchmark.pedantic(cache_ablation, rounds=1, iterations=1)
+    emit("Ablation - libaequus cache TTL", [r.row() for r in results])
+    by_ttl = {r.ttl: r for r in results}
+    cold, warm = by_ttl[0.0], by_ttl[15.0]
+    # caching absorbs the bulk of fairshare lookups ...
+    assert warm.cache_hit_rate > 0.8
+    assert warm.fcs_lookups < cold.fcs_lookups / 5
+    # ... without changing the scheduling outcome
+    assert abs(warm.final_deviation - cold.final_deviation) < 0.02

@@ -1,0 +1,61 @@
+"""F10 — the baseline convergence test (Figure 10a).
+
+Paper setup: six clusters of 40 virtual hosts (240 total, ~10% of national
+capacity), each with its own Aequus stack and SLURM, fed by a submission
+host with stochastic dispatch; 43,200 jobs over six hours at 95% total
+load; fairshare the only scheduling factor; percental projection; policy
+targets equal to the workload's actual usage shares.
+
+Paper claims checked: utilization lands in the 93-97% band; cumulative
+usage shares and per-user priorities converge toward the targets; sustained
+submission ~120 jobs/min.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.scenarios import baseline
+from repro.workload.reference import GRID_IDENTITIES, USAGE_SHARES
+
+
+def test_fig10_baseline(benchmark, emit, scenario_cache):
+    scale = bench_scale()
+    result = benchmark.pedantic(baseline, kwargs=dict(seed=0, **scale),
+                                rounds=1, iterations=1)
+    scenario_cache["baseline"] = result
+
+    rows = list(result.summary_rows())
+    rows.append("")
+    rows.append(f"{'min':>5} {'deviation':>10} " + " ".join(
+        f"{u:>7}" for u in USAGE_SHARES))
+    dev = result.series("share_deviation")
+    step = max(1, len(dev.times) // 14)
+    for i in range(0, len(dev.times), step):
+        t = dev.times[i]
+        prios = [result.priority_series(GRID_IDENTITIES[u]).at(t)
+                 for u in USAGE_SHARES]
+        rows.append(f"{t / 60:>5.0f} {dev.values[i]:>10.4f} "
+                    + " ".join(f"{p:>7.3f}" for p in prios))
+    emit("Figure 10a - baseline convergence", rows)
+
+    # all jobs dispatched; throughput at the sustained paper rate
+    assert result.jobs_submitted == scale["n_jobs"]
+    expected_rate = scale["n_jobs"] / (scale["span"] / 60.0)
+    assert result.throughput_per_minute == pytest.approx(expected_rate, rel=0.15)
+
+    # steady-state utilization in (or near) the paper's 93-97% band
+    tail_util = result.series("utilization").tail_mean(0.5)
+    assert 0.88 <= tail_util <= 1.0
+
+    # usage shares converge toward the targets
+    assert result.convergence_seconds is not None
+    assert result.series("share_deviation").values[-1] < 0.03
+    for user, target in USAGE_SHARES.items():
+        got = result.final_shares[GRID_IDENTITIES[user]]
+        assert got == pytest.approx(target, abs=0.05), user
+
+    # priorities respond to usage (not static) and respect the k-bound
+    for user, target in USAGE_SHARES.items():
+        series = result.priority_series(GRID_IDENTITIES[user])
+        assert max(series.values) <= 0.5 * (1.0 + target) + 1e-9
+        assert max(series.values) - min(series.values) > 0.05

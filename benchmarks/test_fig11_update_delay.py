@@ -1,0 +1,63 @@
+"""F11 — Figure 11: impact of update delay.
+
+Paper method: scale the baseline up ten times in arrival times and
+durations (same jobs, same internal relations) while the system's update
+and processing delays keep their absolute lengths — making them relatively
+a magnitude shorter.
+
+Paper claim: the relatively-shorter delays "contribute to a 10%-15% shorter
+convergence time compared with the baseline case", eliminating update
+delays as a significant error source at the compressed scale.
+
+Shape check: convergence is measured on the decayed usage-share deviation
+(the signal the fairshare loop controls; the cumulative-share convergence
+point swings tens of percent between time-dilated but otherwise identical
+runs and cannot resolve a 10% effect).  The scaled run must converge
+earlier as a fraction of the test length, with a relative improvement in a
+band around the paper's 10-15% (our simulated delay chain sums to ~2% of
+the run, at the short end of what the real web-service deployment incurs).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.scenarios import baseline, update_delay
+
+
+def test_fig11_update_delay(benchmark, emit, scenario_cache):
+    scale = bench_scale()
+
+    def run():
+        base = scenario_cache.get("baseline")
+        if base is None:
+            base = baseline(seed=0, **scale)
+            scenario_cache["baseline"] = base
+        return update_delay(seed=0, time_scale=10.0, baseline_result=base,
+                            **scale)
+
+    cmp = benchmark.pedantic(run, rounds=1, iterations=1)
+    scenario_cache["update_delay"] = cmp
+
+    emit("Figure 11 - update delay impact (10x time scale)", [
+        f"baseline:  decayed-share convergence at "
+        f"{cmp.baseline.decayed_convergence_seconds / 60:.0f} min"
+        f" = {cmp.baseline_fraction:.1%} of the run",
+        f"10x scale: decayed-share convergence at "
+        f"{cmp.scaled.decayed_convergence_seconds / 60:.0f} min"
+        f" = {cmp.scaled_fraction:.1%} of the run",
+        f"relative improvement: {cmp.improvement:.1%}"
+        f"   (paper: 10% - 15%)",
+    ])
+
+    assert cmp.baseline_fraction is not None
+    assert cmp.scaled_fraction is not None
+    if bench_scale()["n_jobs"] >= 43_200:
+        # delays relatively 10x shorter => earlier normalized convergence;
+        # a band around the paper's 10-15% (our delay chain is shorter than
+        # the original web-service deployment's)
+        assert cmp.scaled_fraction < cmp.baseline_fraction
+        assert 0.01 <= cmp.improvement <= 0.35
+    else:
+        # the quick pass only checks both runs converge; the delay effect
+        # is resolvable only at paper scale
+        assert cmp.scaled_fraction < 1.0

@@ -1,0 +1,69 @@
+"""F12 — Figure 12: the non-optimal policy test.
+
+Paper setup: baseline workload, but policy targets of 70% (U65), 20% (U30),
+8% (U3), 2% (Uoth) — deliberately misaligned with the trace's actual
+65.25/30.49/2.86/1.40 usage mix.
+
+Paper claims checked:
+* the system is close to balance mid-run while U65 jobs are plentiful,
+* balance cannot be held when U65's submissions dry up between phases,
+* U30 jobs keep running despite receiving a lower priority ("to maximize
+  utilization these jobs are run"), so utilization is preserved,
+* U30 ends up over its 20% target and consequently carries the lowest
+  priority; U3 stays under its inflated 8% target and carries a high one.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.scenarios import NON_OPTIMAL_TARGETS, non_optimal_policy
+from repro.workload.reference import GRID_IDENTITIES, USAGE_SHARES
+
+
+def test_fig12_non_optimal_policy(benchmark, emit, scenario_cache):
+    scale = bench_scale()
+    result = benchmark.pedantic(non_optimal_policy, kwargs=dict(seed=0, **scale),
+                                rounds=1, iterations=1)
+    scenario_cache["non_optimal"] = result
+
+    rows = list(result.summary_rows())
+    dev = result.series("share_deviation")
+    rows.append("")
+    rows.append(f"{'min':>5} {'deviation':>10} {'U65 prio':>9} {'U30 prio':>9} "
+                f"{'U3 prio':>9}")
+    step = max(1, len(dev.times) // 14)
+    for i in range(0, len(dev.times), step):
+        t = dev.times[i]
+        rows.append(
+            f"{t / 60:>5.0f} {dev.values[i]:>10.4f} "
+            f"{result.priority_series(GRID_IDENTITIES['U65']).at(t):>9.3f} "
+            f"{result.priority_series(GRID_IDENTITIES['U30']).at(t):>9.3f} "
+            f"{result.priority_series(GRID_IDENTITIES['U3']).at(t):>9.3f}")
+    emit("Figure 12 - non-optimal policy (70/20/8/2)", rows)
+
+    span = result.config.span
+
+    # mid-run the system approaches the imposed policy (Figure 12: close to
+    # balance in the 120-180 minute band of the 360-minute run)
+    mid = [v for t, v in zip(dev.times, dev.values)
+           if span / 3 <= t <= span / 2]
+    assert min(mid) < 0.05
+
+    # balance cannot be *held*: the workload's real mix (65/30) wins in the
+    # end, so the final deviation from the 70/20/8/2 policy stays visible
+    assert dev.values[-1] > 0.015
+
+    # utilization is preserved by running whatever is available
+    assert result.series("utilization").tail_mean(0.5) > 0.85
+
+    # U30 runs beyond its 20% target despite lowest priority
+    u30_share = result.final_shares[GRID_IDENTITIES["U30"]]
+    assert u30_share > 0.25
+    tail = 0.3
+    prio = {u: result.priority_series(GRID_IDENTITIES[u]).tail_mean(tail)
+            for u in USAGE_SHARES}
+    assert prio["U30"] == min(prio.values())
+
+    # U3's inflated 8% target keeps it underserved and high-priority
+    assert result.final_shares[GRID_IDENTITIES["U3"]] < 0.06
+    assert prio["U3"] == max(prio.values())

@@ -1,0 +1,61 @@
+"""F1 — Figure 1: the three fairshare constituents.
+
+The figure shows policy tree x usage data -> per-node fairshare values
+(absolute distance only, for simplicity).  We regenerate the computation on
+a Figure-1-style hierarchy and check the arithmetic the figure annotates:
+each node's value is its (normalized) policy share minus its usage share
+within the sibling group.
+"""
+
+import pytest
+
+from repro.core.distance import FairshareParameters
+from repro.core.fairshare import compute_fairshare_tree
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageTree
+
+
+def build_and_compute():
+    policy = PolicyTree.from_dict({
+        "HPC": (60, {"proj1": 3, "proj2": 1}),
+        "GRID": (40, {"vo1": 1, "vo2": 1}),
+    })
+    usage = UsageTree()
+    usage.set_usage("/HPC/proj1", 300.0)
+    usage.set_usage("/HPC/proj2", 100.0)
+    usage.set_usage("/GRID/vo1", 500.0)
+    usage.set_usage("/GRID/vo2", 100.0)
+    usage.roll_up()
+    # k=1: pure absolute distance, as in the Figure 1 illustration
+    tree = compute_fairshare_tree(policy, usage=usage,
+                                  parameters=FairshareParameters(k=1.0))
+    return policy, usage, tree
+
+
+def test_fig1_constituents(benchmark, emit):
+    policy, usage, tree = benchmark.pedantic(build_and_compute, rounds=1,
+                                             iterations=1)
+    rows = []
+    for node in tree.walk():
+        if node.parent is None:
+            continue
+        rows.append(f"{node.path:<14} target={node.target_share:.3f} "
+                    f"usage={node.usage_share:.3f} "
+                    f"abs-distance={node.target_share - node.usage_share:+.3f}")
+    emit("Figure 1 - fairshare constituents (absolute distance)", rows)
+
+    # the figure's arithmetic: value = policy share - usage share, per group
+    hpc = tree["/HPC"]
+    assert hpc.target_share == pytest.approx(0.6)
+    assert hpc.usage_share == pytest.approx(400.0 / 1000.0)
+    proj1 = tree["/HPC/proj1"]
+    assert proj1.target_share == pytest.approx(0.75)
+    assert proj1.usage_share == pytest.approx(0.75)  # exactly at balance
+    # with k=1 the priority IS the clipped absolute distance
+    assert proj1.priority == pytest.approx(0.0)
+    assert tree["/GRID"].priority == pytest.approx(0.0)  # overserved -> 0
+    assert tree["/HPC"].priority == pytest.approx(0.2)
+
+    # subgroup isolation: GRID's internal imbalance does not leak into HPC
+    assert tree["/HPC/proj2"].priority == pytest.approx(0.0)
+    assert tree["/GRID/vo2"].priority == pytest.approx(0.5 - 100.0 / 600.0)

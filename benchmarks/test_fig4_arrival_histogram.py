@@ -1,0 +1,40 @@
+"""F4 — Figure 4: job arrivals per day, total vs U65.
+
+Paper claim: "the job arrival pattern of the trace is dominated by the job
+arrival pattern of U65" (81.03% of all jobs) — the two daily-binned series
+track each other, with activity concentrated in U65's experiment cycles.
+"""
+
+import numpy as np
+
+from repro.experiments.modeling import figure4_series
+
+
+def test_fig4_arrival_histogram(benchmark, emit, modeling_dataset):
+    fig = benchmark.pedantic(figure4_series, args=(modeling_dataset,),
+                             rounds=1, iterations=1)
+    total, u65 = fig["total"], fig["u65"]
+    edges = fig["bin_edges"]
+    # print a coarse weekly series (the figure's shape)
+    rows = []
+    week = 7
+    for w in range(0, len(total) - week, week * 4):
+        t_sum = total[w:w + week].sum()
+        u_sum = u65[w:w + week].sum()
+        bar = "#" * int(50 * t_sum / max(1, total.max() * week))
+        rows.append(f"day {int(edges[w] / 86400):>3}: total={t_sum:>6} "
+                    f"u65={u_sum:>6} {bar}")
+    emit("Figure 4 - daily job arrivals (total vs U65)", rows)
+
+    # U65 dominates the totals at the paper's fraction
+    assert u65.sum() / total.sum() > 0.75
+
+    # the series track each other: daily correlation is high
+    mask = total > 0
+    corr = np.corrcoef(total[mask], u65[mask])[0, 1]
+    assert corr > 0.95
+
+    # activity is phased, not uniform: the busiest 30% of days carry most jobs
+    order = np.sort(total)[::-1]
+    busiest = order[: max(1, int(0.3 * len(order)))].sum()
+    assert busiest / total.sum() > 0.6

@@ -1,0 +1,44 @@
+"""F6 — Figure 6: arrival CDFs, fitted vs empirical, per user.
+
+Paper claims: thin (fitted) lines track thick (empirical) lines closely for
+all users; the worst fit is U3, whose usage burst no single distribution
+fully captures.
+"""
+
+import numpy as np
+
+from repro.experiments.modeling import figure6_series
+from repro.workload.fitting import ks_statistic
+
+
+def test_fig6_arrival_cdfs(benchmark, emit, modeling_dataset, table2_rows):
+    fig = benchmark.pedantic(
+        figure6_series, args=(modeling_dataset,),
+        kwargs={"table2": table2_rows}, rounds=1, iterations=1)
+
+    rows = []
+    gaps = {}
+    for user, series in fig.items():
+        x, y = series["empirical_x"], series["empirical_y"]
+        grid, fitted = series["grid"], series["fitted_cdf"]
+        # max vertical gap between empirical and fitted CDF on the grid
+        emp_on_grid = np.searchsorted(x, grid, side="right") / x.size
+        gap = float(np.max(np.abs(emp_on_grid - fitted)))
+        gaps[user] = gap
+        rows.append(f"{user:<5} max |ECDF - fitted CDF| = {gap:.3f}")
+        for q in (0.25, 0.5, 0.75):
+            idx = int(q * (len(grid) - 1))
+            rows.append(f"      day {grid[idx] / 86400:>5.1f}: "
+                        f"empirical {emp_on_grid[idx]:.2f} "
+                        f"fitted {fitted[idx]:.2f}")
+    emit("Figure 6 - arrival CDFs, fitted vs empirical", rows)
+
+    # every fit tracks its empirical CDF (paper KS range: 0.02 - 0.15)
+    for user, gap in gaps.items():
+        assert gap < 0.2, f"{user}: fitted CDF diverges ({gap:.3f})"
+
+    # fitted CDFs are monotone and reach ~1 at the data's end
+    for user, series in fig.items():
+        fitted = series["fitted_cdf"]
+        assert np.all(np.diff(fitted) >= -1e-9)
+        assert fitted[-1] > 0.9

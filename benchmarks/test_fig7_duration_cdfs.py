@@ -1,0 +1,40 @@
+"""F7 — Figure 7: empirical job-duration ("job size") CDFs per user.
+
+Paper claims: the trace is exclusively single-core bag-of-task jobs; the
+duration distributions of U65, U3, and Uoth concentrate in [0, 6e5] s,
+while "U30 exhibits a larger tail and generally exhibits larger job sizes".
+"""
+
+import numpy as np
+
+from repro.experiments.modeling import figure7_series
+
+
+def test_fig7_duration_cdfs(benchmark, emit, modeling_dataset):
+    fig = benchmark.pedantic(figure7_series, args=(modeling_dataset,),
+                             rounds=1, iterations=1)
+    rows = []
+    for user, series in fig.items():
+        x, y = series["empirical_x"], series["empirical_y"]
+        quartiles = [float(np.interp(q, y, x)) for q in (0.25, 0.5, 0.75, 0.95)]
+        rows.append(f"{user:<5} q25={quartiles[0]:>9.0f}s  "
+                    f"median={quartiles[1]:>9.0f}s  q75={quartiles[2]:>9.0f}s  "
+                    f"q95={quartiles[3]:>9.0f}s  "
+                    f"below 6e5 s: {series['fraction_below_6e5']:.1%}")
+    emit("Figure 7 - duration CDFs per user", rows)
+
+    # all jobs single-core
+    assert all(j.cores == 1 for j in modeling_dataset.labeled)
+
+    # U65/U3/Uoth concentrated in [0, 6e5]
+    for user in ("U65", "U3", "Uoth"):
+        assert fig[user]["fraction_below_6e5"] > 0.95, user
+
+    # U30: larger tail, generally larger jobs
+    assert fig["U30"]["p99"] > max(fig[u]["p99"] for u in ("U65", "U3", "Uoth"))
+    medians = {u: float(np.interp(0.5, s["empirical_y"], s["empirical_x"]))
+               for u, s in fig.items()}
+    assert medians["U30"] == max(medians.values())
+
+    # U3 jobs are by far the shortest (bursty-test premise)
+    assert medians["U3"] < medians["U65"] / 50

@@ -1,0 +1,45 @@
+"""E-CHAR — in-depth projection characterization (Section III-C future work).
+
+The paper defers "in-depth evaluation, characterization, and fine tuning"
+of the projection algorithms to future work; this bench performs it over
+randomized fairshare trees, quantifying the Table I trade-offs:
+
+* order fidelity vs the true lexicographic vector order (the vector-factor
+  alternative of ``repro.core.vectorfactors`` is 1.0 by construction);
+* proportionality distortion against the per-node balance score (the
+  quantity the vector elements encode);
+* isolation violations under cross-group perturbations.
+
+Expected shape: dictionary and bitwise are order-perfect on realistic
+trees but dictionary flattens proportionality (rank spacing); percental
+loses both order fidelity and isolation (its products mix levels), which
+is exactly why the paper calls no projection lossless.
+"""
+
+from repro.experiments.characterization import characterize_projections
+
+
+def test_projection_characterization(benchmark, emit):
+    results = benchmark.pedantic(characterize_projections,
+                                 kwargs=dict(seed=0, n_trees=60),
+                                 rounds=1, iterations=1)
+    emit("Projection characterization (randomized trees)",
+         [r.row() for r in results])
+    by_name = {r.name: r for r in results}
+
+    # dictionary: perfect ordering, heavy proportionality distortion
+    assert by_name["dictionary"].order_fidelity == 1.0
+    assert by_name["dictionary"].isolation_violations == 0.0
+    assert by_name["dictionary"].proportionality_error > 0.5
+
+    # bitwise: order-perfect at realistic resolution, nearly proportional
+    assert by_name["bitwise"].order_fidelity > 0.999
+    assert by_name["bitwise"].isolation_violations == 0.0
+    assert by_name["bitwise"].proportionality_error < 0.05
+
+    # percental: breaks subgroup isolation and with it order fidelity
+    assert by_name["percental"].isolation_violations > 0.3
+    assert by_name["percental"].order_fidelity < 0.95
+    # but stays far more proportional than rank spacing
+    assert by_name["percental"].proportionality_error < \
+        by_name["dictionary"].proportionality_error

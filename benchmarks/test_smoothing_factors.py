@@ -1,0 +1,35 @@
+"""E-SMOOTH — factor smoothing (Section IV-A prose).
+
+Paper claim: "other factors have a smoothing effect (with impact relative
+to their weight) on the fluctuating behavior natural to fairshare."
+
+Shape check: combined-priority fluctuation scales with the fairshare
+weight's fraction of the total — adding an equal-weight age factor roughly
+halves it; a 3x age weight cuts it to roughly a quarter.
+"""
+
+import pytest
+
+from repro.experiments.smoothing import smoothing_experiment
+
+
+def test_smoothing_factors(benchmark, emit):
+    runs = benchmark.pedantic(smoothing_experiment, rounds=1, iterations=1)
+    emit("Factor smoothing (impact relative to weight)",
+         [r.row() for r in runs])
+
+    fairshare_only = runs[0]
+    assert fairshare_only.fairshare_weight_fraction == 1.0
+    assert fairshare_only.mean_fluctuation > 0.0
+
+    # fluctuation shrinks monotonically as the fairshare weight dilutes ...
+    flucts = [r.mean_fluctuation for r in runs]
+    assert flucts == sorted(flucts, reverse=True)
+
+    # ... proportionally to the weight fraction ("impact relative to their
+    # weight"): fluctuation ratio tracks the weight-fraction ratio (the
+    # wide tolerance absorbs the residual age-detrending interaction)
+    for run in runs[1:]:
+        expected = run.fairshare_weight_fraction
+        observed = run.mean_fluctuation / fairshare_only.mean_fluctuation
+        assert 0.4 * expected <= observed <= 1.6 * expected

@@ -1,0 +1,32 @@
+"""T1 — Table I: projection property matrix.
+
+Paper claim: fairshare vectors keep infinite depth, infinite precision,
+subgroup isolation, and proportionality but are not combinable; dictionary
+ordering gives up proportionality; bitwise gives up depth and precision;
+percental gives up subgroup isolation.  Each cell is probed empirically
+with constructed cases (see ``repro.experiments.projections``).
+"""
+
+from repro.experiments.projections import PAPER_TABLE1, regenerate_table1
+
+
+def test_table1_property_matrix(benchmark, emit):
+    rows = benchmark.pedantic(regenerate_table1, rounds=1, iterations=1)
+    header = f"{'algorithm':<12} " + " ".join(
+        f"{p:>13}" for p in ("depth", "precision", "isolation",
+                             "proportional", "combinable"))
+    rendered = [header]
+    for row in rows:
+        paper = PAPER_TABLE1[row.name]
+        cells = []
+        for prop in ("depth", "precision", "isolation", "proportional",
+                     "combinable"):
+            got = "Y" if row.properties[prop] else "x"
+            want = "Y" if paper[prop] else "x"
+            cells.append(f"{got}(paper {want})")
+        rendered.append(f"{row.name:<12} " + " ".join(f"{c:>13}" for c in cells))
+    emit("Table I - projection properties (probed vs paper)", rendered)
+
+    for row in rows:
+        assert row.properties == PAPER_TABLE1[row.name], \
+            f"{row.name} property matrix deviates from the paper"

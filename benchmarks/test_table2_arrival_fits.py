@@ -1,0 +1,60 @@
+"""T2 — Table II: job-arrival model fits.
+
+Paper rows: GEV best fit for all four U65 phases (k in -0.46..-0.30),
+Burr for U30, GEV for U3 (worst fit, bursty) and Uoth; whole-second median
+inter-arrival times 2/3/2/2 (U65 phases), 2 (U65), 1 (U30), 0 (U3),
+13 (Uoth); KS between 0.02 (the Equation-1 composite) and 0.15 (U3).
+
+Shape checks (absolute medians depend on the authors' trace volume, which
+we cannot match): medians tiny for the batch submitters and largest for
+Uoth; U3 median exactly 0; GEV wins every U65 phase; composite KS <= any
+single-phase KS; all KS small.
+"""
+
+import pytest
+
+from benchmarks.conftest import modeling_n_jobs
+from repro.experiments.modeling import regenerate_table2
+from repro.workload.reference import PAPER_TABLE2
+
+
+def test_table2_arrival_fits(benchmark, emit, modeling_dataset, table2_rows):
+    # the session fixture may already be built; time a fresh regeneration
+    rows = benchmark.pedantic(
+        regenerate_table2, args=(modeling_dataset,),
+        kwargs={"subsample": 8000}, rounds=1, iterations=1)
+    emit("Table II - job arrival fits (ours vs paper)",
+         [r.render() for r in rows])
+
+    by_label = {r.label: r for r in rows}
+    full_scale = modeling_n_jobs() >= 60_000
+
+    if full_scale:
+        # U65's four phases fit GEV, like the paper, with the published
+        # sign and magnitude of the shape (bounded bumps)
+        for p in range(1, 5):
+            assert by_label[f"U65 (p{p})"].fit.family_name == "gev"
+            k = by_label[f"U65 (p{p})"].fit.fitted.params[0]
+            assert -0.75 < k < -0.1
+
+    # medians: batch submitters in whole seconds, U3 at zero, Uoth largest
+    assert by_label["U3"].median_s == 0.0
+    assert 1 <= by_label["U65"].median_s <= 4
+    assert 0 <= by_label["U30"].median_s <= 3
+    assert by_label["Uoth"].median_s == max(r.median_s for r in rows)
+    assert 5 <= by_label["Uoth"].median_s <= 40  # paper: 13
+
+    # goodness of fit in the paper's range
+    for row in rows:
+        assert row.ks <= 0.2, f"{row.label}: KS {row.ks} out of range"
+
+    # the composite (Equation 1) beats or matches every single-phase fit
+    composite_ks = by_label["U65"].ks
+    assert composite_ks <= min(by_label[f"U65 (p{p})"].ks
+                               for p in range(1, 5)) + 0.01
+
+    # family agreement with the paper where our trace volume permits
+    matches = sum(1 for label, row in by_label.items()
+                  if row.fit is not None
+                  and row.fit.family_name == PAPER_TABLE2[label]["family"])
+    assert matches >= (5 if full_scale else 2)  # of 7 fitted rows

@@ -1,0 +1,51 @@
+"""T3 — Table III: job-duration (job size) model fits.
+
+Paper rows: U65 Birnbaum-Saunders(1.76e4, 3.53), U30 Weibull(5.49e4, 0.637),
+U3 Burr(2.07, 11.0, 0.02), Uoth BS(3.02e4, 7.91); KS 0.04-0.28.
+
+Shape checks: the *family* must match the paper for every user, and the
+scale-invariant shape parameters (BS gamma, Weibull k, Burr c and k) must
+land near the published values — the per-user load rescaling of the
+reference trace moves only scale parameters.
+"""
+
+import pytest
+
+from repro.experiments.modeling import regenerate_table3
+from repro.workload.reference import PAPER_TABLE3
+
+
+def test_table3_duration_fits(benchmark, emit, modeling_dataset):
+    rows = benchmark.pedantic(
+        regenerate_table3, args=(modeling_dataset,),
+        kwargs={"subsample": 8000}, rounds=1, iterations=1)
+    emit("Table III - job duration fits (ours vs paper)",
+         [r.render() for r in rows])
+
+    by_label = {r.label: r for r in rows}
+
+    # families recover exactly
+    for user, spec in PAPER_TABLE3.items():
+        assert by_label[user].fit.family_name == spec["family"], user
+
+    # shape parameters near the published values (looser for small traces:
+    # Burr's heavy tail makes its shape MLE high-variance)
+    from benchmarks.conftest import modeling_n_jobs
+    full_scale = modeling_n_jobs() >= 60_000
+    assert by_label["U65"].fit.fitted.params[1] == pytest.approx(3.53, rel=0.2)
+    assert by_label["U30"].fit.fitted.params[1] == pytest.approx(0.637, rel=0.2)
+    assert by_label["U3"].fit.fitted.params[1] == pytest.approx(
+        11.0, rel=0.25 if full_scale else 0.5)
+    assert by_label["U3"].fit.fitted.params[2] == pytest.approx(
+        0.02, rel=0.5 if full_scale else 1.0)
+    assert by_label["Uoth"].fit.fitted.params[1] == pytest.approx(
+        7.91, rel=0.25 if full_scale else 0.5)
+
+    # goodness of fit at least as good as the paper's worst (0.28)
+    for row in rows:
+        assert row.fit.ks <= 0.28
+
+    # qualitative ordering: U3 jobs are by far the shortest (the premise of
+    # the bursty test's share arithmetic), U30 the heaviest-tailed
+    assert by_label["U3"].median_s < by_label["U65"].median_s / 50
+    assert by_label["U30"].median_s == max(r.median_s for r in rows)

@@ -1,0 +1,70 @@
+"""E-THR — test-bed throughput and load figures (Section IV-A prose).
+
+Paper numbers: "the test bed was found to support a sustained job
+submission rate of about 120 jobs per minute.  The peak job submission rate
+during the bursty test shown in this article reaches 472 jobs per minute.
+During these tests, the traces contain a total load of 95% of the
+theoretical maximum of the combined infrastructure, and during testing we
+have found that the total utilization varies between 93% and 97%.  The
+test length is six hours for all tests, and each trace contains 43,200
+jobs."
+
+Shape checks: sustained rate = n_jobs/span (exactly 120/min at paper
+scale); the bursty trace's peak rate is a multiple of the sustained rate
+(paper factor ~3.9); trace load pinned at 95%; steady-state utilization in
+a band around the paper's.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.scenarios import baseline, bursty
+from repro.workload.reference import build_testbed_trace
+
+
+def test_throughput(benchmark, emit, scenario_cache):
+    scale = bench_scale()
+    base = scenario_cache.get("baseline")
+    burst = scenario_cache.get("bursty")
+
+    def run():
+        b = base if base is not None else baseline(seed=0, **scale)
+        bu = burst if burst is not None else bursty(seed=0, **scale)
+        return b, bu
+
+    b, bu = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    total_cores = scale["n_sites"] * scale["hosts_per_site"]
+    trace = build_testbed_trace(n_jobs=scale["n_jobs"], span=scale["span"],
+                                total_cores=total_cores, load=0.95, seed=0)
+    sustained = scale["n_jobs"] / (scale["span"] / 60.0)
+    emit("Throughput and load (Section IV-A)", [
+        f"sustained submission rate: {sustained:.0f} jobs/min (paper: ~120)",
+        f"baseline peak rate: {b.peak_submission_rate:.0f} jobs/min",
+        f"bursty peak rate:   {bu.peak_submission_rate:.0f} jobs/min "
+        f"(paper: 472)",
+        f"trace load: {trace.total_usage() / (0.95 * total_cores * scale['span']) * 0.95:.1%}"
+        f" of theoretical max (paper: 95%)",
+        f"baseline utilization (steady state): "
+        f"{b.series('utilization').tail_mean(0.5):.1%} (paper: 93-97%)",
+        f"completed throughput: {b.throughput_per_minute:.0f} jobs/min",
+    ])
+
+    # trace load pinned at exactly 95% of theoretical capacity
+    assert trace.total_usage() == pytest.approx(
+        0.95 * total_cores * scale["span"], rel=1e-9)
+
+    # sustained rate matches the paper arithmetic at paper scale
+    if scale["n_jobs"] == 43_200:
+        assert sustained == pytest.approx(120.0)
+
+    # peaks: bursty trace peaks well above the sustained rate
+    assert bu.peak_submission_rate > 1.5 * sustained
+    assert b.peak_submission_rate > sustained
+
+    # utilization in a band around the paper's 93-97%
+    util = b.series("utilization").tail_mean(0.5)
+    assert 0.88 <= util <= 1.0
+
+    # completed throughput tracks the submission rate
+    assert b.throughput_per_minute == pytest.approx(sustained, rel=0.15)

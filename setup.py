@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build; this shim
+lets ``python setup.py develop`` install the package in editable mode with
+the ambient setuptools.  Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Integration and Evaluation of Decentralized
+Fairshare Prioritization (Aequus)" (Espling, Ostberg, Elmroth, IPPS 2014).
+
+Subpackages
+-----------
+``repro.core``
+    Policy trees, usage accounting, decay, fairshare trees, fairshare
+    vectors, and scalar projections — the paper's contribution.
+``repro.services``
+    The decentralized service stack (USS, UMS, PDS, FCS, IRS) and the
+    simulated network between installations.
+``repro.client``
+    ``libaequus``, the client library linked into resource managers.
+``repro.rms``
+    SLURM-like and Maui-like local resource managers with the Aequus
+    integration seams.
+``repro.sim``
+    Discrete-event simulation engine, metrics, and the grid layer.
+``repro.workload``
+    Statistical workload modeling (distribution fitting, BIC selection,
+    synthetic trace generation) and the 2012-national-grid reference model.
+``repro.experiments``
+    Drivers regenerating every table and figure of the paper's evaluation.
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,175 @@
+"""Command-line interface for the Aequus reproduction.
+
+Subcommands
+-----------
+``generate-trace``
+    Synthesize a workload trace from the national-grid reference model and
+    write it as a TSV file.
+``fit``
+    Run the modeling pipeline (clean, categorize, fit, select by BIC) on a
+    trace file and print Table II/III-style rows.
+``run``
+    Run an evaluation scenario (baseline / non-optimal / partial / bursty)
+    on the simulated national test bed and print the summary.
+``probe-projections``
+    Print the probed Table I property matrix.
+
+Examples::
+
+    python -m repro.cli generate-trace --jobs 20000 --out trace.tsv
+    python -m repro.cli fit trace.tsv
+    python -m repro.cli run baseline --jobs 6000 --span 3600 --sites 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aequus decentralized fairshare prioritization (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-trace",
+                         help="synthesize a reference workload trace")
+    gen.add_argument("--jobs", type=int, default=20_000,
+                     help="number of clean jobs (default 20000)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--testbed", action="store_true",
+                     help="generate a test-bed trace (compressed span, "
+                          "load-scaled) instead of a year-long trace")
+    gen.add_argument("--span", type=float, default=21_600.0,
+                     help="test-bed span in seconds (with --testbed)")
+    gen.add_argument("--cores", type=int, default=240,
+                     help="test-bed total cores (with --testbed)")
+    gen.add_argument("--bursty", action="store_true",
+                     help="bursty variant (with --testbed)")
+    gen.add_argument("--no-pollution", action="store_true",
+                     help="omit admin/zero-duration noise (year trace)")
+    gen.add_argument("--out", required=True, help="output TSV path")
+
+    fit = sub.add_parser("fit", help="fit workload models to a trace file")
+    fit.add_argument("trace", help="trace TSV (see generate-trace)")
+    fit.add_argument("--subsample", type=int, default=5000)
+    fit.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run an evaluation scenario")
+    run.add_argument("scenario",
+                     choices=["baseline", "non-optimal", "partial", "bursty"])
+    run.add_argument("--jobs", type=int, default=6000)
+    run.add_argument("--span", type=float, default=3600.0)
+    run.add_argument("--sites", type=int, default=2)
+    run.add_argument("--hosts", type=int, default=20)
+    run.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("probe-projections",
+                   help="print the probed Table I property matrix")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .workload.reference import build_testbed_trace, generate_reference_trace
+
+    if args.testbed:
+        trace = build_testbed_trace(n_jobs=args.jobs, span=args.span,
+                                    total_cores=args.cores, seed=args.seed,
+                                    bursty=args.bursty)
+    else:
+        trace = generate_reference_trace(n_jobs=args.jobs, seed=args.seed,
+                                         pollution=not args.no_pollution)
+    trace.save(args.out)
+    print(f"wrote {trace.n_jobs} jobs ({len(trace.users())} users, "
+          f"span {trace.span:.0f}s) to {args.out}")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from .workload.analysis import categorize_users, clean_trace, detect_phases
+    from .workload.fitting import best_fit, whole_second_median
+    from .workload.trace import Trace
+
+    trace = Trace.load(args.trace)
+    clean, report = clean_trace(trace)
+    print(f"cleaned: removed {report.removed_job_fraction:.1%} of jobs, "
+          f"{report.removed_usage_fraction:.2%} of usage")
+    cats = categorize_users(clean)
+    labeled = cats.relabel(clean)
+    print("user categories:")
+    for label in cats.category_names():
+        print(f"  {label:<6} usage {cats.usage_shares.get(label, 0.0):.2%}  "
+              f"jobs {cats.job_shares.get(label, 0.0):.2%}")
+    import numpy as np
+    rng = np.random.default_rng(args.seed)
+    print("\narrival fits:")
+    for user in cats.category_names():
+        times = labeled.arrival_times(user)
+        if times.size < 16:
+            print(f"  {user:<6} (too few jobs to fit)")
+            continue
+        fit = best_fit(times, subsample=args.subsample, rng=rng)
+        median = whole_second_median(labeled.inter_arrival_times(user))
+        print(f"  {user:<6} median={median:.0f}s  {fit.fitted.describe()}  "
+              f"KS={fit.ks:.2f}")
+    print("\nduration fits:")
+    for user in cats.category_names():
+        durations = labeled.durations(user)
+        if durations.size < 16:
+            print(f"  {user:<6} (too few jobs to fit)")
+            continue
+        fit = best_fit(durations, subsample=args.subsample, rng=rng)
+        print(f"  {user:<6} median={whole_second_median(durations):.0f}s  "
+              f"{fit.fitted.describe()}  KS={fit.ks:.2f}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments import scenarios
+
+    kwargs = dict(n_jobs=args.jobs, span=args.span, n_sites=args.sites,
+                  hosts_per_site=args.hosts, seed=args.seed)
+    if args.scenario == "baseline":
+        result = scenarios.baseline(**kwargs)
+    elif args.scenario == "non-optimal":
+        result = scenarios.non_optimal_policy(**kwargs)
+    elif args.scenario == "bursty":
+        result = scenarios.bursty(**kwargs)
+    else:
+        kwargs["n_sites"] = max(4, kwargs["n_sites"])
+        outcome = scenarios.partial_participation(**kwargs)
+        result = outcome.result
+        print(f"read-only site: {outcome.read_only_site}; "
+              f"local-only site: {outcome.local_only_site}")
+    for row in result.summary_rows():
+        print(row)
+    return 0
+
+
+def _cmd_probe(_args) -> int:
+    from .experiments.projections import PAPER_TABLE1, regenerate_table1
+
+    for row in regenerate_table1():
+        match = "matches paper" if row.properties == PAPER_TABLE1[row.name] \
+            else "DIFFERS from paper"
+        print(f"{row.render()}   [{match}]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate-trace": _cmd_generate,
+        "fit": _cmd_fit,
+        "run": _cmd_run,
+        "probe-projections": _cmd_probe,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

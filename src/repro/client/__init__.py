@@ -1,0 +1,5 @@
+"""Client-side integration library (``libaequus``)."""
+
+from .libaequus import LibAequus
+
+__all__ = ["LibAequus"]

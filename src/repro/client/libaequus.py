@@ -1,0 +1,112 @@
+"""``libaequus`` — the unified system library (paper Section III-A).
+
+The technical integration between Aequus and local resource-management
+systems goes through a single client library linked into the scheduler.
+In the original system it is a C/C++ interface wrapping web-service
+clients; here it is the Python facade the simulated SLURM/Maui schedulers
+call.  It provides exactly the three operations the paper names:
+
+* retrieve fairshare values,
+* resolve usage identity mappings, and
+* store usage records,
+
+with previously resolved fairshare values and identities cached "for a
+configurable amount of time", which is what keeps batch job processing
+cheap (and is delay source III in the update-delay analysis).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.usage import UsageRecord
+from ..services.cache import TTLCache
+
+if TYPE_CHECKING:  # avoid a services<->client import cycle at runtime
+    from ..services.fcs import FairshareCalculationService
+    from ..services.irs import IdentityResolutionService
+    from ..services.site import AequusSite
+    from ..services.uss import UsageStatisticsService
+    from ..sim.engine import SimulationEngine
+
+__all__ = ["LibAequus"]
+
+
+class LibAequus:
+    """Client library instance, one per resource-manager integration."""
+
+    def __init__(self, engine: "SimulationEngine",
+                 fcs: "FairshareCalculationService",
+                 uss: "UsageStatisticsService",
+                 irs: "IdentityResolutionService",
+                 site: str,
+                 cache_ttl: float = 15.0,
+                 report_delay: float = 0.0):
+        self.engine = engine
+        self.fcs = fcs
+        self.uss = uss
+        self.irs = irs
+        self.site = site
+        self.report_delay = report_delay
+        clock = lambda: engine.now  # noqa: E731 - tiny clock closure
+        self._fairshare_cache: TTLCache[str, float] = TTLCache(clock, cache_ttl)
+        self._identity_cache: TTLCache[str, str] = TTLCache(clock, cache_ttl)
+        self.fairshare_calls = 0
+        self.usage_reports = 0
+
+    @classmethod
+    def for_site(cls, site: "AequusSite", cache_ttl: Optional[float] = None,
+                 report_delay: float = 0.0) -> "LibAequus":
+        """Convenience constructor wiring against a full site stack."""
+        ttl = cache_ttl if cache_ttl is not None else site.config.libaequus_cache_ttl
+        return cls(site.engine, site.fcs, site.uss, site.irs,
+                   site=site.name, cache_ttl=ttl, report_delay=report_delay)
+
+    # -- identity ---------------------------------------------------------
+
+    def resolve_identity(self, system_user: str) -> str:
+        """System user -> grid identity, TTL-cached."""
+        return self._identity_cache.get(
+            system_user, lambda: self.irs.resolve(system_user))
+
+    # -- fairshare ----------------------------------------------------------
+
+    def get_fairshare(self, system_user: str) -> float:
+        """Projected fairshare value in [0, 1] for a job's owner.
+
+        This is the call the SLURM priority plugin / Maui patch makes in
+        place of the local fairshare calculation.
+        """
+        self.fairshare_calls += 1
+        identity = self.resolve_identity(system_user)
+        return self._fairshare_cache.get(
+            identity, lambda: self.fcs.fairshare_value(identity))
+
+    # -- usage reporting -------------------------------------------------------
+
+    def report_usage(self, system_user: str, start: float, end: float,
+                     cores: int = 1) -> None:
+        """Store a completed job's usage (job-completion plugin call).
+
+        ``report_delay`` models delay source I: the lag between job
+        completion in the resource manager and the record reaching the USS.
+        """
+        self.usage_reports += 1
+        identity = self.resolve_identity(system_user)
+        record = UsageRecord(user=identity, site=self.site,
+                             start=start, end=end, cores=cores)
+        if self.report_delay > 0:
+            self.engine.schedule(self.report_delay,
+                                 lambda: self.uss.record_job(record))
+        else:
+            self.uss.record_job(record)
+
+    # -- cache introspection --------------------------------------------------
+
+    @property
+    def fairshare_cache_stats(self):
+        return self._fairshare_cache.stats
+
+    @property
+    def identity_cache_stats(self):
+        return self._identity_cache.stats

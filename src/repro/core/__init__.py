@@ -1,0 +1,53 @@
+"""Core Aequus fairshare machinery: policies, usage, fairshare trees,
+vectors, and projections (the paper's primary contribution)."""
+
+from .decay import (
+    DecayFunction,
+    ExponentialDecay,
+    LinearDecay,
+    NoDecay,
+    SlidingWindowDecay,
+    StepDecay,
+)
+from .distance import (
+    FairshareParameters,
+    absolute_distance,
+    balance_score,
+    combined_priority,
+    relative_distance,
+)
+from .fairshare import FairshareNode, FairshareTree, compute_fairshare_tree
+from .policy import PolicyError, PolicyNode, PolicyTree, parse_policy
+from .projection import (
+    BitwiseVectorProjection,
+    DictionaryOrderingProjection,
+    PercentalProjection,
+    Projection,
+    make_projection,
+)
+from .tree import Tree, TreeNode
+from .usage import UsageHistogram, UsageNode, UsageRecord, UsageTree, build_usage_tree
+from .vector import FairshareVector
+from .vectorfactors import (
+    AgeVectorFactor,
+    CompositeVectorPriority,
+    JobSizeVectorFactor,
+    QosVectorFactor,
+    VectorFactor,
+)
+
+__all__ = [
+    "DecayFunction", "ExponentialDecay", "LinearDecay", "NoDecay",
+    "SlidingWindowDecay", "StepDecay",
+    "FairshareParameters", "absolute_distance", "balance_score",
+    "combined_priority", "relative_distance",
+    "FairshareNode", "FairshareTree", "compute_fairshare_tree",
+    "PolicyError", "PolicyNode", "PolicyTree", "parse_policy",
+    "BitwiseVectorProjection", "DictionaryOrderingProjection",
+    "PercentalProjection", "Projection", "make_projection",
+    "Tree", "TreeNode",
+    "UsageHistogram", "UsageNode", "UsageRecord", "UsageTree", "build_usage_tree",
+    "FairshareVector",
+    "AgeVectorFactor", "CompositeVectorPriority", "JobSizeVectorFactor",
+    "QosVectorFactor", "VectorFactor",
+]

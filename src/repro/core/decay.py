@@ -1,0 +1,165 @@
+"""Usage decay functions (paper Section II-A).
+
+The fairshare algorithm is parameterized with a *decay function* that
+controls how the impact of previous usage decreases over time.  Decay is
+applied per usage-histogram interval: a job's charge recorded in a bin whose
+midpoint lies ``age`` seconds in the past contributes ``charge * weight(age)``
+to the decayed usage total.
+
+All functions return weights in ``[0, 1]`` with ``weight(0) == 1`` and are
+non-increasing in age — invariants the property-based tests enforce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DecayFunction",
+    "NoDecay",
+    "ExponentialDecay",
+    "LinearDecay",
+    "SlidingWindowDecay",
+    "StepDecay",
+    "decayed_sum",
+]
+
+
+class DecayFunction:
+    """Base class: maps usage age (seconds) to a weight in ``[0, 1]``."""
+
+    def weight(self, age: float) -> float:
+        raise NotImplementedError
+
+    def weights(self, ages: np.ndarray) -> np.ndarray:
+        """Vectorized weights; subclasses override with closed forms."""
+        return np.array([self.weight(a) for a in np.asarray(ages, dtype=float)])
+
+    def __call__(self, age: float) -> float:
+        return self.weight(age)
+
+
+class NoDecay(DecayFunction):
+    """All history counts equally (weight 1 forever)."""
+
+    def weight(self, age: float) -> float:
+        return 1.0 if age >= 0 else 0.0
+
+    def weights(self, ages: np.ndarray) -> np.ndarray:
+        ages = np.asarray(ages, dtype=float)
+        return np.where(ages >= 0, 1.0, 0.0)
+
+    def __repr__(self) -> str:
+        return "NoDecay()"
+
+
+class ExponentialDecay(DecayFunction):
+    """Half-life decay: ``weight(age) = 2**(-age / half_life)``.
+
+    The default in Aequus deployments; matches the decay style used by the
+    SLURM multifactor plugin ("PriorityDecayHalfLife").
+    """
+
+    def __init__(self, half_life: float):
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = float(half_life)
+
+    def weight(self, age: float) -> float:
+        if age < 0:
+            return 0.0
+        return math.exp(-math.log(2.0) * age / self.half_life)
+
+    def weights(self, ages: np.ndarray) -> np.ndarray:
+        ages = np.asarray(ages, dtype=float)
+        w = np.exp(-math.log(2.0) * np.maximum(ages, 0.0) / self.half_life)
+        return np.where(ages >= 0, w, 0.0)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDecay(half_life={self.half_life:g})"
+
+
+class LinearDecay(DecayFunction):
+    """Linear ramp to zero over ``window`` seconds."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+
+    def weight(self, age: float) -> float:
+        if age < 0:
+            return 0.0
+        return max(0.0, 1.0 - age / self.window)
+
+    def weights(self, ages: np.ndarray) -> np.ndarray:
+        ages = np.asarray(ages, dtype=float)
+        w = np.clip(1.0 - ages / self.window, 0.0, 1.0)
+        return np.where(ages >= 0, w, 0.0)
+
+    def __repr__(self) -> str:
+        return f"LinearDecay(window={self.window:g})"
+
+
+class SlidingWindowDecay(DecayFunction):
+    """Hard cutoff: full weight inside the window, zero outside."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+
+    def weight(self, age: float) -> float:
+        return 1.0 if 0 <= age <= self.window else 0.0
+
+    def weights(self, ages: np.ndarray) -> np.ndarray:
+        ages = np.asarray(ages, dtype=float)
+        return np.where((ages >= 0) & (ages <= self.window), 1.0, 0.0)
+
+    def __repr__(self) -> str:
+        return f"SlidingWindowDecay(window={self.window:g})"
+
+
+class StepDecay(DecayFunction):
+    """Piecewise-constant decay given as ``(age_threshold, weight)`` steps.
+
+    Steps must have increasing thresholds and non-increasing weights in
+    ``[0, 1]``.  Ages beyond the last threshold weigh zero.
+    """
+
+    def __init__(self, steps: Iterable[Tuple[float, float]]):
+        steps = sorted(steps)
+        if not steps:
+            raise ValueError("at least one step is required")
+        prev_w = 1.0
+        for threshold, w in steps:
+            if threshold < 0:
+                raise ValueError("thresholds must be non-negative")
+            if not 0.0 <= w <= 1.0:
+                raise ValueError("weights must lie in [0, 1]")
+            if w > prev_w:
+                raise ValueError("weights must be non-increasing")
+            prev_w = w
+        self.steps = steps
+
+    def weight(self, age: float) -> float:
+        if age < 0:
+            return 0.0
+        for threshold, w in self.steps:
+            if age <= threshold:
+                return w
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"StepDecay({self.steps!r})"
+
+
+def decayed_sum(amounts: np.ndarray, ages: np.ndarray, decay: DecayFunction) -> float:
+    """Sum ``amounts`` weighted by ``decay`` at the corresponding ``ages``."""
+    amounts = np.asarray(amounts, dtype=float)
+    if amounts.size == 0:
+        return 0.0
+    return float(np.dot(amounts, decay.weights(np.asarray(ages, dtype=float))))

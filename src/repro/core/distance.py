@@ -1,0 +1,118 @@
+"""Policy-to-usage distance metrics (paper Sections II-A and IV-A.5).
+
+Aequus supports both *absolute* and *relative* distance metrics when
+comparing usage to policy shares, blended by a configurable weight ``k``
+(default 0.5, giving both components equal influence).
+
+The paper pins the ranges precisely (Section IV-A.5):
+
+* the **relative** component is always in ``[0, 1]``;
+* the **absolute** component is in ``[0, user_share]``;
+* with ``k = 0.5`` a user with total share 0.12 therefore has maximum
+  priority ``0.5 * (1 + 0.12) = 0.56`` (Figure 13b).
+
+We realize these constraints as:
+
+* ``absolute = clip(share - usage, 0, share)`` — the unconsumed part of the
+  entitlement, maximal (= the share) at zero usage, zero at or beyond
+  balance;
+* ``relative = share / (share + usage)`` — 1 at zero usage, exactly 0.5 at
+  perfect balance (usage == share), tending to 0 when heavily overserved.
+  The 0.5 midpoint realizes the *balance point* being the center of the
+  value range (paper Section III-C, Figure 3).
+
+``priority = k * absolute + (1 - k) * relative``.
+
+For fairshare-*vector* elements a value normalized to ``[0, 1]`` with the
+balance point at 0.5 is needed; :func:`balance_score` maps the absolute
+component symmetrically around 0.5 for that purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "absolute_distance",
+    "relative_distance",
+    "combined_priority",
+    "balance_score",
+    "FairshareParameters",
+]
+
+
+def absolute_distance(share: float, usage: float) -> float:
+    """Absolute distance: unconsumed entitlement, clipped to ``[0, share]``."""
+    if share < 0 or usage < 0:
+        raise ValueError("shares and usage must be non-negative")
+    return min(max(share - usage, 0.0), share)
+
+
+def relative_distance(share: float, usage: float) -> float:
+    """Relative distance in ``[0, 1]``; 0.5 at balance, 1 at zero usage.
+
+    An entity with zero share is entitled to nothing: its relative distance
+    is 0 (it can only ever be at or beyond balance).
+    """
+    if share < 0 or usage < 0:
+        raise ValueError("shares and usage must be non-negative")
+    if share == 0.0:
+        return 0.0
+    return share / (share + usage)
+
+
+def combined_priority(share: float, usage: float, k: float = 0.5) -> float:
+    """Blend of the two metrics: ``k * absolute + (1 - k) * relative``."""
+    if not 0.0 <= k <= 1.0:
+        raise ValueError("k must lie in [0, 1]")
+    return k * absolute_distance(share, usage) + (1.0 - k) * relative_distance(share, usage)
+
+
+def balance_score(share: float, usage: float, k: float = 0.5) -> float:
+    """Normalized balance in ``[0, 1]`` with 0.5 at perfect balance.
+
+    Used for fairshare-vector elements: the signed absolute difference
+    ``share - usage`` (in share units, i.e. both operands are fractions of
+    the sibling group) is mapped symmetrically around 0.5, and blended with
+    the relative component which is already centered at 0.5.
+    """
+    if not 0.0 <= k <= 1.0:
+        raise ValueError("k must lie in [0, 1]")
+    if share < 0 or usage < 0:
+        raise ValueError("shares and usage must be non-negative")
+    signed_abs = 0.5 + (share - usage) / 2.0
+    signed_abs = min(max(signed_abs, 0.0), 1.0)
+    if share == 0.0 and usage == 0.0:
+        rel = 0.5  # no entitlement, no usage: by definition at balance
+    elif share == 0.0:
+        rel = 0.0
+    else:
+        rel = share / (share + usage)
+    return k * signed_abs + (1.0 - k) * rel
+
+
+@dataclass(frozen=True)
+class FairshareParameters:
+    """Tunable parameters of the fairshare calculation.
+
+    ``k``
+        Weight between the absolute and relative distance metrics
+        (paper default 0.5).
+    ``resolution``
+        Per-element value range of fairshare vectors; Figure 3 uses
+        ``[0, 9999]``.
+    """
+
+    k: float = 0.5
+    resolution: int = 9999
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.k <= 1.0:
+            raise ValueError("k must lie in [0, 1]")
+        if self.resolution < 1:
+            raise ValueError("resolution must be >= 1")
+
+    @property
+    def balance_point(self) -> float:
+        """Center of the vector value range (pads truncated paths)."""
+        return self.resolution / 2.0

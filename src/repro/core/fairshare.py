@@ -1,0 +1,144 @@
+"""The fairshare calculation: policy tree × usage tree → fairshare tree.
+
+This is the heart of Aequus (paper Figure 1): for every node of the entity
+hierarchy, compare the node's *target* share (normalized policy weight
+within its sibling group) with its *actual* share (decayed usage within the
+same sibling group), producing:
+
+* a **priority** ``p = k·absolute + (1−k)·relative`` — the scalar reported
+  in the paper's evaluation figures (e.g. the 0.56 ceiling for U3 in
+  Figure 13b), and
+* a **balance score** in ``[0, 1]`` centered at 0.5 — the normalized value
+  a fairshare-vector element is made of.
+
+Per-sibling-group normalization is what gives top-down *subgroup isolation*:
+a node's values depend only on its group, so usage shifts inside one project
+can never affect the ordering of another project's users above that level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from .distance import FairshareParameters, balance_score, combined_priority
+from .policy import PolicyNode, PolicyTree
+from .tree import Tree, TreeNode
+from .usage import UsageTree, build_usage_tree
+from .vector import FairshareVector
+
+__all__ = ["FairshareNode", "FairshareTree", "compute_fairshare_tree"]
+
+
+class FairshareNode(TreeNode):
+    """Fairshare-tree node: target share, usage share, priority, balance."""
+
+    __slots__ = ("target_share", "usage_share", "priority", "balance")
+
+    def __init__(self, name: str, target_share: float = 1.0,
+                 usage_share: float = 0.0, priority: float = 0.0,
+                 balance: float = 0.5, parent: Optional["FairshareNode"] = None):
+        super().__init__(name, parent)
+        self.target_share = float(target_share)
+        self.usage_share = float(usage_share)
+        self.priority = float(priority)
+        self.balance = float(balance)
+
+
+class FairshareTree(Tree):
+    """Pre-computed fairshare values for a whole entity hierarchy.
+
+    The FCS recomputes this tree periodically; job prioritization then only
+    extracts vectors / projected values from it (no real-time calculation
+    when jobs arrive — paper Section II-A).
+    """
+
+    node_class = FairshareNode
+    root: FairshareNode
+
+    def __init__(self, parameters: Optional[FairshareParameters] = None,
+                 root: Optional[FairshareNode] = None):
+        super().__init__(root if root is not None else FairshareNode(""))
+        self.parameters = parameters or FairshareParameters()
+
+    # -- extraction ---------------------------------------------------------
+
+    def vector(self, path: str) -> FairshareVector:
+        """Fairshare vector for the entity at ``path`` (root -> leaf scores)."""
+        node = self[path]
+        scores = [n.balance for n in node.path_from_root()]  # type: ignore[attr-defined]
+        return FairshareVector.from_scores(scores, self.parameters.resolution)
+
+    def vectors(self) -> Dict[str, FairshareVector]:
+        """Vectors for every leaf (user) in the tree."""
+        return {leaf.path: self.vector(leaf.path) for leaf in self.leaves()}
+
+    def priority(self, path: str) -> float:
+        """Leaf-level scalar priority (the value plotted in the evaluation)."""
+        return self[path].priority  # type: ignore[attr-defined]
+
+    def priorities(self) -> Dict[str, float]:
+        return {leaf.path: leaf.priority for leaf in self.leaves()}  # type: ignore[attr-defined]
+
+    def target_total_share(self, path: str) -> float:
+        """Product of target shares along the path (percental projection)."""
+        node = self[path]
+        share = 1.0
+        for n in node.path_from_root():
+            share *= n.target_share  # type: ignore[attr-defined]
+        return share
+
+    def usage_total_share(self, path: str) -> float:
+        """Product of usage shares along the path (percental projection)."""
+        node = self[path]
+        share = 1.0
+        for n in node.path_from_root():
+            share *= n.usage_share  # type: ignore[attr-defined]
+        return share
+
+
+def compute_fairshare_tree(policy: PolicyTree,
+                           usage: Optional[UsageTree] = None,
+                           per_user_usage: Optional[Mapping[str, float]] = None,
+                           parameters: Optional[FairshareParameters] = None) -> FairshareTree:
+    """Compute the fairshare tree for ``policy`` given usage data.
+
+    Usage may be given either as a pre-built :class:`UsageTree` (mirroring
+    the policy structure; extra nodes are ignored, missing nodes count as
+    zero usage) or as a flat ``per_user_usage`` mapping of decayed usage
+    totals keyed by leaf path or leaf name (the UMS output format).
+    """
+    if usage is not None and per_user_usage is not None:
+        raise ValueError("pass either a usage tree or per-user usage, not both")
+    if usage is None:
+        usage = build_usage_tree(policy, per_user_usage or {})
+    params = parameters or FairshareParameters()
+    out = FairshareTree(params)
+
+    def visit(policy_node: PolicyNode, usage_parent, out_parent: FairshareNode) -> None:
+        children = list(policy_node.children.values())
+        if not children:
+            return
+        weight_total = sum(c.weight for c in children)  # type: ignore[attr-defined]
+        usage_children = {}
+        if usage_parent is not None:
+            usage_children = {name: node for name, node in usage_parent.children.items()}
+        usage_total = sum(getattr(u, "usage", 0.0)
+                          for name, u in usage_children.items()
+                          if name in policy_node.children)
+        for child in children:
+            target = child.weight / weight_total  # type: ignore[attr-defined]
+            u_node = usage_children.get(child.name)
+            u_raw = getattr(u_node, "usage", 0.0) if u_node is not None else 0.0
+            u_share = (u_raw / usage_total) if usage_total > 0 else 0.0
+            node = FairshareNode(
+                child.name,
+                target_share=target,
+                usage_share=u_share,
+                priority=combined_priority(target, u_share, params.k),
+                balance=balance_score(target, u_share, params.k),
+            )
+            out_parent.add_child(node)
+            visit(child, u_node, node)  # type: ignore[arg-type]
+
+    visit(policy.root, usage.root, out.root)
+    return out

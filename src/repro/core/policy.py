@@ -1,0 +1,260 @@
+"""Hierarchical, tree-based usage policies (paper Section II-A).
+
+A policy tree defines the *target* usage share of every user, project, or
+virtual organization (VO) in the system.  Shares are specified as arbitrary
+positive weights on each node and normalized within each sibling group, so
+``{a: 3, b: 1}`` means *a* is entitled to 75% and *b* to 25% of whatever
+their parent is entitled to.
+
+The distinguishing Aequus feature is *mounting*: globally managed
+sub-policies can be dynamically attached under a locally administered root
+node.  A site administrator allocates, say, 30% of the cluster to a grid VO
+and mounts the VO's own policy subtree (fetched from a remote Policy
+Distribution Service) at that point — retaining full local control over the
+top of the tree while delegating the subdivision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .tree import Tree, TreeNode, split_path
+
+__all__ = ["PolicyNode", "PolicyTree", "parse_policy", "PolicyError"]
+
+
+class PolicyError(ValueError):
+    """Raised for malformed policy definitions."""
+
+
+class PolicyNode(TreeNode):
+    """A policy-tree node carrying a share weight.
+
+    ``weight``
+        Raw share weight as configured (any positive number).
+    ``mounted_from``
+        Identifier of the remote source if this subtree was mounted, else
+        ``None``.  Mounted subtrees are re-fetched periodically by the PDS;
+        the flag lets the refresh replace exactly the mounted part.
+    """
+
+    __slots__ = ("weight", "mounted_from")
+
+    def __init__(self, name: str, weight: float = 1.0,
+                 parent: Optional["PolicyNode"] = None,
+                 mounted_from: Optional[str] = None):
+        super().__init__(name, parent)
+        if weight <= 0:
+            raise PolicyError(f"share weight must be positive, got {weight} for {name!r}")
+        self.weight = float(weight)
+        self.mounted_from = mounted_from
+
+    @property
+    def normalized_share(self) -> float:
+        """This node's share of its parent: weight / sum of sibling weights."""
+        if self.parent is None:
+            return 1.0
+        total = sum(c.weight for c in self.parent.children.values())  # type: ignore[attr-defined]
+        return self.weight / total
+
+    @property
+    def total_share(self) -> float:
+        """Absolute target share of the whole system (product down the path).
+
+        This is the quantity the *percental* projection uses: e.g. a project
+        share of 0.20 and a user share of 0.25 yield a total share of 0.05
+        (paper Section III-C).
+        """
+        share = 1.0
+        node: Optional[PolicyNode] = self
+        while node is not None and node.parent is not None:
+            share *= node.normalized_share
+            node = node.parent  # type: ignore[assignment]
+        return share
+
+
+class PolicyTree(Tree):
+    """Tree of :class:`PolicyNode` with mounting and (de)serialization."""
+
+    node_class = PolicyNode
+    root: PolicyNode
+
+    def __init__(self, root: Optional[PolicyNode] = None):
+        super().__init__(root if root is not None else PolicyNode(""))
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Union[float, dict, tuple]]) -> "PolicyTree":
+        """Build a policy tree from a nested mapping.
+
+        Leaf values are weights; nested dicts create subgroups.  A tuple
+        ``(weight, subdict)`` gives an internal node an explicit weight::
+
+            PolicyTree.from_dict({
+                "local": 70,
+                "grid": (30, {"projA": 3, "projB": 1}),
+            })
+        """
+        tree = cls()
+
+        def build(parent: PolicyNode, mapping: Dict[str, Union[float, dict, tuple]]) -> None:
+            for name, value in mapping.items():
+                if isinstance(value, tuple):
+                    weight, sub = value
+                    node = parent.add_child(PolicyNode(name, weight))
+                    build(node, sub)  # type: ignore[arg-type]
+                elif isinstance(value, dict):
+                    node = parent.add_child(PolicyNode(name, 1.0))
+                    build(node, value)
+                else:
+                    parent.add_child(PolicyNode(name, float(value)))
+
+        build(tree.root, spec)
+        return tree
+
+    def set_share(self, path: str, weight: float) -> PolicyNode:
+        """Create or update the node at ``path`` with the given weight."""
+        if weight <= 0:
+            raise PolicyError(f"share weight must be positive, got {weight}")
+        node = self.ensure_path(path)
+        node.weight = float(weight)  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+
+    # -- queries ---------------------------------------------------------
+
+    def share_vector(self, path: str) -> List[float]:
+        """Normalized shares along the path root -> leaf."""
+        node = self[path]
+        return [n.normalized_share for n in node.path_from_root()]  # type: ignore[attr-defined]
+
+    def total_share(self, path: str) -> float:
+        node = self[path]
+        return node.total_share  # type: ignore[attr-defined]
+
+    def user_paths(self) -> List[str]:
+        return self.leaf_paths()
+
+    # -- mounting ----------------------------------------------------------
+
+    def mount(self, mount_point: str, subtree: "PolicyTree", source: str,
+              weight: Optional[float] = None) -> PolicyNode:
+        """Mount a remote sub-policy under ``mount_point``.
+
+        The children of ``subtree``'s root become children of the mount
+        point.  ``source`` identifies the remote origin so a later
+        :meth:`refresh_mount` or :meth:`unmount` affects exactly this
+        subtree.  If ``weight`` is given, the mount point's own weight is
+        updated (the local administrator decides how much of the local
+        resources the mounted policy receives).
+        """
+        node = self.ensure_path(mount_point)
+        if weight is not None:
+            node.weight = float(weight)  # type: ignore[attr-defined]
+        if node.children:
+            raise PolicyError(f"mount point {mount_point!r} already has children")
+        node.mounted_from = source  # type: ignore[attr-defined]
+        self._graft(node, subtree.root, source)  # type: ignore[arg-type]
+        return node  # type: ignore[return-value]
+
+    def _graft(self, target: PolicyNode, source_root: PolicyNode, source: str) -> None:
+        for child in source_root.children.values():
+            copy = PolicyNode(child.name, child.weight, mounted_from=source)  # type: ignore[attr-defined]
+            target.add_child(copy)
+            self._graft(copy, child, source)  # type: ignore[arg-type]
+
+    def refresh_mount(self, mount_point: str, subtree: "PolicyTree") -> None:
+        """Replace a previously mounted subtree with a fresh copy.
+
+        Models the PDS periodically re-fetching remote sub-policies; policy
+        changes at the remote administration propagate without touching the
+        locally managed part of the tree.
+        """
+        node = self.find(mount_point)
+        if node is None or node.mounted_from is None:  # type: ignore[attr-defined]
+            raise PolicyError(f"{mount_point!r} is not a mount point")
+        source = node.mounted_from  # type: ignore[attr-defined]
+        for name in list(node.children):
+            node.remove_child(name)
+        self._graft(node, subtree.root, source)  # type: ignore[arg-type]
+
+    def unmount(self, mount_point: str) -> None:
+        node = self.find(mount_point)
+        if node is None or node.mounted_from is None:  # type: ignore[attr-defined]
+            raise PolicyError(f"{mount_point!r} is not a mount point")
+        for name in list(node.children):
+            node.remove_child(name)
+        node.mounted_from = None  # type: ignore[attr-defined]
+
+    def mount_points(self) -> List[str]:
+        return [n.path for n in self.walk()
+                if n.mounted_from is not None and (n.parent is None or n.parent.mounted_from is None)]  # type: ignore[attr-defined]
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_lines(self) -> List[str]:
+        """Serialize to ``path = weight`` lines (the PDS wire format)."""
+        lines = []
+        for node in self.walk():
+            if node.parent is None:
+                continue
+            # repr() is the shortest exact float representation: policies
+            # must round-trip through the wire format without drift
+            lines.append(f"{node.path} = {node.weight!r}")  # type: ignore[attr-defined]
+        return lines
+
+    def dumps(self) -> str:
+        return "\n".join(self.to_lines()) + "\n"
+
+    def copy(self) -> "PolicyTree":
+        """Deep structural copy (mount provenance preserved)."""
+        new = PolicyTree()
+
+        def dup(src: PolicyNode, dst: PolicyNode) -> None:
+            for child in src.children.values():
+                node = PolicyNode(child.name, child.weight, mounted_from=child.mounted_from)  # type: ignore[attr-defined]
+                dst.add_child(node)
+                dup(child, node)  # type: ignore[arg-type]
+
+        dup(self.root, new.root)
+        return new
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolicyTree):
+            return NotImplemented
+        mine = {n.path: n.weight for n in self.walk() if n.parent}  # type: ignore[attr-defined]
+        theirs = {n.path: n.weight for n in other.walk() if n.parent}  # type: ignore[attr-defined]
+        return mine == theirs
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def parse_policy(text: str) -> PolicyTree:
+    """Parse the ``path = weight`` policy text format.
+
+    Lines starting with ``#`` and blank lines are ignored.  Intermediate
+    nodes named only as prefixes of other paths get weight 1 unless given
+    their own line (order does not matter).
+    """
+    tree = PolicyTree()
+    assignments: List[Tuple[str, float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "=" not in line:
+            raise PolicyError(f"line {lineno}: expected 'path = weight', got {line!r}")
+        path, _, value = line.partition("=")
+        path = path.strip()
+        if not split_path(path):
+            raise PolicyError(f"line {lineno}: cannot assign a weight to the root")
+        try:
+            weight = float(value.strip())
+        except ValueError as exc:
+            raise PolicyError(f"line {lineno}: bad weight {value.strip()!r}") from exc
+        assignments.append((path, weight))
+    for path, weight in assignments:
+        tree.ensure_path(path)
+    for path, weight in assignments:
+        tree.set_share(path, weight)
+    return tree

@@ -1,0 +1,160 @@
+"""Projection of fairshare vectors to scalars in [0, 1] (paper Section III-C).
+
+SLURM and Maui combine several job factors linearly, each a value in
+``[0, 1]``.  A fairshare *vector* therefore has to be projected down to a
+single float — and no projection can retain all four vector properties at
+once (Table I).  Aequus ships three algorithms, selectable (and switchable
+at run time):
+
+``DictionaryOrdering``
+    Vectors are ranked lexicographically (leftmost element first, i.e. a
+    descending dictionary sort) and each is assigned an evenly spaced value
+    by rank: three vectors yield 0.75, 0.50, 0.25.
+
+``BitwiseVector``
+    Each vector element is awarded N bits of entropy; the bits are merged
+    most-significant-level-first into one number and rescaled to ``[0, 1]``.
+    Depth and precision become finite (Table I ✗), but isolation and
+    proportionality survive within the quantization.
+
+``Percental``
+    The user's *total* target share (product of shares down the path) minus
+    the *total* usage share, rescaled to ``[0, 1]``.  Retains depth,
+    precision, and proportionality but gives up subgroup isolation — the
+    approach of SLURM prior to 2.5, and the configuration used in
+    production and throughout the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .fairshare import FairshareTree
+from .vector import FairshareVector
+
+__all__ = [
+    "Projection",
+    "DictionaryOrderingProjection",
+    "BitwiseVectorProjection",
+    "PercentalProjection",
+    "make_projection",
+]
+
+
+class Projection:
+    """Base class: maps every user (leaf) of a fairshare tree to [0, 1]."""
+
+    name: str = "abstract"
+
+    def project(self, tree: FairshareTree) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DictionaryOrderingProjection(Projection):
+    """Rank-based projection: evenly spaced values by descending sort.
+
+    Equal vectors receive equal values (they are indistinguishable to the
+    scheduler, as they should be).
+    """
+
+    name = "dictionary"
+
+    def project(self, tree: FairshareTree) -> Dict[str, float]:
+        return self.project_vectors(tree.vectors())
+
+    def project_vectors(self, vectors: Mapping[str, FairshareVector]) -> Dict[str, float]:
+        paths = list(vectors)
+        if not paths:
+            return {}
+        n = len(paths)
+        order = sorted(paths, key=lambda p: vectors[p], reverse=True)
+        values: Dict[str, float] = {}
+        rank = 0
+        for i, path in enumerate(order):
+            if i > 0 and vectors[path] != vectors[order[i - 1]]:
+                rank = i
+            values[path] = (n - rank) / (n + 1)
+        return values
+
+
+class BitwiseVectorProjection(Projection):
+    """Fixed-entropy bit packing of vector elements.
+
+    ``bits_per_level`` bits represent the balance at each level, merged with
+    the top level at the most significant end.  The total entropy is capped
+    at 52 bits (an IEEE-754 double's integer-exact mantissa — the paper
+    merges into "a double data primitive"), which bounds the representable
+    depth: ``max_levels = 52 // bits_per_level`` unless set lower.  Deeper
+    vector levels are silently dropped — the Table I depth limitation.
+    """
+
+    name = "bitwise"
+
+    def __init__(self, bits_per_level: int = 16, max_levels: Optional[int] = None):
+        if not 1 <= bits_per_level <= 52:
+            raise ValueError("bits_per_level must lie in [1, 52]")
+        self.bits_per_level = bits_per_level
+        cap = 52 // bits_per_level
+        self.max_levels = min(max_levels, cap) if max_levels is not None else cap
+        if self.max_levels < 1:
+            raise ValueError("configuration leaves no representable levels")
+
+    def project(self, tree: FairshareTree) -> Dict[str, float]:
+        return self.project_vectors(tree.vectors())
+
+    def project_vectors(self, vectors: Mapping[str, FairshareVector]) -> Dict[str, float]:
+        return {path: self.project_one(vec) for path, vec in vectors.items()}
+
+    def project_one(self, vector: FairshareVector) -> float:
+        levels = self.max_levels
+        quantum = (1 << self.bits_per_level) - 1
+        balance = vector.balance_point
+        packed = 0
+        for i in range(levels):
+            elem = vector.elements[i] if i < vector.depth else balance
+            q = int(round(elem / vector.resolution * quantum))
+            packed = (packed << self.bits_per_level) | min(max(q, 0), quantum)
+        return packed / float((1 << (self.bits_per_level * levels)) - 1)
+
+
+class PercentalProjection(Projection):
+    """Total-share difference projection (SLURM < 2.5 style).
+
+    ``f = ((target_total - usage_total) + 1) / 2`` — the signed difference
+    of products down the path, rescaled from ``[-1, 1]`` to ``[0, 1]`` so
+    perfect balance maps to 0.5.
+    """
+
+    name = "percental"
+
+    def project(self, tree: FairshareTree) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        for leaf in tree.leaves():
+            path = leaf.path
+            diff = tree.target_total_share(path) - tree.usage_total_share(path)
+            values[path] = min(max((diff + 1.0) / 2.0, 0.0), 1.0)
+        return values
+
+
+_PROJECTIONS = {
+    "dictionary": DictionaryOrderingProjection,
+    "bitwise": BitwiseVectorProjection,
+    "percental": PercentalProjection,
+}
+
+
+def make_projection(name: str, **kwargs) -> Projection:
+    """Instantiate a projection by configuration name.
+
+    The projection in use is a run-time configurable choice (paper Section
+    III-C); schedulers construct it from a config string.
+    """
+    try:
+        cls = _PROJECTIONS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown projection {name!r}; choose from {sorted(_PROJECTIONS)}") from None
+    return cls(**kwargs)

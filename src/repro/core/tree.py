@@ -1,0 +1,188 @@
+"""Generic share-tree structure underlying policy, usage, and fairshare trees.
+
+Aequus organizes all share information as trees: an entity hierarchy rooted
+at the installation (site or grid), subdivided into groups, subgroups, and
+users (paper Section II-A and Figure 3).  This module provides the common
+node/tree machinery those trees share: named children, slash-separated
+paths, traversal, and structural merging.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TreeNode", "Tree", "split_path", "join_path"]
+
+
+def split_path(path: str) -> List[str]:
+    """Split a slash-separated path into components.
+
+    ``"/HPC/LQ/u1"`` -> ``["HPC", "LQ", "u1"]``.  The root is addressed by
+    ``"/"`` (empty component list).
+    """
+    path = path.strip()
+    if path in ("", "/"):
+        return []
+    return [part for part in path.strip("/").split("/") if part]
+
+
+def join_path(parts: List[str]) -> str:
+    """Inverse of :func:`split_path`: ``["HPC", "u1"]`` -> ``"/HPC/u1"``."""
+    return "/" + "/".join(parts)
+
+
+class TreeNode:
+    """A named node in a share tree.
+
+    Children are kept in insertion order (deterministic traversal matters
+    for reproducible simulation output).  Subclasses add per-node payloads
+    such as policy shares or usage sums.
+    """
+
+    __slots__ = ("name", "parent", "children")
+
+    def __init__(self, name: str, parent: Optional["TreeNode"] = None):
+        if "/" in name:
+            raise ValueError(f"node name may not contain '/': {name!r}")
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, TreeNode] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        node, d = self, 0
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    @property
+    def path(self) -> str:
+        """Slash-separated path from the root down to this node."""
+        parts: List[str] = []
+        node: Optional[TreeNode] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return join_path(list(reversed(parts)))
+
+    def add_child(self, child: "TreeNode") -> "TreeNode":
+        if child.name in self.children:
+            raise ValueError(f"duplicate child {child.name!r} under {self.path}")
+        child.parent = self
+        self.children[child.name] = child
+        return child
+
+    def remove_child(self, name: str) -> "TreeNode":
+        child = self.children.pop(name)
+        child.parent = None
+        return child
+
+    def child(self, name: str) -> "TreeNode":
+        return self.children[name]
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk(self) -> Iterator["TreeNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        stack: List[TreeNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(list(node.children.values())))
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        for node in self.walk():
+            if node.is_leaf:
+                yield node
+
+    def ancestors(self) -> Iterator["TreeNode"]:
+        """Ancestors from the immediate parent up to (and including) the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path_from_root(self) -> List["TreeNode"]:
+        """Nodes on the path root -> ... -> this node (root excluded)."""
+        nodes = [self] + list(self.ancestors())
+        nodes = [n for n in reversed(nodes) if n.parent is not None]
+        return nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.path or '/'}>"
+
+
+class Tree:
+    """A tree of :class:`TreeNode` (or subclass) with path-based access."""
+
+    node_class = TreeNode
+
+    def __init__(self, root: Optional[TreeNode] = None):
+        self.root = root if root is not None else self.node_class("")
+
+    def find(self, path: str) -> Optional[TreeNode]:
+        """Return the node at ``path`` or ``None`` if absent."""
+        node = self.root
+        for part in split_path(path):
+            nxt = node.children.get(part)
+            if nxt is None:
+                return None
+            node = nxt
+        return node
+
+    def __getitem__(self, path: str) -> TreeNode:
+        node = self.find(path)
+        if node is None:
+            raise KeyError(path)
+        return node
+
+    def __contains__(self, path: str) -> bool:
+        return self.find(path) is not None
+
+    def ensure_path(self, path: str, factory: Optional[Callable[[str], TreeNode]] = None) -> TreeNode:
+        """Return the node at ``path``, creating intermediate nodes as needed."""
+        make = factory or (lambda name: self.node_class(name))
+        node = self.root
+        for part in split_path(path):
+            nxt = node.children.get(part)
+            if nxt is None:
+                nxt = node.add_child(make(part))
+            node = nxt
+        return node
+
+    def walk(self) -> Iterator[TreeNode]:
+        return self.root.walk()
+
+    def leaves(self) -> Iterator[TreeNode]:
+        return self.root.leaves()
+
+    def leaf_paths(self) -> List[str]:
+        return [leaf.path for leaf in self.leaves()]
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def render(self, label: Optional[Callable[[TreeNode], str]] = None) -> str:
+        """ASCII rendering of the tree, one node per line (for docs/logs)."""
+        label = label or (lambda n: n.name or "/")
+        lines: List[str] = []
+
+        def visit(node: TreeNode, indent: int) -> None:
+            lines.append("  " * indent + label(node))
+            for child in node.children.values():
+                visit(child, indent + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Usage accounting: per-job records, per-user histograms, usage trees.
+
+Mirrors the data side of the Aequus pipeline (paper Section II-A):
+
+* a :class:`UsageRecord` is what a resource manager reports when a job
+  completes (via the job-completion plugin and ``libaequus``);
+* the Usage Statistics Service aggregates records into per-user
+  :class:`UsageHistogram` bins of a configurable interval — the *compact
+  form* exchanged between sites ("relaying the combined usage of each user
+  on each site while omitting the details of individual jobs");
+* a :class:`UsageTree` mirrors the policy-tree structure with decayed
+  per-node usage, ready for the fairshare calculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from .decay import DecayFunction, NoDecay
+from .tree import Tree, TreeNode
+
+__all__ = ["UsageRecord", "UsageHistogram", "UsageNode", "UsageTree", "build_usage_tree"]
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """Resource consumption of one completed job.
+
+    ``user`` is a *grid identity* (identity resolution has already happened
+    by the time a record reaches the USS).  ``charge`` is measured in
+    core-seconds; for the single-core bag-of-task jobs in the paper's trace
+    it equals the wall-clock duration.
+    """
+
+    user: str
+    site: str
+    start: float
+    end: float
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"job ends before it starts: {self.start} > {self.end}")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+    @property
+    def charge(self) -> float:
+        """Core-seconds consumed."""
+        return (self.end - self.start) * self.cores
+
+
+class UsageHistogram:
+    """Per-user usage aggregated into fixed time intervals.
+
+    Bin ``i`` covers ``[i * interval, (i+1) * interval)``.  A job's charge is
+    split proportionally across the bins its runtime overlaps, so totals are
+    conserved regardless of binning (a property test guards this).
+    """
+
+    def __init__(self, interval: float = 3600.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = float(interval)
+        self._bins: Dict[str, Dict[int, float]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def add_record(self, record: UsageRecord) -> None:
+        self.add_charge(record.user, record.start, record.end, record.cores)
+
+    def add_charge(self, user: str, start: float, end: float, cores: int = 1) -> None:
+        """Distribute ``cores * (end - start)`` across overlapped bins."""
+        if end < start:
+            raise ValueError("end < start")
+        if end == start:
+            return
+        user_bins = self._bins.setdefault(user, {})
+        first = int(start // self.interval)
+        last = int(end // self.interval)
+        for b in range(first, last + 1):
+            lo = max(start, b * self.interval)
+            hi = min(end, (b + 1) * self.interval)
+            if hi > lo:
+                user_bins[b] = user_bins.get(b, 0.0) + (hi - lo) * cores
+
+    def add_bin(self, user: str, bin_index: int, charge: float) -> None:
+        """Merge a pre-aggregated bin (used when ingesting remote usage)."""
+        if charge < 0:
+            raise ValueError("charge must be non-negative")
+        if charge == 0:
+            return
+        self._bins.setdefault(user, {})[bin_index] = (
+            self._bins.get(user, {}).get(bin_index, 0.0) + charge
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def users(self) -> List[str]:
+        return sorted(self._bins)
+
+    def user_bins(self, user: str) -> Dict[int, float]:
+        return dict(self._bins.get(user, {}))
+
+    def total(self, user: Optional[str] = None) -> float:
+        if user is not None:
+            return sum(self._bins.get(user, {}).values())
+        return sum(sum(b.values()) for b in self._bins.values())
+
+    def decayed_total(self, user: str, now: float,
+                      decay: Optional[DecayFunction] = None) -> float:
+        """Usage of ``user`` with ``decay`` applied at bin midpoints."""
+        decay = decay or NoDecay()
+        bins = self._bins.get(user)
+        if not bins:
+            return 0.0
+        idx = np.fromiter(bins.keys(), dtype=float)
+        amounts = np.fromiter(bins.values(), dtype=float)
+        midpoints = (idx + 0.5) * self.interval
+        ages = np.maximum(now - midpoints, 0.0)
+        return float(np.dot(amounts, decay.weights(ages)))
+
+    def decayed_totals(self, now: float,
+                       decay: Optional[DecayFunction] = None) -> Dict[str, float]:
+        return {u: self.decayed_total(u, now, decay) for u in self._bins}
+
+    # -- maintenance -------------------------------------------------------
+
+    def n_bins(self, user: Optional[str] = None) -> int:
+        """Number of stored (user, bin) entries — the USS memory footprint."""
+        if user is not None:
+            return len(self._bins.get(user, {}))
+        return sum(len(b) for b in self._bins.values())
+
+    def prune(self, now: float, horizon: float) -> float:
+        """Drop bins whose entire interval lies more than ``horizon`` in
+        the past; returns the charge discarded.
+
+        Long-running USS instances bound their memory this way: with an
+        exponential decay of half-life *h*, a horizon of ~20 h discards
+        only weight below 1e-6; with window decays, the window itself is
+        the natural horizon.  Pruning never touches bins that still carry
+        decay weight inside the horizon.
+        """
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        dropped = 0.0
+        for user in list(self._bins):
+            bins = self._bins[user]
+            for b in [b for b in bins if (b + 1) * self.interval <= now - horizon]:
+                dropped += bins.pop(b)
+            if not bins:
+                del self._bins[user]
+        return dropped
+
+    # -- exchange ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[int, float]]:
+        """Compact per-user per-bin totals — the USS↔USS wire payload."""
+        return {u: dict(b) for u, b in self._bins.items()}
+
+    def replace(self, snapshot: Mapping[str, Mapping[int, float]]) -> None:
+        """Overwrite contents with a snapshot (remote-site bookkeeping)."""
+        self._bins = {u: {int(i): float(c) for i, c in b.items()}
+                      for u, b in snapshot.items()}
+
+    def merge(self, other: "UsageHistogram") -> None:
+        """Add another histogram's contents into this one.
+
+        Requires matching intervals (bins would not line up otherwise).
+        """
+        if other.interval != self.interval:
+            raise ValueError(
+                f"cannot merge histograms with intervals {self.interval} != {other.interval}")
+        for user, bins in other._bins.items():
+            for b, charge in bins.items():
+                self.add_bin(user, b, charge)
+
+    @classmethod
+    def merged(cls, histograms: Iterable["UsageHistogram"],
+               interval: Optional[float] = None) -> "UsageHistogram":
+        histograms = list(histograms)
+        if interval is None:
+            if not histograms:
+                raise ValueError("need an interval or at least one histogram")
+            interval = histograms[0].interval
+        out = cls(interval)
+        for h in histograms:
+            out.merge(h)
+        return out
+
+
+class UsageNode(TreeNode):
+    """Usage-tree node: decayed usage of the entity rooted here."""
+
+    __slots__ = ("usage",)
+
+    def __init__(self, name: str, usage: float = 0.0,
+                 parent: Optional["UsageNode"] = None):
+        super().__init__(name, parent)
+        self.usage = float(usage)
+
+    @property
+    def sibling_share(self) -> float:
+        """Usage share within the sibling group (0 if the group is idle).
+
+        This per-group normalization is what gives Aequus *subgroup
+        isolation*: an entity's balance is judged only against its siblings.
+        """
+        if self.parent is None:
+            return 1.0
+        total = sum(c.usage for c in self.parent.children.values())  # type: ignore[attr-defined]
+        if total <= 0:
+            return 0.0
+        return self.usage / total
+
+    @property
+    def total_usage_share(self) -> float:
+        """Product of sibling shares down the path (percental projection)."""
+        share = 1.0
+        node: Optional[UsageNode] = self
+        while node is not None and node.parent is not None:
+            share *= node.sibling_share
+            node = node.parent  # type: ignore[assignment]
+        return share
+
+
+class UsageTree(Tree):
+    node_class = UsageNode
+    root: UsageNode
+
+    def __init__(self, root: Optional[UsageNode] = None):
+        super().__init__(root if root is not None else UsageNode(""))
+
+    def set_usage(self, path: str, usage: float) -> UsageNode:
+        node = self.ensure_path(path)
+        node.usage = float(usage)  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+
+    def roll_up(self) -> None:
+        """Set every internal node's usage to the sum of its children.
+
+        Leaf usage is taken as authoritative; pre-existing internal values
+        are overwritten (internal entities consume only through members).
+        """
+
+        def visit(node: UsageNode) -> float:
+            if node.is_leaf:
+                return node.usage
+            node.usage = sum(visit(c) for c in node.children.values())  # type: ignore[arg-type]
+            return node.usage
+
+        visit(self.root)
+
+
+def build_usage_tree(structure: Tree, per_user_usage: Mapping[str, float]) -> UsageTree:
+    """Build a usage tree mirroring ``structure`` (normally the policy tree).
+
+    ``per_user_usage`` maps *leaf paths* (or bare grid identities matching
+    leaf names) to decayed usage totals.  Users present in the usage data
+    but absent from the structure are ignored here — policy enforcement is
+    the PDS's job; unknown users are handled upstream by mapping them to a
+    default group.
+    """
+    usage_tree = UsageTree()
+    by_name: Dict[str, str] = {}
+    for leaf in structure.leaves():
+        usage_tree.ensure_path(leaf.path)
+        by_name.setdefault(leaf.name, leaf.path)
+    for key, usage in per_user_usage.items():
+        path = key if key.startswith("/") else by_name.get(key)
+        if path is None:
+            continue
+        node = usage_tree.find(path)
+        if node is not None:
+            node.usage = float(usage)  # type: ignore[attr-defined]
+    usage_tree.roll_up()
+    return usage_tree

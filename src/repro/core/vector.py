@@ -1,0 +1,134 @@
+"""Fairshare vectors (paper Section III-C, Figure 3).
+
+The fairshare value of a user is the vector of per-level fairshare values on
+the path from the tree root down to the user's leaf.  Elements use a
+configurable resolution (Figure 3 uses the range 0–9999); when a path ends
+above the deepest tree level the vector is padded with the *balance point*,
+the center of the value range.
+
+The vector representation has four key properties (all probed in the Table I
+benchmark):
+
+* **arbitrary depth** — any number of elements;
+* **unlimited precision** — elements are floats, limited only by the
+  floating-point representation;
+* **subgroup isolation** — an element is influenced only by the entity's
+  sibling group at that level, and comparisons are lexicographic
+  (top level first), so a subgroup imbalance can never leak upward;
+* **proportionality** — relative differences between users' balances are
+  preserved in the element values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["FairshareVector"]
+
+
+class FairshareVector:
+    """An ordered, comparable fairshare vector.
+
+    Comparison is lexicographic with balance-point padding, so vectors of
+    different depth compare correctly: a truncated path behaves as if it
+    were exactly in balance on all deeper levels.  Higher is better
+    (more underserved).
+    """
+
+    __slots__ = ("elements", "resolution")
+
+    def __init__(self, elements: Iterable[float], resolution: int = 9999):
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        elems = tuple(float(e) for e in elements)
+        if not elems:
+            raise ValueError("a fairshare vector needs at least one element")
+        for e in elems:
+            if not 0.0 <= e <= resolution:
+                raise ValueError(f"element {e} outside [0, {resolution}]")
+        self.elements: Tuple[float, ...] = elems
+        self.resolution = int(resolution)
+
+    @classmethod
+    def from_scores(cls, scores: Iterable[float], resolution: int = 9999) -> "FairshareVector":
+        """Build from normalized balance scores in ``[0, 1]``."""
+        return cls([min(max(s, 0.0), 1.0) * resolution for s in scores], resolution)
+
+    @property
+    def balance_point(self) -> float:
+        return self.resolution / 2.0
+
+    @property
+    def depth(self) -> int:
+        return len(self.elements)
+
+    def padded(self, depth: int) -> Tuple[float, ...]:
+        """Elements padded with the balance point up to ``depth``."""
+        if depth < self.depth:
+            raise ValueError(f"cannot pad to {depth} < depth {self.depth}")
+        return self.elements + (self.balance_point,) * (depth - self.depth)
+
+    def scores(self) -> List[float]:
+        """Elements normalized back to ``[0, 1]``."""
+        return [e / self.resolution for e in self.elements]
+
+    def quantized(self) -> Tuple[int, ...]:
+        """Integer rendering of the elements (Figure 3 shows e.g. 7073)."""
+        return tuple(int(round(e)) for e in self.elements)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def _key(self, other: "FairshareVector") -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        if self.resolution != other.resolution:
+            raise ValueError(
+                f"cannot compare vectors of resolution {self.resolution} and {other.resolution}")
+        depth = max(self.depth, other.depth)
+        return self.padded(depth), other.padded(depth)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FairshareVector):
+            return NotImplemented
+        a, b = self._key(other)
+        return a == b
+
+    def __lt__(self, other: "FairshareVector") -> bool:
+        a, b = self._key(other)
+        return a < b
+
+    def __le__(self, other: "FairshareVector") -> bool:
+        a, b = self._key(other)
+        return a <= b
+
+    def __gt__(self, other: "FairshareVector") -> bool:
+        a, b = self._key(other)
+        return a > b
+
+    def __ge__(self, other: "FairshareVector") -> bool:
+        a, b = self._key(other)
+        return a >= b
+
+    def __hash__(self) -> int:
+        # Trailing balance points are semantically invisible; strip them so
+        # equal vectors hash equally.
+        elems = list(self.elements)
+        while len(elems) > 1 and elems[-1] == self.balance_point:
+            elems.pop()
+        return hash((tuple(elems), self.resolution))
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __getitem__(self, i: int) -> float:
+        return self.elements[i]
+
+    def __repr__(self) -> str:
+        body = ".".join(f"{int(round(e)):0{len(str(self.resolution))}d}" for e in self.elements)
+        return f"FairshareVector({body})"
+
+    @staticmethod
+    def sort_descending(vectors: Sequence["FairshareVector"]) -> List[int]:
+        """Indices of ``vectors`` sorted best-first (stable)."""
+        return sorted(range(len(vectors)), key=lambda i: vectors[i], reverse=True)

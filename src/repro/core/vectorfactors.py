@@ -1,0 +1,140 @@
+"""Vector-combinable job factors (paper Section III-C, future work).
+
+The paper notes that no projection of fairshare vectors to a single float
+keeps all vector properties, and sketches the planned alternative: "reverse
+the problem and instead investigate modeling other factors, such as job
+age, using a representation combinable with the fairshare vectors."
+
+This module implements that idea.  A :class:`VectorFactor` maps a job to a
+normalized score in ``[0, 1]``; a :class:`CompositeVectorPriority` appends
+(or blends) factor scores into the job's fairshare vector, producing an
+*extended vector* that is still compared lexicographically — so the
+combined priority keeps arbitrary depth, unlimited precision, and subgroup
+isolation, which no scalar projection achieves (Table I).
+
+Two combination placements are supported:
+
+``suffix``
+    Factor elements are appended *below* the fairshare levels: fairshare
+    dominates, and job age only breaks ties between users at equal
+    fairshare balance — strict top-down enforcement.
+``blend``
+    Every fairshare element is blended with the factor score using the
+    factor's weight, mirroring the linear multifactor combination while
+    staying in vector space (smoothing with impact relative to weight).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..rms.job import Job
+from .vector import FairshareVector
+
+__all__ = [
+    "VectorFactor",
+    "AgeVectorFactor",
+    "QosVectorFactor",
+    "JobSizeVectorFactor",
+    "CompositeVectorPriority",
+]
+
+
+class VectorFactor:
+    """A job attribute normalized to ``[0, 1]`` for vector combination."""
+
+    name = "abstract"
+
+    def score(self, job: Job, now: float) -> float:
+        raise NotImplementedError
+
+    def _check(self, value: float) -> float:
+        return min(max(value, 0.0), 1.0)
+
+
+class AgeVectorFactor(VectorFactor):
+    """Job age, saturating at ``max_age`` (like the multifactor age term)."""
+
+    name = "age"
+
+    def __init__(self, max_age: float = 3600.0):
+        if max_age <= 0:
+            raise ValueError("max_age must be positive")
+        self.max_age = max_age
+
+    def score(self, job: Job, now: float) -> float:
+        return self._check(job.wait_time(now) / self.max_age)
+
+
+class QosVectorFactor(VectorFactor):
+    """The job's quality-of-service level (already in [0, 1])."""
+
+    name = "qos"
+
+    def score(self, job: Job, now: float) -> float:
+        return self._check(job.qos)
+
+
+class JobSizeVectorFactor(VectorFactor):
+    """Small-job preference: ``1 - (cores - 1) / total_cores``."""
+
+    name = "job_size"
+
+    def __init__(self, total_cores: int):
+        if total_cores < 1:
+            raise ValueError("total_cores must be >= 1")
+        self.total_cores = total_cores
+
+    def score(self, job: Job, now: float) -> float:
+        return self._check(1.0 - (job.cores - 1) / self.total_cores)
+
+
+class CompositeVectorPriority:
+    """Combine a fairshare vector with job factors, in vector space.
+
+    ``mode='suffix'`` appends one element per factor below the fairshare
+    levels; ``mode='blend'`` mixes the factor blend into every fairshare
+    element with total factor weight ``factor_weight``.
+    """
+
+    def __init__(self, factors: Sequence[Tuple[float, VectorFactor]],
+                 mode: str = "suffix",
+                 factor_weight: float = 0.5):
+        if mode not in ("suffix", "blend"):
+            raise ValueError(f"unknown combination mode {mode!r}")
+        if not 0.0 <= factor_weight < 1.0:
+            raise ValueError("factor_weight must lie in [0, 1)")
+        weights = [w for w, _ in factors]
+        if any(w < 0 for w in weights):
+            raise ValueError("factor weights must be non-negative")
+        if factors and sum(weights) <= 0:
+            raise ValueError("factor weights must sum to a positive value")
+        self.factors: List[Tuple[float, VectorFactor]] = list(factors)
+        self.mode = mode
+        self.factor_weight = factor_weight
+
+    def factor_blend(self, job: Job, now: float) -> float:
+        """The weighted mean of all factor scores in [0, 1]."""
+        if not self.factors:
+            return 0.5
+        total = sum(w for w, _ in self.factors)
+        return sum(w * f.score(job, now) for w, f in self.factors) / total
+
+    def extend(self, vector: FairshareVector, job: Job, now: float) -> FairshareVector:
+        """The combined, still-lexicographic priority vector for ``job``."""
+        if self.mode == "suffix":
+            extra = [f.score(job, now) * vector.resolution
+                     for _, f in self.factors]
+            return FairshareVector(list(vector.elements) + extra,
+                                   vector.resolution)
+        blend = self.factor_blend(job, now) * vector.resolution
+        w = self.factor_weight
+        mixed = [(1.0 - w) * e + w * blend for e in vector.elements]
+        return FairshareVector(mixed, vector.resolution)
+
+    def rank(self, entries: Mapping[int, Tuple[FairshareVector, Job]],
+             now: float) -> List[int]:
+        """Job ids ordered best-first by extended-vector comparison."""
+        extended = {job_id: self.extend(vec, job, now)
+                    for job_id, (vec, job) in entries.items()}
+        return sorted(extended, key=lambda jid: extended[jid], reverse=True)

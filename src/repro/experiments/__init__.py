@@ -1,0 +1,44 @@
+"""Experiment drivers regenerating every table and figure of the paper's
+evaluation (see DESIGN.md Section 4 for the full index)."""
+
+from .common import ScenarioResult, Testbed, TestbedConfig, build_testbed, run_scenario
+from .modeling import (
+    ModelingDataset,
+    Table2Row,
+    Table3Row,
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    prepare_dataset,
+    regenerate_table2,
+    regenerate_table3,
+)
+from .production import ProductionResult, run_production, run_production_comparison
+from .projections import (
+    PAPER_TABLE1,
+    ProjectionProbeResult,
+    probe_projection,
+    regenerate_table1,
+)
+from .scenarios import (
+    PartialParticipationResult,
+    UpdateDelayComparison,
+    baseline,
+    bursty,
+    non_optimal_policy,
+    partial_participation,
+    update_delay,
+)
+
+__all__ = [
+    "ScenarioResult", "Testbed", "TestbedConfig", "build_testbed", "run_scenario",
+    "ModelingDataset", "Table2Row", "Table3Row",
+    "figure4_series", "figure5_series", "figure6_series", "figure7_series",
+    "prepare_dataset", "regenerate_table2", "regenerate_table3",
+    "ProductionResult", "run_production", "run_production_comparison",
+    "PAPER_TABLE1", "ProjectionProbeResult", "probe_projection", "regenerate_table1",
+    "PartialParticipationResult", "UpdateDelayComparison",
+    "baseline", "bursty", "non_optimal_policy", "partial_participation",
+    "update_delay",
+]

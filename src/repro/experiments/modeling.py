@@ -1,0 +1,301 @@
+"""Workload-characterization experiments: Tables II & III, Figures 4–7.
+
+These drivers run the paper's full modeling pipeline over the reference
+trace (the documented stand-in for the 2012 national accounting data):
+clean → categorize users → detect U65's phases → fit the 18-family zoo per
+data set → select by BIC → validate by KS — then emit rows/series mirroring
+the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..workload.analysis import (
+    UserCategories,
+    categorize_users,
+    clean_trace,
+    detect_phases,
+)
+from ..workload.composite import CompositeDistribution
+from ..workload.fitting import FitResult, best_fit, whole_second_median
+from ..workload.reference import (
+    CATEGORIES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    generate_reference_trace,
+)
+from ..workload.trace import Trace
+
+__all__ = [
+    "ModelingDataset",
+    "prepare_dataset",
+    "Table2Row",
+    "regenerate_table2",
+    "Table3Row",
+    "regenerate_table3",
+    "figure4_series",
+    "figure5_series",
+    "figure6_series",
+    "figure7_series",
+]
+
+DAY = 86400.0
+
+
+@dataclass
+class ModelingDataset:
+    """A cleaned, categorized reference trace ready for fitting."""
+
+    raw: Trace
+    clean: Trace
+    categories: UserCategories
+    labeled: Trace
+    u65_phases: List[Tuple[float, float]]
+    removed_job_fraction: float
+    removed_usage_fraction: float
+
+    def phase_times(self, phase: int) -> np.ndarray:
+        """U65 arrival times inside one detected phase (0-based)."""
+        lo, hi = self.u65_phases[phase]
+        times = self.labeled.arrival_times("U65")
+        return times[(times >= lo) & (times < hi)]
+
+
+def prepare_dataset(n_jobs: int = 60_000, seed: int = 0) -> ModelingDataset:
+    """Generate, clean, categorize, and phase-split the reference trace."""
+    raw = generate_reference_trace(n_jobs=n_jobs, seed=seed)
+    clean, report = clean_trace(raw)
+    categories = categorize_users(clean)
+    labeled = categories.relabel(clean)
+    phases = detect_phases(labeled.arrival_times("U65"), n_phases=4)
+    return ModelingDataset(
+        raw=raw, clean=clean, categories=categories, labeled=labeled,
+        u65_phases=phases,
+        removed_job_fraction=report.removed_job_fraction,
+        removed_usage_fraction=report.removed_usage_fraction,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table II — job arrival
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table2Row:
+    """One row of the regenerated Table II."""
+
+    label: str
+    median_s: float
+    fit: Optional[FitResult]
+    composite_ks: Optional[float] = None
+    paper: Dict = field(default_factory=dict)
+
+    @property
+    def family(self) -> str:
+        if self.fit is not None:
+            return self.fit.family_name
+        return "composite"
+
+    @property
+    def ks(self) -> float:
+        if self.composite_ks is not None:
+            return self.composite_ks
+        return self.fit.ks if self.fit is not None else float("nan")
+
+    def render(self) -> str:
+        desc = (self.fit.fitted.describe() if self.fit is not None
+                else "composite (Eq. 1)")
+        paper_med = self.paper.get("median")
+        paper_ks = self.paper.get("ks")
+        paper_fam = self.paper.get("family")
+        return (f"{self.label:<10} median={self.median_s:>8.0f}s "
+                f"{desc:<55} KS={self.ks:.2f}   "
+                f"[paper: {paper_fam}, median={paper_med}s, KS={paper_ks}]")
+
+
+def regenerate_table2(dataset: ModelingDataset,
+                      subsample: int = 8_000,
+                      families: Optional[Sequence[str]] = None,
+                      seed: int = 0) -> List[Table2Row]:
+    """Fit arrival-time models per user/phase — the regenerated Table II.
+
+    U65 gets one fit per detected phase plus the weighted composite
+    (Equation 1, whose KS should beat any single phase); the other users a
+    single best-BIC fit.  Medians are whole-second inter-arrival medians,
+    the paper's metric.
+    """
+    rng = np.random.default_rng(seed)
+    rows: List[Table2Row] = []
+    u65_times = dataset.labeled.arrival_times("U65")
+    phase_fits: List[FitResult] = []
+    weights: List[float] = []
+    for p in range(len(dataset.u65_phases)):
+        times = dataset.phase_times(p)
+        lo, hi = dataset.u65_phases[p]
+        inter = np.diff(np.sort(times))
+        fit = best_fit(times, families=families, subsample=subsample, rng=rng)
+        phase_fits.append(fit)
+        weights.append(times.size / max(1, u65_times.size))
+        rows.append(Table2Row(
+            label=f"U65 (p{p + 1})",
+            median_s=whole_second_median(inter),
+            fit=fit,
+            paper=PAPER_TABLE2.get(f"U65 (p{p + 1})", {}),
+        ))
+    composite = CompositeDistribution(
+        [(w, f.fitted) for w, f in zip(weights, phase_fits)])
+    comp_ks = float(_scipy_stats.kstest(u65_times,
+                                        lambda x: composite.cdf(x)).statistic)
+    rows.append(Table2Row(
+        label="U65",
+        median_s=whole_second_median(dataset.labeled.inter_arrival_times("U65")),
+        fit=None,
+        composite_ks=comp_ks,
+        paper=PAPER_TABLE2.get("U65", {}),
+    ))
+    for user in ("U30", "U3", "Uoth"):
+        times = dataset.labeled.arrival_times(user)
+        fit = best_fit(times, families=families, subsample=subsample, rng=rng)
+        rows.append(Table2Row(
+            label=user,
+            median_s=whole_second_median(dataset.labeled.inter_arrival_times(user)),
+            fit=fit,
+            paper=PAPER_TABLE2.get(user, {}),
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table III — job duration
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table3Row:
+    label: str
+    median_s: float
+    fit: FitResult
+    paper: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        paper_fam = self.paper.get("family")
+        paper_ks = self.paper.get("ks")
+        return (f"{self.label:<6} median={self.median_s:>9.0f}s "
+                f"{self.fit.fitted.describe():<50} KS={self.fit.ks:.2f}   "
+                f"[paper: {paper_fam}, KS={paper_ks}]")
+
+
+def regenerate_table3(dataset: ModelingDataset,
+                      subsample: int = 8_000,
+                      families: Optional[Sequence[str]] = None,
+                      seed: int = 0) -> List[Table3Row]:
+    """Fit job-duration models per user — the regenerated Table III."""
+    rng = np.random.default_rng(seed)
+    rows: List[Table3Row] = []
+    for user in CATEGORIES:
+        durations = dataset.labeled.durations(user)
+        fit = best_fit(durations, families=families, subsample=subsample, rng=rng)
+        rows.append(Table3Row(
+            label=user,
+            median_s=whole_second_median(durations),
+            fit=fit,
+            paper=PAPER_TABLE3.get(user, {}),
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 4–7
+# ---------------------------------------------------------------------------
+
+def figure4_series(dataset: ModelingDataset,
+                   bin_size: float = DAY) -> Dict[str, np.ndarray]:
+    """Figure 4: job arrivals per day, total and U65-only.
+
+    The claim: the total arrival pattern is dominated by U65 (81.03% of all
+    jobs), so the two series track each other.
+    """
+    edges, total = dataset.labeled.arrival_histogram(bin_size)
+    _, u65 = dataset.labeled.arrival_histogram(bin_size, user="U65")
+    return {"bin_edges": edges, "total": total, "u65": u65}
+
+
+def figure5_series(dataset: ModelingDataset,
+                   table2: Optional[List[Table2Row]] = None,
+                   bin_size: float = DAY,
+                   subsample: int = 8_000) -> Dict[str, object]:
+    """Figure 5: U65 arrival density, detected phases, and the composite fit."""
+    if table2 is None:
+        table2 = regenerate_table2(dataset, subsample=subsample)
+    phase_rows = [r for r in table2 if r.fit is not None and r.label.startswith("U65")]
+    u65_times = dataset.labeled.arrival_times("U65")
+    weights = []
+    for p in range(len(dataset.u65_phases)):
+        weights.append(dataset.phase_times(p).size / max(1, u65_times.size))
+    composite = CompositeDistribution(
+        [(w, r.fit.fitted) for w, r in zip(weights, phase_rows)])
+    edges, counts = dataset.labeled.arrival_histogram(bin_size, user="U65")
+    density = counts / max(1, counts.sum()) / bin_size
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return {
+        "phases": dataset.u65_phases,
+        "bin_centers": centers,
+        "empirical_density": density,
+        "composite_density": composite.pdf(centers),
+        "composite": composite,
+    }
+
+
+def _ecdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    x = np.sort(np.asarray(values, dtype=float))
+    y = np.arange(1, x.size + 1) / x.size
+    return x, y
+
+
+def figure6_series(dataset: ModelingDataset,
+                   table2: Optional[List[Table2Row]] = None,
+                   subsample: int = 8_000) -> Dict[str, Dict[str, np.ndarray]]:
+    """Figure 6: arrival CDFs — empirical vs fitted, per user.
+
+    The claim: fits track the empirical CDFs closely everywhere except U3,
+    whose burst no single distribution fully captures (worst KS).
+    """
+    if table2 is None:
+        table2 = regenerate_table2(dataset, subsample=subsample)
+    by_label = {r.label: r for r in table2}
+    out: Dict[str, Dict[str, np.ndarray]] = {}
+    for user in CATEGORIES:
+        times = dataset.labeled.arrival_times(user)
+        x, y = _ecdf(times)
+        grid = np.linspace(x[0], x[-1], 512)
+        if user == "U65":
+            fig5 = figure5_series(dataset, table2=table2)
+            fitted = fig5["composite"].cdf(grid)
+        else:
+            fitted = by_label[user].fit.fitted.cdf(grid)
+        out[user] = {"empirical_x": x, "empirical_y": y,
+                     "grid": grid, "fitted_cdf": np.asarray(fitted)}
+    return out
+
+
+def figure7_series(dataset: ModelingDataset) -> Dict[str, Dict[str, object]]:
+    """Figure 7: empirical job-duration (job size) CDFs per user.
+
+    Claims: U65/U3/Uoth durations concentrate in [0, 6e5] s; U30 exhibits a
+    larger tail and generally larger jobs.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for user in CATEGORIES:
+        durations = dataset.labeled.durations(user)
+        x, y = _ecdf(durations)
+        out[user] = {
+            "empirical_x": x,
+            "empirical_y": y,
+            "fraction_below_6e5": float(np.mean(durations <= 6e5)),
+            "p99": float(np.percentile(durations, 99)),
+        }
+    return out

@@ -1,0 +1,249 @@
+"""The five integrated-system evaluation scenarios (paper Section IV-A).
+
+Each function builds the matching workload and test-bed configuration and
+returns a :class:`ScenarioResult` (plus scenario-specific extras).  The
+benchmarks print the resulting series/rows next to the paper's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, Optional
+
+from ..services.site import ParticipationMode, SiteConfig
+from ..workload.reference import (
+    BURSTY_USAGE_SHARES,
+    GRID_IDENTITIES,
+    USAGE_SHARES,
+    build_testbed_trace,
+)
+from ..workload.trace import Trace
+from .common import ScenarioResult, TestbedConfig, run_scenario
+
+__all__ = [
+    "baseline",
+    "update_delay",
+    "non_optimal_policy",
+    "partial_participation",
+    "bursty",
+    "UpdateDelayComparison",
+    "PartialParticipationResult",
+]
+
+#: Section IV-A.3: "a target policy of 70% for U65, 20% for U30, 8% for U3
+#: and 2% for Uoth" — deliberately misaligned with the workload's actual
+#: usage (65.25/30.49/2.86/1.40).
+NON_OPTIMAL_TARGETS: Dict[str, float] = {
+    GRID_IDENTITIES["U65"]: 0.70,
+    GRID_IDENTITIES["U30"]: 0.20,
+    GRID_IDENTITIES["U3"]: 0.08,
+    GRID_IDENTITIES["Uoth"]: 0.02,
+}
+
+
+def _default_config(span: float = 21_600.0, seed: int = 0,
+                    **overrides) -> TestbedConfig:
+    config = TestbedConfig(span=span, seed=seed)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def baseline(n_jobs: int = 43_200, span: float = 21_600.0,
+             seed: int = 0, n_sites: int = 6, hosts_per_site: int = 40,
+             load: float = 0.95) -> ScenarioResult:
+    """The baseline convergence test (Figure 10a).
+
+    Six clusters, 240 virtual hosts, six hours, 43,200 jobs at 95% load;
+    fairshare-only scheduling with the percental projection; policy targets
+    equal to the workload's actual usage shares.  Expectation: cumulative
+    usage shares and per-user priorities converge toward the targets, with
+    total utilization between 93% and 97%.
+    """
+    trace = build_testbed_trace(n_jobs=n_jobs, span=span,
+                                total_cores=n_sites * hosts_per_site,
+                                load=load, seed=seed)
+    config = _default_config(span=span, seed=seed, n_sites=n_sites,
+                             hosts_per_site=hosts_per_site)
+    return run_scenario("baseline", trace, config)
+
+
+@dataclass
+class UpdateDelayComparison:
+    """Figure 11: time-scaled run vs baseline.
+
+    Scaling the test up 10x in time while keeping all update/cache delays
+    the same absolute length makes the delays *relatively* 10x shorter; the
+    paper measures a 10%–15% shorter convergence time (as a fraction of the
+    test length), eliminating update delay as a major error source at the
+    compressed scale.
+    """
+
+    baseline: ScenarioResult
+    scaled: ScenarioResult
+    time_scale: float
+
+    # Convergence is measured on the *decayed* usage-share deviation — the
+    # quantity the fairshare loop directly controls.  The cumulative-share
+    # convergence point is dominated by late workload noise (it swings tens
+    # of percent between otherwise identical runs), while the decayed
+    # signal isolates the delay effect cleanly.
+
+    @property
+    def baseline_fraction(self) -> Optional[float]:
+        if self.baseline.decayed_convergence_seconds is None:
+            return None
+        return self.baseline.decayed_convergence_seconds / self.baseline.config.span
+
+    @property
+    def scaled_fraction(self) -> Optional[float]:
+        if self.scaled.decayed_convergence_seconds is None:
+            return None
+        return self.scaled.decayed_convergence_seconds / self.scaled.config.span
+
+    @property
+    def improvement(self) -> Optional[float]:
+        """Relative reduction in normalized convergence time."""
+        b, s = self.baseline_fraction, self.scaled_fraction
+        if b is None or s is None or b == 0:
+            return None
+        return (b - s) / b
+
+
+def update_delay(n_jobs: int = 43_200, span: float = 21_600.0,
+                 time_scale: float = 10.0, seed: int = 0,
+                 n_sites: int = 6, hosts_per_site: int = 40,
+                 load: float = 0.95,
+                 baseline_result: Optional[ScenarioResult] = None) -> UpdateDelayComparison:
+    """The update-delay impact test (Section IV-A.2).
+
+    "We scaled the baseline test case up ten times, adjusting the arrival
+    times and job durations while keeping the same number of jobs and same
+    internal relations."  Delays (service refreshes, caches, report delay,
+    re-prioritization interval) stay the same in absolute seconds.
+    """
+    base = baseline_result if baseline_result is not None else baseline(
+        n_jobs=n_jobs, span=span, seed=seed, n_sites=n_sites,
+        hosts_per_site=hosts_per_site, load=load)
+    scaled_span = span * time_scale
+    trace = build_testbed_trace(n_jobs=n_jobs, span=scaled_span,
+                                total_cores=n_sites * hosts_per_site,
+                                load=load, seed=seed)
+    config = _default_config(span=scaled_span, seed=seed, n_sites=n_sites,
+                             hosts_per_site=hosts_per_site)
+    # Delay sources I-IV (reporting delay, service caches, libaequus cache,
+    # re-prioritization interval) keep their ABSOLUTE durations — that is
+    # the point of the experiment.  Everything that belongs to the workload
+    # or the algorithm configuration scales with time: the sampling grid
+    # (same relative resolution) and the usage-decay half-life (part of the
+    # fairshare parameterization, not an update delay).
+    config.sample_interval *= time_scale
+    config.site_config.decay_half_life *= time_scale
+    scaled = run_scenario("update_delay", trace, config)
+    return UpdateDelayComparison(baseline=base, scaled=scaled,
+                                 time_scale=time_scale)
+
+
+def non_optimal_policy(n_jobs: int = 43_200, span: float = 21_600.0,
+                       seed: int = 0, n_sites: int = 6,
+                       hosts_per_site: int = 40,
+                       load: float = 0.95) -> ScenarioResult:
+    """The non-optimal policy test (Section IV-A.3, Figure 12).
+
+    Same workload as the baseline, but the policy targets
+    (70/20/8/2) do not match the trace's usage mix.  Expectations: the
+    system approaches balance mid-run while U65 jobs are plentiful, loses
+    it when U65 submissions dry up between phases, converges again when
+    U65's next phase arrives, and keeps running U30 jobs at low priority to
+    preserve utilization.
+    """
+    trace = build_testbed_trace(n_jobs=n_jobs, span=span,
+                                total_cores=n_sites * hosts_per_site,
+                                load=load, seed=seed)
+    config = _default_config(span=span, seed=seed, n_sites=n_sites,
+                             hosts_per_site=hosts_per_site,
+                             policy_targets=dict(NON_OPTIMAL_TARGETS))
+    return run_scenario("non_optimal_policy", trace, config,
+                        convergence_threshold=0.04)
+
+
+@dataclass
+class PartialParticipationResult:
+    """Section IV-A.4 observables."""
+
+    result: ScenarioResult
+    read_only_site: str
+    local_only_site: str
+    full_sites: list
+
+    def priority_alignment(self, identity: str, site: str) -> float:
+        """Mean absolute priority gap between ``site`` and the full sites."""
+        metrics = self.result.metrics
+        site_series = metrics[f"priority/{site}/{identity}"]
+        gaps = []
+        for i, t in enumerate(site_series.times):
+            ref = [metrics[f"priority/{s}/{identity}"].at(t)
+                   for s in self.full_sites]
+            gaps.append(abs(site_series.values[i] - sum(ref) / len(ref)))
+        return sum(gaps) / len(gaps) if gaps else 0.0
+
+    def fluctuation(self, identity: str, site: str) -> float:
+        """Mean absolute sample-to-sample priority change at ``site``."""
+        series = self.result.metrics[f"priority/{site}/{identity}"]
+        values = series.values
+        if len(values) < 2:
+            return 0.0
+        diffs = [abs(values[i + 1] - values[i]) for i in range(len(values) - 1)]
+        return sum(diffs) / len(diffs)
+
+
+def partial_participation(n_jobs: int = 43_200, span: float = 21_600.0,
+                          seed: int = 0, n_sites: int = 6,
+                          hosts_per_site: int = 40,
+                          load: float = 0.95) -> PartialParticipationResult:
+    """The partial-participation test (Section IV-A.4).
+
+    One of six sites only *reads* global usage data but does not contribute
+    (READ_ONLY); another contributes but only considers local data for
+    prioritization (LOCAL_ONLY).  Expectations: the read-only site's
+    priorities stay well aligned with fully participating sites; the
+    local-only site converges toward the same levels but slower and with
+    more fluctuation; the global prioritization is not noticeably affected.
+    """
+    trace = build_testbed_trace(n_jobs=n_jobs, span=span,
+                                total_cores=n_sites * hosts_per_site,
+                                load=load, seed=seed)
+    config = _default_config(span=span, seed=seed, n_sites=n_sites,
+                             hosts_per_site=hosts_per_site)
+    names = config.site_names()
+    read_only, local_only = names[0], names[1]
+    config.participation = {
+        read_only: ParticipationMode.READ_ONLY,
+        local_only: ParticipationMode.LOCAL_ONLY,
+    }
+    result = run_scenario("partial_participation", trace, config)
+    return PartialParticipationResult(
+        result=result, read_only_site=read_only, local_only_site=local_only,
+        full_sites=names[2:])
+
+
+def bursty(n_jobs: int = 43_200, span: float = 21_600.0,
+           seed: int = 0, n_sites: int = 6, hosts_per_site: int = 40,
+           load: float = 0.95) -> ScenarioResult:
+    """The bursty usage test (Section IV-A.5, Figure 13).
+
+    U3's submission rate boosted to 45.5% of jobs (deducted from U65) and
+    its burst shifted to start after one third of the run.  Usage shares
+    become 47/38.5/12/2.5%.  Expectations: balance is approached before the
+    burst (U3's unused allocation divided among the others); when the burst
+    lands, the system readjusts toward the target shares; with k = 0.5,
+    U3's priority is bounded by 0.5*(1 + 0.12) = 0.56.
+    """
+    trace = build_testbed_trace(n_jobs=n_jobs, span=span,
+                                total_cores=n_sites * hosts_per_site,
+                                load=load, seed=seed, bursty=True)
+    targets = {GRID_IDENTITIES[u]: s for u, s in BURSTY_USAGE_SHARES.items()}
+    config = _default_config(span=span, seed=seed, n_sites=n_sites,
+                             hosts_per_site=hosts_per_site,
+                             policy_targets=targets)
+    return run_scenario("bursty", trace, config, convergence_threshold=0.04)

@@ -1,0 +1,123 @@
+"""The factor-smoothing experiment (paper Section IV-A prose).
+
+"Complementary tests with other factors in addition to fairshare have been
+performed, and show that other factors have a smoothing effect (with impact
+relative to their weight) on the fluctuating behavior natural to
+fairshare."
+
+We rerun the baseline scenario with different multifactor weight mixes and
+track, per user, the *combined job priority* a scheduler would assign (a
+probe job per user, aged from the start of the run).  Fluctuation is the
+mean absolute sample-to-sample change of that series after the age factor
+saturates; the expectation is fluctuation proportional to the fairshare
+weight's fraction of the total weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..rms.job import Job
+from ..rms.priority import FactorWeights
+from ..workload.reference import GRID_IDENTITIES, build_testbed_trace
+from .common import TestbedConfig, build_testbed
+
+__all__ = ["SmoothingRun", "smoothing_experiment"]
+
+
+@dataclass
+class SmoothingRun:
+    label: str
+    weights: FactorWeights
+    fluctuation: Dict[str, float]
+
+    @property
+    def fairshare_weight_fraction(self) -> float:
+        return self.weights.fairshare / self.weights.total
+
+    @property
+    def mean_fluctuation(self) -> float:
+        return sum(self.fluctuation.values()) / max(1, len(self.fluctuation))
+
+    def row(self) -> str:
+        per_user = "  ".join(f"{u.rsplit('=', 1)[-1]}={f:.4f}"
+                             for u, f in sorted(self.fluctuation.items()))
+        return (f"{self.label:<26} fs-weight={self.fairshare_weight_fraction:.2f}  "
+                f"mean fluct={self.mean_fluctuation:.4f}  [{per_user}]")
+
+
+def _run_one(label: str, weights: FactorWeights, n_jobs: int, span: float,
+             n_sites: int, hosts_per_site: int, seed: int) -> SmoothingRun:
+    config = TestbedConfig(span=span, seed=seed, n_sites=n_sites,
+                           hosts_per_site=hosts_per_site, weights=weights)
+    testbed = build_testbed(config)
+    trace = build_testbed_trace(n_jobs=n_jobs, span=span,
+                                total_cores=n_sites * hosts_per_site,
+                                load=0.95, seed=seed)
+    testbed.host.schedule_trace(trace)
+
+    # one pending probe job per user per scheduler, submitted conceptually
+    # at t=0; its combined priority is what the queue sorting would use
+    sched = testbed.schedulers[0]
+    mapper = testbed.host.mapper
+    probes = {}
+    for name, dn in GRID_IDENTITIES.items():
+        system_user = mapper.system_user(dn, sched.name)
+        probes[dn] = Job(system_user=system_user, duration=60.0,
+                         submit_time=0.0)
+    series: Dict[str, List[float]] = {dn: [] for dn in probes}
+    max_age = sched.multifactor.max_age
+
+    def sample() -> None:
+        for dn, probe in probes.items():
+            series[dn].append(sched.compute_priority(probe, testbed.engine.now))
+
+    testbed.engine.periodic(config.sample_interval, sample,
+                            start_offset=config.sample_interval)
+    testbed.engine.run_until(span)
+    testbed.stop()
+
+    # Fluctuation = mean absolute *detrended* sample-to-sample change of
+    # the combined priority.  The age factor contributes a deterministic
+    # ramp until it saturates at max_age: when the run is long enough the
+    # post-saturation tail is used directly (the ramp is over there); short
+    # runs fall back to median-detrending, which removes the constant ramp
+    # step.  Either way the measured quantity is the stochastic
+    # fairshare-induced movement the paper's smoothing claim is about.
+    import numpy as np
+
+    skip = int(max_age / config.sample_interval) + 1
+    fluct = {}
+    for dn, values in series.items():
+        if len(values) - skip >= 10:
+            arr = np.asarray(values[skip:], dtype=float)
+        else:
+            arr = np.asarray(values[1:], dtype=float)
+        if arr.size < 3:
+            fluct[dn] = 0.0
+            continue
+        diffs = np.diff(arr)
+        fluct[dn] = float(np.mean(np.abs(diffs - np.median(diffs))))
+    return SmoothingRun(label=label, weights=weights, fluctuation=fluct)
+
+
+def smoothing_experiment(n_jobs: int = 6000, span: float = 7200.0,
+                         n_sites: int = 2, hosts_per_site: int = 20,
+                         seed: int = 3,
+                         mixes: Optional[List[FactorWeights]] = None
+                         ) -> List[SmoothingRun]:
+    """Fairshare-only vs blends with the age (and QoS) factors."""
+    mixes = mixes or [
+        FactorWeights(fairshare=1.0),
+        FactorWeights(fairshare=1.0, age=1.0),
+        FactorWeights(fairshare=1.0, age=3.0),
+    ]
+    runs = []
+    for weights in mixes:
+        label = (f"fairshare={weights.fairshare:g}"
+                 + (f", age={weights.age:g}" if weights.age else "")
+                 + (f", qos={weights.qos:g}" if weights.qos else ""))
+        runs.append(_run_one(label, weights, n_jobs, span, n_sites,
+                             hosts_per_site, seed))
+    return runs

@@ -1,0 +1,29 @@
+"""Local resource-manager substrate: jobs, clusters, multifactor priority,
+plugin seams, and the SLURM-like / Maui-like schedulers Aequus integrates
+with (paper Section III)."""
+
+from .cluster import AllocationError, Cluster
+from .job import Job, JobState
+from .maui import MauiScheduler, MauiWeights
+from .plugins import (
+    AequusJobCompletionPlugin,
+    AequusPriorityPlugin,
+    FixedFairsharePlugin,
+    JobCompletionPlugin,
+    LocalFairsharePlugin,
+    PriorityPlugin,
+)
+from .priority import FactorWeights, MultifactorPriority
+from .scheduler import BaseScheduler
+from .slurm import SlurmScheduler
+
+__all__ = [
+    "AllocationError", "Cluster",
+    "Job", "JobState",
+    "MauiScheduler", "MauiWeights",
+    "AequusJobCompletionPlugin", "AequusPriorityPlugin", "FixedFairsharePlugin",
+    "JobCompletionPlugin", "LocalFairsharePlugin", "PriorityPlugin",
+    "FactorWeights", "MultifactorPriority",
+    "BaseScheduler",
+    "SlurmScheduler",
+]

@@ -1,0 +1,106 @@
+"""Cluster resources: nodes, cores, allocation, and utilization accounting.
+
+The test bed models each national computing center as "a miniature local
+cluster ... using virtual resources as computational nodes" (Section IV).
+Allocation is first-fit across nodes; a multi-core job may span nodes
+(bag-of-task semantics — each core is an independent task slot).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .job import Job
+
+__all__ = ["Cluster", "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when an allocation request cannot be satisfied."""
+
+
+class Cluster:
+    """A pool of nodes with per-node core counts and busy-time integration."""
+
+    def __init__(self, name: str, n_nodes: int, cores_per_node: int = 1):
+        if n_nodes < 1 or cores_per_node < 1:
+            raise ValueError("need at least one node and one core per node")
+        self.name = name
+        self.n_nodes = n_nodes
+        self.cores_per_node = cores_per_node
+        self._free: List[int] = [cores_per_node] * n_nodes
+        self._allocations: Dict[int, List[Tuple[int, int]]] = {}
+        # busy-time integral for utilization reporting
+        self._busy_cores = 0
+        self._busy_integral = 0.0
+        self._last_change = 0.0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+    @property
+    def free_cores(self) -> int:
+        return sum(self._free)
+
+    @property
+    def busy_cores(self) -> int:
+        return self.total_cores - self.free_cores
+
+    def fits(self, cores: int) -> bool:
+        return cores <= self.free_cores
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self, job: Job, now: float) -> None:
+        """First-fit allocation of ``job.cores`` cores across nodes."""
+        if job.job_id in self._allocations:
+            raise AllocationError(f"job {job.job_id} already allocated")
+        if not self.fits(job.cores):
+            raise AllocationError(
+                f"job {job.job_id} needs {job.cores} cores, {self.free_cores} free")
+        self._account(now)
+        remaining = job.cores
+        placement: List[Tuple[int, int]] = []
+        for node in range(self.n_nodes):
+            if remaining == 0:
+                break
+            take = min(self._free[node], remaining)
+            if take > 0:
+                self._free[node] -= take
+                placement.append((node, take))
+                remaining -= take
+        self._allocations[job.job_id] = placement
+        self._busy_cores += job.cores
+
+    def release(self, job: Job, now: float) -> None:
+        placement = self._allocations.pop(job.job_id, None)
+        if placement is None:
+            raise AllocationError(f"job {job.job_id} not allocated here")
+        self._account(now)
+        for node, take in placement:
+            self._free[node] += take
+        self._busy_cores -= job.cores
+
+    def placement(self, job: Job) -> Optional[List[Tuple[int, int]]]:
+        return self._allocations.get(job.job_id)
+
+    # -- utilization --------------------------------------------------------
+
+    def _account(self, now: float) -> None:
+        if now < self._last_change:
+            raise ValueError("time went backwards in cluster accounting")
+        self._busy_integral += self._busy_cores * (now - self._last_change)
+        self._last_change = now
+
+    def busy_core_seconds(self, now: float) -> float:
+        """Integral of busy cores over time up to ``now``."""
+        return self._busy_integral + self._busy_cores * (now - self._last_change)
+
+    def utilization(self, now: float) -> float:
+        """Average utilization in [0, 1] since time zero."""
+        if now <= 0:
+            return 0.0
+        return self.busy_core_seconds(now) / (self.total_cores * now)

@@ -1,0 +1,94 @@
+"""Job model and lifecycle for the local resource-manager substrate.
+
+The paper's evaluation trace "is comprised exclusively of bag-of-task jobs
+using a single processor per job" (Section IV-3); the model nevertheless
+carries a core count so multi-core behaviour (and backfill) can be tested.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Job", "JobState", "next_job_id"]
+
+_job_counter = itertools.count(1)
+
+
+def next_job_id() -> int:
+    return next(_job_counter)
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.CANCELLED)
+
+
+@dataclass(eq=False)  # identity semantics: two jobs are never "equal"
+class Job:
+    """A job as seen by the local resource manager.
+
+    ``system_user`` is the *local* account the grid identity was mapped to
+    at submission; the grid identity is recovered by the IRS when fairshare
+    needs it.  ``duration`` is the actual runtime (the test bed replaces
+    computation with idle waits of known length).  ``qos`` feeds the QoS
+    priority factor when multifactor scheduling is configured.
+    """
+
+    system_user: str
+    duration: float
+    cores: int = 1
+    submit_time: Optional[float] = None
+    qos: float = 0.0
+    job_id: int = field(default_factory=next_job_id)
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    priority: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if not 0.0 <= self.qos <= 1.0:
+            raise ValueError("qos must lie in [0, 1]")
+
+    @property
+    def charge(self) -> float:
+        """Core-seconds consumed (defined once completed or running)."""
+        if self.start_time is None or self.end_time is None:
+            return 0.0
+        return (self.end_time - self.start_time) * self.cores
+
+    def wait_time(self, now: float) -> float:
+        if self.submit_time is None:
+            return 0.0
+        end = self.start_time if self.start_time is not None else now
+        return max(0.0, end - self.submit_time)
+
+    def mark_started(self, now: float) -> None:
+        if self.state is not JobState.PENDING:
+            raise ValueError(f"cannot start job in state {self.state}")
+        self.state = JobState.RUNNING
+        self.start_time = now
+        self.end_time = now + self.duration
+
+    def mark_completed(self, now: float) -> None:
+        if self.state is not JobState.RUNNING:
+            raise ValueError(f"cannot complete job in state {self.state}")
+        self.state = JobState.COMPLETED
+        self.end_time = now
+
+    def mark_cancelled(self) -> None:
+        if self.state.terminal:
+            raise ValueError(f"job already terminal: {self.state}")
+        self.state = JobState.CANCELLED

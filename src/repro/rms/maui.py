@@ -1,0 +1,146 @@
+"""Maui-like resource manager integrated via source patches.
+
+"Maui has no inherent plug-in system, and therefore the integration is done
+by applying patches to the Maui source code.  Similarly to SLURM, the local
+calculation of the fairshare priority factor is replaced with a call to the
+libaequus system library, and another call for supplying usage information
+to Aequus is injected into Maui for execution when jobs are completed"
+(paper Section III-A).
+
+We model the patch points as two overridable call-out attributes —
+``fairshare_callout`` and ``completion_callout`` — which default to Maui's
+own local fairshare bookkeeping.  :meth:`apply_aequus_patch` rebinds both,
+exactly the surface area of the paper's patches.
+
+Maui's priority style differs from SLURM's: the combination includes an
+*expansion-factor* (XFactor) component, ``(wait + runtime) / runtime``,
+alongside fairshare and queue-time components, each with its own weight.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # used only in annotations; avoids an rms<->client cycle
+    from ..client.libaequus import LibAequus
+from ..sim.engine import SimulationEngine
+from .cluster import Cluster
+from .job import Job
+from .scheduler import BaseScheduler
+
+__all__ = ["MauiScheduler", "MauiWeights"]
+
+
+class MauiWeights:
+    """Maui component weights (FSWEIGHT / XFWEIGHT / QUEUETIMEWEIGHT)."""
+
+    def __init__(self, fairshare: float = 1.0, xfactor: float = 0.0,
+                 queuetime: float = 0.0):
+        for name, w in [("fairshare", fairshare), ("xfactor", xfactor),
+                        ("queuetime", queuetime)]:
+            if w < 0:
+                raise ValueError(f"{name} weight must be non-negative")
+        if fairshare + xfactor + queuetime == 0:
+            raise ValueError("at least one weight must be positive")
+        self.fairshare = fairshare
+        self.xfactor = xfactor
+        self.queuetime = queuetime
+
+    @property
+    def total(self) -> float:
+        return self.fairshare + self.xfactor + self.queuetime
+
+
+class MauiScheduler(BaseScheduler):
+    """Scheduler with Maui-style priority and patch-based Aequus call-outs."""
+
+    def __init__(self, name: str, engine: SimulationEngine, cluster: Cluster,
+                 weights: Optional[MauiWeights] = None,
+                 shares: Optional[Mapping[str, float]] = None,
+                 fairshare_half_life: float = 7 * 24 * 3600.0,
+                 max_queue_time: float = 3600.0,
+                 max_xfactor: float = 100.0,
+                 sched_interval: float = 5.0,
+                 reprioritize_interval: float = 30.0,
+                 backfill: bool = True,
+                 start_offset: float = 0.0):
+        super().__init__(name, engine, cluster,
+                         sched_interval=sched_interval,
+                         reprioritize_interval=reprioritize_interval,
+                         backfill=backfill,
+                         start_offset=start_offset)
+        self.weights = weights or MauiWeights(fairshare=1.0)
+        self.max_queue_time = max_queue_time
+        self.max_xfactor = max_xfactor
+        # -- Maui's built-in local fairshare state --------------------------
+        total = sum(shares.values()) if shares else 0.0
+        self._shares: Dict[str, float] = (
+            {u: s / total for u, s in shares.items()} if shares and total > 0 else {})
+        self._half_life = fairshare_half_life
+        self._usage: Dict[str, float] = {}
+        self._decayed_at: Dict[str, float] = {}
+        # -- the two patch points -----------------------------------------
+        self.fairshare_callout: Callable[[Job, float], float] = self._local_fairshare
+        self.completion_callout: Callable[[Job, float], None] = self._local_completion
+
+    # -- the patch -----------------------------------------------------------
+
+    def apply_aequus_patch(self, lib: "LibAequus") -> None:
+        """Rebind both call-outs to libaequus — the paper's source patch."""
+        self.fairshare_callout = (
+            lambda job, now: min(max(lib.get_fairshare(job.system_user), 0.0), 1.0))
+
+        def report(job: Job, now: float) -> None:
+            if job.start_time is not None and job.end_time is not None:
+                lib.report_usage(job.system_user, job.start_time, job.end_time,
+                                 job.cores)
+
+        self.completion_callout = report
+
+    # -- Maui's stock local fairshare ---------------------------------------
+
+    def _decayed_usage(self, user: str, now: float) -> float:
+        usage = self._usage.get(user, 0.0)
+        if usage == 0.0:
+            return 0.0
+        age = now - self._decayed_at.get(user, now)
+        return usage * math.pow(2.0, -age / self._half_life)
+
+    def _local_fairshare(self, job: Job, now: float) -> float:
+        target = self._shares.get(job.system_user, 0.0)
+        if target <= 0.0:
+            return 0.0
+        usage = {u: self._decayed_usage(u, now) for u in self._usage}
+        total = sum(usage.values())
+        if total <= 0.0:
+            return 1.0
+        return math.pow(2.0, -(usage.get(job.system_user, 0.0) / total) / target)
+
+    def _local_completion(self, job: Job, now: float) -> None:
+        user = job.system_user
+        self._usage[user] = self._decayed_usage(user, now) + job.charge
+        self._decayed_at[user] = now
+
+    # -- priority ------------------------------------------------------------
+
+    def xfactor(self, job: Job, now: float) -> float:
+        runtime = max(job.duration, 1.0)
+        xf = (job.wait_time(now) + runtime) / runtime
+        return min(xf, self.max_xfactor) / self.max_xfactor
+
+    def queuetime_factor(self, job: Job, now: float) -> float:
+        return min(1.0, job.wait_time(now) / self.max_queue_time)
+
+    def compute_priority(self, job: Job, now: float) -> float:
+        w = self.weights
+        fairshare = self.fairshare_callout(job, now)
+        total = (w.fairshare * fairshare
+                 + w.xfactor * self.xfactor(job, now)
+                 + w.queuetime * self.queuetime_factor(job, now))
+        return total / w.total
+
+    def on_job_completed(self, job: Job, now: float) -> None:
+        self.completion_callout(job, now)

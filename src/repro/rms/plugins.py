@@ -1,0 +1,153 @@
+"""Scheduler plugin seams and the Aequus integrations (paper Section III-A).
+
+SLURM integration happens through its plug-in system: "The priority plug-in
+is based on the existing multifactor priority plugin, with the normal
+fairshare priority calculation code replaced with a call to libaequus.  A
+job completion plug-in supplies usage information to Aequus by calling
+libaequus."  These two seams are modeled as:
+
+``PriorityPlugin``
+    Supplies the fairshare *factor* (a value in [0, 1]) for a job.
+``JobCompletionPlugin``
+    Invoked when a job finishes.
+
+Besides the Aequus plugins, a classic *local* fairshare plugin is provided
+(usage and policy strictly per-cluster, SLURM-style ``2^(-usage/share)``
+with half-life decay) — both as the pre-Aequus baseline the paper replaces
+and as the prioritization of a LOCAL_ONLY site in the partial-participation
+test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # used only in annotations; avoids an rms<->client cycle
+    from ..client.libaequus import LibAequus
+from .job import Job
+
+__all__ = [
+    "PriorityPlugin",
+    "JobCompletionPlugin",
+    "AequusPriorityPlugin",
+    "AequusJobCompletionPlugin",
+    "LocalFairsharePlugin",
+    "FixedFairsharePlugin",
+]
+
+
+class PriorityPlugin:
+    """Supplies the fairshare factor of the multifactor priority."""
+
+    name = "abstract"
+
+    def fairshare_factor(self, job: Job, now: float) -> float:
+        raise NotImplementedError
+
+
+class JobCompletionPlugin:
+    """Invoked by the scheduler when a job completes."""
+
+    name = "abstract"
+
+    def job_completed(self, job: Job, now: float) -> None:
+        raise NotImplementedError
+
+
+class AequusPriorityPlugin(PriorityPlugin):
+    """The Aequus call-out replacing local fairshare calculation."""
+
+    name = "aequus-priority"
+
+    def __init__(self, lib: "LibAequus"):
+        self.lib = lib
+
+    def fairshare_factor(self, job: Job, now: float) -> float:
+        value = self.lib.get_fairshare(job.system_user)
+        return min(max(value, 0.0), 1.0)
+
+
+class AequusJobCompletionPlugin(JobCompletionPlugin):
+    """Supplies usage information to Aequus on job completion."""
+
+    name = "aequus-jobcomp"
+
+    def __init__(self, lib: "LibAequus"):
+        self.lib = lib
+
+    def job_completed(self, job: Job, now: float) -> None:
+        if job.start_time is None or job.end_time is None:
+            return
+        self.lib.report_usage(job.system_user, job.start_time, job.end_time,
+                              job.cores)
+
+
+class LocalFairsharePlugin(PriorityPlugin, JobCompletionPlugin):
+    """Classic per-cluster fairshare: decayed local usage vs local shares.
+
+    Implements the traditional SLURM multifactor formula
+    ``F = 2^(-usage_share / target_share)`` over a decaying per-user usage
+    accumulator with the given half-life.  It is simultaneously a completion
+    plugin (it must see finished jobs to account usage).
+    """
+
+    name = "local-fairshare"
+
+    def __init__(self, shares: Mapping[str, float], half_life: float = 7 * 24 * 3600.0):
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        total = sum(shares.values())
+        if total <= 0:
+            raise ValueError("shares must sum to a positive value")
+        self.shares: Dict[str, float] = {u: s / total for u, s in shares.items()}
+        self.half_life = half_life
+        self._usage: Dict[str, float] = {}
+        self._decayed_at: Dict[str, float] = {}
+
+    def _decayed_usage(self, user: str, now: float) -> float:
+        usage = self._usage.get(user, 0.0)
+        if usage == 0.0:
+            return 0.0
+        age = now - self._decayed_at.get(user, now)
+        return usage * math.pow(2.0, -age / self.half_life)
+
+    def job_completed(self, job: Job, now: float) -> None:
+        user = job.system_user
+        self._usage[user] = self._decayed_usage(user, now) + job.charge
+        self._decayed_at[user] = now
+
+    def fairshare_factor(self, job: Job, now: float) -> float:
+        user = job.system_user
+        target = self.shares.get(user, 0.0)
+        if target <= 0.0:
+            return 0.0
+        usage = {u: self._decayed_usage(u, now) for u in self._usage}
+        total = sum(usage.values())
+        if total <= 0.0:
+            return 1.0
+        usage_share = usage.get(user, 0.0) / total
+        return math.pow(2.0, -usage_share / target)
+
+    def usage_snapshot(self, now: float) -> Dict[str, float]:
+        return {u: self._decayed_usage(u, now) for u in self._usage}
+
+
+class FixedFairsharePlugin(PriorityPlugin):
+    """Constant per-user factors (testing and scheduling ablations)."""
+
+    name = "fixed-fairshare"
+
+    def __init__(self, values: Mapping[str, float], default: float = 0.5):
+        for user, value in values.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"factor for {user!r} outside [0,1]: {value}")
+        if not 0.0 <= default <= 1.0:
+            raise ValueError("default outside [0,1]")
+        self.values = dict(values)
+        self.default = default
+
+    def fairshare_factor(self, job: Job, now: float) -> float:
+        return self.values.get(job.system_user, self.default)

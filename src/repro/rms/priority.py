@@ -1,0 +1,98 @@
+"""Multifactor job priority (paper Section III-C).
+
+"Both SLURM and Maui employ a linear combination of several factors to
+prioritize jobs, of which fairshare may be one among several.  Each factor
+is represented by a value in the [0,1] range, and configurable weights are
+applied."  This module implements that combination; the fairshare factor is
+supplied by a priority plugin (local calculation or the Aequus call-out).
+
+The paper's complementary observation — "other factors have a smoothing
+effect (with impact relative to their weight) on the fluctuating behavior
+natural to fairshare" — is reproduced by the factor-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .job import Job
+
+__all__ = ["FactorWeights", "MultifactorPriority"]
+
+
+@dataclass(frozen=True)
+class FactorWeights:
+    """Weights of the linear combination; any factor may be zero.
+
+    The evaluation uses fairshare only ("Fairshare is the only scheduling
+    factor used during these tests"), i.e. ``FactorWeights(fairshare=1.0)``.
+    """
+
+    fairshare: float = 1.0
+    age: float = 0.0
+    job_size: float = 0.0
+    qos: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, w in self.as_dict().items():
+            if w < 0:
+                raise ValueError(f"weight {name} must be non-negative, got {w}")
+        if self.total == 0:
+            raise ValueError("at least one factor weight must be positive")
+
+    @property
+    def total(self) -> float:
+        return self.fairshare + self.age + self.job_size + self.qos
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"fairshare": self.fairshare, "age": self.age,
+                "job_size": self.job_size, "qos": self.qos}
+
+
+class MultifactorPriority:
+    """Weighted linear combination of normalized job factors.
+
+    ``max_age`` saturates the age factor: a job waiting that long (or
+    longer) gets the full age factor of 1.0.  The job-size factor favors
+    small jobs (``1 - cores/total_cores``) — with single-core traces it is
+    constant and harmless.
+    """
+
+    def __init__(self, weights: Optional[FactorWeights] = None,
+                 max_age: float = 3600.0, total_cores: int = 1,
+                 normalize: bool = True):
+        if max_age <= 0:
+            raise ValueError("max_age must be positive")
+        if total_cores < 1:
+            raise ValueError("total_cores must be >= 1")
+        self.weights = weights or FactorWeights()
+        self.max_age = max_age
+        self.total_cores = total_cores
+        self.normalize = normalize
+
+    # -- individual factors ----------------------------------------------
+
+    def age_factor(self, job: Job, now: float) -> float:
+        return min(1.0, job.wait_time(now) / self.max_age)
+
+    def job_size_factor(self, job: Job) -> float:
+        return max(0.0, 1.0 - (job.cores - 1) / max(1, self.total_cores))
+
+    def qos_factor(self, job: Job) -> float:
+        return job.qos
+
+    # -- combination ---------------------------------------------------------
+
+    def compute(self, job: Job, fairshare_value: float, now: float) -> float:
+        """The combined priority; in [0, 1] when ``normalize`` is set."""
+        if not 0.0 <= fairshare_value <= 1.0:
+            raise ValueError(f"fairshare factor outside [0,1]: {fairshare_value}")
+        w = self.weights
+        total = (w.fairshare * fairshare_value
+                 + w.age * self.age_factor(job, now)
+                 + w.job_size * self.job_size_factor(job)
+                 + w.qos * self.qos_factor(job))
+        if self.normalize:
+            total /= w.total
+        return total

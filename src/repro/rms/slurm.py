@@ -1,0 +1,90 @@
+"""SLURM-like resource manager with a plug-in system (paper Section III-A).
+
+SLURM integration is done "by implementing custom Aequus priority and job
+completion plugins for use in the SLURM plug-in system.  The priority
+plug-in is based on the existing multifactor priority plugin, with the
+normal fairshare priority calculation code replaced with a call to
+libaequus."  Accordingly, this scheduler:
+
+* computes job priority with the multifactor combination
+  (:class:`repro.rms.priority.MultifactorPriority`), taking the fairshare
+  factor from whatever :class:`PriorityPlugin` is registered — the stock
+  local one, or the Aequus call-out;
+* invokes every registered :class:`JobCompletionPlugin` when a job
+  finishes.
+
+Swapping local fairshare for Aequus is literally a plugin registration —
+the "minimal intrusion" integration claim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # used only in annotations; avoids an rms<->client cycle
+    from ..client.libaequus import LibAequus
+from ..sim.engine import SimulationEngine
+from .cluster import Cluster
+from .job import Job
+from .plugins import (
+    AequusJobCompletionPlugin,
+    AequusPriorityPlugin,
+    JobCompletionPlugin,
+    PriorityPlugin,
+)
+from .priority import FactorWeights, MultifactorPriority
+from .scheduler import BaseScheduler
+
+__all__ = ["SlurmScheduler"]
+
+
+class SlurmScheduler(BaseScheduler):
+    """Plugin-driven scheduler mirroring SLURM's integration surface."""
+
+    def __init__(self, name: str, engine: SimulationEngine, cluster: Cluster,
+                 weights: Optional[FactorWeights] = None,
+                 sched_interval: float = 5.0,
+                 reprioritize_interval: float = 30.0,
+                 backfill: bool = True,
+                 max_age: float = 3600.0,
+                 start_offset: float = 0.0):
+        super().__init__(name, engine, cluster,
+                         sched_interval=sched_interval,
+                         reprioritize_interval=reprioritize_interval,
+                         backfill=backfill,
+                         start_offset=start_offset)
+        self.multifactor = MultifactorPriority(
+            weights=weights or FactorWeights(fairshare=1.0),
+            max_age=max_age,
+            total_cores=cluster.total_cores)
+        self.priority_plugin: Optional[PriorityPlugin] = None
+        self.completion_plugins: List[JobCompletionPlugin] = []
+
+    # -- plugin registry ------------------------------------------------------
+
+    def register_priority_plugin(self, plugin: PriorityPlugin) -> None:
+        """Install (or replace) the fairshare priority plugin."""
+        self.priority_plugin = plugin
+
+    def register_completion_plugin(self, plugin: JobCompletionPlugin) -> None:
+        self.completion_plugins.append(plugin)
+
+    def integrate_aequus(self, lib: "LibAequus") -> None:
+        """The full SLURM integration in one call: both Aequus plugins."""
+        self.register_priority_plugin(AequusPriorityPlugin(lib))
+        self.register_completion_plugin(AequusJobCompletionPlugin(lib))
+
+    # -- BaseScheduler hooks -------------------------------------------------
+
+    def compute_priority(self, job: Job, now: float) -> float:
+        if self.priority_plugin is not None:
+            fairshare = self.priority_plugin.fairshare_factor(job, now)
+        else:
+            fairshare = 0.5  # no plugin: neutral factor
+        return self.multifactor.compute(job, fairshare, now)
+
+    def on_job_completed(self, job: Job, now: float) -> None:
+        for plugin in self.completion_plugins:
+            plugin.job_completed(job, now)

@@ -1,0 +1,79 @@
+"""TTL caching, as used by the Aequus services and by ``libaequus``.
+
+Caching is load-bearing in the paper: pre-computed fairshare trees mean "no
+real-time calculations need to take place when new jobs arrive", and
+``libaequus`` caches resolved fairshare values and identities "for a
+configurable amount of time, which considerably reduces the amount of
+network traffic and computations required when batches of jobs are submitted
+and processed at the same time".  The cache times are also delay sources
+II and III in the update-delay analysis (Section IV-A.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+__all__ = ["TTLCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TTLCache(Generic[K, V]):
+    """Time-based cache keyed on a virtual clock.
+
+    ``clock`` is any zero-argument callable returning the current time
+    (normally ``lambda: engine.now``).  ``ttl == 0`` disables caching
+    entirely (every lookup is a miss), which the update-delay experiment
+    uses to isolate delay sources.
+    """
+
+    def __init__(self, clock: Callable[[], float], ttl: float):
+        if ttl < 0:
+            raise ValueError("ttl must be non-negative")
+        self.clock = clock
+        self.ttl = float(ttl)
+        self._entries: Dict[K, Tuple[float, V]] = {}
+        self.stats = CacheStats()
+
+    def get(self, key: K, loader: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, refreshing via ``loader``."""
+        now = self.clock()
+        entry = self._entries.get(key)
+        if entry is not None and self.ttl > 0 and now - entry[0] < self.ttl:
+            self.stats.hits += 1
+            return entry[1]
+        self.stats.misses += 1
+        value = loader()
+        if self.ttl > 0:
+            self._entries[key] = (now, value)
+        return value
+
+    def peek(self, key: K):
+        """Current cached value (even if stale) or None; no stats effect."""
+        entry = self._entries.get(key)
+        return entry[1] if entry is not None else None
+
+    def invalidate(self, key: K) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,133 @@
+"""Fairshare Calculation Service (FCS).
+
+Fetches usage trees from the UMS and policy trees from the PDS periodically
+and *pre-calculates* fairshare trees with the current fairshare values for
+all users (paper Section II-A): "This way, no real-time calculations need to
+take place when new jobs arrive, as pre-calculated values already exist and
+can be assigned to the job based on the associated user identity."
+
+Queries therefore never trigger computation — they read the last refresh,
+whose age is delay source II/IV in the update-delay analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.distance import FairshareParameters
+from ..core.fairshare import FairshareTree, compute_fairshare_tree
+from ..core.usage import build_usage_tree
+from ..core.projection import PercentalProjection, Projection
+from ..core.vector import FairshareVector
+from ..sim.engine import PeriodicTask, SimulationEngine
+from .pds import PolicyDistributionService
+from .ums import UsageMonitoringService
+
+__all__ = ["FairshareCalculationService"]
+
+
+class FairshareCalculationService:
+    """Periodic fairshare pre-computation and constant-time value lookup."""
+
+    def __init__(self, site: str, engine: SimulationEngine,
+                 pds: PolicyDistributionService,
+                 ums: UsageMonitoringService,
+                 parameters: Optional[FairshareParameters] = None,
+                 projection: Optional[Projection] = None,
+                 refresh_interval: float = 30.0,
+                 unknown_user_value: float = 0.5,
+                 identity_map: Optional[Dict[str, str]] = None,
+                 start_offset: float = 0.0):
+        self.site = site
+        self.engine = engine
+        self.pds = pds
+        self.ums = ums
+        self.parameters = parameters or FairshareParameters()
+        self.projection = projection or PercentalProjection()
+        self.refresh_interval = refresh_interval
+        self.unknown_user_value = unknown_user_value
+        self.identity_map: Dict[str, str] = dict(identity_map or {})
+        self.refreshes = 0
+        self._tree: Optional[FairshareTree] = None
+        self._values: Dict[str, float] = {}
+        self._by_name: Dict[str, str] = {}
+        self._computed_at: float = engine.now
+        self._task: Optional[PeriodicTask] = engine.periodic(
+            refresh_interval, self.refresh, start_offset=start_offset)
+        self.refresh()
+
+    # -- the periodic pre-computation -----------------------------------------
+
+    def refresh(self) -> None:
+        policy = self.pds.policy()
+        # usage is recorded under external grid identities; fold aliases
+        # onto policy leaves before shaping the usage tree
+        totals: Dict[str, float] = {}
+        for user, value in self.ums.usage_totals().items():
+            key = self.identity_map.get(user, user)
+            totals[key] = totals.get(key, 0.0) + value
+        usage_tree = build_usage_tree(policy, totals)
+        tree = compute_fairshare_tree(policy, usage=usage_tree,
+                                      parameters=self.parameters)
+        self._tree = tree
+        self._values = self.projection.project(tree)
+        self._by_name = {}
+        for leaf in tree.leaves():
+            self._by_name.setdefault(leaf.name, leaf.path)
+        self._computed_at = self.engine.now
+        self.refreshes += 1
+
+    def set_projection(self, projection: Projection) -> None:
+        """Switch projection algorithm (run-time configurable, Sec. III-C)."""
+        self.projection = projection
+        if self._tree is not None:
+            self._values = projection.project(self._tree)
+
+    # -- queries (constant-time, from pre-computed state) ------------------
+
+    @property
+    def computed_at(self) -> float:
+        return self._computed_at
+
+    def register_identity(self, identity: str, leaf: str) -> None:
+        """Alias an external grid identity (e.g. an X.509 DN, which cannot
+        be a tree node name) to a policy leaf name or path."""
+        self.identity_map[identity] = leaf
+
+    def _resolve_path(self, identity: str) -> Optional[str]:
+        identity = self.identity_map.get(identity, identity)
+        if identity.startswith("/") and self._tree is not None and identity in self._tree:
+            return identity
+        return self._by_name.get(identity)
+
+    def fairshare_value(self, identity: str) -> float:
+        """Projected scalar in [0, 1] for a grid identity (leaf path or name)."""
+        path = self._resolve_path(identity)
+        if path is None:
+            return self.unknown_user_value
+        return self._values.get(path, self.unknown_user_value)
+
+    def priority(self, identity: str) -> float:
+        """The leaf-node fairshare priority (k·abs + (1−k)·rel)."""
+        path = self._resolve_path(identity)
+        if path is None or self._tree is None:
+            return self.unknown_user_value
+        return self._tree.priority(path)
+
+    def vector(self, identity: str) -> Optional[FairshareVector]:
+        path = self._resolve_path(identity)
+        if path is None or self._tree is None:
+            return None
+        return self._tree.vector(path)
+
+    def values(self) -> Dict[str, float]:
+        """All users' projected values (leaf path -> value)."""
+        return dict(self._values)
+
+    def tree(self) -> Optional[FairshareTree]:
+        return self._tree
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None

@@ -1,0 +1,113 @@
+"""Identity Resolution Service (IRS).
+
+Global fairshare needs the *grid identity* of a job's owner, but resource
+managers only know the local *system user* the grid identity was mapped to
+at submission (paper Section III-B).  The IRS reverts that mapping, two
+ways:
+
+1. an explicit lookup table populated by calls that store the reverse
+   mapping, or
+2. a site-provided *custom mapping resolution endpoint* the IRS calls with
+   name-resolution queries "using a minimalist JSON based protocol".
+
+We implement the JSON protocol literally (requests and responses are JSON
+strings) so the endpoint seam is a faithful integration surface: HPC2N's
+production deployment plugs in exactly here.
+
+Protocol::
+
+    request:  {"query": "resolve", "system_user": "<name>"}
+    response: {"grid_identity": "<identity>"}         on success
+              {"error": "unknown user"}                otherwise
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Optional
+
+__all__ = ["IdentityResolutionService", "IdentityResolutionError", "table_endpoint"]
+
+
+class IdentityResolutionError(KeyError):
+    """Raised when a system user cannot be resolved to a grid identity."""
+
+
+class IdentityResolutionService:
+    """Reverse mapping from system users to grid identities."""
+
+    def __init__(self, site: str,
+                 endpoint: Optional[Callable[[str], str]] = None):
+        self.site = site
+        self._table: Dict[str, str] = {}
+        self._endpoint = endpoint
+        self.table_hits = 0
+        self.endpoint_calls = 0
+
+    # -- population -------------------------------------------------------
+
+    def store_mapping(self, system_user: str, grid_identity: str) -> None:
+        """Actively store a reverse mapping (integration option 1)."""
+        self._table[system_user] = grid_identity
+
+    def set_endpoint(self, endpoint: Callable[[str], str]) -> None:
+        """Configure the custom JSON resolution endpoint (option 2)."""
+        self._endpoint = endpoint
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, system_user: str) -> str:
+        """Resolve a system user to its grid identity.
+
+        The lookup table is consulted first; on a miss the configured
+        endpoint is queried via the JSON protocol, and a successful answer
+        is memoized into the table.
+        """
+        identity = self._table.get(system_user)
+        if identity is not None:
+            self.table_hits += 1
+            return identity
+        if self._endpoint is None:
+            raise IdentityResolutionError(system_user)
+        request = json.dumps({"query": "resolve", "system_user": system_user})
+        self.endpoint_calls += 1
+        raw = self._endpoint(request)
+        try:
+            response = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise IdentityResolutionError(
+                f"endpoint returned invalid JSON for {system_user!r}") from exc
+        identity = response.get("grid_identity")
+        if not identity:
+            raise IdentityResolutionError(system_user)
+        self._table[system_user] = identity
+        return identity
+
+    def known_users(self) -> Dict[str, str]:
+        return dict(self._table)
+
+
+def table_endpoint(mapping: Dict[str, str]) -> Callable[[str], str]:
+    """Build a JSON-protocol endpoint from a plain mapping.
+
+    This is the shape of the "small name resolution endpoint" deployed in
+    the HPC2N system (paper Section IV): it answers resolve queries from the
+    site's own account database.
+    """
+
+    def endpoint(request: str) -> str:
+        try:
+            payload = json.loads(request)
+        except json.JSONDecodeError:
+            return json.dumps({"error": "malformed request"})
+        if not isinstance(payload, dict):
+            return json.dumps({"error": "malformed request"})
+        if payload.get("query") != "resolve":
+            return json.dumps({"error": "unsupported query"})
+        user = payload.get("system_user")
+        identity = mapping.get(user)
+        if identity is None:
+            return json.dumps({"error": "unknown user"})
+        return json.dumps({"grid_identity": identity})
+
+    return endpoint

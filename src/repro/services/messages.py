@@ -1,0 +1,48 @@
+"""Typed message payloads exchanged between Aequus services.
+
+The real system uses Java web services; what matters for behaviour is the
+*content* and *timing* of the exchanges, which these dataclasses capture.
+Payloads are plain data (no live object references cross the simulated
+network), mirroring the serialization boundary of the original SOAP calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["UsageExchangeMessage", "PolicyExportMessage"]
+
+
+@dataclass(frozen=True)
+class UsageExchangeMessage:
+    """Compact usage relayed between USS instances.
+
+    Per paper Section II-A: the combined usage of each user on each site,
+    omitting the details of individual jobs — i.e. per-user histogram bins,
+    not job records.
+    """
+
+    site: str
+    sent_at: float
+    interval: float
+    snapshot: Dict[str, Dict[int, float]]
+
+    def total_charge(self) -> float:
+        return sum(sum(bins.values()) for bins in self.snapshot.values())
+
+
+@dataclass(frozen=True)
+class PolicyExportMessage:
+    """A serialized policy (sub)tree published by a PDS.
+
+    ``lines`` is the textual ``path = weight`` format, the canonical wire
+    representation (parse with :func:`repro.core.policy.parse_policy`).
+    """
+
+    source: str
+    sent_at: float
+    lines: List[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + ("\n" if self.lines else "")

@@ -1,0 +1,107 @@
+"""Simulated network connecting Aequus installations.
+
+Messages between sites (USS↔USS usage exchange, PDS policy distribution)
+travel through this bus with configurable latency and jitter.  Partitions
+can be injected to model sites dropping out of the collaboration — the
+substrate for the partial-participation experiment and for failure-injection
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from ..sim.engine import SimulationEngine
+
+__all__ = ["Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Counters for traffic accounting (the paper's caching argument is all
+    about reducing call volume, so tests assert on these)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    per_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+class Network:
+    """Point-to-point message delivery with latency over the sim engine."""
+
+    def __init__(self, engine: SimulationEngine, base_latency: float = 0.05,
+                 jitter: float = 0.0, rng: Optional[np.random.Generator] = None):
+        if base_latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        self.engine = engine
+        self.base_latency = base_latency
+        self.jitter = jitter
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._endpoints: Dict[str, Callable[[Any], None]] = {}
+        self._partitions: Set[frozenset] = set()
+        self.stats = NetworkStats()
+
+    # -- topology ----------------------------------------------------------
+
+    def connect(self, name: str, handler: Callable[[Any], None]) -> None:
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already connected")
+        self._endpoints[name] = handler
+
+    def disconnect(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoints(self) -> Set[str]:
+        return set(self._endpoints)
+
+    def partition(self, a: str, b: str) -> None:
+        """Drop all traffic between ``a`` and ``b`` until healed."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
+    # -- delivery ----------------------------------------------------------
+
+    def latency(self) -> float:
+        lat = self.base_latency
+        if self.jitter > 0:
+            lat += float(self.rng.uniform(0.0, self.jitter))
+        return lat
+
+    def send(self, src: str, dst: str, message: Any) -> bool:
+        """Queue ``message`` for delivery; returns False if dropped."""
+        self.stats.sent += 1
+        link = (src, dst)
+        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        if self.is_partitioned(src, dst) or dst not in self._endpoints:
+            self.stats.dropped += 1
+            return False
+        handler = self._endpoints[dst]
+
+        def deliver() -> None:
+            # Re-check: a partition raised while the message was in flight
+            # loses it, as a real network would.
+            if self.is_partitioned(src, dst):
+                self.stats.dropped += 1
+                return
+            self.stats.delivered += 1
+            handler(message)
+
+        self.engine.schedule(self.latency(), deliver)
+        return True
+
+    def broadcast(self, src: str, message: Any) -> int:
+        """Send to every endpoint except the source; returns queue count."""
+        count = 0
+        for dst in sorted(self._endpoints):
+            if dst != src and self.send(src, dst, message):
+                count += 1
+        return count

@@ -1,0 +1,96 @@
+"""Policy Distribution Service (PDS).
+
+Manages user policies both locally and globally "by mounting sub-policies
+from other sources (which may be other PDS services)" (paper Section II-A).
+The local administration keeps full control of the tree top (how much of
+the cluster a grid VO receives); the mounted subtree's internal subdivision
+is managed remotely and refreshed periodically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.policy import PolicyTree, parse_policy
+from ..sim.engine import PeriodicTask, SimulationEngine
+from .messages import PolicyExportMessage
+
+__all__ = ["PolicyDistributionService", "MountSubscription"]
+
+
+@dataclass
+class MountSubscription:
+    mount_point: str
+    remote: "PolicyDistributionService"
+    weight: Optional[float]
+
+
+class PolicyDistributionService:
+    """Per-site policy management with remote sub-policy mounting."""
+
+    def __init__(self, site: str, engine: SimulationEngine,
+                 policy: Optional[PolicyTree] = None,
+                 refresh_interval: float = 300.0,
+                 start_offset: float = 0.0):
+        self.site = site
+        self.engine = engine
+        self._policy = policy if policy is not None else PolicyTree()
+        self._mounts: List[MountSubscription] = []
+        self.refresh_interval = refresh_interval
+        self.refreshes = 0
+        self.version = 0
+        self._task: Optional[PeriodicTask] = engine.periodic(
+            refresh_interval, self.refresh_mounts, start_offset=start_offset)
+
+    # -- local administration -------------------------------------------------
+
+    def policy(self) -> PolicyTree:
+        """The current effective policy tree (local + mounted)."""
+        return self._policy
+
+    def set_policy(self, policy: PolicyTree) -> None:
+        """Replace the local policy (run-time policy change, Section II-A)."""
+        self._policy = policy
+        self.version += 1
+        self.refresh_mounts()
+
+    def set_share(self, path: str, weight: float) -> None:
+        self._policy.set_share(path, weight)
+        self.version += 1
+
+    # -- distribution -----------------------------------------------------
+
+    def export(self) -> PolicyExportMessage:
+        """Serialized policy for remote consumers (sub-policy publishing)."""
+        return PolicyExportMessage(
+            source=self.site,
+            sent_at=self.engine.now,
+            lines=self._policy.to_lines(),
+        )
+
+    def mount_remote(self, mount_point: str,
+                     remote: "PolicyDistributionService",
+                     weight: Optional[float] = None) -> None:
+        """Mount ``remote``'s policy under ``mount_point`` and keep it fresh."""
+        subtree = parse_policy(remote.export().text())
+        self._policy.mount(mount_point, subtree, source=remote.site, weight=weight)
+        self._mounts.append(MountSubscription(mount_point, remote, weight))
+        self.version += 1
+
+    def refresh_mounts(self) -> None:
+        """Re-fetch every mounted sub-policy (periodic task)."""
+        self.refreshes += 1
+        for sub in self._mounts:
+            subtree = parse_policy(sub.remote.export().text())
+            self._policy.refresh_mount(sub.mount_point, subtree)
+        if self._mounts:
+            self.version += 1
+
+    def mounts(self) -> List[str]:
+        return [m.mount_point for m in self._mounts]
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None

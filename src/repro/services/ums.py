@@ -1,0 +1,80 @@
+"""Usage Monitoring Service (UMS).
+
+Gathers usage histograms from one or more USSs and pre-computes decayed
+per-user usage totals (and usage trees shaped by the site policy) on a
+refresh interval (paper Section II-A).  The refresh interval is delay
+source II in the update-delay analysis.
+
+A site in LOCAL_ONLY participation mode points its UMS at local usage only
+(``consider_remote=False``): it still publishes data to the grid but
+prioritizes on local history — the second scenario of the
+partial-participation test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.decay import DecayFunction, ExponentialDecay
+from ..core.tree import Tree
+from ..core.usage import UsageTree, build_usage_tree
+from ..sim.engine import PeriodicTask, SimulationEngine
+from .uss import UsageStatisticsService
+
+__all__ = ["UsageMonitoringService"]
+
+
+class UsageMonitoringService:
+    """Periodic pre-computation of decayed usage totals."""
+
+    def __init__(self, site: str, engine: SimulationEngine,
+                 sources: List[UsageStatisticsService],
+                 decay: Optional[DecayFunction] = None,
+                 refresh_interval: float = 30.0,
+                 consider_remote: bool = True,
+                 start_offset: float = 0.0):
+        if not sources:
+            raise ValueError("a UMS needs at least one USS source")
+        self.site = site
+        self.engine = engine
+        self.sources = list(sources)
+        self.decay = decay or ExponentialDecay(half_life=7 * 24 * 3600.0)
+        self.consider_remote = consider_remote
+        self.refresh_interval = refresh_interval
+        self.refreshes = 0
+        self._totals: Dict[str, float] = {}
+        self._computed_at: float = engine.now
+        self._task: Optional[PeriodicTask] = engine.periodic(
+            refresh_interval, self.refresh, start_offset=start_offset)
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Pull histograms and recompute decayed per-user totals."""
+        now = self.engine.now
+        totals: Dict[str, float] = {}
+        for uss in self.sources:
+            merged = uss.global_usage(include_remote=self.consider_remote)
+            for user, value in merged.decayed_totals(now, self.decay).items():
+                totals[user] = totals.get(user, 0.0) + value
+        self._totals = totals
+        self._computed_at = now
+        self.refreshes += 1
+
+    # -- queries (served from the pre-computed state) ------------------------
+
+    @property
+    def computed_at(self) -> float:
+        return self._computed_at
+
+    def usage_totals(self) -> Dict[str, float]:
+        """Decayed per-user usage as of the last refresh."""
+        return dict(self._totals)
+
+    def usage_tree(self, structure: Tree) -> UsageTree:
+        """Usage tree mirroring ``structure`` from the pre-computed totals."""
+        return build_usage_tree(structure, self._totals)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None

@@ -1,0 +1,115 @@
+"""Usage Statistics Service (USS).
+
+Gathers per-job usage results of the local site and produces per-user
+histograms for configurable time intervals (paper Section II-A).  The USS
+is also the *only* inter-site channel: Aequus instances "communicate only
+by exchanging data through the USS services", relaying per-user histogram
+snapshots rather than individual job records.
+
+Participation is asymmetric by design: a site may publish without
+consuming or vice versa — the partial-participation experiment
+(Section IV-A.4) exercises exactly those modes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.usage import UsageHistogram, UsageRecord
+from ..sim.engine import PeriodicTask, SimulationEngine
+from .messages import UsageExchangeMessage
+from .network import Network
+
+__all__ = ["UsageStatisticsService"]
+
+
+class UsageStatisticsService:
+    """Per-site usage aggregation and inter-site exchange."""
+
+    def __init__(self, site: str, engine: SimulationEngine, network: Network,
+                 histogram_interval: float = 60.0,
+                 exchange_interval: float = 30.0,
+                 publish: bool = True,
+                 prune_horizon: Optional[float] = None,
+                 start_offset: float = 0.0):
+        self.site = site
+        self.engine = engine
+        self.network = network
+        self.publish = publish
+        self.exchange_interval = exchange_interval
+        #: optional history horizon: bins entirely older than this are
+        #: dropped at each exchange tick (bounds long-run memory)
+        self.prune_horizon = prune_horizon
+        self.charge_pruned = 0.0
+        self.local = UsageHistogram(histogram_interval)
+        self.remote: Dict[str, UsageHistogram] = {}
+        self.peers: List[str] = []
+        self.records_received = 0
+        self.exchanges_sent = 0
+        self.exchanges_received = 0
+        self._endpoint = f"uss:{site}"
+        network.connect(self._endpoint, self._on_message)
+        self._task: Optional[PeriodicTask] = engine.periodic(
+            exchange_interval, self._exchange, start_offset=start_offset)
+
+    # -- local recording -------------------------------------------------
+
+    def record_job(self, record: UsageRecord) -> None:
+        """Ingest a completed job's usage (from libaequus call-outs)."""
+        self.records_received += 1
+        self.local.add_record(record)
+
+    # -- peering -----------------------------------------------------------
+
+    def add_peer(self, site: str) -> None:
+        if site == self.site:
+            raise ValueError("a USS does not peer with itself")
+        if site not in self.peers:
+            self.peers.append(site)
+
+    def _exchange(self) -> None:
+        if self.prune_horizon is not None:
+            self.charge_pruned += self.local.prune(self.engine.now,
+                                                   self.prune_horizon)
+            for hist in self.remote.values():
+                hist.prune(self.engine.now, self.prune_horizon)
+        if not self.publish or not self.peers:
+            return
+        message = UsageExchangeMessage(
+            site=self.site,
+            sent_at=self.engine.now,
+            interval=self.local.interval,
+            snapshot=self.local.snapshot(),
+        )
+        for peer in self.peers:
+            self.network.send(self._endpoint, f"uss:{peer}", message)
+        self.exchanges_sent += 1
+
+    def _on_message(self, message: UsageExchangeMessage) -> None:
+        if message.interval != self.local.interval:
+            # Sites must agree on the histogram interval for bins to align;
+            # mismatched configurations are dropped (and visible in stats).
+            return
+        self.exchanges_received += 1
+        hist = UsageHistogram(message.interval)
+        hist.replace(message.snapshot)
+        self.remote[message.site] = hist
+
+    # -- queries ----------------------------------------------------------
+
+    def global_usage(self, include_remote: bool = True) -> UsageHistogram:
+        """Merged histogram: local plus (optionally) all known remote sites."""
+        merged = UsageHistogram(self.local.interval)
+        merged.merge(self.local)
+        if include_remote:
+            for hist in self.remote.values():
+                merged.merge(hist)
+        return merged
+
+    def known_sites(self) -> List[str]:
+        return sorted([self.site, *self.remote])
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None

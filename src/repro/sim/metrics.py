@@ -1,0 +1,126 @@
+"""Time-series collection and convergence analysis for simulation runs.
+
+The paper's evaluation figures plot, over wall-clock test time: cumulative
+usage shares per user, fairshare priorities per user (per site), and system
+utilization.  :class:`MetricsRecorder` collects such series; the module also
+provides the convergence measure used for the update-delay comparison
+(Figure 11: "10%–15% shorter convergence time").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries", "MetricsRecorder", "share_deviation", "convergence_time"]
+
+
+@dataclass
+class TimeSeries:
+    """A sampled scalar series: parallel ``times`` / ``values`` lists."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(f"{self.name}: time went backwards ({time} < {self.times[-1]})")
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def at(self, time: float) -> float:
+        """Last value recorded at or before ``time`` (step interpolation)."""
+        if not self.times:
+            raise ValueError(f"{self.name}: empty series")
+        i = bisect_right(self.times, time) - 1
+        if i < 0:
+            return self.values[0]
+        return self.values[i]
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def tail_mean(self, fraction: float = 0.25) -> float:
+        """Mean over the final ``fraction`` of samples (steady-state level)."""
+        if not self.values:
+            raise ValueError(f"{self.name}: empty series")
+        n = max(1, int(len(self.values) * fraction))
+        return float(np.mean(self.values[-n:]))
+
+
+class MetricsRecorder:
+    """Collects named time series during a simulation run."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        ts = self._series.get(name)
+        if ts is None:
+            ts = TimeSeries(name)
+            self._series[name] = ts
+        return ts
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).record(time, value)
+
+    def record_many(self, prefix: str, time: float, values: Mapping[str, float]) -> None:
+        for key, value in values.items():
+            self.record(f"{prefix}/{key}", time, value)
+
+    def names(self, prefix: Optional[str] = None) -> List[str]:
+        names = sorted(self._series)
+        if prefix is not None:
+            names = [n for n in names if n.startswith(prefix)]
+        return names
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self._series[name]
+
+
+def share_deviation(shares: Mapping[str, float], targets: Mapping[str, float]) -> float:
+    """Mean absolute deviation between observed and target shares.
+
+    The scalar "distance from balance" tracked over time to quantify
+    convergence; zero means the usage mix exactly matches policy.
+    """
+    keys = set(shares) | set(targets)
+    if not keys:
+        return 0.0
+    return float(np.mean([abs(shares.get(k, 0.0) - targets.get(k, 0.0)) for k in keys]))
+
+
+def convergence_time(series: TimeSeries, threshold: float,
+                     hold: float = 0.0) -> Optional[float]:
+    """First time the series drops below ``threshold`` and stays there.
+
+    ``hold`` requires the series to remain below the threshold for that much
+    additional time (guards against transient dips).  Returns ``None`` if
+    the series never converges.
+    """
+    times, values = series.as_arrays()
+    below = values < threshold
+    start: Optional[float] = None
+    for t, ok in zip(times, below):
+        if ok:
+            if start is None:
+                start = float(t)
+            if t - start >= hold:
+                pass  # keep scanning; as long as it stays below we're fine
+        else:
+            start = None
+    if start is None:
+        return None
+    if times[-1] - start < hold:
+        return None
+    return start

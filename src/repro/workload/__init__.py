@@ -1,0 +1,71 @@
+"""Statistical workload modeling substrate (paper Section IV-1/2/3):
+traces, the 18-family distribution zoo, BIC/KS fitting, trace analysis,
+composite (phase-weighted) distributions, synthetic generation, and the
+2012-national-grid reference model."""
+
+from .analysis import (
+    CleaningReport,
+    UserCategories,
+    autocorrelation,
+    categorize_users,
+    clean_trace,
+    detect_periodicity,
+    detect_phases,
+)
+from .composite import CompositeDistribution
+from .distributions import FAMILIES, Family, FitError, FittedDistribution, get_family
+from .fitting import FitResult, best_fit, fit_all, fit_family, ks_statistic, whole_second_median
+from .generator import (
+    ArrivalModel,
+    BatchModel,
+    DurationModel,
+    SyntheticWorkloadGenerator,
+    TruncatedICDFSampler,
+    UserWorkloadModel,
+    add_pollution,
+    allocate_counts,
+    compress_to_span,
+    scale_trace_load,
+)
+from .reference import (
+    BURSTY_JOB_SHARES,
+    BURSTY_USAGE_SHARES,
+    CATEGORIES,
+    GRID_IDENTITIES,
+    JOB_SHARES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    USAGE_SHARES,
+    U65_PHASES,
+    U65PhaseSpec,
+    YEAR,
+    arrival_distribution,
+    build_production_trace,
+    build_testbed_trace,
+    duration_distribution,
+    generate_reference_trace,
+    user_models,
+)
+from .swf import read_swf, write_swf
+from .trace import Trace, TraceJob
+from .validation import TraceComparison, UserComparison, compare_traces
+
+__all__ = [
+    "CleaningReport", "UserCategories", "autocorrelation", "categorize_users",
+    "clean_trace", "detect_periodicity", "detect_phases",
+    "CompositeDistribution",
+    "FAMILIES", "Family", "FitError", "FittedDistribution", "get_family",
+    "FitResult", "best_fit", "fit_all", "fit_family", "ks_statistic",
+    "whole_second_median",
+    "ArrivalModel", "BatchModel", "DurationModel", "SyntheticWorkloadGenerator",
+    "TruncatedICDFSampler", "UserWorkloadModel", "add_pollution",
+    "allocate_counts", "compress_to_span", "scale_trace_load",
+    "BURSTY_JOB_SHARES", "BURSTY_USAGE_SHARES", "CATEGORIES", "GRID_IDENTITIES",
+    "JOB_SHARES", "PAPER_TABLE2", "PAPER_TABLE3", "USAGE_SHARES",
+    "U65_PHASES", "U65PhaseSpec", "YEAR",
+    "arrival_distribution", "build_production_trace", "build_testbed_trace",
+    "duration_distribution", "generate_reference_trace", "user_models",
+    "read_swf", "write_swf",
+    "Trace", "TraceJob",
+    "TraceComparison", "UserComparison", "compare_traces",
+]

@@ -1,0 +1,272 @@
+"""Trace analysis: cleaning, user categorization, periodicity, phases.
+
+Implements the preprocessing and characterization steps of paper Section
+IV-1/IV-2:
+
+* remove administrator/monitoring jobs and zero-duration outliers before
+  modeling (Feitelson's methodology; ~15% of jobs, 1.5% of usage in the
+  2012 national trace);
+* rank users by total wall-clock usage and isolate the dominating ones
+  (U65, U30, U3) while grouping the long tail (Uoth);
+* search for periodicity with autocorrelation functions over daily binned
+  arrivals;
+* partition a dominant user's arrivals into experiment phases (U65's
+  roughly-quarterly cycles, Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .trace import Trace, TraceJob
+
+__all__ = [
+    "CleaningReport",
+    "clean_trace",
+    "UserCategories",
+    "categorize_users",
+    "autocorrelation",
+    "detect_periodicity",
+    "detect_phases",
+]
+
+DAY = 86400.0
+
+
+# ---------------------------------------------------------------------------
+# cleaning
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CleaningReport:
+    """What cleaning removed, in the units the paper reports."""
+
+    jobs_before: int
+    jobs_after: int
+    usage_before: float
+    usage_after: float
+
+    @property
+    def removed_job_fraction(self) -> float:
+        if self.jobs_before == 0:
+            return 0.0
+        return (self.jobs_before - self.jobs_after) / self.jobs_before
+
+    @property
+    def removed_usage_fraction(self) -> float:
+        if self.usage_before == 0:
+            return 0.0
+        return (self.usage_before - self.usage_after) / self.usage_before
+
+
+def clean_trace(trace: Trace,
+                admin_users: Optional[Sequence[str]] = None) -> Tuple[Trace, CleaningReport]:
+    """Remove admin/monitoring jobs and zero-duration outliers.
+
+    Jobs are dropped if flagged ``admin``, owned by a user in
+    ``admin_users``, or of zero duration ("most likely due to being
+    canceled or failed").
+    """
+    admin_set = set(admin_users or ())
+
+    def keep(job: TraceJob) -> bool:
+        return not job.admin and job.user not in admin_set and job.duration > 0
+
+    cleaned = trace.filter(keep)
+    report = CleaningReport(
+        jobs_before=trace.n_jobs,
+        jobs_after=cleaned.n_jobs,
+        usage_before=trace.total_usage(),
+        usage_after=cleaned.total_usage(),
+    )
+    return cleaned, report
+
+
+# ---------------------------------------------------------------------------
+# user categorization
+# ---------------------------------------------------------------------------
+
+@dataclass
+class UserCategories:
+    """Dominant users isolated, long tail grouped (paper Section IV-1)."""
+
+    top_users: List[str]
+    labels: Dict[str, str]
+    usage_shares: Dict[str, float]
+    job_shares: Dict[str, float]
+    other_label: str = "Uoth"
+
+    def label_for(self, user: str) -> str:
+        return self.labels.get(user, self.other_label)
+
+    def relabel(self, trace: Trace) -> Trace:
+        mapping = {u: self.label_for(u) for u in trace.users()}
+        return trace.relabel(mapping)
+
+    def category_names(self) -> List[str]:
+        seen: List[str] = []
+        for u in self.top_users:
+            lbl = self.labels[u]
+            if lbl not in seen:
+                seen.append(lbl)
+        seen.append(self.other_label)
+        return seen
+
+
+def categorize_users(trace: Trace, top_n: int = 3,
+                     label_style: str = "percent") -> UserCategories:
+    """Rank users by total wall-clock usage and label the top ``top_n``.
+
+    ``label_style='percent'`` names categories after their rounded usage
+    percentage, the paper's convention: the 2012 trace yields U65 (65.25%
+    of usage, 81.03% of jobs), U30 (30.49%/6.58%), U3 (2.86%/9.47%), and
+    Uoth for the remainder (1.40%/2.93%).  ``label_style='rank'`` yields
+    U1, U2, ... instead (robust when percentages collide).
+    """
+    usage = trace.usage_shares()
+    jobs = trace.job_shares()
+    ranked = sorted(usage, key=lambda u: (-usage[u], u))
+    top = ranked[:top_n]
+    labels: Dict[str, str] = {}
+    used: set = set()
+    for i, user in enumerate(top):
+        if label_style == "percent":
+            label = f"U{max(1, round(usage[user] * 100))}"
+            while label in used:  # collision: disambiguate by rank suffix
+                label += "b"
+        else:
+            label = f"U{i + 1}"
+        used.add(label)
+        labels[user] = label
+    cat_usage: Dict[str, float] = {}
+    cat_jobs: Dict[str, float] = {}
+    for user in trace.users():
+        lbl = labels.get(user, "Uoth")
+        cat_usage[lbl] = cat_usage.get(lbl, 0.0) + usage.get(user, 0.0)
+        cat_jobs[lbl] = cat_jobs.get(lbl, 0.0) + jobs.get(user, 0.0)
+    return UserCategories(top_users=top, labels=labels,
+                          usage_shares=cat_usage, job_shares=cat_jobs)
+
+
+# ---------------------------------------------------------------------------
+# periodicity
+# ---------------------------------------------------------------------------
+
+def autocorrelation(series: np.ndarray, max_lag: Optional[int] = None) -> np.ndarray:
+    """Normalized autocorrelation function of a 1-D series.
+
+    ``acf[0] == 1``; biased estimator (divides by N), matching MATLAB's
+    ``autocorr`` normalization.
+    """
+    x = np.asarray(series, dtype=float)
+    n = x.size
+    if n < 2:
+        raise ValueError("series too short for autocorrelation")
+    x = x - x.mean()
+    denom = float(np.dot(x, x))
+    if denom == 0.0:
+        return np.zeros(1 if max_lag is None else max_lag + 1)
+    # FFT-based full ACF, then truncate — O(n log n) instead of O(n^2).
+    size = int(2 ** np.ceil(np.log2(2 * n - 1)))
+    fx = np.fft.rfft(x, size)
+    acov = np.fft.irfft(fx * np.conj(fx), size)[:n]
+    acf = acov / denom
+    if max_lag is not None:
+        acf = acf[:max_lag + 1]
+    return acf
+
+
+def detect_periodicity(arrival_times: np.ndarray,
+                       bin_size: float = DAY,
+                       candidate_periods: Optional[Sequence[float]] = None,
+                       threshold: float = 0.3) -> Dict[float, float]:
+    """ACF scores at candidate periods; entries above ``threshold`` only.
+
+    The paper searched for daily, weekly, and monthly patterns "using auto
+    correlation functions ... however, no clear auto correlation patterns
+    could be found"; for U65 a roughly quarterly pattern is visible instead.
+    """
+    times = np.asarray(arrival_times, dtype=float)
+    if times.size < 2:
+        return {}
+    if candidate_periods is None:
+        candidate_periods = [DAY, 7 * DAY, 30 * DAY, 91 * DAY]
+    lo, hi = times.min(), times.max()
+    n_bins = max(2, int(np.ceil((hi - lo) / bin_size)) + 1)
+    counts, _ = np.histogram(times, bins=n_bins,
+                             range=(lo, lo + n_bins * bin_size))
+    acf = autocorrelation(counts)
+    found: Dict[float, float] = {}
+    for period in candidate_periods:
+        lag = int(round(period / bin_size))
+        if 1 <= lag < acf.size:
+            score = float(acf[lag])
+            if score >= threshold:
+                found[float(period)] = score
+    return found
+
+
+# ---------------------------------------------------------------------------
+# phase detection
+# ---------------------------------------------------------------------------
+
+def detect_phases(arrival_times: np.ndarray, n_phases: int = 4,
+                  bin_size: float = DAY, smooth_bins: int = 7,
+                  quiet_fraction: float = 0.05) -> List[Tuple[float, float]]:
+    """Partition arrivals into activity phases split at low-activity gaps.
+
+    U65's arrivals cluster in ~3-month experiment cycles separated by quiet
+    stretches; the paper fits a separate distribution per phase (Figure 5,
+    dashed delimiters).  We smooth the daily histogram, mark bins below
+    ``quiet_fraction`` of the peak as quiet, and place one cut at the center
+    of each of the ``n_phases - 1`` *widest* quiet runs.  If the histogram
+    has fewer quiet gaps than needed, the remaining cuts fall back to
+    equal-count quantiles.
+
+    Returns ``n_phases`` half-open intervals covering [min, max].
+    """
+    times = np.sort(np.asarray(arrival_times, dtype=float))
+    if times.size < n_phases:
+        raise ValueError("fewer arrivals than requested phases")
+    if n_phases == 1:
+        return [(float(times[0]), float(times[-1]) + bin_size)]
+    lo, hi = times[0], times[-1]
+    n_bins = max(n_phases * 2, int(np.ceil((hi - lo) / bin_size)) + 1)
+    counts, edges = np.histogram(times, bins=n_bins)
+    if smooth_bins > 1:
+        kernel = np.ones(smooth_bins) / smooth_bins
+        smoothed = np.convolve(counts, kernel, mode="same")
+    else:
+        smoothed = counts.astype(float)
+    quiet = smoothed <= quiet_fraction * smoothed.max()
+    # contiguous quiet runs strictly inside the data (edge runs separate
+    # nothing and are discarded)
+    runs: List[Tuple[int, int]] = []  # (start, length)
+    start = None
+    for i, q in enumerate(quiet):
+        if q and start is None:
+            start = i
+        elif not q and start is not None:
+            runs.append((start, i - start))
+            start = None
+    if start is not None:
+        runs.append((start, len(quiet) - start))
+    interior = [(s, w) for s, w in runs if s > 0 and s + w < n_bins]
+    interior.sort(key=lambda sw: -sw[1])
+    cut_bins = sorted(s + w // 2 for s, w in interior[:n_phases - 1])
+    cuts = [float(edges[c]) for c in cut_bins]
+    if len(cuts) < n_phases - 1:
+        # fall back: equal-count quantile cuts for the remainder
+        quantiles = np.quantile(times, np.linspace(0, 1, n_phases + 1)[1:-1])
+        for q in quantiles:
+            if len(cuts) == n_phases - 1:
+                break
+            if all(abs(q - c) > bin_size for c in cuts):
+                cuts.append(float(q))
+        cuts.sort()
+    boundaries = [float(lo)] + cuts[:n_phases - 1] + [float(hi) + bin_size]
+    boundaries = sorted(boundaries)
+    return [(boundaries[i], boundaries[i + 1]) for i in range(len(boundaries) - 1)]

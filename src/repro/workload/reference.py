@@ -1,0 +1,324 @@
+"""The 2012 Swedish-national-grid reference workload model.
+
+The paper's statistical models are fitted to a proprietary accounting trace
+we cannot obtain.  This module is the documented substitution (DESIGN.md
+Section 2): a *generative* model seeded with everything the paper publishes
+about that trace —
+
+* the user mix: U65 with 65.25% of wall-clock usage / 81.03% of jobs,
+  U30 30.49%/6.58%, U3 2.86%/9.47%, Uoth 1.40%/2.93% (Section IV-1);
+* arrival structure: U65 in four ~3-month experiment phases fitted with
+  GEV distributions, U30 Burr, U3 GEV (bursty, worst fit), Uoth GEV
+  (Table II, Figure 5);
+* duration (job size) distributions: U65 BS(1.76e4, 3.53), U30
+  Weibull(5.49e4, 0.637), U3 Burr(2.07, 11.0, 0.02), Uoth BS(3.02e4, 7.91)
+  (Table III) — durations concentrated in [0, 6e5] s with U30 heaviest
+  tailed (Figure 7);
+* second-scale submission clustering calibrated so that whole-second
+  median inter-arrival times land near the published 2/1/0/13 s.
+
+Where the published numbers are internally inconsistent (scanning damage in
+the source), parameters are adjusted and flagged:
+
+* Table II's location parameters print as 7.35e4 for *every* data set; in
+  minutes that is day 51 of the year, plausible only for phase 1.  We keep
+  the published GEV shapes and place the four U65 phase centers at days
+  51/140/232/323 with widths of 10–15 days (consistent with Figure 5's
+  quarterly bumps).
+* U30's printed Burr(7.4e4, 8.6e-4, 0.08) is degenerate (c of 8.6e-4 puts
+  essentially no mass anywhere); we substitute a Burr with a broad spread
+  over the year.
+* Table II/III's printed medians (e.g. a 1.70e8-second job duration — 5.4
+  years) contradict the printed distributions; we use the distributions'
+  own medians.
+
+Generated traces exercise the full modeling pipeline: pollution (admin +
+zero-duration jobs; 15% of jobs, 1.5% of usage) for the cleaning stage,
+dominant-user structure for categorization, quarterly phases for phase
+detection, and family-recoverable marginals for Tables II/III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from .composite import CompositeDistribution
+from .distributions import FAMILIES, FittedDistribution
+from .generator import (
+    ArrivalModel,
+    BatchModel,
+    DurationModel,
+    SyntheticWorkloadGenerator,
+    TruncatedICDFSampler,
+    UserWorkloadModel,
+    add_pollution,
+    compress_to_span,
+)
+from .trace import Trace
+
+__all__ = [
+    "YEAR", "DAY", "CATEGORIES", "GRID_IDENTITIES",
+    "USAGE_SHARES", "JOB_SHARES",
+    "BURSTY_JOB_SHARES", "BURSTY_USAGE_SHARES",
+    "PAPER_TABLE2", "PAPER_TABLE3",
+    "U65PhaseSpec", "U65_PHASES",
+    "arrival_distribution", "duration_distribution",
+    "user_models", "generate_reference_trace", "build_testbed_trace",
+    "build_production_trace",
+]
+
+DAY = 86400.0
+YEAR = 365.0 * DAY
+
+CATEGORIES = ["U65", "U30", "U3", "Uoth"]
+
+#: Grid identities behind the category labels (the modeling collapses each
+#: dominating "user" — really a research project — to one identity).
+GRID_IDENTITIES: Dict[str, str] = {
+    "U65": "/C=SE/O=SNIC/CN=U65",
+    "U30": "/C=SE/O=SNIC/CN=U30",
+    "U3": "/C=SE/O=SNIC/CN=U3",
+    "Uoth": "/C=SE/O=SNIC/CN=Uoth",
+}
+
+#: Section IV-1: fraction of total wall-clock usage per user category.
+USAGE_SHARES: Dict[str, float] = {
+    "U65": 0.6525, "U30": 0.3049, "U3": 0.0286, "Uoth": 0.0140,
+}
+
+#: Section IV-1: fraction of submitted jobs per user category.
+JOB_SHARES: Dict[str, float] = {
+    "U65": 0.8103, "U30": 0.0658, "U3": 0.0947, "Uoth": 0.0293,
+}
+
+#: Section IV-A.5 (bursty test): "The fractions of submitted jobs per user
+#: for this test are 45.5%, 6.5%, 45.5%, and 3% ... the corresponding
+#: wall-clock time usage shares are 47%, 38.5%, 12%, and 2.5%."
+BURSTY_JOB_SHARES: Dict[str, float] = {
+    "U65": 0.455, "U30": 0.065, "U3": 0.455, "Uoth": 0.03,
+}
+BURSTY_USAGE_SHARES: Dict[str, float] = {
+    "U65": 0.47, "U30": 0.385, "U3": 0.12, "Uoth": 0.025,
+}
+
+#: Paper Table II as published (arrival fits; medians in whole seconds).
+PAPER_TABLE2 = {
+    "U65 (p1)": {"median": 2, "family": "gev", "ks": 0.06},
+    "U65 (p2)": {"median": 3, "family": "gev", "ks": 0.05},
+    "U65 (p3)": {"median": 2, "family": "gev", "ks": 0.07},
+    "U65 (p4)": {"median": 2, "family": "gev", "ks": 0.05},
+    "U65": {"median": 2, "family": "composite", "ks": 0.02},
+    "U30": {"median": 1, "family": "burr", "ks": 0.08},
+    "U3": {"median": 0, "family": "gev", "ks": 0.15},
+    "Uoth": {"median": 13, "family": "gev", "ks": 0.06},
+}
+
+#: Paper Table III as published (duration fits).
+PAPER_TABLE3 = {
+    "U65": {"family": "birnbaum-saunders", "params": (1.76e4, 3.53), "ks": 0.09},
+    "U30": {"family": "weibull", "params": (5.49e4, 0.637), "ks": 0.04},
+    "U3": {"family": "burr", "params": (2.07, 11.0, 0.02), "ks": 0.28},
+    "Uoth": {"family": "birnbaum-saunders", "params": (3.02e4, 7.91), "ks": 0.13},
+}
+
+
+# ---------------------------------------------------------------------------
+# arrival models
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class U65PhaseSpec:
+    """One of U65's four experiment-cycle phases (Figure 5).
+
+    ``weight`` is the fraction of U65's jobs in the phase (the pn_usage /
+    total_usage factor of Equation 1); ``k`` is the published GEV shape;
+    center and width position the phase within the year.
+    """
+
+    weight: float
+    k: float
+    center_day: float
+    width_days: float
+
+    def distribution(self, span: float = YEAR) -> FittedDistribution:
+        scale = span / YEAR
+        return FAMILIES["gev"].make(self.k, self.width_days * DAY * scale,
+                                    self.center_day * DAY * scale)
+
+
+#: Phase weights follow Figure 5's bump heights; shapes are the published
+#: Table II values; widths are the published sigmas in half-day units
+#: (19.5 -> 9.75 days etc.), centers at the quarterly cycle positions.
+U65_PHASES: List[U65PhaseSpec] = [
+    U65PhaseSpec(weight=0.28, k=-0.386, center_day=51.0, width_days=9.75),
+    U65PhaseSpec(weight=0.31, k=-0.371, center_day=140.0, width_days=15.3),
+    U65PhaseSpec(weight=0.23, k=-0.457, center_day=232.0, width_days=15.4),
+    U65PhaseSpec(weight=0.18, k=-0.301, center_day=323.0, width_days=10.7),
+]
+
+#: Batch calibration: (mean batch size, mean intra-batch gap in seconds),
+#: tuned so whole-second median inter-arrivals land near Table II's
+#: published 2 / 1 / 0 / 13 s.
+BATCH_CALIBRATION: Dict[str, BatchModel] = {
+    "U65": BatchModel(mean_batch_size=40.0, mean_gap=3.0),
+    "U30": BatchModel(mean_batch_size=10.0, mean_gap=1.8),
+    "U3": BatchModel(mean_batch_size=20.0, mean_gap=0.5),
+    "Uoth": BatchModel(mean_batch_size=4.0, mean_gap=14.0),
+}
+
+
+def arrival_distribution(user: str, span: float = YEAR):
+    """The continuous arrival-time distribution over ``[0, span]``.
+
+    U65 is the four-phase composite (Equation 1); the others are single
+    families per Table II.
+    """
+    scale = span / YEAR
+    if user == "U65":
+        return CompositeDistribution(
+            [(p.weight, p.distribution(span)) for p in U65_PHASES])
+    if user == "U30":
+        # substituted Burr (published parameters degenerate; see module doc);
+        # chosen so <1% of the mass falls beyond the year boundary
+        return FAMILIES["burr"].make(120.0 * DAY * scale, 3.5, 1.2)
+    if user == "U3":
+        # published shape k=0.195 (heavy right tail: the burst + stragglers)
+        return FAMILIES["gev"].make(0.195, 15.0 * DAY * scale, 60.0 * DAY * scale)
+    if user == "Uoth":
+        # published shape k=0.148; sigma 56 half-days = 28 days
+        return FAMILIES["gev"].make(0.148, 28.0 * DAY * scale, 170.0 * DAY * scale)
+    raise KeyError(f"unknown user category {user!r}")
+
+
+def duration_distribution(user: str) -> FittedDistribution:
+    """Job-duration distribution per Table III (published parameters)."""
+    spec = PAPER_TABLE3[user]
+    return FAMILIES[spec["family"]].make(*spec["params"])
+
+
+def user_models(span: float = YEAR,
+                batching: bool = True,
+                max_duration: float = 2.0e6,
+                burst_user: Optional[str] = None,
+                burst_start_fraction: float = 1.0 / 3.0,
+                burst_width_fraction: float = 0.15) -> Dict[str, UserWorkloadModel]:
+    """Per-category workload models over a time span.
+
+    ``burst_user`` rebuilds that user's arrival model as a burst starting at
+    ``burst_start_fraction`` of the span (the bursty test shifts U3's burst
+    "to start after one third of the test run").
+    """
+    models: Dict[str, UserWorkloadModel] = {}
+    for user in CATEGORIES:
+        if user == burst_user:
+            start = burst_start_fraction * span
+            width = burst_width_fraction * span
+            dist = FAMILIES["gev"].make(0.195, width / 3.0, start + width / 2.0)
+            sampler = TruncatedICDFSampler(dist, start, span)
+        else:
+            dist = arrival_distribution(user, span)
+            sampler = TruncatedICDFSampler(dist, 0.0, span)
+        batch = BATCH_CALIBRATION[user] if batching else None
+        models[user] = UserWorkloadModel(
+            name=user,
+            arrival=ArrivalModel(sampler, batching=batch),
+            duration=DurationModel(duration_distribution(user),
+                                   min_duration=1.0, max_duration=max_duration),
+        )
+    return models
+
+
+# ---------------------------------------------------------------------------
+# trace builders
+# ---------------------------------------------------------------------------
+
+def generate_reference_trace(n_jobs: int = 60_000,
+                             seed: int = 0,
+                             span: float = YEAR,
+                             pollution: bool = True,
+                             batching: bool = True,
+                             mean_charge: float = 8.0e4) -> Trace:
+    """The stand-in for the 2012 national accounting trace.
+
+    Produces ``n_jobs`` *clean* jobs with the published job/usage shares
+    (per-user duration scaling pins usage shares exactly), then optionally
+    pollutes it with the admin/zero-duration noise the cleaning stage must
+    strip.  ``mean_charge`` sets the average per-job core-seconds and hence
+    the absolute system size (shares are what the pipeline consumes).
+    """
+    rng = np.random.default_rng(seed)
+    generator = SyntheticWorkloadGenerator(
+        models=user_models(span=span, batching=batching),
+        job_shares=JOB_SHARES,
+        n_jobs=n_jobs,
+        usage_shares=USAGE_SHARES,
+        total_charge=n_jobs * mean_charge,
+    )
+    trace = generator.generate(rng)
+    if pollution:
+        trace = add_pollution(trace, rng)
+    return trace
+
+
+def build_testbed_trace(n_jobs: int = 43_200,
+                        span: float = 21_600.0,
+                        total_cores: int = 240,
+                        load: float = 0.95,
+                        seed: int = 0,
+                        bursty: bool = False,
+                        job_shares: Optional[Mapping[str, float]] = None,
+                        usage_shares: Optional[Mapping[str, float]] = None) -> Trace:
+    """A test-bed input trace per Section IV-A.
+
+    Defaults reproduce the paper's setup: 43,200 jobs over a six-hour test
+    (120 jobs/minute sustained), 240 virtual hosts, total load 95% of the
+    theoretical maximum.  ``bursty=True`` produces the Section IV-A.5
+    variant: U3's submissions boosted to 45.5% of jobs (deducted from U65)
+    and its burst shifted to start after one third of the run.
+    """
+    if bursty:
+        job_shares = dict(job_shares or BURSTY_JOB_SHARES)
+        usage_shares = dict(usage_shares or BURSTY_USAGE_SHARES)
+        models = user_models(span=span, batching=False, burst_user="U3")
+    else:
+        job_shares = dict(job_shares or JOB_SHARES)
+        usage_shares = dict(usage_shares or USAGE_SHARES)
+        models = user_models(span=span, batching=False)
+    rng = np.random.default_rng(seed)
+    generator = SyntheticWorkloadGenerator(
+        models=models,
+        job_shares=job_shares,
+        n_jobs=n_jobs,
+        usage_shares=usage_shares,
+        total_charge=load * total_cores * span,
+    )
+    trace = generator.generate(rng)
+    # Arrival samples honor [0, span] already; durations were pinned by the
+    # generator. Map user categories to grid identities for submission.
+    return trace.relabel(GRID_IDENTITIES)
+
+
+def build_production_trace(months: float = 3.0,
+                           jobs_per_month: int = 40_000,
+                           total_cores: int = 544,
+                           load: float = 0.85,
+                           seed: int = 0) -> Trace:
+    """Production-scale single-cluster workload (paper Section IV intro).
+
+    HPC2N: 68 dual-quad-core nodes (544 cores), about 40,000 jobs per month
+    since the start of 2013.  Used by the production-stability experiment.
+    """
+    span = months * 30.0 * DAY
+    n_jobs = int(round(months * jobs_per_month))
+    rng = np.random.default_rng(seed)
+    generator = SyntheticWorkloadGenerator(
+        models=user_models(span=span, batching=False),
+        job_shares=JOB_SHARES,
+        n_jobs=n_jobs,
+        usage_shares=USAGE_SHARES,
+        total_charge=load * total_cores * span,
+    )
+    return generator.generate(rng).relabel(GRID_IDENTITIES)

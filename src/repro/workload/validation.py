@@ -1,0 +1,155 @@
+"""Synthetic-vs-original trace validation.
+
+The point of the paper's statistical modeling is "to generate diverse
+workloads that still retain key statistical properties of the original
+trace" (Section IV-1).  This module quantifies that retention for any pair
+of traces — typically the reference ("original") trace and a trace
+synthesized from models fitted to it:
+
+* per-user job-share and usage-share deltas,
+* two-sample Kolmogorov–Smirnov distances between the per-user arrival-time
+  and duration marginals,
+* inter-arrival median agreement (whole seconds, the paper's metric),
+* burstiness: peak-to-mean submission-rate ratio.
+
+A :class:`TraceComparison` aggregates these into a compact report so tests
+and examples can assert "key properties retained" with one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from .fitting import whole_second_median
+from .trace import Trace
+
+__all__ = ["UserComparison", "TraceComparison", "compare_traces"]
+
+
+def _ks_2samp(a: np.ndarray, b: np.ndarray) -> float:
+    if a.size < 2 or b.size < 2:
+        return float("nan")
+    return float(_scipy_stats.ks_2samp(a, b).statistic)
+
+
+@dataclass
+class UserComparison:
+    """Per-user marginal agreement between two traces."""
+
+    user: str
+    job_share_delta: float
+    usage_share_delta: float
+    arrival_ks: float
+    duration_ks: float
+    median_ia_original: float
+    median_ia_synthetic: float
+
+    def row(self) -> str:
+        return (f"{self.user:<6} d(job share)={self.job_share_delta:+.4f}  "
+                f"d(usage share)={self.usage_share_delta:+.4f}  "
+                f"KS(arrival)={self.arrival_ks:.3f}  "
+                f"KS(duration)={self.duration_ks:.3f}  "
+                f"median ia {self.median_ia_original:.0f}s vs "
+                f"{self.median_ia_synthetic:.0f}s")
+
+
+@dataclass
+class TraceComparison:
+    """Aggregate retention report for a synthetic trace."""
+
+    users: List[UserComparison]
+    peak_to_mean_original: float
+    peak_to_mean_synthetic: float
+
+    def max_share_delta(self) -> float:
+        deltas = [abs(u.job_share_delta) for u in self.users]
+        deltas += [abs(u.usage_share_delta) for u in self.users]
+        return max(deltas) if deltas else 0.0
+
+    def worst_arrival_ks(self) -> float:
+        values = [u.arrival_ks for u in self.users
+                  if not np.isnan(u.arrival_ks)]
+        return max(values) if values else float("nan")
+
+    def worst_duration_ks(self) -> float:
+        values = [u.duration_ks for u in self.users
+                  if not np.isnan(u.duration_ks)]
+        return max(values) if values else float("nan")
+
+    def retained(self, share_tolerance: float = 0.05,
+                 ks_tolerance: float = 0.2) -> bool:
+        """One-line verdict: are the key statistical properties retained?"""
+        return (self.max_share_delta() <= share_tolerance
+                and self.worst_arrival_ks() <= ks_tolerance
+                and self.worst_duration_ks() <= ks_tolerance)
+
+    def rows(self) -> List[str]:
+        rows = [u.row() for u in self.users]
+        rows.append(f"peak/mean submission rate: "
+                    f"{self.peak_to_mean_original:.1f} (original) vs "
+                    f"{self.peak_to_mean_synthetic:.1f} (synthetic)")
+        rows.append(f"retained: {self.retained()}")
+        return rows
+
+
+def _peak_to_mean(trace: Trace, window: float) -> float:
+    if trace.n_jobs == 0 or trace.span <= 0:
+        return 1.0
+    mean_rate = trace.n_jobs / max(1.0, trace.span / window)
+    peak = trace.peak_submission_rate(window)
+    return peak / mean_rate if mean_rate > 0 else 1.0
+
+
+def compare_traces(original: Trace, synthetic: Trace,
+                   users: Optional[List[str]] = None,
+                   rate_window: float = 60.0,
+                   normalize_time: bool = True) -> TraceComparison:
+    """Compare two traces' per-user marginals and burstiness.
+
+    ``normalize_time`` maps both traces' arrival times onto [0, 1] before
+    the KS comparison so traces of different spans (e.g. a year-long
+    original vs a six-hour test-bed projection) compare by *shape*.
+    """
+    users = users if users is not None else sorted(
+        set(original.users()) & set(synthetic.users()))
+    o_jobs, s_jobs = original.job_shares(), synthetic.job_shares()
+    o_usage, s_usage = original.usage_shares(), synthetic.usage_shares()
+
+    def arrival_marginal(trace: Trace, user: str) -> np.ndarray:
+        times = trace.arrival_times(user)
+        if normalize_time and trace.span > 0:
+            times = (times - trace.start) / trace.span
+        return times
+
+    def duration_marginal(trace: Trace, user: str) -> np.ndarray:
+        durations = trace.durations(user)
+        if normalize_time:
+            total = trace.total_usage()
+            if total > 0:
+                durations = durations / (total / max(1, trace.n_jobs))
+        return durations
+
+    comparisons = []
+    for user in users:
+        comparisons.append(UserComparison(
+            user=user,
+            job_share_delta=s_jobs.get(user, 0.0) - o_jobs.get(user, 0.0),
+            usage_share_delta=s_usage.get(user, 0.0) - o_usage.get(user, 0.0),
+            arrival_ks=_ks_2samp(arrival_marginal(original, user),
+                                 arrival_marginal(synthetic, user)),
+            duration_ks=_ks_2samp(duration_marginal(original, user),
+                                  duration_marginal(synthetic, user)),
+            median_ia_original=whole_second_median(
+                original.inter_arrival_times(user)),
+            median_ia_synthetic=whole_second_median(
+                synthetic.inter_arrival_times(user)),
+        ))
+    return TraceComparison(
+        users=comparisons,
+        peak_to_mean_original=_peak_to_mean(original, rate_window),
+        peak_to_mean_synthetic=_peak_to_mean(synthetic, rate_window),
+    )

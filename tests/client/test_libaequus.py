@@ -1,0 +1,97 @@
+"""Unit tests for the libaequus client library."""
+
+import pytest
+
+from repro.client.libaequus import LibAequus
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageRecord
+from repro.services.network import Network
+from repro.services.site import AequusSite, SiteConfig
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def setup():
+    engine = SimulationEngine()
+    network = Network(engine, base_latency=0.1)
+    config = SiteConfig(uss_exchange_interval=5.0, ums_refresh_interval=5.0,
+                        fcs_refresh_interval=5.0, libaequus_cache_ttl=10.0)
+    site = AequusSite("a", engine, network,
+                      policy=PolicyTree.from_dict({"alice": 3, "bob": 1}),
+                      config=config)
+    site.irs.store_mapping("sys_alice", "alice")
+    site.irs.store_mapping("sys_bob", "bob")
+    lib = LibAequus.for_site(site)
+    return engine, site, lib
+
+
+class TestFairshareQueries:
+    def test_returns_fcs_value(self, setup):
+        engine, site, lib = setup
+        assert lib.get_fairshare("sys_alice") == site.fcs.fairshare_value("alice")
+
+    def test_value_clamped_to_unit_range(self, setup):
+        _, _, lib = setup
+        v = lib.get_fairshare("sys_alice")
+        assert 0.0 <= v <= 1.0
+
+    def test_caching_within_ttl(self, setup):
+        engine, site, lib = setup
+        v1 = lib.get_fairshare("sys_alice")
+        # change the underlying state; cached value must persist within TTL
+        site.uss.record_job(UsageRecord(user="alice", site="a", start=0.0, end=500.0))
+        engine.run_until(9.0)  # FCS refreshed, but lib cache still warm
+        assert lib.get_fairshare("sys_alice") == v1
+        engine.run_until(20.0)
+        assert lib.get_fairshare("sys_alice") < v1
+
+    def test_cache_stats_track_batching(self, setup):
+        _, _, lib = setup
+        for _ in range(10):
+            lib.get_fairshare("sys_alice")
+        assert lib.fairshare_cache_stats.hits == 9
+        assert lib.fairshare_cache_stats.misses == 1
+        assert lib.fairshare_calls == 10
+
+
+class TestIdentityResolution:
+    def test_resolves_through_irs(self, setup):
+        _, _, lib = setup
+        assert lib.resolve_identity("sys_bob") == "bob"
+
+    def test_identity_cached(self, setup):
+        _, site, lib = setup
+        lib.resolve_identity("sys_bob")
+        lib.resolve_identity("sys_bob")
+        assert lib.identity_cache_stats.hits == 1
+
+
+class TestUsageReporting:
+    def test_report_records_in_uss(self, setup):
+        engine, site, lib = setup
+        lib.report_usage("sys_alice", start=0.0, end=120.0)
+        assert site.uss.local.total("alice") == pytest.approx(120.0)
+        assert lib.usage_reports == 1
+
+    def test_report_resolves_identity(self, setup):
+        engine, site, lib = setup
+        lib.report_usage("sys_bob", start=0.0, end=60.0)
+        assert "bob" in site.uss.local.users
+
+    def test_report_delay_models_delay_source_one(self, setup):
+        engine, site, _ = setup
+        lib = LibAequus.for_site(site, report_delay=5.0)
+        lib.report_usage("sys_alice", start=0.0, end=60.0)
+        assert site.uss.local.total("alice") == 0.0
+        engine.run_until(5.0)
+        assert site.uss.local.total("alice") == pytest.approx(60.0)
+
+    def test_multicore_charge(self, setup):
+        engine, site, lib = setup
+        lib.report_usage("sys_alice", start=0.0, end=10.0, cores=8)
+        assert site.uss.local.total("alice") == pytest.approx(80.0)
+
+    def test_for_site_uses_config_ttl(self, setup):
+        _, site, _ = setup
+        lib = LibAequus.for_site(site)
+        assert lib._fairshare_cache.ttl == site.config.libaequus_cache_ttl

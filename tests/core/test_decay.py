@@ -1,0 +1,118 @@
+"""Unit tests for usage decay functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    NoDecay,
+    SlidingWindowDecay,
+    StepDecay,
+    decayed_sum,
+)
+
+
+class TestNoDecay:
+    def test_weight_is_one_forever(self):
+        d = NoDecay()
+        assert d.weight(0) == 1.0
+        assert d.weight(1e12) == 1.0
+
+    def test_negative_age_is_zero(self):
+        assert NoDecay().weight(-1) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        d = NoDecay()
+        ages = np.array([-1.0, 0.0, 5.0])
+        assert d.weights(ages).tolist() == [d.weight(a) for a in ages]
+
+
+class TestExponentialDecay:
+    def test_half_life_semantics(self):
+        d = ExponentialDecay(half_life=100.0)
+        assert d.weight(100.0) == pytest.approx(0.5)
+        assert d.weight(200.0) == pytest.approx(0.25)
+
+    def test_weight_at_zero_is_one(self):
+        assert ExponentialDecay(50).weight(0) == 1.0
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(-5)
+
+    def test_vectorized_matches_scalar(self):
+        d = ExponentialDecay(half_life=60)
+        ages = np.array([0.0, 30.0, 90.0, 600.0])
+        np.testing.assert_allclose(d.weights(ages),
+                                   [d.weight(a) for a in ages])
+
+
+class TestLinearDecay:
+    def test_ramp(self):
+        d = LinearDecay(window=10.0)
+        assert d.weight(0) == 1.0
+        assert d.weight(5) == pytest.approx(0.5)
+        assert d.weight(10) == 0.0
+        assert d.weight(20) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        d = LinearDecay(window=10.0)
+        ages = np.array([-1.0, 0.0, 3.0, 10.0, 11.0])
+        np.testing.assert_allclose(d.weights(ages),
+                                   [d.weight(a) for a in ages])
+
+
+class TestSlidingWindow:
+    def test_hard_cutoff(self):
+        d = SlidingWindowDecay(window=10.0)
+        assert d.weight(10.0) == 1.0
+        assert d.weight(10.0001) == 0.0
+
+    def test_vectorized_matches_scalar(self):
+        d = SlidingWindowDecay(window=7.0)
+        ages = np.array([-0.1, 0.0, 6.9, 7.0, 7.1])
+        np.testing.assert_allclose(d.weights(ages),
+                                   [d.weight(a) for a in ages])
+
+
+class TestStepDecay:
+    def test_steps(self):
+        d = StepDecay([(10, 1.0), (20, 0.5), (30, 0.1)])
+        assert d.weight(5) == 1.0
+        assert d.weight(15) == 0.5
+        assert d.weight(25) == 0.1
+        assert d.weight(31) == 0.0
+
+    def test_weights_must_be_non_increasing(self):
+        with pytest.raises(ValueError):
+            StepDecay([(10, 0.5), (20, 0.9)])
+
+    def test_weights_must_be_in_unit_range(self):
+        with pytest.raises(ValueError):
+            StepDecay([(10, 1.5)])
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ValueError):
+            StepDecay([])
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            StepDecay([(-1, 1.0)])
+
+
+class TestDecayedSum:
+    def test_weighted_dot_product(self):
+        total = decayed_sum(np.array([100.0, 100.0]),
+                            np.array([0.0, 100.0]),
+                            ExponentialDecay(half_life=100.0))
+        assert total == pytest.approx(150.0)
+
+    def test_empty_is_zero(self):
+        assert decayed_sum(np.array([]), np.array([]), NoDecay()) == 0.0
+
+    def test_no_decay_is_plain_sum(self):
+        amounts = np.array([1.0, 2.0, 3.0])
+        assert decayed_sum(amounts, np.array([0, 1e6, 1e9]), NoDecay()) == 6.0

@@ -1,0 +1,109 @@
+"""Unit tests for the distance metrics and the k-blend (paper ranges)."""
+
+import pytest
+
+from repro.core.distance import (
+    FairshareParameters,
+    absolute_distance,
+    balance_score,
+    combined_priority,
+    relative_distance,
+)
+
+
+class TestAbsoluteDistance:
+    def test_range_is_zero_to_share(self):
+        # paper Section IV-A.5: "the absolute component is in the range
+        # [0, (UserShare)]"
+        assert absolute_distance(0.12, 0.0) == pytest.approx(0.12)
+        assert absolute_distance(0.12, 0.12) == 0.0
+        assert absolute_distance(0.12, 0.9) == 0.0  # clipped at zero
+
+    def test_underserved_positive(self):
+        assert absolute_distance(0.5, 0.2) == pytest.approx(0.3)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            absolute_distance(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            absolute_distance(0.1, -0.2)
+
+
+class TestRelativeDistance:
+    def test_range_is_unit_interval(self):
+        # paper: "The relative component is always in the range [0, 1]"
+        assert relative_distance(0.3, 0.0) == 1.0
+        assert 0.0 <= relative_distance(0.3, 100.0) <= 1.0
+
+    def test_balance_is_center(self):
+        assert relative_distance(0.4, 0.4) == pytest.approx(0.5)
+
+    def test_overserved_below_center(self):
+        assert relative_distance(0.4, 0.8) < 0.5
+
+    def test_zero_share_is_zero(self):
+        assert relative_distance(0.0, 0.0) == 0.0
+        assert relative_distance(0.0, 0.5) == 0.0
+
+    def test_monotone_in_usage(self):
+        values = [relative_distance(0.3, u) for u in (0.0, 0.1, 0.3, 1.0, 10.0)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestCombinedPriority:
+    def test_paper_u3_maximum(self):
+        # Figure 13b: k=0.5, U3 share 0.12 => max priority 0.5*(1+0.12)=0.56
+        assert combined_priority(0.12, 0.0, k=0.5) == pytest.approx(0.56)
+
+    def test_k_zero_is_relative_only(self):
+        assert combined_priority(0.2, 0.0, k=0.0) == 1.0
+
+    def test_k_one_is_absolute_only(self):
+        assert combined_priority(0.2, 0.0, k=1.0) == pytest.approx(0.2)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            combined_priority(0.5, 0.1, k=1.5)
+
+    def test_underserved_beats_overserved(self):
+        assert combined_priority(0.5, 0.1) > combined_priority(0.5, 0.9)
+
+
+class TestBalanceScore:
+    def test_balance_is_center_of_range(self):
+        # Figure 3: the balance point is the center value of the range
+        assert balance_score(0.3, 0.3) == pytest.approx(0.5)
+        assert balance_score(0.8, 0.8) == pytest.approx(0.5)
+
+    def test_in_unit_interval(self):
+        for s, u in [(0.0, 0.0), (0.0, 5.0), (1.0, 0.0), (0.5, 100.0)]:
+            assert 0.0 <= balance_score(s, u) <= 1.0
+
+    def test_no_share_no_usage_is_balance(self):
+        assert balance_score(0.0, 0.0) == pytest.approx(0.5)
+
+    def test_underserved_above_center(self):
+        assert balance_score(0.4, 0.1) > 0.5
+
+    def test_overserved_below_center(self):
+        assert balance_score(0.4, 0.9) < 0.5
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            balance_score(0.5, 0.5, k=-0.1)
+
+
+class TestFairshareParameters:
+    def test_defaults_match_paper(self):
+        p = FairshareParameters()
+        assert p.k == 0.5
+        assert p.resolution == 9999
+
+    def test_balance_point_is_center(self):
+        assert FairshareParameters(resolution=9999).balance_point == pytest.approx(4999.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FairshareParameters(k=2.0)
+        with pytest.raises(ValueError):
+            FairshareParameters(resolution=0)

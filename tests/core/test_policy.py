@@ -1,0 +1,152 @@
+"""Unit tests for policy trees: shares, normalization, mounting, parsing."""
+
+import pytest
+
+from repro.core.policy import PolicyError, PolicyNode, PolicyTree, parse_policy
+
+
+@pytest.fixture
+def site_policy() -> PolicyTree:
+    return PolicyTree.from_dict({
+        "local": (60, {"alice": 2, "bob": 1}),
+        "grid": 40,
+    })
+
+
+class TestConstruction:
+    def test_from_dict_weights(self, site_policy):
+        assert site_policy["/local"].weight == 60
+        assert site_policy["/grid"].weight == 40
+        assert site_policy["/local/alice"].weight == 2
+
+    def test_from_dict_nested_without_tuple_defaults_weight(self):
+        tree = PolicyTree.from_dict({"g": {"u": 1}})
+        assert tree["/g"].weight == 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyNode("x", weight=-1)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyTree().set_share("/u", 0.0)
+
+    def test_set_share_creates_and_updates(self):
+        tree = PolicyTree()
+        tree.set_share("/a/b", 3)
+        assert tree["/a/b"].weight == 3
+        tree.set_share("/a/b", 5)
+        assert tree["/a/b"].weight == 5
+
+
+class TestNormalization:
+    def test_sibling_shares_sum_to_one(self, site_policy):
+        children = site_policy.root.children.values()
+        assert sum(c.normalized_share for c in children) == pytest.approx(1.0)
+
+    def test_normalized_share_values(self, site_policy):
+        assert site_policy["/local"].normalized_share == pytest.approx(0.6)
+        assert site_policy["/local/alice"].normalized_share == pytest.approx(2 / 3)
+
+    def test_root_share_is_one(self, site_policy):
+        assert site_policy.root.normalized_share == 1.0
+
+    def test_total_share_is_product_down_path(self, site_policy):
+        # paper Section III-C example: 0.20 * 0.25 = 0.05 style product
+        assert site_policy.total_share("/local/alice") == pytest.approx(0.6 * 2 / 3)
+
+    def test_share_vector(self, site_policy):
+        assert site_policy.share_vector("/local/bob") == pytest.approx([0.6, 1 / 3])
+
+    def test_weights_are_relative_not_absolute(self):
+        t1 = PolicyTree.from_dict({"a": 1, "b": 1})
+        t2 = PolicyTree.from_dict({"a": 50, "b": 50})
+        assert t1["/a"].normalized_share == t2["/a"].normalized_share
+
+
+class TestMounting:
+    def test_mount_grafts_children(self, site_policy):
+        sub = PolicyTree.from_dict({"projA": 3, "projB": 1})
+        site_policy.mount("/grid", sub, source="remote-pds")
+        assert site_policy["/grid/projA"].normalized_share == pytest.approx(0.75)
+        assert site_policy["/grid/projA"].mounted_from == "remote-pds"
+
+    def test_mount_can_set_local_weight(self, site_policy):
+        sub = PolicyTree.from_dict({"p": 1})
+        site_policy.mount("/grid", sub, source="r", weight=20)
+        assert site_policy["/grid"].weight == 20
+
+    def test_mount_point_with_children_rejected(self, site_policy):
+        sub = PolicyTree.from_dict({"p": 1})
+        with pytest.raises(PolicyError):
+            site_policy.mount("/local", sub, source="r")
+
+    def test_local_tree_unaffected_by_mount(self, site_policy):
+        sub = PolicyTree.from_dict({"p": 1})
+        site_policy.mount("/grid", sub, source="r")
+        assert site_policy["/local/alice"].normalized_share == pytest.approx(2 / 3)
+
+    def test_refresh_mount_replaces_subtree(self, site_policy):
+        site_policy.mount("/grid", PolicyTree.from_dict({"p": 1}), source="r")
+        site_policy.refresh_mount("/grid", PolicyTree.from_dict({"q": 2, "p": 2}))
+        assert "/grid/q" in site_policy
+        assert site_policy["/grid/p"].weight == 2
+
+    def test_refresh_non_mount_rejected(self, site_policy):
+        with pytest.raises(PolicyError):
+            site_policy.refresh_mount("/local", PolicyTree.from_dict({"x": 1}))
+
+    def test_unmount_removes_children(self, site_policy):
+        site_policy.mount("/grid", PolicyTree.from_dict({"p": 1}), source="r")
+        site_policy.unmount("/grid")
+        assert "/grid/p" not in site_policy
+        assert site_policy["/grid"].mounted_from is None
+
+    def test_mount_points_lists_top_mount_only(self, site_policy):
+        sub = PolicyTree.from_dict({"p": (1, {"u": 1})})
+        site_policy.mount("/grid", sub, source="r")
+        assert site_policy.mount_points() == ["/grid"]
+
+    def test_nested_remote_structure_preserved(self, site_policy):
+        sub = PolicyTree.from_dict({"proj": (1, {"u1": 3, "u2": 1})})
+        site_policy.mount("/grid", sub, source="r")
+        assert site_policy["/grid/proj/u1"].normalized_share == pytest.approx(0.75)
+
+
+class TestSerialization:
+    def test_dumps_parse_roundtrip(self, site_policy):
+        text = site_policy.dumps()
+        parsed = parse_policy(text)
+        assert parsed == site_policy
+
+    def test_parse_ignores_comments_and_blanks(self):
+        tree = parse_policy("# comment\n\n/u = 3\n")
+        assert tree["/u"].weight == 3
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(PolicyError):
+            parse_policy("not a policy line")
+
+    def test_parse_rejects_bad_weight(self):
+        with pytest.raises(PolicyError):
+            parse_policy("/u = banana")
+
+    def test_parse_rejects_root_assignment(self):
+        with pytest.raises(PolicyError):
+            parse_policy("/ = 4")
+
+    def test_parse_creates_intermediate_nodes(self):
+        tree = parse_policy("/a/b/c = 2")
+        assert "/a/b" in tree
+        assert tree["/a/b"].weight == 1.0  # default
+
+    def test_copy_is_deep_and_equal(self, site_policy):
+        site_policy.mount("/grid", PolicyTree.from_dict({"p": 1}), source="r")
+        clone = site_policy.copy()
+        assert clone == site_policy
+        clone.set_share("/local", 99)
+        assert site_policy["/local"].weight == 60
+        assert clone["/grid/p"].mounted_from == "r"
+
+    def test_user_paths_are_leaves(self, site_policy):
+        assert sorted(site_policy.user_paths()) == ["/grid", "/local/alice", "/local/bob"]

@@ -1,0 +1,131 @@
+"""Unit tests for the generic share-tree structure."""
+
+import pytest
+
+from repro.core.tree import Tree, TreeNode, join_path, split_path
+
+
+class TestPathHelpers:
+    def test_split_simple(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_split_root(self):
+        assert split_path("/") == []
+        assert split_path("") == []
+
+    def test_split_tolerates_missing_leading_slash(self):
+        assert split_path("a/b") == ["a", "b"]
+
+    def test_split_collapses_duplicate_slashes(self):
+        assert split_path("/a//b/") == ["a", "b"]
+
+    def test_join_roundtrip(self):
+        assert join_path(["a", "b"]) == "/a/b"
+        assert split_path(join_path(["x", "y", "z"])) == ["x", "y", "z"]
+
+
+class TestTreeNode:
+    def test_name_may_not_contain_slash(self):
+        with pytest.raises(ValueError):
+            TreeNode("a/b")
+
+    def test_add_child_sets_parent(self):
+        root = TreeNode("")
+        child = root.add_child(TreeNode("a"))
+        assert child.parent is root
+        assert root.children["a"] is child
+
+    def test_duplicate_child_rejected(self):
+        root = TreeNode("")
+        root.add_child(TreeNode("a"))
+        with pytest.raises(ValueError):
+            root.add_child(TreeNode("a"))
+
+    def test_remove_child_detaches(self):
+        root = TreeNode("")
+        root.add_child(TreeNode("a"))
+        removed = root.remove_child("a")
+        assert removed.parent is None
+        assert "a" not in root.children
+
+    def test_depth_and_path(self):
+        root = TreeNode("")
+        a = root.add_child(TreeNode("a"))
+        b = a.add_child(TreeNode("b"))
+        assert root.depth == 0
+        assert b.depth == 2
+        assert b.path == "/a/b"
+
+    def test_is_leaf_and_root(self):
+        root = TreeNode("")
+        a = root.add_child(TreeNode("a"))
+        assert root.is_root and not root.is_leaf
+        assert a.is_leaf and not a.is_root
+
+    def test_walk_preorder(self):
+        root = TreeNode("")
+        a = root.add_child(TreeNode("a"))
+        a.add_child(TreeNode("a1"))
+        a.add_child(TreeNode("a2"))
+        root.add_child(TreeNode("b"))
+        names = [n.name for n in root.walk()]
+        assert names == ["", "a", "a1", "a2", "b"]
+
+    def test_ancestors_bottom_up(self):
+        root = TreeNode("")
+        a = root.add_child(TreeNode("a"))
+        b = a.add_child(TreeNode("b"))
+        assert [n.name for n in b.ancestors()] == ["a", ""]
+
+    def test_path_from_root_excludes_root(self):
+        root = TreeNode("")
+        a = root.add_child(TreeNode("a"))
+        b = a.add_child(TreeNode("b"))
+        assert [n.name for n in b.path_from_root()] == ["a", "b"]
+
+
+class TestTree:
+    def test_find_and_getitem(self):
+        tree = Tree()
+        tree.ensure_path("/a/b")
+        assert tree.find("/a/b") is not None
+        assert tree["/a/b"].name == "b"
+        assert tree.find("/a/x") is None
+        with pytest.raises(KeyError):
+            tree["/a/x"]
+
+    def test_contains(self):
+        tree = Tree()
+        tree.ensure_path("/a")
+        assert "/a" in tree
+        assert "/b" not in tree
+
+    def test_ensure_path_idempotent(self):
+        tree = Tree()
+        n1 = tree.ensure_path("/a/b")
+        n2 = tree.ensure_path("/a/b")
+        assert n1 is n2
+        assert tree.size() == 3  # root, a, b
+
+    def test_leaves_and_leaf_paths(self):
+        tree = Tree()
+        tree.ensure_path("/a/x")
+        tree.ensure_path("/a/y")
+        tree.ensure_path("/b")
+        assert sorted(tree.leaf_paths()) == ["/a/x", "/a/y", "/b"]
+
+    def test_root_find_returns_root(self):
+        tree = Tree()
+        assert tree.find("/") is tree.root
+
+    def test_render_contains_all_nodes(self):
+        tree = Tree()
+        tree.ensure_path("/a/b")
+        rendering = tree.render()
+        assert "a" in rendering and "b" in rendering
+
+    def test_size_counts_root(self):
+        tree = Tree()
+        assert tree.size() == 1
+        tree.ensure_path("/a")
+        assert tree.size() == 2

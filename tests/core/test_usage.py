@@ -1,0 +1,174 @@
+"""Unit tests for usage records, histograms, and usage trees."""
+
+import pytest
+
+from repro.core.decay import ExponentialDecay, NoDecay
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageHistogram, UsageNode, UsageRecord, UsageTree, build_usage_tree
+
+
+class TestUsageRecord:
+    def test_charge_is_core_seconds(self):
+        r = UsageRecord(user="u", site="s", start=10.0, end=70.0, cores=4)
+        assert r.charge == 240.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            UsageRecord(user="u", site="s", start=5.0, end=4.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            UsageRecord(user="u", site="s", start=0.0, end=1.0, cores=0)
+
+
+class TestUsageHistogram:
+    def test_single_bin_accumulation(self):
+        h = UsageHistogram(interval=60.0)
+        h.add_charge("u", 0.0, 30.0)
+        h.add_charge("u", 30.0, 60.0)
+        assert h.total("u") == pytest.approx(60.0)
+        assert h.user_bins("u") == {0: pytest.approx(60.0)}
+
+    def test_charge_split_across_bins(self):
+        h = UsageHistogram(interval=60.0)
+        h.add_charge("u", 30.0, 90.0)
+        bins = h.user_bins("u")
+        assert bins[0] == pytest.approx(30.0)
+        assert bins[1] == pytest.approx(30.0)
+
+    def test_total_conserved_regardless_of_binning(self):
+        for interval in (7.0, 60.0, 3600.0):
+            h = UsageHistogram(interval=interval)
+            h.add_charge("u", 13.0, 1042.0, cores=3)
+            assert h.total("u") == pytest.approx((1042.0 - 13.0) * 3)
+
+    def test_zero_duration_is_noop(self):
+        h = UsageHistogram()
+        h.add_charge("u", 5.0, 5.0)
+        assert h.total("u") == 0.0
+        assert h.users == []
+
+    def test_add_record(self):
+        h = UsageHistogram(interval=100.0)
+        h.add_record(UsageRecord(user="u", site="s", start=0.0, end=50.0, cores=2))
+        assert h.total("u") == 100.0
+
+    def test_decayed_total_uses_bin_midpoints(self):
+        h = UsageHistogram(interval=100.0)
+        h.add_charge("u", 0.0, 100.0)  # bin 0, midpoint 50
+        decay = ExponentialDecay(half_life=50.0)
+        # age at now=100 is 50 => weight 0.5
+        assert h.decayed_total("u", now=100.0, decay=decay) == pytest.approx(50.0)
+
+    def test_decayed_total_no_decay_equals_total(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 95.0)
+        assert h.decayed_total("u", now=1000.0, decay=NoDecay()) == pytest.approx(95.0)
+
+    def test_decayed_total_unknown_user_is_zero(self):
+        assert UsageHistogram().decayed_total("ghost", now=0.0) == 0.0
+
+    def test_snapshot_replace_roundtrip(self):
+        h = UsageHistogram(interval=60.0)
+        h.add_charge("a", 0.0, 120.0)
+        h.add_charge("b", 30.0, 90.0)
+        h2 = UsageHistogram(interval=60.0)
+        h2.replace(h.snapshot())
+        assert h2.total() == pytest.approx(h.total())
+        assert h2.user_bins("a") == pytest.approx(h.user_bins("a"))
+
+    def test_merge_adds_charges(self):
+        h1 = UsageHistogram(interval=60.0)
+        h1.add_charge("u", 0.0, 60.0)
+        h2 = UsageHistogram(interval=60.0)
+        h2.add_charge("u", 0.0, 30.0)
+        h1.merge(h2)
+        assert h1.total("u") == pytest.approx(90.0)
+
+    def test_merge_interval_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UsageHistogram(60.0).merge(UsageHistogram(30.0))
+
+    def test_merged_classmethod(self):
+        hs = []
+        for i in range(3):
+            h = UsageHistogram(interval=10.0)
+            h.add_charge(f"u{i}", 0.0, 10.0)
+            hs.append(h)
+        merged = UsageHistogram.merged(hs)
+        assert merged.total() == pytest.approx(30.0)
+        assert len(merged.users) == 3
+
+    def test_merged_requires_interval_or_source(self):
+        with pytest.raises(ValueError):
+            UsageHistogram.merged([])
+
+    def test_negative_bin_charge_rejected(self):
+        with pytest.raises(ValueError):
+            UsageHistogram().add_bin("u", 0, -1.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            UsageHistogram(interval=0)
+
+
+class TestUsageTree:
+    def test_roll_up_sums_children(self):
+        t = UsageTree()
+        t.set_usage("/g/u1", 10.0)
+        t.set_usage("/g/u2", 30.0)
+        t.roll_up()
+        assert t["/g"].usage == pytest.approx(40.0)
+        assert t.root.usage == pytest.approx(40.0)
+
+    def test_sibling_share(self):
+        t = UsageTree()
+        t.set_usage("/g/u1", 10.0)
+        t.set_usage("/g/u2", 30.0)
+        t.roll_up()
+        assert t["/g/u1"].sibling_share == pytest.approx(0.25)
+        assert t["/g/u2"].sibling_share == pytest.approx(0.75)
+
+    def test_sibling_share_idle_group_is_zero(self):
+        t = UsageTree()
+        t.set_usage("/g/u1", 0.0)
+        t.set_usage("/g/u2", 0.0)
+        t.roll_up()
+        assert t["/g/u1"].sibling_share == 0.0
+
+    def test_total_usage_share_is_product(self):
+        t = UsageTree()
+        t.set_usage("/a/x", 30.0)
+        t.set_usage("/a/y", 10.0)
+        t.set_usage("/b/z", 60.0)
+        t.roll_up()
+        # a has 40% of total, x has 75% of a
+        assert t["/a/x"].total_usage_share == pytest.approx(0.4 * 0.75)
+
+
+class TestBuildUsageTree:
+    @pytest.fixture
+    def policy(self) -> PolicyTree:
+        return PolicyTree.from_dict({"g": (1, {"u1": 1, "u2": 1}), "solo": 1})
+
+    def test_maps_by_leaf_path(self, policy):
+        tree = build_usage_tree(policy, {"/g/u1": 5.0})
+        assert tree["/g/u1"].usage == 5.0
+
+    def test_maps_by_leaf_name(self, policy):
+        tree = build_usage_tree(policy, {"u2": 7.0, "solo": 1.0})
+        assert tree["/g/u2"].usage == 7.0
+        assert tree["/solo"].usage == 1.0
+
+    def test_unknown_users_ignored(self, policy):
+        tree = build_usage_tree(policy, {"ghost": 99.0})
+        assert tree.root.usage == 0.0
+
+    def test_internal_nodes_rolled_up(self, policy):
+        tree = build_usage_tree(policy, {"u1": 1.0, "u2": 3.0})
+        assert tree["/g"].usage == pytest.approx(4.0)
+
+    def test_structure_mirrors_policy(self, policy):
+        tree = build_usage_tree(policy, {})
+        assert sorted(l.path for l in tree.leaves()) == \
+            sorted(l.path for l in policy.leaves())

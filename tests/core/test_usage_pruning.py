@@ -1,0 +1,108 @@
+"""Unit tests for usage-history pruning (USS memory management)."""
+
+import pytest
+
+from repro.core.decay import ExponentialDecay, SlidingWindowDecay
+from repro.core.usage import UsageHistogram, UsageRecord
+from repro.services.network import Network
+from repro.services.uss import UsageStatisticsService
+from repro.sim.engine import SimulationEngine
+
+
+class TestHistogramPrune:
+    def test_old_bins_dropped(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 10.0)     # bin 0
+        h.add_charge("u", 100.0, 110.0)  # bin 10
+        dropped = h.prune(now=120.0, horizon=50.0)
+        assert dropped == pytest.approx(10.0)
+        assert h.total("u") == pytest.approx(10.0)
+        assert h.n_bins("u") == 1
+
+    def test_bins_inside_horizon_kept(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 10.0)
+        assert h.prune(now=15.0, horizon=50.0) == 0.0
+        assert h.total("u") == pytest.approx(10.0)
+
+    def test_boundary_bin_kept(self):
+        """A bin partially inside the horizon must survive."""
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 10.0)  # bin [0, 10)
+        # horizon cutoff at t=5: bin end (10) > 5, so it stays
+        assert h.prune(now=15.0, horizon=10.0) == 0.0
+
+    def test_empty_users_removed(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 10.0)
+        h.prune(now=1000.0, horizon=10.0)
+        assert h.users == []
+        assert h.n_bins() == 0
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            UsageHistogram().prune(now=0.0, horizon=-1.0)
+
+    def test_decayed_total_unaffected_within_window_decay(self):
+        """Pruning beyond a sliding window never changes decayed totals."""
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 10.0)
+        h.add_charge("u", 500.0, 510.0)
+        decay = SlidingWindowDecay(window=100.0)
+        now = 520.0
+        before = h.decayed_total("u", now, decay)
+        h.prune(now, horizon=100.0)
+        assert h.decayed_total("u", now, decay) == pytest.approx(before)
+
+    def test_exponential_decay_error_bounded(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 10.0)
+        h.add_charge("u", 10_000.0, 10_010.0)
+        decay = ExponentialDecay(half_life=100.0)
+        now = 10_020.0
+        before = h.decayed_total("u", now, decay)
+        h.prune(now, horizon=2_000.0)  # 20 half-lives: weight < 1e-6
+        after = h.decayed_total("u", now, decay)
+        assert abs(before - after) < 1e-4
+
+
+class TestUssPruning:
+    def test_uss_prunes_periodically(self):
+        engine = SimulationEngine()
+        network = Network(engine, base_latency=0.1)
+        uss = UsageStatisticsService("a", engine, network,
+                                     histogram_interval=10.0,
+                                     exchange_interval=10.0,
+                                     prune_horizon=50.0)
+        uss.record_job(UsageRecord(user="u", site="a", start=0.0, end=10.0))
+        engine.run_until(100.0)
+        assert uss.local.n_bins() == 0
+        assert uss.charge_pruned == pytest.approx(10.0)
+
+    def test_uss_without_horizon_keeps_history(self):
+        engine = SimulationEngine()
+        network = Network(engine, base_latency=0.1)
+        uss = UsageStatisticsService("a", engine, network,
+                                     histogram_interval=10.0,
+                                     exchange_interval=10.0)
+        uss.record_job(UsageRecord(user="u", site="a", start=0.0, end=10.0))
+        engine.run_until(1000.0)
+        assert uss.local.total("u") == pytest.approx(10.0)
+
+    def test_remote_histograms_pruned_too(self):
+        engine = SimulationEngine()
+        network = Network(engine, base_latency=0.1)
+        a = UsageStatisticsService("a", engine, network,
+                                   histogram_interval=10.0,
+                                   exchange_interval=10.0)
+        b = UsageStatisticsService("b", engine, network,
+                                   histogram_interval=10.0,
+                                   exchange_interval=10.0,
+                                   prune_horizon=50.0)
+        a.add_peer("b")
+        a.record_job(UsageRecord(user="u", site="a", start=0.0, end=10.0))
+        engine.run_until(30.0)
+        assert b.remote["a"].total("u") > 0
+        a.stop()  # no fresh snapshots resurrect the history
+        engine.run_until(200.0)
+        assert b.remote["a"].n_bins() == 0

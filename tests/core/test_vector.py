@@ -1,0 +1,111 @@
+"""Unit tests for fairshare vectors (paper Section III-C, Figure 3)."""
+
+import pytest
+
+from repro.core.vector import FairshareVector
+
+
+class TestConstruction:
+    def test_from_scores_scales_to_resolution(self):
+        v = FairshareVector.from_scores([0.5, 1.0], resolution=9999)
+        assert v.elements == (0.5 * 9999, 9999.0)
+
+    def test_from_scores_clips(self):
+        v = FairshareVector.from_scores([-0.5, 1.5])
+        assert v.elements[0] == 0.0
+        assert v.elements[1] == 9999.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FairshareVector([])
+
+    def test_out_of_range_element_rejected(self):
+        with pytest.raises(ValueError):
+            FairshareVector([10000.0], resolution=9999)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            FairshareVector([1.0], resolution=0)
+
+    def test_quantized_rendering(self):
+        v = FairshareVector([7073.4, 5000.0])
+        assert v.quantized() == (7073, 5000)
+
+    def test_scores_roundtrip(self):
+        v = FairshareVector.from_scores([0.25, 0.75])
+        assert v.scores() == pytest.approx([0.25, 0.75])
+
+
+class TestPadding:
+    def test_balance_point_is_center(self):
+        v = FairshareVector([1.0], resolution=9999)
+        assert v.balance_point == pytest.approx(4999.5)
+
+    def test_padded_appends_balance(self):
+        # Figure 3: a path ending early (like /LQ) pads with the balance point
+        v = FairshareVector([8000.0], resolution=9999)
+        assert v.padded(3) == (8000.0, 4999.5, 4999.5)
+
+    def test_padded_below_depth_rejected(self):
+        v = FairshareVector([1.0, 2.0])
+        with pytest.raises(ValueError):
+            v.padded(1)
+
+
+class TestComparison:
+    def test_lexicographic_top_level_first(self):
+        a = FairshareVector([9000.0, 0.0])
+        b = FairshareVector([8000.0, 9999.0])
+        assert a > b
+
+    def test_deeper_levels_break_ties(self):
+        a = FairshareVector([5000.0, 6000.0])
+        b = FairshareVector([5000.0, 4000.0])
+        assert a > b
+
+    def test_different_depths_compare_via_balance(self):
+        # a short vector behaves as if in balance on deeper levels
+        short = FairshareVector([6000.0], resolution=9999)
+        deep_under = FairshareVector([6000.0, 3000.0], resolution=9999)
+        deep_over = FairshareVector([6000.0, 7000.0], resolution=9999)
+        assert short > deep_under
+        assert short < deep_over
+
+    def test_equal_vectors(self):
+        assert FairshareVector([5000.0]) == FairshareVector([5000.0])
+
+    def test_trailing_balance_is_invisible(self):
+        v1 = FairshareVector([6000.0], resolution=9999)
+        v2 = FairshareVector([6000.0, 4999.5], resolution=9999)
+        assert v1 == v2
+        assert hash(v1) == hash(v2)
+
+    def test_resolution_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FairshareVector([1.0], resolution=10) < FairshareVector([1.0], resolution=100)
+
+    def test_total_order_consistency(self):
+        a = FairshareVector([1.0, 2.0])
+        b = FairshareVector([1.0, 3.0])
+        assert (a < b) and (b > a) and (a <= b) and not (a >= b) and a != b
+
+    def test_sort_descending_returns_indices(self):
+        vs = [FairshareVector([1000.0]), FairshareVector([9000.0]),
+              FairshareVector([5000.0])]
+        assert FairshareVector.sort_descending(vs) == [1, 2, 0]
+
+    def test_sort_descending_stable_for_equal(self):
+        vs = [FairshareVector([5000.0]), FairshareVector([5000.0])]
+        assert FairshareVector.sort_descending(vs) == [0, 1]
+
+
+class TestSequenceProtocol:
+    def test_len_iter_getitem(self):
+        v = FairshareVector([1.0, 2.0, 3.0])
+        assert len(v) == 3
+        assert list(v) == [1.0, 2.0, 3.0]
+        assert v[1] == 2.0
+
+    def test_repr_shows_elements(self):
+        v = FairshareVector([7073.0, 5000.0])
+        assert "7073" in repr(v)

@@ -1,0 +1,140 @@
+"""Unit tests for vector-combinable job factors (paper future work)."""
+
+import pytest
+
+from repro.core.vector import FairshareVector
+from repro.core.vectorfactors import (
+    AgeVectorFactor,
+    CompositeVectorPriority,
+    JobSizeVectorFactor,
+    QosVectorFactor,
+)
+from repro.rms.job import Job
+
+
+def job(user="u", submit=0.0, qos=0.0, cores=1):
+    return Job(system_user=user, duration=10.0, submit_time=submit, qos=qos,
+               cores=cores)
+
+
+class TestFactors:
+    def test_age_ramps_and_saturates(self):
+        f = AgeVectorFactor(max_age=100.0)
+        assert f.score(job(submit=0.0), now=0.0) == 0.0
+        assert f.score(job(submit=0.0), now=50.0) == pytest.approx(0.5)
+        assert f.score(job(submit=0.0), now=1e6) == 1.0
+
+    def test_age_invalid(self):
+        with pytest.raises(ValueError):
+            AgeVectorFactor(max_age=0.0)
+
+    def test_qos_passthrough(self):
+        assert QosVectorFactor().score(job(qos=0.7), now=0.0) == 0.7
+
+    def test_job_size_prefers_small(self):
+        f = JobSizeVectorFactor(total_cores=10)
+        assert f.score(job(cores=1), 0.0) > f.score(job(cores=6), 0.0)
+
+    def test_job_size_invalid(self):
+        with pytest.raises(ValueError):
+            JobSizeVectorFactor(total_cores=0)
+
+
+class TestSuffixMode:
+    def test_fairshare_dominates_factors(self):
+        """Strict top-down enforcement: a better fairshare balance beats
+        any amount of job age."""
+        comp = CompositeVectorPriority([(1.0, AgeVectorFactor(100.0))],
+                                       mode="suffix")
+        now = 1000.0
+        fresh_but_underserved = comp.extend(
+            FairshareVector.from_scores([0.7]), job(submit=now), now)
+        old_but_overserved = comp.extend(
+            FairshareVector.from_scores([0.3]), job(submit=0.0), now)
+        assert fresh_but_underserved > old_but_overserved
+
+    def test_factors_break_fairshare_ties(self):
+        comp = CompositeVectorPriority([(1.0, AgeVectorFactor(100.0))],
+                                       mode="suffix")
+        now = 100.0
+        older = comp.extend(FairshareVector.from_scores([0.5]),
+                            job(submit=0.0), now)
+        newer = comp.extend(FairshareVector.from_scores([0.5]),
+                            job(submit=90.0), now)
+        assert older > newer
+
+    def test_depth_grows_by_factor_count(self):
+        comp = CompositeVectorPriority(
+            [(1.0, AgeVectorFactor()), (1.0, QosVectorFactor())],
+            mode="suffix")
+        vec = comp.extend(FairshareVector.from_scores([0.5, 0.6]), job(), 0.0)
+        assert vec.depth == 4
+
+    def test_extended_vector_properties_survive(self):
+        """The combination keeps unlimited precision: a tiny fairshare
+        difference still dominates the factor suffix."""
+        comp = CompositeVectorPriority([(1.0, AgeVectorFactor(10.0))],
+                                       mode="suffix")
+        now = 1e6
+        a = comp.extend(FairshareVector.from_scores([0.5 + 1e-9]),
+                        job(submit=now), now)
+        b = comp.extend(FairshareVector.from_scores([0.5 - 1e-9]),
+                        job(submit=0.0), now)
+        assert a > b
+
+
+class TestBlendMode:
+    def test_blend_moves_elements_toward_factor(self):
+        comp = CompositeVectorPriority([(1.0, QosVectorFactor())],
+                                       mode="blend", factor_weight=0.5)
+        base = FairshareVector.from_scores([0.2])
+        high_qos = comp.extend(base, job(qos=1.0), 0.0)
+        low_qos = comp.extend(base, job(qos=0.0), 0.0)
+        assert high_qos[0] > base.elements[0] > low_qos[0]
+
+    def test_blend_weight_scales_impact(self):
+        """Smoothing with impact relative to weight, in vector space."""
+        base = FairshareVector.from_scores([0.2])
+        light = CompositeVectorPriority([(1.0, QosVectorFactor())],
+                                        mode="blend", factor_weight=0.25)
+        heavy = CompositeVectorPriority([(1.0, QosVectorFactor())],
+                                        mode="blend", factor_weight=0.75)
+        j = job(qos=1.0)
+        light_shift = light.extend(base, j, 0.0)[0] - base.elements[0]
+        heavy_shift = heavy.extend(base, j, 0.0)[0] - base.elements[0]
+        assert heavy_shift == pytest.approx(3 * light_shift)
+
+    def test_blend_preserves_depth(self):
+        comp = CompositeVectorPriority([(1.0, QosVectorFactor())],
+                                       mode="blend")
+        vec = comp.extend(FairshareVector.from_scores([0.5, 0.6, 0.7]),
+                          job(), 0.0)
+        assert vec.depth == 3
+
+    def test_empty_factor_blend_is_balance(self):
+        comp = CompositeVectorPriority([], mode="blend")
+        assert comp.factor_blend(job(), 0.0) == 0.5
+
+
+class TestRanking:
+    def test_rank_orders_by_extended_vectors(self):
+        comp = CompositeVectorPriority([(1.0, AgeVectorFactor(100.0))],
+                                       mode="suffix")
+        now = 100.0
+        entries = {
+            1: (FairshareVector.from_scores([0.6]), job(submit=90.0)),
+            2: (FairshareVector.from_scores([0.6]), job(submit=0.0)),
+            3: (FairshareVector.from_scores([0.9]), job(submit=99.0)),
+        }
+        assert comp.rank(entries, now) == [3, 2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompositeVectorPriority([], mode="magic")
+        with pytest.raises(ValueError):
+            CompositeVectorPriority([(-1.0, QosVectorFactor())])
+        with pytest.raises(ValueError):
+            CompositeVectorPriority([(0.0, QosVectorFactor())])
+        with pytest.raises(ValueError):
+            CompositeVectorPriority([(1.0, QosVectorFactor())],
+                                    factor_weight=1.0)

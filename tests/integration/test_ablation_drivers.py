@@ -1,0 +1,108 @@
+"""Tests for the ablation / smoothing / characterization drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    cache_ablation,
+    decay_ablation,
+    dispatch_ablation,
+    projection_ablation,
+)
+from repro.experiments.characterization import characterize_projections
+from repro.experiments.smoothing import smoothing_experiment
+from repro.rms.priority import FactorWeights
+
+TINY = dict(n_jobs=1200, span=1200.0, n_sites=1, hosts_per_site=10, seed=2)
+
+
+class TestProjectionAblation:
+    def test_three_arms_all_converge(self):
+        runs = projection_ablation(**TINY)
+        assert [r.label for r in runs] == [
+            "projection=percental", "projection=dictionary",
+            "projection=bitwise"]
+        for run in runs:
+            assert run.final_deviation < 0.1
+            assert run.result.jobs_completed > 0.8 * TINY["n_jobs"]
+
+    def test_rows_render(self):
+        runs = projection_ablation(**TINY)
+        for run in runs:
+            assert "deviation=" in run.row()
+
+
+class TestDispatchAblation:
+    def test_both_policies_run(self):
+        runs = dispatch_ablation(**TINY)
+        assert len(runs) == 2
+        for run in runs:
+            assert run.result.jobs_submitted == TINY["n_jobs"]
+
+
+class TestDecayAblation:
+    def test_custom_half_lives(self):
+        runs = decay_ablation(half_lives=[300.0, 3000.0], **TINY)
+        assert len(runs) == 2
+        assert "half_life=300s" in runs[0].label
+
+
+class TestCacheAblation:
+    def test_cache_reduces_lookups(self):
+        results = cache_ablation(ttls=[0.0, 30.0], **TINY)
+        cold, warm = results
+        assert cold.ttl == 0.0 and warm.ttl == 30.0
+        assert cold.cache_hit_rate == 0.0
+        assert warm.cache_hit_rate > 0.5
+        assert warm.fcs_lookups < cold.fcs_lookups
+
+    def test_rows_render(self):
+        results = cache_ablation(ttls=[10.0], **TINY)
+        assert "hit rate" in results[0].row()
+
+
+class TestSmoothing:
+    def test_fluctuation_shrinks_with_dilution(self):
+        runs = smoothing_experiment(
+            n_jobs=1500, span=2400.0, n_sites=1, hosts_per_site=10, seed=2,
+            mixes=[FactorWeights(fairshare=1.0),
+                   FactorWeights(fairshare=1.0, age=1.0)])
+        assert runs[0].fairshare_weight_fraction == 1.0
+        assert runs[1].fairshare_weight_fraction == 0.5
+        assert runs[1].mean_fluctuation < runs[0].mean_fluctuation
+
+    def test_rows_render(self):
+        runs = smoothing_experiment(
+            n_jobs=800, span=1800.0, n_sites=1, hosts_per_site=10, seed=2,
+            mixes=[FactorWeights(fairshare=1.0)])
+        assert "fs-weight=1.00" in runs[0].row()
+
+
+class TestCharacterization:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return characterize_projections(seed=1, n_trees=20)
+
+    def test_all_projections_characterized(self, results):
+        assert {r.name for r in results} == {"dictionary", "bitwise",
+                                             "percental"}
+
+    def test_metrics_in_valid_ranges(self, results):
+        for r in results:
+            assert 0.0 <= r.order_fidelity <= 1.0
+            assert r.proportionality_error >= 0.0
+            assert 0.0 <= r.isolation_violations <= 1.0
+
+    def test_dictionary_order_perfect(self, results):
+        by_name = {r.name: r for r in results}
+        assert by_name["dictionary"].order_fidelity == 1.0
+
+    def test_percental_least_isolated(self, results):
+        by_name = {r.name: r for r in results}
+        assert by_name["percental"].isolation_violations >= \
+            max(by_name["dictionary"].isolation_violations,
+                by_name["bitwise"].isolation_violations)
+
+    def test_subset_of_names(self):
+        results = characterize_projections(seed=1, n_trees=5,
+                                           names=["percental"])
+        assert len(results) == 1 and results[0].name == "percental"

@@ -1,0 +1,111 @@
+"""Tests for the experiment configuration layer (TestbedConfig, builders)."""
+
+import pytest
+
+from repro.experiments.common import (
+    LEAF_FOR_IDENTITY,
+    ScenarioResult,
+    TestbedConfig,
+    build_testbed,
+    run_scenario,
+)
+from repro.rms.priority import FactorWeights
+from repro.services.site import ParticipationMode
+from repro.workload.reference import GRID_IDENTITIES, USAGE_SHARES, build_testbed_trace
+
+
+class TestTestbedConfig:
+    def test_defaults_match_paper_setup(self):
+        config = TestbedConfig()
+        assert config.n_sites == 6
+        assert config.hosts_per_site == 40
+        assert config.span == 21_600.0
+        assert config.site_config.projection == "percental"
+        assert config.weights.fairshare == 1.0 and config.weights.age == 0.0
+
+    def test_default_targets_are_workload_shares(self):
+        targets = TestbedConfig().targets()
+        for user, share in USAGE_SHARES.items():
+            assert targets[GRID_IDENTITIES[user]] == share
+
+    def test_explicit_targets_override(self):
+        config = TestbedConfig(policy_targets={"/CN=x": 1.0})
+        assert config.targets() == {"/CN=x": 1.0}
+
+    def test_site_names(self):
+        assert TestbedConfig(n_sites=2).site_names() == ["site1", "site2"]
+
+
+class TestBuildTestbed:
+    @pytest.fixture
+    def testbed(self):
+        config = TestbedConfig(n_sites=2, hosts_per_site=4, span=600.0)
+        tb = build_testbed(config)
+        yield tb
+        tb.stop()
+
+    def test_one_stack_per_site(self, testbed):
+        assert len(testbed.sites) == 2
+        assert len(testbed.schedulers) == 2
+        assert len(testbed.libs) == 2
+
+    def test_sites_peered(self, testbed):
+        for site in testbed.sites:
+            assert len(site.uss.peers) == 1
+
+    def test_policy_matches_targets(self, testbed):
+        policy = testbed.sites[0].pds.policy()
+        for identity, share in testbed.config.targets().items():
+            leaf = LEAF_FOR_IDENTITY[identity]
+            assert policy[f"/{leaf}"].weight == share
+
+    def test_identity_aliases_registered(self, testbed):
+        for dn in GRID_IDENTITIES.values():
+            value = testbed.sites[0].fcs.fairshare_value(dn)
+            assert value != testbed.sites[0].fcs.unknown_user_value or \
+                0.0 <= value <= 1.0
+
+    def test_schedulers_integrated_with_aequus(self, testbed):
+        from repro.rms.plugins import AequusPriorityPlugin
+        for sched in testbed.schedulers:
+            assert isinstance(sched.priority_plugin, AequusPriorityPlugin)
+
+    def test_participation_modes_applied(self):
+        config = TestbedConfig(n_sites=3, hosts_per_site=2, span=600.0,
+                               participation={"site1": ParticipationMode.READ_ONLY})
+        tb = build_testbed(config)
+        assert tb.sites[0].mode is ParticipationMode.READ_ONLY
+        assert tb.sites[1].mode is ParticipationMode.FULL
+        tb.stop()
+
+
+class TestRunScenario:
+    def test_result_contains_all_series(self):
+        config = TestbedConfig(n_sites=2, hosts_per_site=10, span=900.0, seed=1)
+        trace = build_testbed_trace(n_jobs=800, span=900.0, total_cores=20,
+                                    seed=1)
+        result = run_scenario("smoke", trace, config)
+        assert isinstance(result, ScenarioResult)
+        for name in ("share_deviation", "decayed_deviation", "utilization",
+                     "queue_length"):
+            assert name in result.metrics
+        for dn in GRID_IDENTITIES.values():
+            assert f"usage_share/{dn}" in result.metrics
+            assert f"priority/{dn}" in result.metrics
+            assert f"priority/site1/{dn}" in result.metrics
+
+    def test_summary_rows_render(self):
+        config = TestbedConfig(n_sites=1, hosts_per_site=10, span=600.0, seed=1)
+        trace = build_testbed_trace(n_jobs=400, span=600.0, total_cores=10,
+                                    seed=1)
+        result = run_scenario("smoke", trace, config)
+        text = "\n".join(result.summary_rows())
+        assert "jobs submitted/completed" in text
+        assert "utilization" in text
+
+    def test_drain_completes_all_jobs(self):
+        config = TestbedConfig(n_sites=1, hosts_per_site=10, span=300.0, seed=1)
+        trace = build_testbed_trace(n_jobs=200, span=300.0, total_cores=10,
+                                    seed=1, load=0.5)
+        result = run_scenario("smoke", trace, config, drain=True)
+        assert result.jobs_completed == 200

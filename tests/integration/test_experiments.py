@@ -1,0 +1,129 @@
+"""Integration: the experiment drivers (Table I probes, modeling pipeline,
+production stability) at reduced scale."""
+
+import pytest
+
+from repro.experiments.modeling import (
+    figure4_series,
+    figure5_series,
+    figure6_series,
+    figure7_series,
+    prepare_dataset,
+    regenerate_table2,
+    regenerate_table3,
+)
+from repro.experiments.production import run_production
+from repro.experiments.projections import PAPER_TABLE1, regenerate_table1
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return prepare_dataset(n_jobs=20_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def table2(dataset):
+    return regenerate_table2(dataset, subsample=3000)
+
+
+class TestTable1:
+    def test_probed_matrix_matches_paper(self):
+        for row in regenerate_table1():
+            assert row.properties == PAPER_TABLE1[row.name], row.name
+
+
+class TestModelingPipeline:
+    def test_cleaning_fractions(self, dataset):
+        assert dataset.removed_job_fraction == pytest.approx(0.15, abs=0.01)
+        assert dataset.removed_usage_fraction == pytest.approx(0.015, abs=0.005)
+
+    def test_four_phases_detected(self, dataset):
+        assert len(dataset.u65_phases) == 4
+
+    def test_table2_rows_complete(self, table2):
+        labels = [r.label for r in table2]
+        assert labels == ["U65 (p1)", "U65 (p2)", "U65 (p3)", "U65 (p4)",
+                          "U65", "U30", "U3", "Uoth"]
+
+    def test_u65_phases_fit_gev(self, dataset, table2):
+        """At this reduced scale BIC winners can flip among near-tied
+        families; GEV must still rank among the top candidates for every
+        phase and win the majority (the full-scale benchmark asserts the
+        clean all-GEV outcome)."""
+        import numpy as np
+
+        from repro.workload.fitting import fit_all
+
+        wins = 0
+        rng = np.random.default_rng(0)
+        for p, row in enumerate(table2[:4]):
+            if row.fit.family_name == "gev":
+                wins += 1
+                continue
+            results = fit_all(dataset.phase_times(p), subsample=3000, rng=rng)
+            rank = next(i for i, r in enumerate(results)
+                        if r.family_name == "gev")
+            assert rank < 5, f"phase {p + 1}: GEV ranked {rank}"
+        assert wins >= 2
+
+    def test_composite_ks_beats_every_phase(self, table2):
+        """The Equation-1 composite fits U65's arrivals better than any
+        single phase fit fits its phase (paper: 0.02 vs 0.05-0.07)."""
+        composite_ks = table2[4].ks
+        assert composite_ks < 0.06
+
+    def test_ks_values_reasonable(self, table2):
+        for row in table2:
+            assert row.ks < 0.2
+
+    def test_table3_families_match_paper(self, dataset):
+        rows = regenerate_table3(dataset, subsample=3000)
+        families = {r.label: r.fit.family_name for r in rows}
+        assert families == {"U65": "birnbaum-saunders", "U30": "weibull",
+                            "U3": "burr", "Uoth": "birnbaum-saunders"}
+
+    def test_table3_shape_parameters_near_published(self, dataset):
+        rows = {r.label: r for r in regenerate_table3(dataset, subsample=3000)}
+        # shape params are scale-invariant, so they survive load rescaling
+        assert rows["U65"].fit.fitted.params[1] == pytest.approx(3.53, rel=0.15)
+        assert rows["U30"].fit.fitted.params[1] == pytest.approx(0.637, rel=0.15)
+
+    def test_figure4_u65_dominates_totals(self, dataset):
+        fig = figure4_series(dataset)
+        assert fig["u65"].sum() / fig["total"].sum() == pytest.approx(0.81, abs=0.02)
+
+    def test_figure5_composite_density_tracks_empirical(self, dataset, table2):
+        fig = figure5_series(dataset, table2=table2)
+        assert len(fig["phases"]) == 4
+        # density peaks within detected phases
+        import numpy as np
+        centers = fig["bin_centers"]
+        comp = fig["composite_density"]
+        peak_time = centers[np.argmax(comp)]
+        assert any(lo <= peak_time <= hi for lo, hi in fig["phases"])
+
+    def test_figure6_fitted_cdfs_close(self, dataset, table2):
+        import numpy as np
+        fig = figure6_series(dataset, table2=table2)
+        for user, series in fig.items():
+            fitted = series["fitted_cdf"]
+            assert np.all(np.diff(fitted) >= -1e-9)
+            assert fitted[-1] > 0.9
+
+    def test_figure7_duration_tails(self, dataset):
+        fig = figure7_series(dataset)
+        # paper: U65/U3/Uoth concentrated in [0, 6e5]; U30 larger tail
+        for user in ("U65", "U3", "Uoth"):
+            assert fig[user]["fraction_below_6e5"] > 0.95
+        assert fig["U30"]["p99"] > fig["U65"]["p99"]
+
+
+class TestProduction:
+    def test_stability_run(self):
+        res = run_production(months=1.0, seed=0, jobs_per_month=4000)
+        assert res.jobs_per_month > 3500
+        assert res.starvation_free()
+        for user, (lo, hi) in res.priority_bounds.items():
+            assert 0.0 <= lo <= hi <= 1.0
+        # priorities must actually respond to usage over a month
+        assert any(hi - lo > 0.05 for lo, hi in res.priority_bounds.values())

@@ -1,0 +1,66 @@
+"""Tests for modeling-driver helpers (dataset, row rendering)."""
+
+import pytest
+
+from repro.experiments.modeling import (
+    ModelingDataset,
+    Table2Row,
+    Table3Row,
+    prepare_dataset,
+)
+from repro.workload.fitting import fit_family
+from repro.workload.distributions import FAMILIES
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def dataset() -> ModelingDataset:
+    return prepare_dataset(n_jobs=6000, seed=4)
+
+
+class TestDataset:
+    def test_labeled_trace_uses_categories(self, dataset):
+        assert set(dataset.labeled.users()) <= {"U65", "U30", "U3", "Uoth"}
+
+    def test_phase_times_partition_u65(self, dataset):
+        total = dataset.labeled.arrival_times("U65").size
+        parts = sum(dataset.phase_times(p).size
+                    for p in range(len(dataset.u65_phases)))
+        assert parts == total
+
+    def test_phase_times_within_bounds(self, dataset):
+        for p, (lo, hi) in enumerate(dataset.u65_phases):
+            times = dataset.phase_times(p)
+            if times.size:
+                assert times.min() >= lo
+                assert times.max() < hi
+
+    def test_raw_larger_than_clean(self, dataset):
+        assert dataset.raw.n_jobs > dataset.clean.n_jobs
+
+
+class TestRowRendering:
+    def _fit(self):
+        data = FAMILIES["weibull"].make(100.0, 0.8).sample(
+            2000, np.random.default_rng(0))
+        return fit_family(data, FAMILIES["weibull"])
+
+    def test_table2_row_with_fit(self):
+        row = Table2Row(label="U30", median_s=1.0, fit=self._fit(),
+                        paper={"median": 1, "family": "burr", "ks": 0.08})
+        text = row.render()
+        assert "U30" in text and "Weibull" in text and "paper" in text
+        assert row.family == "weibull"
+
+    def test_table2_composite_row(self):
+        row = Table2Row(label="U65", median_s=2.0, fit=None,
+                        composite_ks=0.03, paper={"family": "composite"})
+        assert row.family == "composite"
+        assert row.ks == 0.03
+        assert "composite" in row.render()
+
+    def test_table3_row(self):
+        row = Table3Row(label="U30", median_s=100.0, fit=self._fit(),
+                        paper={"family": "weibull", "ks": 0.04})
+        assert "Weibull" in row.render()

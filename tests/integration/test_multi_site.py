@@ -1,0 +1,161 @@
+"""Integration: multi-site grid behaviour — usage exchange, consistent
+prioritization, partial participation, partitions."""
+
+import pytest
+
+from repro.client.libaequus import LibAequus
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageRecord
+from repro.rms.cluster import Cluster
+from repro.rms.job import Job
+from repro.rms.slurm import SlurmScheduler
+from repro.services.network import Network
+from repro.services.site import AequusSite, ParticipationMode, SiteConfig, connect_sites
+from repro.sim.engine import SimulationEngine
+
+
+def build_grid(n_sites=3, modes=None):
+    engine = SimulationEngine()
+    network = Network(engine, base_latency=0.1)
+    modes = modes or {}
+    config = SiteConfig(histogram_interval=60.0, uss_exchange_interval=5.0,
+                        ums_refresh_interval=5.0, fcs_refresh_interval=5.0,
+                        libaequus_cache_ttl=2.0)
+    sites = []
+    for i in range(n_sites):
+        name = f"s{i}"
+        site = AequusSite(name, engine, network,
+                          policy=PolicyTree.from_dict({"alice": 1, "bob": 1}),
+                          config=config,
+                          mode=modes.get(name, ParticipationMode.FULL))
+        site.irs.store_mapping("sys_alice", "alice")
+        site.irs.store_mapping("sys_bob", "bob")
+        sites.append(site)
+    connect_sites(sites)
+    return engine, network, sites
+
+
+class TestGlobalConsistency:
+    def test_usage_on_one_site_lowers_priority_everywhere(self):
+        engine, _, sites = build_grid()
+        before = [s.fcs.priority("alice") for s in sites]
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=0.0, end=600.0))
+        engine.run_until(30.0)
+        for site, b in zip(sites, before):
+            assert site.fcs.priority("alice") < b
+
+    def test_same_ranking_regardless_of_site(self):
+        """The core Aequus promise: jobs receive a comparable ranking
+        regardless of which site they are sent to."""
+        engine, _, sites = build_grid()
+        sites[1].uss.record_job(
+            UsageRecord(user="alice", site="s1", start=0.0, end=900.0))
+        sites[2].uss.record_job(
+            UsageRecord(user="bob", site="s2", start=0.0, end=100.0))
+        engine.run_until(30.0)
+        rankings = []
+        for site in sites:
+            rankings.append(site.fcs.priority("alice") < site.fcs.priority("bob"))
+        assert all(rankings)
+
+    def test_fairshare_values_agree_across_sites(self):
+        engine, _, sites = build_grid()
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=0.0, end=500.0))
+        engine.run_until(60.0)
+        values = [s.fcs.fairshare_value("alice") for s in sites]
+        assert max(values) - min(values) < 1e-6
+
+    def test_usage_not_double_counted_after_many_exchanges(self):
+        engine, _, sites = build_grid()
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=0.0, end=100.0))
+        engine.run_until(120.0)  # many exchange rounds
+        merged = sites[1].uss.global_usage()
+        assert merged.total("alice") == pytest.approx(100.0)
+
+
+class TestPartialParticipation:
+    def test_read_only_tracks_global_state(self):
+        engine, _, sites = build_grid(
+            modes={"s0": ParticipationMode.READ_ONLY})
+        sites[1].uss.record_job(
+            UsageRecord(user="alice", site="s1", start=0.0, end=500.0))
+        engine.run_until(30.0)
+        assert sites[0].fcs.fairshare_value("alice") == pytest.approx(
+            sites[1].fcs.fairshare_value("alice"), abs=1e-9)
+
+    def test_read_only_usage_invisible_to_others(self):
+        engine, _, sites = build_grid(
+            modes={"s0": ParticipationMode.READ_ONLY})
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=0.0, end=500.0))
+        engine.run_until(30.0)
+        assert sites[1].ums.usage_totals().get("alice", 0.0) == 0.0
+
+    def test_local_only_diverges_from_global_view(self):
+        engine, _, sites = build_grid(
+            modes={"s0": ParticipationMode.LOCAL_ONLY})
+        sites[1].uss.record_job(
+            UsageRecord(user="alice", site="s1", start=0.0, end=500.0))
+        engine.run_until(30.0)
+        # the local-only site still sees alice at full priority
+        assert sites[0].fcs.priority("alice") > sites[1].fcs.priority("alice")
+
+    def test_local_only_data_still_contributes_globally(self):
+        engine, _, sites = build_grid(
+            modes={"s0": ParticipationMode.LOCAL_ONLY})
+        sites[0].uss.record_job(
+            UsageRecord(user="bob", site="s0", start=0.0, end=400.0))
+        engine.run_until(30.0)
+        assert sites[1].ums.usage_totals().get("bob", 0.0) == pytest.approx(400.0)
+
+    def test_disjunct_site_no_impact_on_others(self):
+        engine, _, sites = build_grid(
+            modes={"s0": ParticipationMode.DISJUNCT})
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=0.0, end=900.0))
+        engine.run_until(30.0)
+        p_full = sites[1].fcs.priority("alice")
+        assert sites[1].ums.usage_totals().get("alice", 0.0) == 0.0
+        # alice untouched elsewhere: priority equals the zero-usage value
+        assert p_full == pytest.approx(sites[2].fcs.priority("alice"))
+
+
+class TestPartitions:
+    def test_partitioned_site_catches_up_after_heal(self):
+        engine, network, sites = build_grid(n_sites=2)
+        network.partition("uss:s0", "uss:s1")
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=0.0, end=300.0))
+        engine.run_until(30.0)
+        assert sites[1].ums.usage_totals().get("alice", 0.0) == 0.0
+        network.heal("uss:s0", "uss:s1")
+        engine.run_until(60.0)
+        # small tolerance: the UMS reports *decayed* usage
+        assert sites[1].ums.usage_totals().get("alice", 0.0) == pytest.approx(
+            300.0, rel=1e-3)
+
+
+class TestSchedulersOnGrid:
+    def test_two_integrated_schedulers_share_history(self):
+        engine, _, sites = build_grid(n_sites=2)
+        scheds = []
+        for site in sites:
+            cluster = Cluster(site.name, n_nodes=2, cores_per_node=1)
+            sched = SlurmScheduler(site.name, engine, cluster,
+                                   sched_interval=1.0,
+                                   reprioritize_interval=5.0)
+            sched.integrate_aequus(LibAequus.for_site(site))
+            scheds.append(sched)
+        # alice burns time on site 0 only
+        for _ in range(6):
+            scheds[0].submit(Job(system_user="sys_alice", duration=20.0))
+        engine.run_until(200.0)
+        # site 1 must now prefer bob, although it never ran a job
+        p_alice = scheds[1].compute_priority(
+            Job(system_user="sys_alice", duration=1.0), engine.now)
+        p_bob = scheds[1].compute_priority(
+            Job(system_user="sys_bob", duration=1.0), engine.now)
+        assert p_bob > p_alice

@@ -1,0 +1,111 @@
+"""Integration: the full round trip at one site (paper Figure 2).
+
+job submitted -> SLURM priority plugin -> libaequus -> FCS (pre-computed)
+job completed -> completion plugin -> libaequus -> IRS resolve -> USS ->
+UMS refresh -> FCS refresh -> new priorities.
+"""
+
+import pytest
+
+from repro.client.libaequus import LibAequus
+from repro.core.policy import PolicyTree
+from repro.rms.cluster import Cluster
+from repro.rms.job import Job
+from repro.rms.priority import FactorWeights
+from repro.rms.slurm import SlurmScheduler
+from repro.services.irs import table_endpoint
+from repro.services.network import Network
+from repro.services.site import AequusSite, SiteConfig
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def world():
+    engine = SimulationEngine()
+    network = Network(engine, base_latency=0.1)
+    policy = PolicyTree.from_dict({"alice": 1, "bob": 1})
+    config = SiteConfig(histogram_interval=60.0, uss_exchange_interval=5.0,
+                        ums_refresh_interval=5.0, fcs_refresh_interval=5.0,
+                        libaequus_cache_ttl=2.0, decay_half_life=3600.0)
+    site = AequusSite("s", engine, network, policy=policy, config=config)
+    # identity resolution through the JSON endpoint, as deployed at HPC2N
+    site.irs.set_endpoint(table_endpoint({
+        "sys_alice": "alice", "sys_bob": "bob"}))
+    cluster = Cluster("s", n_nodes=4, cores_per_node=1)
+    sched = SlurmScheduler("s", engine, cluster,
+                           weights=FactorWeights(fairshare=1.0),
+                           sched_interval=1.0, reprioritize_interval=5.0)
+    lib = LibAequus.for_site(site)
+    sched.integrate_aequus(lib)
+    return engine, site, sched, lib
+
+
+class TestRoundTrip:
+    def test_completed_job_usage_feeds_back_into_priority(self, world):
+        engine, site, sched, lib = world
+        p_before = site.fcs.priority("alice")
+        sched.submit(Job(system_user="sys_alice", duration=30.0))
+        engine.run_until(60.0)
+        assert sched.jobs_completed == 1
+        # usage reported under the *grid identity*, not the system user
+        assert site.uss.local.total("alice") == pytest.approx(30.0)
+        assert site.fcs.priority("alice") < p_before
+
+    def test_priority_plugin_reads_global_value(self, world):
+        engine, site, sched, lib = world
+        job = Job(system_user="sys_bob", duration=10.0)
+        priority = sched.compute_priority(job, engine.now)
+        assert priority == pytest.approx(site.fcs.fairshare_value("bob"))
+
+    def test_heavy_user_yields_to_light_user(self, world):
+        engine, site, sched, lib = world
+        for _ in range(12):
+            sched.submit(Job(system_user="sys_alice", duration=20.0))
+        engine.run_until(200.0)
+        p_alice = sched.compute_priority(Job(system_user="sys_alice",
+                                             duration=1.0), engine.now)
+        p_bob = sched.compute_priority(Job(system_user="sys_bob",
+                                           duration=1.0), engine.now)
+        assert p_bob > p_alice
+
+    def test_fairshare_steers_contended_scheduling(self, world):
+        """With equal shares, interleaved submission under contention must
+        not let one user starve the other."""
+        engine, site, sched, lib = world
+        jobs = []
+        for i in range(40):
+            user = "sys_alice" if i % 2 == 0 else "sys_bob"
+            j = Job(system_user=user, duration=25.0)
+            jobs.append(j)
+            sched.submit(j)
+        engine.run_until(400.0)
+        done_alice = sum(1 for j in sched.completed if j.system_user == "sys_alice")
+        done_bob = sum(1 for j in sched.completed if j.system_user == "sys_bob")
+        assert abs(done_alice - done_bob) <= 4
+
+    def test_no_realtime_calculation_on_submit(self, world):
+        """Submitting a burst of jobs only reads pre-computed values: the
+        FCS refresh count must not grow with queries (Section II-A)."""
+        engine, site, sched, lib = world
+        engine.run_until(1.0)
+        refreshes = site.fcs.refreshes
+        for _ in range(50):
+            sched.submit(Job(system_user="sys_alice", duration=5.0))
+        assert site.fcs.refreshes == refreshes
+
+    def test_libaequus_cache_absorbs_batches(self, world):
+        engine, site, sched, lib = world
+        for _ in range(30):
+            lib.get_fairshare("sys_alice")
+        assert lib.fairshare_cache_stats.hit_rate > 0.9
+
+    def test_usage_flow_respects_all_delays(self, world):
+        """A completed job's usage must not affect priorities before the
+        UMS+FCS refresh chain has run (delay sources II)."""
+        engine, site, sched, lib = world
+        p0 = site.fcs.priority("alice")
+        sched.submit(Job(system_user="sys_alice", duration=2.0))
+        engine.run_until(3.5)  # job done; services not refreshed yet
+        assert site.fcs.priority("alice") == pytest.approx(p0)
+        engine.run_until(20.0)
+        assert site.fcs.priority("alice") < p0

@@ -1,0 +1,110 @@
+"""Property-based tests for the distribution zoo and composites."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.composite import CompositeDistribution
+from repro.workload.distributions import FAMILIES
+
+quantiles = st.floats(min_value=0.001, max_value=0.999, allow_nan=False)
+
+gev_params = st.tuples(
+    st.floats(min_value=-0.45, max_value=0.45, allow_nan=False),
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+
+weibull_params = st.tuples(
+    st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+    st.floats(min_value=0.3, max_value=5.0, allow_nan=False))
+
+bs_params = st.tuples(
+    st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+    st.floats(min_value=0.2, max_value=8.0, allow_nan=False))
+
+
+class TestRoundTrips:
+    @given(gev_params, quantiles)
+    def test_gev_cdf_icdf_roundtrip(self, params, q):
+        dist = FAMILIES["gev"].make(*params)
+        assert np.isclose(dist.cdf(dist.icdf(q)), q, atol=1e-8)
+
+    @given(weibull_params, quantiles)
+    def test_weibull_cdf_icdf_roundtrip(self, params, q):
+        dist = FAMILIES["weibull"].make(*params)
+        assert np.isclose(dist.cdf(dist.icdf(q)), q, atol=1e-8)
+
+    @given(bs_params, quantiles)
+    def test_bs_cdf_icdf_roundtrip(self, params, q):
+        dist = FAMILIES["birnbaum-saunders"].make(*params)
+        assert np.isclose(dist.cdf(dist.icdf(q)), q, atol=1e-8)
+
+
+class TestMonotonicity:
+    @given(gev_params, quantiles, quantiles)
+    def test_gev_icdf_monotone(self, params, q1, q2):
+        dist = FAMILIES["gev"].make(*params)
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert dist.icdf(lo) <= dist.icdf(hi) + 1e-12
+
+    @given(weibull_params)
+    def test_weibull_cdf_monotone_grid(self, params):
+        dist = FAMILIES["weibull"].make(*params)
+        x = np.linspace(0.001, params[0] * 5, 100)
+        c = dist.cdf(x)
+        assert np.all(np.diff(c) >= -1e-12)
+
+    @given(weibull_params)
+    def test_positive_support_cdf_zero_at_origin(self, params):
+        dist = FAMILIES["weibull"].make(*params)
+        assert dist.cdf(0.0) == 0.0
+
+
+weights_lists = st.lists(st.floats(min_value=0.01, max_value=10.0,
+                                   allow_nan=False), min_size=1, max_size=4)
+
+
+class TestCompositeProperties:
+    @settings(max_examples=30)
+    @given(weights_lists, quantiles)
+    def test_icdf_cdf_roundtrip(self, weights, q):
+        comps = [(w, FAMILIES["normal"].make(i * 100.0, 5.0 + i))
+                 for i, w in enumerate(weights)]
+        comp = CompositeDistribution(comps)
+        x = comp.icdf(np.array([q]))[0]
+        assert np.isclose(comp.cdf(x), q, atol=5e-3)
+
+    @settings(max_examples=30)
+    @given(weights_lists)
+    def test_weights_normalized(self, weights):
+        comps = [(w, FAMILIES["normal"].make(0.0, 1.0)) for w in weights]
+        comp = CompositeDistribution(comps)
+        assert np.isclose(comp.weights.sum(), 1.0)
+
+    @settings(max_examples=20)
+    @given(weights_lists)
+    def test_cdf_monotone(self, weights):
+        comps = [(w, FAMILIES["normal"].make(i * 50.0, 10.0))
+                 for i, w in enumerate(weights)]
+        comp = CompositeDistribution(comps)
+        x = np.linspace(-100, len(weights) * 50.0 + 100, 300)
+        c = comp.cdf(x)
+        assert np.all(np.diff(c) >= -1e-12)
+
+
+class TestSamplingProperties:
+    @settings(max_examples=15)
+    @given(weibull_params, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_samples_on_support(self, params, seed):
+        dist = FAMILIES["weibull"].make(*params)
+        samples = dist.sample(200, np.random.default_rng(seed))
+        assert np.all(samples >= 0)
+
+    @settings(max_examples=15)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_empirical_cdf_tracks_theoretical(self, seed):
+        dist = FAMILIES["gev"].make(0.1, 2.0, 10.0)
+        samples = dist.sample(3000, np.random.default_rng(seed))
+        # KS distance of own samples should be small
+        from repro.workload.fitting import ks_statistic
+        assert ks_statistic(samples, dist) < 0.05

@@ -1,0 +1,90 @@
+"""Property-based tests for policy serialization and the IRS protocol."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import PolicyTree, parse_policy
+from repro.services.irs import IdentityResolutionService, table_endpoint
+
+names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-",
+                min_size=1, max_size=8)
+weights = st.floats(min_value=0.001, max_value=1000.0, allow_nan=False)
+
+
+@st.composite
+def policy_trees(draw) -> PolicyTree:
+    """Random policy trees up to three levels deep."""
+    tree = PolicyTree()
+    n_top = draw(st.integers(min_value=1, max_value=4))
+    top_names = draw(st.lists(names, min_size=n_top, max_size=n_top,
+                              unique=True))
+    for top in top_names:
+        tree.set_share(f"/{top}", draw(weights))
+        if draw(st.booleans()):
+            n_kids = draw(st.integers(min_value=1, max_value=3))
+            kid_names = draw(st.lists(names, min_size=n_kids, max_size=n_kids,
+                                      unique=True))
+            for kid in kid_names:
+                tree.set_share(f"/{top}/{kid}", draw(weights))
+    return tree
+
+
+class TestPolicySerialization:
+    @settings(max_examples=60)
+    @given(policy_trees())
+    def test_dumps_parse_roundtrip(self, tree):
+        assert parse_policy(tree.dumps()) == tree
+
+    @settings(max_examples=60)
+    @given(policy_trees())
+    def test_copy_equals_original(self, tree):
+        assert tree.copy() == tree
+
+    @settings(max_examples=60)
+    @given(policy_trees())
+    def test_sibling_shares_normalized_everywhere(self, tree):
+        for node in tree.walk():
+            if node.children:
+                total = sum(c.normalized_share for c in node.children.values())
+                assert abs(total - 1.0) < 1e-9
+
+    @settings(max_examples=60)
+    @given(policy_trees())
+    def test_leaf_total_shares_sum_to_one(self, tree):
+        total = sum(leaf.total_share for leaf in tree.leaves())
+        assert abs(total - 1.0) < 1e-9
+
+
+identities = st.text(alphabet="abcdefghijklmnopqrstuvwxyz/=.CN",
+                     min_size=1, max_size=30)
+
+
+class TestIrsProtocol:
+    @settings(max_examples=60)
+    @given(st.dictionaries(names, identities, min_size=0, max_size=5), names)
+    def test_endpoint_answers_are_valid_json(self, mapping, query_user):
+        endpoint = table_endpoint(mapping)
+        request = json.dumps({"query": "resolve", "system_user": query_user})
+        response = json.loads(endpoint(request))
+        if query_user in mapping:
+            assert response == {"grid_identity": mapping[query_user]}
+        else:
+            assert "error" in response
+
+    @settings(max_examples=60)
+    @given(st.text(max_size=60))
+    def test_endpoint_never_crashes_on_garbage(self, garbage):
+        endpoint = table_endpoint({"u": "/CN=u"})
+        response = json.loads(endpoint(garbage))
+        assert isinstance(response, dict)
+
+    @settings(max_examples=40)
+    @given(st.dictionaries(names, identities, min_size=1, max_size=5))
+    def test_resolution_idempotent_and_memoized(self, mapping):
+        irs = IdentityResolutionService("s", endpoint=table_endpoint(mapping))
+        for user, identity in mapping.items():
+            assert irs.resolve(user) == identity
+            assert irs.resolve(user) == identity  # second hit from table
+        assert irs.endpoint_calls == len(mapping)

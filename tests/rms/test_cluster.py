@@ -1,0 +1,105 @@
+"""Unit tests for cluster resources and utilization accounting."""
+
+import pytest
+
+from repro.rms.cluster import AllocationError, Cluster
+from repro.rms.job import Job
+
+
+def job(cores=1, duration=10.0):
+    return Job(system_user="u", duration=duration, cores=cores, submit_time=0.0)
+
+
+class TestCapacity:
+    def test_total_and_free(self):
+        c = Cluster("c", n_nodes=4, cores_per_node=8)
+        assert c.total_cores == 32
+        assert c.free_cores == 32
+        assert c.busy_cores == 0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster("c", n_nodes=0)
+        with pytest.raises(ValueError):
+            Cluster("c", n_nodes=1, cores_per_node=0)
+
+    def test_fits(self):
+        c = Cluster("c", n_nodes=2, cores_per_node=2)
+        assert c.fits(4)
+        assert not c.fits(5)
+
+
+class TestAllocation:
+    def test_allocate_release_roundtrip(self):
+        c = Cluster("c", n_nodes=2, cores_per_node=2)
+        j = job(cores=3)
+        c.allocate(j, now=0.0)
+        assert c.free_cores == 1
+        c.release(j, now=5.0)
+        assert c.free_cores == 4
+
+    def test_allocation_spans_nodes(self):
+        c = Cluster("c", n_nodes=3, cores_per_node=2)
+        j = job(cores=5)
+        c.allocate(j, now=0.0)
+        placement = c.placement(j)
+        assert sum(take for _, take in placement) == 5
+        assert len(placement) == 3
+
+    def test_over_allocation_rejected(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=2)
+        with pytest.raises(AllocationError):
+            c.allocate(job(cores=3), now=0.0)
+
+    def test_double_allocation_rejected(self):
+        c = Cluster("c", n_nodes=2, cores_per_node=2)
+        j = job()
+        c.allocate(j, now=0.0)
+        with pytest.raises(AllocationError):
+            c.allocate(j, now=1.0)
+
+    def test_release_unallocated_rejected(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=1)
+        with pytest.raises(AllocationError):
+            c.release(job(), now=0.0)
+
+    def test_first_fit_reuses_freed_cores(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=2)
+        j1, j2, j3 = job(), job(), job()
+        c.allocate(j1, 0.0)
+        c.allocate(j2, 0.0)
+        c.release(j1, 1.0)
+        c.allocate(j3, 1.0)  # must fit in the freed slot
+        assert c.free_cores == 0
+
+
+class TestUtilization:
+    def test_busy_core_seconds_integral(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=4)
+        j = job(cores=2)
+        c.allocate(j, now=0.0)
+        c.release(j, now=10.0)
+        assert c.busy_core_seconds(now=10.0) == pytest.approx(20.0)
+
+    def test_utilization_fraction(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=4)
+        j = job(cores=4)
+        c.allocate(j, now=0.0)
+        c.release(j, now=5.0)
+        assert c.utilization(now=10.0) == pytest.approx(0.5)
+
+    def test_running_job_counts_toward_integral(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=1)
+        c.allocate(job(cores=1), now=0.0)
+        assert c.busy_core_seconds(now=7.0) == pytest.approx(7.0)
+
+    def test_utilization_at_time_zero(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=1)
+        assert c.utilization(0.0) == 0.0
+
+    def test_time_backwards_rejected(self):
+        c = Cluster("c", n_nodes=1, cores_per_node=2)
+        j = job()
+        c.allocate(j, now=10.0)
+        with pytest.raises(ValueError):
+            c.release(j, now=5.0)

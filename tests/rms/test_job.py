@@ -1,0 +1,90 @@
+"""Unit tests for the job model and lifecycle."""
+
+import pytest
+
+from repro.rms.job import Job, JobState
+
+
+class TestValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Job(system_user="u", duration=-1.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Job(system_user="u", duration=1.0, cores=0)
+
+    def test_qos_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Job(system_user="u", duration=1.0, qos=1.5)
+
+    def test_job_ids_unique_and_increasing(self):
+        a = Job(system_user="u", duration=1.0)
+        b = Job(system_user="u", duration=1.0)
+        assert b.job_id > a.job_id
+
+
+class TestLifecycle:
+    def test_initial_state_pending(self):
+        job = Job(system_user="u", duration=10.0)
+        assert job.state is JobState.PENDING
+        assert not job.state.terminal
+
+    def test_start_sets_times(self):
+        job = Job(system_user="u", duration=10.0, submit_time=0.0)
+        job.mark_started(5.0)
+        assert job.state is JobState.RUNNING
+        assert job.start_time == 5.0
+        assert job.end_time == 15.0
+
+    def test_complete_from_running(self):
+        job = Job(system_user="u", duration=10.0, submit_time=0.0)
+        job.mark_started(0.0)
+        job.mark_completed(10.0)
+        assert job.state is JobState.COMPLETED
+        assert job.state.terminal
+
+    def test_cannot_start_twice(self):
+        job = Job(system_user="u", duration=10.0)
+        job.mark_started(0.0)
+        with pytest.raises(ValueError):
+            job.mark_started(1.0)
+
+    def test_cannot_complete_pending(self):
+        job = Job(system_user="u", duration=10.0)
+        with pytest.raises(ValueError):
+            job.mark_completed(1.0)
+
+    def test_cancel_pending(self):
+        job = Job(system_user="u", duration=10.0)
+        job.mark_cancelled()
+        assert job.state is JobState.CANCELLED
+
+    def test_cannot_cancel_terminal(self):
+        job = Job(system_user="u", duration=1.0)
+        job.mark_cancelled()
+        with pytest.raises(ValueError):
+            job.mark_cancelled()
+
+
+class TestAccounting:
+    def test_charge_is_core_seconds(self):
+        job = Job(system_user="u", duration=10.0, cores=4)
+        job.mark_started(0.0)
+        job.mark_completed(10.0)
+        assert job.charge == 40.0
+
+    def test_charge_zero_before_start(self):
+        assert Job(system_user="u", duration=10.0).charge == 0.0
+
+    def test_wait_time_while_pending(self):
+        job = Job(system_user="u", duration=10.0, submit_time=100.0)
+        assert job.wait_time(130.0) == 30.0
+
+    def test_wait_time_frozen_after_start(self):
+        job = Job(system_user="u", duration=10.0, submit_time=100.0)
+        job.mark_started(120.0)
+        assert job.wait_time(500.0) == 20.0
+
+    def test_wait_time_without_submit_is_zero(self):
+        assert Job(system_user="u", duration=1.0).wait_time(50.0) == 0.0

@@ -1,0 +1,126 @@
+"""Unit tests for the Maui-like scheduler and its patch-based call-outs."""
+
+import pytest
+
+from repro.rms.cluster import Cluster
+from repro.rms.job import Job
+from repro.rms.maui import MauiScheduler, MauiWeights
+from repro.sim.engine import SimulationEngine
+
+
+def make(engine, **kwargs):
+    cluster = Cluster("m", n_nodes=2, cores_per_node=2)
+    kwargs.setdefault("sched_interval", 1.0)
+    kwargs.setdefault("reprioritize_interval", 5.0)
+    return MauiScheduler("m", engine, cluster, **kwargs)
+
+
+class TestWeights:
+    def test_defaults(self):
+        w = MauiWeights()
+        assert w.fairshare == 1.0 and w.total == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MauiWeights(xfactor=-1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MauiWeights(fairshare=0.0)
+
+
+class TestStockLocalFairshare:
+    def test_default_callouts_are_local(self):
+        engine = SimulationEngine()
+        sched = make(engine, shares={"a": 1, "b": 1})
+        assert sched.fairshare_callout == sched._local_fairshare
+        assert sched.completion_callout == sched._local_completion
+
+    def test_local_fairshare_reacts_to_usage(self):
+        engine = SimulationEngine()
+        sched = make(engine, shares={"a": 1, "b": 1})
+        sched.submit(Job(system_user="a", duration=10.0))
+        engine.run_until(15.0)
+        pa = sched.compute_priority(Job(system_user="a", duration=1.0), engine.now)
+        pb = sched.compute_priority(Job(system_user="b", duration=1.0), engine.now)
+        assert pb > pa
+
+    def test_no_shares_configured_gives_zero_factor(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        assert sched._local_fairshare(Job(system_user="x", duration=1.0), 0.0) == 0.0
+
+
+class TestAequusPatch:
+    def test_patch_rebinds_both_callouts(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+
+        class FakeLib:
+            def __init__(self):
+                self.reports = []
+
+            def get_fairshare(self, user):
+                return 0.77
+
+            def report_usage(self, user, start, end, cores):
+                self.reports.append((user, start, end, cores))
+
+        lib = FakeLib()
+        sched.apply_aequus_patch(lib)
+        j = Job(system_user="u", duration=2.0)
+        assert sched.compute_priority(j, 0.0) == pytest.approx(0.77)
+        sched.submit(j)
+        engine.run_until(10.0)
+        assert lib.reports and lib.reports[0][0] == "u"
+
+    def test_patched_value_clamped(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+
+        class WildLib:
+            def get_fairshare(self, user):
+                return 3.7
+
+            def report_usage(self, *a):
+                pass
+
+        sched.apply_aequus_patch(WildLib())
+        assert sched.compute_priority(Job(system_user="u", duration=1.0), 0.0) == 1.0
+
+
+class TestMauiPriorityStyle:
+    def test_xfactor_grows_with_wait(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        j = Job(system_user="u", duration=10.0, submit_time=0.0)
+        assert sched.xfactor(j, now=100.0) > sched.xfactor(j, now=0.0)
+
+    def test_xfactor_capped(self):
+        engine = SimulationEngine()
+        sched = make(engine, max_xfactor=10.0)
+        j = Job(system_user="u", duration=1.0, submit_time=0.0)
+        assert sched.xfactor(j, now=1e9) == 1.0
+
+    def test_queuetime_factor_saturates(self):
+        engine = SimulationEngine()
+        sched = make(engine, max_queue_time=100.0)
+        j = Job(system_user="u", duration=1.0, submit_time=0.0)
+        assert sched.queuetime_factor(j, now=50.0) == pytest.approx(0.5)
+        assert sched.queuetime_factor(j, now=500.0) == 1.0
+
+    def test_blended_priority_normalized(self):
+        engine = SimulationEngine()
+        sched = make(engine, shares={"u": 1},
+                     weights=MauiWeights(fairshare=1.0, xfactor=1.0, queuetime=1.0))
+        j = Job(system_user="u", duration=10.0, submit_time=0.0)
+        p = sched.compute_priority(j, now=50.0)
+        assert 0.0 <= p <= 1.0
+
+    def test_runs_workload_end_to_end(self):
+        engine = SimulationEngine()
+        sched = make(engine, shares={"a": 1, "b": 1})
+        for user in ("a", "b", "a", "b"):
+            sched.submit(Job(system_user=user, duration=3.0))
+        engine.run_until(30.0)
+        assert sched.jobs_completed == 4

@@ -1,0 +1,76 @@
+"""Unit tests for the plugin seams and the local-fairshare baseline."""
+
+import math
+
+import pytest
+
+from repro.rms.job import Job
+from repro.rms.plugins import FixedFairsharePlugin, LocalFairsharePlugin
+
+
+def finished_job(user, duration, end=100.0):
+    job = Job(system_user=user, duration=duration, submit_time=0.0)
+    job.mark_started(end - duration)
+    job.mark_completed(end)
+    return job
+
+
+class TestLocalFairshare:
+    def test_shares_normalized(self):
+        plugin = LocalFairsharePlugin(shares={"a": 3, "b": 1})
+        assert plugin.shares == {"a": 0.75, "b": 0.25}
+
+    def test_no_usage_gives_max_factor(self):
+        plugin = LocalFairsharePlugin(shares={"a": 1, "b": 1})
+        assert plugin.fairshare_factor(Job(system_user="a", duration=1.0), 0.0) == 1.0
+
+    def test_classic_two_to_the_minus_formula(self):
+        plugin = LocalFairsharePlugin(shares={"a": 1, "b": 1})
+        plugin.job_completed(finished_job("a", 100.0), now=100.0)
+        # a has 100% of usage against a 50% share: F = 2^(-1.0/0.5) = 0.25
+        factor = plugin.fairshare_factor(Job(system_user="a", duration=1.0), 100.0)
+        assert factor == pytest.approx(0.25)
+
+    def test_unknown_user_zero_share_zero_factor(self):
+        plugin = LocalFairsharePlugin(shares={"a": 1})
+        assert plugin.fairshare_factor(Job(system_user="ghost", duration=1.0), 0.0) == 0.0
+
+    def test_usage_decays_with_half_life(self):
+        plugin = LocalFairsharePlugin(shares={"a": 1, "b": 1}, half_life=100.0)
+        plugin.job_completed(finished_job("a", 80.0), now=100.0)
+        snap = plugin.usage_snapshot(now=200.0)
+        assert snap["a"] == pytest.approx(40.0)
+
+    def test_factor_recovers_as_usage_decays(self):
+        plugin = LocalFairsharePlugin(shares={"a": 1, "b": 1}, half_life=50.0)
+        plugin.job_completed(finished_job("a", 100.0), now=100.0)
+        plugin.job_completed(finished_job("b", 10.0), now=100.0)
+        early = plugin.fairshare_factor(Job(system_user="a", duration=1.0), 100.0)
+        # both decay equally so the *share* stays; use relative check against b
+        late_a = plugin.fairshare_factor(Job(system_user="a", duration=1.0), 5000.0)
+        assert early <= late_a or math.isclose(early, late_a)
+
+    def test_accumulation_across_jobs(self):
+        plugin = LocalFairsharePlugin(shares={"a": 1, "b": 1}, half_life=1e9)
+        plugin.job_completed(finished_job("a", 50.0), now=100.0)
+        plugin.job_completed(finished_job("a", 30.0), now=100.0)
+        assert plugin.usage_snapshot(100.0)["a"] == pytest.approx(80.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LocalFairsharePlugin(shares={"a": 0})
+        with pytest.raises(ValueError):
+            LocalFairsharePlugin(shares={"a": 1}, half_life=0)
+
+
+class TestFixedFairshare:
+    def test_returns_configured_values(self):
+        plugin = FixedFairsharePlugin({"a": 0.9}, default=0.3)
+        assert plugin.fairshare_factor(Job(system_user="a", duration=1.0), 0.0) == 0.9
+        assert plugin.fairshare_factor(Job(system_user="x", duration=1.0), 0.0) == 0.3
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            FixedFairsharePlugin({"a": 1.5})
+        with pytest.raises(ValueError):
+            FixedFairsharePlugin({}, default=-0.1)

@@ -1,0 +1,97 @@
+"""Unit tests for the multifactor priority combination."""
+
+import pytest
+
+from repro.rms.job import Job
+from repro.rms.priority import FactorWeights, MultifactorPriority
+
+
+def job(**kwargs):
+    kwargs.setdefault("system_user", "u")
+    kwargs.setdefault("duration", 10.0)
+    kwargs.setdefault("submit_time", 0.0)
+    return Job(**kwargs)
+
+
+class TestFactorWeights:
+    def test_defaults_fairshare_only(self):
+        w = FactorWeights()
+        assert w.fairshare == 1.0 and w.age == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            FactorWeights(age=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            FactorWeights(fairshare=0.0)
+
+    def test_as_dict(self):
+        w = FactorWeights(fairshare=2.0, age=1.0)
+        assert w.as_dict() == {"fairshare": 2.0, "age": 1.0,
+                               "job_size": 0.0, "qos": 0.0}
+
+
+class TestFactors:
+    def test_age_factor_ramps_and_saturates(self):
+        mp = MultifactorPriority(max_age=100.0)
+        j = job()
+        assert mp.age_factor(j, now=0.0) == 0.0
+        assert mp.age_factor(j, now=50.0) == pytest.approx(0.5)
+        assert mp.age_factor(j, now=1000.0) == 1.0
+
+    def test_job_size_favors_small(self):
+        mp = MultifactorPriority(total_cores=100)
+        assert mp.job_size_factor(job(cores=1)) > mp.job_size_factor(job(cores=50))
+
+    def test_qos_factor_passthrough(self):
+        mp = MultifactorPriority()
+        assert mp.qos_factor(job(qos=0.7)) == 0.7
+
+
+class TestCombination:
+    def test_fairshare_only_is_identity(self):
+        mp = MultifactorPriority(weights=FactorWeights(fairshare=1.0))
+        assert mp.compute(job(), fairshare_value=0.42, now=0.0) == pytest.approx(0.42)
+
+    def test_normalized_stays_in_unit_range(self):
+        mp = MultifactorPriority(
+            weights=FactorWeights(fairshare=2.0, age=1.0, qos=1.0),
+            max_age=10.0)
+        p = mp.compute(job(qos=1.0), fairshare_value=1.0, now=100.0)
+        assert 0.0 <= p <= 1.0
+
+    def test_weighted_blend(self):
+        mp = MultifactorPriority(
+            weights=FactorWeights(fairshare=1.0, age=1.0), max_age=100.0)
+        p = mp.compute(job(), fairshare_value=0.4, now=50.0)
+        assert p == pytest.approx((0.4 + 0.5) / 2)
+
+    def test_other_factors_smooth_fairshare(self):
+        """The paper's observation: other factors have a smoothing effect
+        with impact relative to their weight."""
+        fs_only = MultifactorPriority(weights=FactorWeights(fairshare=1.0))
+        blended = MultifactorPriority(
+            weights=FactorWeights(fairshare=1.0, age=1.0), max_age=100.0)
+        j = job()
+        swing_fs = abs(fs_only.compute(j, 0.9, now=50.0)
+                       - fs_only.compute(j, 0.1, now=50.0))
+        swing_blend = abs(blended.compute(j, 0.9, now=50.0)
+                          - blended.compute(j, 0.1, now=50.0))
+        assert swing_blend == pytest.approx(swing_fs / 2)
+
+    def test_out_of_range_fairshare_rejected(self):
+        mp = MultifactorPriority()
+        with pytest.raises(ValueError):
+            mp.compute(job(), fairshare_value=1.2, now=0.0)
+
+    def test_unnormalized_mode(self):
+        mp = MultifactorPriority(
+            weights=FactorWeights(fairshare=2.0), normalize=False)
+        assert mp.compute(job(), fairshare_value=0.5, now=0.0) == pytest.approx(1.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MultifactorPriority(max_age=0.0)
+        with pytest.raises(ValueError):
+            MultifactorPriority(total_cores=0)

@@ -1,0 +1,210 @@
+"""Unit tests for the base scheduling loop (queue order, backfill, events)."""
+
+import pytest
+
+from repro.rms.cluster import Cluster
+from repro.rms.job import Job, JobState
+from repro.rms.scheduler import BaseScheduler
+from repro.sim.engine import SimulationEngine
+
+
+class StaticPriorityScheduler(BaseScheduler):
+    """Priority = per-user constant; lets tests pin the queue order."""
+
+    def __init__(self, *args, priorities=None, **kwargs):
+        self.priorities = priorities or {}
+        self.completions = []
+        super().__init__(*args, **kwargs)
+
+    def compute_priority(self, job, now):
+        return self.priorities.get(job.system_user, 0.5)
+
+    def on_job_completed(self, job, now):
+        self.completions.append((job.job_id, now))
+
+
+def make(engine, cores=2, nodes=1, **kwargs):
+    cluster = Cluster("c", n_nodes=nodes, cores_per_node=cores)
+    kwargs.setdefault("sched_interval", 1.0)
+    kwargs.setdefault("reprioritize_interval", 5.0)
+    return StaticPriorityScheduler("c", engine, cluster, **kwargs)
+
+
+def job(user="u", duration=10.0, cores=1):
+    return Job(system_user=user, duration=duration, cores=cores)
+
+
+class TestSubmission:
+    def test_submit_sets_time_and_priority(self):
+        engine = SimulationEngine()
+        sched = make(engine, priorities={"u": 0.7})
+        engine.run_until(3.0)
+        j = job()
+        sched.submit(j)
+        assert j.submit_time == 3.0
+        assert j.priority == 0.7
+        assert sched.queue_length == 1
+
+    def test_oversized_job_rejected(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=2)
+        with pytest.raises(ValueError):
+            sched.submit(job(cores=3))
+
+    def test_non_pending_job_rejected(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        j = job()
+        j.mark_cancelled()
+        with pytest.raises(ValueError):
+            sched.submit(j)
+
+    def test_cancel_removes_from_queue(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        j = job()
+        sched.submit(j)
+        sched.cancel(j)
+        assert sched.queue_length == 0
+        assert j.state is JobState.CANCELLED
+        engine.run_until(5.0)
+        assert sched.jobs_started == 0
+
+
+class TestScheduling:
+    def test_jobs_start_and_complete(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        sched.submit(job(duration=5.0))
+        engine.run_until(20.0)
+        assert sched.jobs_completed == 1
+        assert sched.completed[0].state is JobState.COMPLETED
+
+    def test_priority_order_respected(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=1,
+                     priorities={"low": 0.1, "high": 0.9})
+        j_low = job(user="low", duration=10.0)
+        j_high = job(user="high", duration=10.0)
+        sched.submit(j_low)
+        sched.submit(j_high)
+        engine.run_until(2.0)
+        assert j_high.state is JobState.RUNNING
+        assert j_low.state is JobState.PENDING
+
+    def test_fifo_tiebreak_on_equal_priority(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=1)
+        first = job(duration=10.0)
+        second = job(duration=10.0)
+        sched.submit(first)
+        sched.submit(second)
+        engine.run_until(2.0)
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.PENDING
+
+    def test_completion_frees_cores_immediately(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=1)
+        a, b = job(duration=5.0), job(duration=5.0)
+        sched.submit(a)
+        sched.submit(b)
+        engine.run_until(5.0)
+        # b must start right at a's completion (no wait for the next pass)
+        assert b.start_time == pytest.approx(5.0)
+
+    def test_completion_hooks_called(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        seen = []
+        sched.add_completion_hook(lambda j, t: seen.append(j.job_id))
+        j = job(duration=2.0)
+        sched.submit(j)
+        engine.run_until(10.0)
+        assert seen == [j.job_id]
+        assert sched.completions[0][0] == j.job_id
+
+    def test_reprioritize_resorts_queue(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=1, sched_interval=100.0,
+                     reprioritize_interval=2.0,
+                     priorities={"a": 0.9, "b": 0.1})
+        blocker = job(user="x", duration=3.0)
+        sched.submit(blocker)
+        sched.schedule_pass()
+        a, b = job(user="a", duration=5.0), job(user="b", duration=5.0)
+        sched.submit(a)
+        sched.submit(b)
+        sched.priorities = {"a": 0.1, "b": 0.9}  # flip before resort
+        engine.run_until(2.5)  # reprioritize fires at t=2
+        engine.run_until(3.5)  # blocker done at t=3, next job starts
+        assert b.state is JobState.RUNNING
+        assert a.state is JobState.PENDING
+
+    def test_utilization_reported(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=1)
+        sched.submit(job(duration=10.0))
+        engine.run_until(10.0)
+        assert sched.utilization() == pytest.approx(1.0, abs=0.05)
+
+    def test_stop_halts_passes(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        sched.stop()
+        sched.submit(job(duration=1.0))
+        engine.run_until(10.0)
+        assert sched.jobs_started == 0
+
+
+class TestBackfill:
+    def test_small_job_backfills_behind_blocked_big_job(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=4, priorities={"big": 0.9, "small": 0.1})
+        runner = job(user="r", duration=10.0, cores=3)
+        sched.submit(runner)
+        sched.schedule_pass()
+        big = job(user="big", duration=10.0, cores=4)    # blocked (needs 4)
+        small = job(user="small", duration=5.0, cores=1)  # fits, ends by shadow
+        sched.submit(big)
+        sched.submit(small)
+        engine.run_until(1.5)
+        assert small.state is JobState.RUNNING
+        assert big.state is JobState.PENDING
+
+    def test_backfill_does_not_delay_reserved_job(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=4, priorities={"big": 0.9, "long": 0.1})
+        runner = job(user="r", duration=10.0, cores=3)
+        sched.submit(runner)
+        sched.schedule_pass()
+        big = job(user="big", duration=10.0, cores=4)
+        long_small = job(user="long", duration=100.0, cores=1)  # would delay big
+        sched.submit(big)
+        sched.submit(long_small)
+        engine.run_until(1.5)
+        assert long_small.state is JobState.PENDING
+        engine.run_until(10.5)
+        assert big.state is JobState.RUNNING
+
+    def test_no_backfill_when_disabled(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=4, backfill=False,
+                     priorities={"big": 0.9, "small": 0.1})
+        runner = job(user="r", duration=10.0, cores=3)
+        sched.submit(runner)
+        sched.schedule_pass()
+        sched.submit(job(user="big", duration=10.0, cores=4))
+        small = job(user="small", duration=1.0, cores=1)
+        sched.submit(small)
+        engine.run_until(1.5)
+        assert small.state is JobState.PENDING
+
+    def test_queue_length_tracks_pending(self):
+        engine = SimulationEngine()
+        sched = make(engine, cores=1)
+        for _ in range(5):
+            sched.submit(job(duration=100.0))
+        engine.run_until(1.5)
+        assert sched.queue_length == 4  # one running
+        assert len(sched.pending) == 4

@@ -1,0 +1,102 @@
+"""Unit tests for the SLURM-like scheduler and its plugin integration."""
+
+import pytest
+
+from repro.rms.cluster import Cluster
+from repro.rms.job import Job
+from repro.rms.plugins import FixedFairsharePlugin, JobCompletionPlugin, LocalFairsharePlugin
+from repro.rms.priority import FactorWeights
+from repro.rms.slurm import SlurmScheduler
+from repro.sim.engine import SimulationEngine
+
+
+class RecordingCompletionPlugin(JobCompletionPlugin):
+    def __init__(self):
+        self.jobs = []
+
+    def job_completed(self, job, now):
+        self.jobs.append((job.system_user, now))
+
+
+def make(engine, **kwargs):
+    cluster = Cluster("c", n_nodes=2, cores_per_node=2)
+    kwargs.setdefault("sched_interval", 1.0)
+    kwargs.setdefault("reprioritize_interval", 5.0)
+    return SlurmScheduler("c", engine, cluster, **kwargs)
+
+
+class TestPluginRegistry:
+    def test_no_plugin_neutral_factor(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        j = Job(system_user="u", duration=1.0)
+        assert sched.compute_priority(j, 0.0) == pytest.approx(0.5)
+
+    def test_priority_plugin_supplies_fairshare(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        sched.register_priority_plugin(FixedFairsharePlugin({"u": 0.9}))
+        j = Job(system_user="u", duration=1.0)
+        assert sched.compute_priority(j, 0.0) == pytest.approx(0.9)
+
+    def test_plugin_replacement_is_the_integration_seam(self):
+        """Swapping local fairshare for Aequus = one registration call."""
+        engine = SimulationEngine()
+        sched = make(engine)
+        local = LocalFairsharePlugin(shares={"u": 1})
+        sched.register_priority_plugin(local)
+        assert sched.priority_plugin is local
+        replacement = FixedFairsharePlugin({"u": 0.2})
+        sched.register_priority_plugin(replacement)
+        assert sched.priority_plugin is replacement
+
+    def test_completion_plugins_invoked(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        rec = RecordingCompletionPlugin()
+        sched.register_completion_plugin(rec)
+        sched.submit(Job(system_user="u", duration=2.0))
+        engine.run_until(10.0)
+        assert rec.jobs == [("u", pytest.approx(engine.now, abs=10.0))] or \
+            rec.jobs[0][0] == "u"
+
+    def test_multiple_completion_plugins(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        recs = [RecordingCompletionPlugin(), RecordingCompletionPlugin()]
+        for r in recs:
+            sched.register_completion_plugin(r)
+        sched.submit(Job(system_user="u", duration=1.0))
+        engine.run_until(5.0)
+        assert all(len(r.jobs) == 1 for r in recs)
+
+
+class TestMultifactor:
+    def test_weights_flow_into_priority(self):
+        engine = SimulationEngine()
+        sched = make(engine, weights=FactorWeights(fairshare=1.0, age=1.0),
+                     max_age=100.0)
+        sched.register_priority_plugin(FixedFairsharePlugin({"u": 0.4}))
+        j = Job(system_user="u", duration=1.0, submit_time=0.0)
+        assert sched.compute_priority(j, now=50.0) == pytest.approx((0.4 + 0.5) / 2)
+
+    def test_fairshare_only_default(self):
+        engine = SimulationEngine()
+        sched = make(engine)
+        assert sched.multifactor.weights.fairshare == 1.0
+        assert sched.multifactor.weights.age == 0.0
+
+    def test_local_fairshare_end_to_end(self):
+        """A greedy user's next jobs sink below a light user's."""
+        engine = SimulationEngine()
+        sched = make(engine)
+        local = LocalFairsharePlugin(shares={"greedy": 1, "light": 1},
+                                     half_life=1e9)
+        sched.register_priority_plugin(local)
+        sched.register_completion_plugin(local)
+        sched.submit(Job(system_user="greedy", duration=10.0))
+        engine.run_until(20.0)
+        g = Job(system_user="greedy", duration=1.0)
+        l = Job(system_user="light", duration=1.0)
+        assert sched.compute_priority(l, engine.now) > \
+            sched.compute_priority(g, engine.now)

@@ -1,0 +1,87 @@
+"""Unit tests for the TTL cache (services + libaequus caching)."""
+
+import pytest
+
+from repro.services.cache import TTLCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTTLCache:
+    def test_first_lookup_is_miss(self, clock):
+        cache = TTLCache(clock, ttl=10.0)
+        assert cache.get("k", lambda: 42) == 42
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_within_ttl_is_hit(self, clock):
+        cache = TTLCache(clock, ttl=10.0)
+        cache.get("k", lambda: 1)
+        clock.now = 9.9
+        assert cache.get("k", lambda: 2) == 1
+        assert cache.stats.hits == 1
+
+    def test_after_ttl_reloads(self, clock):
+        cache = TTLCache(clock, ttl=10.0)
+        cache.get("k", lambda: 1)
+        clock.now = 10.0
+        assert cache.get("k", lambda: 2) == 2
+        assert cache.stats.misses == 2
+
+    def test_zero_ttl_disables_caching(self, clock):
+        cache = TTLCache(clock, ttl=0.0)
+        cache.get("k", lambda: 1)
+        assert cache.get("k", lambda: 2) == 2
+        assert cache.stats.hits == 0
+        assert len(cache) == 0
+
+    def test_negative_ttl_rejected(self, clock):
+        with pytest.raises(ValueError):
+            TTLCache(clock, ttl=-1.0)
+
+    def test_invalidate_forces_reload(self, clock):
+        cache = TTLCache(clock, ttl=100.0)
+        cache.get("k", lambda: 1)
+        cache.invalidate("k")
+        assert cache.get("k", lambda: 2) == 2
+
+    def test_clear(self, clock):
+        cache = TTLCache(clock, ttl=100.0)
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_peek_does_not_touch_stats(self, clock):
+        cache = TTLCache(clock, ttl=100.0)
+        cache.get("k", lambda: 1)
+        misses = cache.stats.misses
+        assert cache.peek("k") == 1
+        assert cache.peek("missing") is None
+        assert cache.stats.misses == misses
+
+    def test_independent_keys(self, clock):
+        cache = TTLCache(clock, ttl=100.0)
+        assert cache.get("a", lambda: 1) == 1
+        assert cache.get("b", lambda: 2) == 2
+
+    def test_hit_rate(self, clock):
+        cache = TTLCache(clock, ttl=100.0)
+        cache.get("k", lambda: 1)
+        cache.get("k", lambda: 1)
+        cache.get("k", lambda: 1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty_is_zero(self, clock):
+        assert TTLCache(clock, ttl=1.0).stats.hit_rate == 0.0

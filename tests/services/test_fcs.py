@@ -1,0 +1,131 @@
+"""Unit tests for the Fairshare Calculation Service (FCS)."""
+
+import pytest
+
+from repro.core.decay import NoDecay
+from repro.core.distance import FairshareParameters
+from repro.core.policy import PolicyTree
+from repro.core.projection import DictionaryOrderingProjection
+from repro.core.usage import UsageRecord
+from repro.services.fcs import FairshareCalculationService
+from repro.services.network import Network
+from repro.services.pds import PolicyDistributionService
+from repro.services.ums import UsageMonitoringService
+from repro.services.uss import UsageStatisticsService
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def stack():
+    engine = SimulationEngine()
+    network = Network(engine, base_latency=0.1)
+    uss = UsageStatisticsService("a", engine, network,
+                                 histogram_interval=60.0, exchange_interval=5.0)
+    ums = UsageMonitoringService("a", engine, sources=[uss],
+                                 decay=NoDecay(), refresh_interval=5.0)
+    policy = PolicyTree.from_dict({"alice": 3, "bob": 1})
+    pds = PolicyDistributionService("a", engine, policy=policy,
+                                    refresh_interval=100.0)
+    fcs = FairshareCalculationService("a", engine, pds=pds, ums=ums,
+                                      refresh_interval=5.0)
+    return engine, uss, ums, pds, fcs
+
+
+class TestPrecomputation:
+    def test_initial_refresh_at_construction(self, stack):
+        _, _, _, _, fcs = stack
+        assert fcs.refreshes == 1
+        assert fcs.tree() is not None
+
+    def test_values_served_from_precomputed_state(self, stack):
+        engine, uss, _, _, fcs = stack
+        before = fcs.fairshare_value("alice")
+        uss.record_job(UsageRecord(user="alice", site="a", start=0.0, end=500.0))
+        # not yet refreshed: value unchanged (no real-time calculation)
+        assert fcs.fairshare_value("alice") == before
+        engine.run_until(11.0)  # UMS then FCS refresh
+        assert fcs.fairshare_value("alice") < before
+
+    def test_zero_usage_priorities_ordered_by_share(self, stack):
+        _, _, _, _, fcs = stack
+        assert fcs.priority("alice") > fcs.priority("bob")
+
+    def test_usage_lowers_priority(self, stack):
+        engine, uss, _, _, fcs = stack
+        uss.record_job(UsageRecord(user="alice", site="a", start=0.0, end=1000.0))
+        engine.run_until(11.0)
+        assert fcs.priority("alice") < fcs.priority("bob")
+
+    def test_vector_extraction(self, stack):
+        _, _, _, _, fcs = stack
+        vec = fcs.vector("alice")
+        assert vec is not None and vec.depth == 1
+
+    def test_policy_change_takes_effect_after_refresh(self, stack):
+        engine, _, _, pds, fcs = stack
+        pds.set_share("/carol", 10)
+        assert fcs.fairshare_value("carol") == fcs.unknown_user_value
+        engine.run_until(5.0)
+        assert fcs.priority("carol") > fcs.priority("alice")
+
+    def test_values_mapping_keys_are_paths(self, stack):
+        _, _, _, _, fcs = stack
+        assert set(fcs.values()) == {"/alice", "/bob"}
+
+
+class TestIdentityResolution:
+    def test_unknown_user_gets_default(self, stack):
+        _, _, _, _, fcs = stack
+        assert fcs.fairshare_value("ghost") == fcs.unknown_user_value
+
+    def test_leaf_path_lookup(self, stack):
+        _, _, _, _, fcs = stack
+        assert fcs.fairshare_value("/alice") == fcs.fairshare_value("alice")
+
+    def test_identity_map_aliases_dn(self, stack):
+        engine, uss, _, _, fcs = stack
+        dn = "/C=SE/O=Grid/CN=alice"
+        fcs.register_identity(dn, "alice")
+        assert fcs.fairshare_value(dn) == fcs.fairshare_value("alice")
+
+    def test_usage_recorded_under_dn_reaches_leaf(self, stack):
+        engine, uss, _, _, fcs = stack
+        dn = "/C=SE/O=Grid/CN=alice"
+        fcs.register_identity(dn, "alice")
+        uss.record_job(UsageRecord(user=dn, site="a", start=0.0, end=1000.0))
+        engine.run_until(11.0)
+        assert fcs.priority("alice") < fcs.priority("bob")
+
+
+class TestProjectionSwap:
+    def test_set_projection_recomputes_values(self, stack):
+        _, _, _, _, fcs = stack
+        percental_values = fcs.values()
+        fcs.set_projection(DictionaryOrderingProjection())
+        dictionary_values = fcs.values()
+        assert dictionary_values != percental_values
+        # order must be preserved across projections
+        assert (dictionary_values["/alice"] > dictionary_values["/bob"]) == \
+            (percental_values["/alice"] > percental_values["/bob"])
+
+    def test_parameters_respected(self):
+        engine = SimulationEngine()
+        network = Network(engine, base_latency=0.1)
+        uss = UsageStatisticsService("a", engine, network)
+        ums = UsageMonitoringService("a", engine, sources=[uss], decay=NoDecay())
+        pds = PolicyDistributionService(
+            "a", engine, policy=PolicyTree.from_dict({"u": 12, "v": 88}))
+        fcs = FairshareCalculationService(
+            "a", engine, pds=pds, ums=ums,
+            parameters=FairshareParameters(k=0.5))
+        # zero usage: p = 0.5*(share + 1); the Figure 13b bound
+        assert fcs.priority("u") == pytest.approx(0.5 * (1 + 0.12))
+
+    def test_stop_halts_refresh(self, stack):
+        engine, uss, ums, _, fcs = stack
+        fcs.stop()
+        ums.stop()
+        uss.record_job(UsageRecord(user="alice", site="a", start=0.0, end=500.0))
+        before = fcs.fairshare_value("alice")
+        engine.run_until(60.0)
+        assert fcs.fairshare_value("alice") == before

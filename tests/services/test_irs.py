@@ -1,0 +1,102 @@
+"""Unit tests for the Identity Resolution Service and its JSON protocol."""
+
+import json
+
+import pytest
+
+from repro.services.irs import (
+    IdentityResolutionError,
+    IdentityResolutionService,
+    table_endpoint,
+)
+
+
+class TestLookupTable:
+    def test_store_and_resolve(self):
+        irs = IdentityResolutionService("site")
+        irs.store_mapping("alice", "/C=SE/CN=alice")
+        assert irs.resolve("alice") == "/C=SE/CN=alice"
+        assert irs.table_hits == 1
+
+    def test_unknown_without_endpoint_raises(self):
+        irs = IdentityResolutionService("site")
+        with pytest.raises(IdentityResolutionError):
+            irs.resolve("ghost")
+
+    def test_known_users_snapshot(self):
+        irs = IdentityResolutionService("site")
+        irs.store_mapping("a", "A")
+        assert irs.known_users() == {"a": "A"}
+
+
+class TestJsonEndpoint:
+    def test_endpoint_called_with_json_protocol(self):
+        requests = []
+
+        def endpoint(request: str) -> str:
+            requests.append(json.loads(request))
+            return json.dumps({"grid_identity": "/CN=bob"})
+
+        irs = IdentityResolutionService("site", endpoint=endpoint)
+        assert irs.resolve("bob") == "/CN=bob"
+        assert requests == [{"query": "resolve", "system_user": "bob"}]
+        assert irs.endpoint_calls == 1
+
+    def test_endpoint_result_memoized(self):
+        calls = []
+
+        def endpoint(request: str) -> str:
+            calls.append(request)
+            return json.dumps({"grid_identity": "/CN=bob"})
+
+        irs = IdentityResolutionService("site", endpoint=endpoint)
+        irs.resolve("bob")
+        irs.resolve("bob")
+        assert len(calls) == 1
+        assert irs.table_hits == 1
+
+    def test_endpoint_error_response(self):
+        irs = IdentityResolutionService(
+            "site", endpoint=lambda req: json.dumps({"error": "unknown user"}))
+        with pytest.raises(IdentityResolutionError):
+            irs.resolve("ghost")
+
+    def test_endpoint_invalid_json(self):
+        irs = IdentityResolutionService("site", endpoint=lambda req: "not json")
+        with pytest.raises(IdentityResolutionError):
+            irs.resolve("x")
+
+    def test_table_checked_before_endpoint(self):
+        irs = IdentityResolutionService(
+            "site", endpoint=lambda req: json.dumps({"grid_identity": "/CN=wrong"}))
+        irs.store_mapping("alice", "/CN=right")
+        assert irs.resolve("alice") == "/CN=right"
+        assert irs.endpoint_calls == 0
+
+    def test_set_endpoint_later(self):
+        irs = IdentityResolutionService("site")
+        irs.set_endpoint(table_endpoint({"u": "/CN=u"}))
+        assert irs.resolve("u") == "/CN=u"
+
+
+class TestTableEndpoint:
+    def test_resolves_known_user(self):
+        ep = table_endpoint({"alice": "/CN=alice"})
+        response = json.loads(ep(json.dumps(
+            {"query": "resolve", "system_user": "alice"})))
+        assert response == {"grid_identity": "/CN=alice"}
+
+    def test_unknown_user_error(self):
+        ep = table_endpoint({})
+        response = json.loads(ep(json.dumps(
+            {"query": "resolve", "system_user": "x"})))
+        assert "error" in response
+
+    def test_malformed_request(self):
+        ep = table_endpoint({})
+        assert "error" in json.loads(ep("{{{"))
+
+    def test_unsupported_query(self):
+        ep = table_endpoint({})
+        response = json.loads(ep(json.dumps({"query": "delete_everything"})))
+        assert "error" in response

@@ -1,0 +1,39 @@
+"""Unit tests for the service message payloads."""
+
+from repro.core.policy import parse_policy
+from repro.services.messages import PolicyExportMessage, UsageExchangeMessage
+
+
+class TestUsageExchangeMessage:
+    def test_total_charge(self):
+        msg = UsageExchangeMessage(
+            site="a", sent_at=0.0, interval=60.0,
+            snapshot={"u1": {0: 10.0, 1: 20.0}, "u2": {0: 5.0}})
+        assert msg.total_charge() == 35.0
+
+    def test_empty_snapshot(self):
+        msg = UsageExchangeMessage(site="a", sent_at=0.0, interval=60.0,
+                                   snapshot={})
+        assert msg.total_charge() == 0.0
+
+    def test_frozen(self):
+        msg = UsageExchangeMessage(site="a", sent_at=0.0, interval=60.0,
+                                   snapshot={})
+        try:
+            msg.site = "b"
+            assert False, "should be immutable"
+        except AttributeError:
+            pass
+
+
+class TestPolicyExportMessage:
+    def test_text_roundtrips_through_parser(self):
+        msg = PolicyExportMessage(source="pds", sent_at=1.0,
+                                  lines=["/g = 2", "/g/u = 3"])
+        tree = parse_policy(msg.text())
+        assert tree["/g/u"].weight == 3.0
+
+    def test_empty_lines(self):
+        msg = PolicyExportMessage(source="pds", sent_at=1.0)
+        assert msg.text() == ""
+        assert parse_policy(msg.text()).size() == 1

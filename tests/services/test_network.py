@@ -1,0 +1,111 @@
+"""Unit tests for the simulated network bus."""
+
+import pytest
+
+from repro.services.network import Network
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def network(engine):
+    return Network(engine, base_latency=1.0)
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, engine, network):
+        inbox = []
+        network.connect("b", inbox.append)
+        network.send("a", "b", "hello")
+        assert inbox == []
+        engine.run_until(0.5)
+        assert inbox == []
+        engine.run_until(1.0)
+        assert inbox == ["hello"]
+
+    def test_unknown_destination_dropped(self, engine, network):
+        assert network.send("a", "nowhere", "x") is False
+        assert network.stats.dropped == 1
+
+    def test_broadcast_excludes_source(self, engine, network):
+        boxes = {name: [] for name in ("a", "b", "c")}
+        for name, box in boxes.items():
+            network.connect(name, box.append)
+        count = network.broadcast("a", "msg")
+        engine.run_until(2.0)
+        assert count == 2
+        assert boxes["a"] == []
+        assert boxes["b"] == ["msg"] and boxes["c"] == ["msg"]
+
+    def test_per_link_stats(self, engine, network):
+        network.connect("b", lambda m: None)
+        network.send("a", "b", 1)
+        network.send("a", "b", 2)
+        assert network.stats.per_link[("a", "b")] == 2
+
+    def test_duplicate_endpoint_rejected(self, network):
+        network.connect("x", lambda m: None)
+        with pytest.raises(ValueError):
+            network.connect("x", lambda m: None)
+
+    def test_disconnect(self, engine, network):
+        inbox = []
+        network.connect("b", inbox.append)
+        network.disconnect("b")
+        assert network.send("a", "b", "x") is False
+
+    def test_jitter_bounds_latency(self, engine):
+        net = Network(engine, base_latency=1.0, jitter=0.5)
+        for _ in range(50):
+            lat = net.latency()
+            assert 1.0 <= lat <= 1.5
+
+    def test_negative_latency_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Network(engine, base_latency=-1.0)
+
+
+class TestPartitions:
+    def test_partition_drops_messages(self, engine, network):
+        inbox = []
+        network.connect("b", inbox.append)
+        network.partition("a", "b")
+        assert network.send("a", "b", "x") is False
+        engine.run_until(10.0)
+        assert inbox == []
+
+    def test_partition_is_symmetric(self, engine, network):
+        network.connect("a", lambda m: None)
+        network.partition("a", "b")
+        assert network.is_partitioned("b", "a")
+        assert network.send("b", "a", "x") is False
+
+    def test_heal_restores_delivery(self, engine, network):
+        inbox = []
+        network.connect("b", inbox.append)
+        network.partition("a", "b")
+        network.heal("a", "b")
+        assert network.send("a", "b", "x") is True
+        engine.run_until(2.0)
+        assert inbox == ["x"]
+
+    def test_in_flight_message_lost_on_partition(self, engine, network):
+        inbox = []
+        network.connect("b", inbox.append)
+        network.send("a", "b", "x")  # in flight, arrives at t=1
+        network.partition("a", "b")
+        engine.run_until(2.0)
+        assert inbox == []
+        assert network.stats.dropped == 1
+
+    def test_unrelated_links_unaffected(self, engine, network):
+        inbox = []
+        network.connect("c", inbox.append)
+        network.partition("a", "b")
+        network.send("a", "c", "x")
+        engine.run_until(2.0)
+        assert inbox == ["x"]

@@ -1,0 +1,95 @@
+"""Unit tests for the Policy Distribution Service (PDS)."""
+
+import pytest
+
+from repro.core.policy import PolicyTree
+from repro.services.pds import PolicyDistributionService
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+def make_pds(engine, name="site", spec=None, **kwargs):
+    policy = PolicyTree.from_dict(spec or {"local": 1})
+    kwargs.setdefault("refresh_interval", 10.0)
+    return PolicyDistributionService(name, engine, policy=policy, **kwargs)
+
+
+class TestLocalAdministration:
+    def test_policy_returns_tree(self, engine):
+        pds = make_pds(engine)
+        assert "/local" in pds.policy()
+
+    def test_set_share_bumps_version(self, engine):
+        pds = make_pds(engine)
+        v = pds.version
+        pds.set_share("/local", 5)
+        assert pds.version == v + 1
+        assert pds.policy()["/local"].weight == 5
+
+    def test_set_policy_replaces_tree(self, engine):
+        pds = make_pds(engine)
+        pds.set_policy(PolicyTree.from_dict({"new": 1}))
+        assert "/new" in pds.policy()
+        assert "/local" not in pds.policy()
+
+
+class TestExport:
+    def test_export_is_parseable_policy_text(self, engine):
+        pds = make_pds(engine, spec={"g": (2, {"u": 3})})
+        from repro.core.policy import parse_policy
+        parsed = parse_policy(pds.export().text())
+        assert parsed["/g/u"].weight == 3
+        assert parsed == pds.policy()
+
+    def test_export_carries_source_and_time(self, engine):
+        engine.run_until(0)
+        pds = make_pds(engine, name="hpc2n")
+        msg = pds.export()
+        assert msg.source == "hpc2n"
+        assert msg.sent_at == engine.now
+
+
+class TestRemoteMounting:
+    def test_mount_remote_grafts_policy(self, engine):
+        local = make_pds(engine, name="site", spec={"local": 60, "grid": 40})
+        remote = make_pds(engine, name="vo", spec={"projA": 3, "projB": 1})
+        local.mount_remote("/grid", remote)
+        assert local.policy()["/grid/projA"].normalized_share == pytest.approx(0.75)
+        assert local.mounts() == ["/grid"]
+
+    def test_remote_change_propagates_on_refresh(self, engine):
+        local = make_pds(engine, name="site", spec={"local": 60, "grid": 40},
+                         refresh_interval=10.0)
+        remote = make_pds(engine, name="vo", spec={"projA": 3, "projB": 1})
+        local.mount_remote("/grid", remote)
+        remote.set_share("/projC", 4)  # remote admin adds a project
+        assert "/grid/projC" not in local.policy()
+        engine.run_until(10.0)
+        assert "/grid/projC" in local.policy()
+
+    def test_local_changes_survive_refresh(self, engine):
+        local = make_pds(engine, name="site", spec={"local": 60, "grid": 40})
+        remote = make_pds(engine, name="vo", spec={"p": 1})
+        local.mount_remote("/grid", remote, weight=30)
+        engine.run_until(50.0)
+        assert local.policy()["/grid"].weight == 30
+        assert local.policy()["/local"].weight == 60
+
+    def test_mount_weight_override(self, engine):
+        local = make_pds(engine, name="site", spec={"local": 60, "grid": 40})
+        remote = make_pds(engine, name="vo", spec={"p": 1})
+        local.mount_remote("/grid", remote, weight=25)
+        assert local.policy()["/grid"].weight == 25
+
+    def test_stop_halts_refresh(self, engine):
+        local = make_pds(engine, name="site", spec={"local": 60, "grid": 40})
+        remote = make_pds(engine, name="vo", spec={"p": 1})
+        local.mount_remote("/grid", remote)
+        local.stop()
+        remote.set_share("/q", 2)
+        engine.run_until(100.0)
+        assert "/grid/q" not in local.policy()

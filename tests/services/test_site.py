@@ -1,0 +1,112 @@
+"""Unit tests for per-site wiring and participation modes."""
+
+import pytest
+
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageRecord
+from repro.services.network import Network
+from repro.services.site import AequusSite, ParticipationMode, SiteConfig, connect_sites
+from repro.sim.engine import SimulationEngine
+
+
+def make_policy():
+    return PolicyTree.from_dict({"u1": 1, "u2": 1})
+
+
+def make_site(name, engine, network, mode=ParticipationMode.FULL):
+    config = SiteConfig(histogram_interval=60.0, uss_exchange_interval=5.0,
+                        ums_refresh_interval=5.0, fcs_refresh_interval=5.0)
+    return AequusSite(name, engine, network, policy=make_policy(),
+                      config=config, mode=mode)
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def network(engine):
+    return Network(engine, base_latency=0.1)
+
+
+class TestParticipationModes:
+    def test_mode_flags(self):
+        assert ParticipationMode.FULL.publishes
+        assert ParticipationMode.FULL.consumes_remote
+        assert not ParticipationMode.READ_ONLY.publishes
+        assert ParticipationMode.READ_ONLY.consumes_remote
+        assert ParticipationMode.LOCAL_ONLY.publishes
+        assert not ParticipationMode.LOCAL_ONLY.consumes_remote
+        assert not ParticipationMode.DISJUNCT.publishes
+        assert not ParticipationMode.DISJUNCT.consumes_remote
+
+    def test_full_sites_exchange_usage(self, engine, network):
+        a = make_site("a", engine, network)
+        b = make_site("b", engine, network)
+        connect_sites([a, b])
+        a.uss.record_job(UsageRecord(user="u1", site="a", start=0.0, end=100.0))
+        engine.run_until(20.0)
+        assert b.ums.usage_totals().get("u1", 0.0) == pytest.approx(100.0)
+
+    def test_read_only_receives_but_never_contributes(self, engine, network):
+        ro = make_site("ro", engine, network, mode=ParticipationMode.READ_ONLY)
+        full = make_site("full", engine, network)
+        connect_sites([ro, full])
+        ro.uss.record_job(UsageRecord(user="u1", site="ro", start=0.0, end=50.0))
+        full.uss.record_job(UsageRecord(user="u2", site="full", start=0.0, end=70.0))
+        engine.run_until(20.0)
+        # ro sees full's usage...
+        assert ro.ums.usage_totals().get("u2", 0.0) == pytest.approx(70.0)
+        # ...but full never sees ro's
+        assert full.ums.usage_totals().get("u1", 0.0) == 0.0
+
+    def test_local_only_contributes_but_prioritizes_locally(self, engine, network):
+        lo = make_site("lo", engine, network, mode=ParticipationMode.LOCAL_ONLY)
+        full = make_site("full", engine, network)
+        connect_sites([lo, full])
+        full.uss.record_job(UsageRecord(user="u2", site="full", start=0.0, end=70.0))
+        lo.uss.record_job(UsageRecord(user="u1", site="lo", start=0.0, end=50.0))
+        engine.run_until(20.0)
+        # lo's data reaches full
+        assert full.ums.usage_totals().get("u1", 0.0) == pytest.approx(50.0)
+        # lo ignores remote usage for prioritization
+        assert lo.ums.usage_totals().get("u2", 0.0) == 0.0
+
+    def test_disjunct_site_fully_isolated(self, engine, network):
+        dj = make_site("dj", engine, network, mode=ParticipationMode.DISJUNCT)
+        full = make_site("full", engine, network)
+        connect_sites([dj, full])
+        dj.uss.record_job(UsageRecord(user="u1", site="dj", start=0.0, end=50.0))
+        full.uss.record_job(UsageRecord(user="u2", site="full", start=0.0, end=70.0))
+        engine.run_until(20.0)
+        assert full.ums.usage_totals().get("u1", 0.0) == 0.0
+        assert dj.ums.usage_totals().get("u2", 0.0) == 0.0
+
+
+class TestWiring:
+    def test_fcs_reflects_local_usage(self, engine, network):
+        site = make_site("a", engine, network)
+        before = site.fcs.priority("u1")
+        site.uss.record_job(UsageRecord(user="u1", site="a", start=0.0, end=500.0))
+        engine.run_until(20.0)
+        assert site.fcs.priority("u1") < before
+
+    def test_connect_sites_full_mesh(self, engine, network):
+        sites = [make_site(f"s{i}", engine, network) for i in range(3)]
+        connect_sites(sites)
+        for site in sites:
+            assert len(site.uss.peers) == 2
+
+    def test_stop_cancels_periodic_tasks(self, engine, network):
+        site = make_site("a", engine, network)
+        site.stop()
+        refreshes = site.fcs.refreshes
+        engine.run_until(60.0)
+        assert site.fcs.refreshes == refreshes
+
+    def test_config_decay_and_parameters(self):
+        cfg = SiteConfig(decay_half_life=100.0, k=0.7, resolution=999)
+        assert cfg.decay().half_life == 100.0
+        params = cfg.parameters()
+        assert params.k == 0.7 and params.resolution == 999

@@ -1,0 +1,115 @@
+"""Unit tests for the Usage Monitoring Service (UMS)."""
+
+import pytest
+
+from repro.core.decay import NoDecay
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageRecord
+from repro.services.network import Network
+from repro.services.ums import UsageMonitoringService
+from repro.services.uss import UsageStatisticsService
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def uss(engine):
+    network = Network(engine, base_latency=0.1)
+    return UsageStatisticsService("a", engine, network,
+                                  histogram_interval=60.0,
+                                  exchange_interval=10.0)
+
+
+def make_ums(engine, uss, **kwargs):
+    kwargs.setdefault("decay", NoDecay())
+    kwargs.setdefault("refresh_interval", 10.0)
+    return UsageMonitoringService("a", engine, sources=[uss], **kwargs)
+
+
+class TestRefresh:
+    def test_initial_refresh_at_construction(self, engine, uss):
+        ums = make_ums(engine, uss)
+        assert ums.refreshes == 1
+        assert ums.usage_totals() == {}
+
+    def test_totals_appear_after_refresh(self, engine, uss):
+        ums = make_ums(engine, uss)
+        uss.record_job(UsageRecord(user="u", site="a", start=0.0, end=100.0))
+        assert ums.usage_totals() == {}  # not refreshed yet
+        engine.run_until(10.0)
+        assert ums.usage_totals()["u"] == pytest.approx(100.0)
+
+    def test_serves_precomputed_state(self, engine, uss):
+        """Queries between refreshes return the stale pre-computed value —
+        the FCS/UMS cache time is delay source II."""
+        ums = make_ums(engine, uss)
+        engine.run_until(10.0)
+        uss.record_job(UsageRecord(user="u", site="a", start=0.0, end=50.0))
+        assert ums.usage_totals() == {}  # still the old snapshot
+        engine.run_until(20.0)
+        assert ums.usage_totals()["u"] == pytest.approx(50.0)
+
+    def test_computed_at_tracks_refresh_time(self, engine, uss):
+        ums = make_ums(engine, uss)
+        engine.run_until(25.0)
+        assert ums.computed_at == pytest.approx(20.0)
+
+    def test_requires_a_source(self, engine):
+        with pytest.raises(ValueError):
+            UsageMonitoringService("a", engine, sources=[])
+
+    def test_stop_halts_refresh(self, engine, uss):
+        ums = make_ums(engine, uss)
+        ums.stop()
+        uss.record_job(UsageRecord(user="u", site="a", start=0.0, end=50.0))
+        engine.run_until(100.0)
+        assert ums.usage_totals() == {}
+
+
+class TestRemoteConsideration:
+    def test_consider_remote_false_ignores_remote_usage(self, engine):
+        network = Network(engine, base_latency=0.1)
+        a = UsageStatisticsService("a", engine, network,
+                                   histogram_interval=60.0, exchange_interval=5.0)
+        b = UsageStatisticsService("b", engine, network,
+                                   histogram_interval=60.0, exchange_interval=5.0)
+        a.add_peer("b")
+        b.add_peer("a")
+        b.record_job(UsageRecord(user="u", site="b", start=0.0, end=80.0))
+        ums_global = UsageMonitoringService("a", engine, sources=[a],
+                                            decay=NoDecay(), refresh_interval=5.0,
+                                            consider_remote=True)
+        ums_local = UsageMonitoringService("a", engine, sources=[a],
+                                           decay=NoDecay(), refresh_interval=5.0,
+                                           consider_remote=False)
+        engine.run_until(20.0)
+        assert ums_global.usage_totals().get("u", 0.0) == pytest.approx(80.0)
+        assert ums_local.usage_totals().get("u", 0.0) == 0.0
+
+
+class TestUsageTree:
+    def test_usage_tree_shaped_by_policy(self, engine, uss):
+        ums = make_ums(engine, uss)
+        uss.record_job(UsageRecord(user="u1", site="a", start=0.0, end=30.0))
+        engine.run_until(10.0)
+        policy = PolicyTree.from_dict({"g": (1, {"u1": 1, "u2": 1})})
+        tree = ums.usage_tree(policy)
+        assert tree["/g/u1"].usage == pytest.approx(30.0)
+        assert tree["/g"].usage == pytest.approx(30.0)
+
+    def test_multiple_sources_summed(self, engine):
+        network = Network(engine, base_latency=0.1)
+        u1 = UsageStatisticsService("a1", engine, network,
+                                    histogram_interval=60.0, exchange_interval=5.0)
+        u2 = UsageStatisticsService("a2", engine, network,
+                                    histogram_interval=60.0, exchange_interval=5.0)
+        u1.record_job(UsageRecord(user="u", site="a1", start=0.0, end=10.0))
+        u2.record_job(UsageRecord(user="u", site="a2", start=0.0, end=20.0))
+        ums = UsageMonitoringService("a", engine, sources=[u1, u2],
+                                     decay=NoDecay(), refresh_interval=5.0)
+        engine.run_until(5.0)
+        assert ums.usage_totals()["u"] == pytest.approx(30.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the Usage Statistics Service (USS)."""
+
+import pytest
+
+from repro.core.usage import UsageRecord
+from repro.services.network import Network
+from repro.services.uss import UsageStatisticsService
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def network(engine):
+    return Network(engine, base_latency=0.1)
+
+
+def make_uss(name, engine, network, **kwargs):
+    return UsageStatisticsService(name, engine, network,
+                                  histogram_interval=60.0,
+                                  exchange_interval=10.0, **kwargs)
+
+
+def record(user="u", site="s", start=0.0, end=60.0):
+    return UsageRecord(user=user, site=site, start=start, end=end)
+
+
+class TestLocalRecording:
+    def test_record_job_lands_in_histogram(self, engine, network):
+        uss = make_uss("a", engine, network)
+        uss.record_job(record(end=120.0))
+        assert uss.local.total("u") == pytest.approx(120.0)
+        assert uss.records_received == 1
+
+
+class TestExchange:
+    def test_peers_receive_snapshots(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        b.add_peer("a")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(15.0)
+        assert "a" in b.remote
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+    def test_snapshot_is_full_state_idempotent(self, engine, network):
+        """Repeated exchanges must not double-count usage."""
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(55.0)  # several exchange rounds
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+    def test_non_publishing_site_sends_nothing(self, engine, network):
+        a = make_uss("a", engine, network, publish=False)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record())
+        engine.run_until(30.0)
+        assert "a" not in b.remote
+
+    def test_global_usage_merges_local_and_remote(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        b.add_peer("a")
+        a.record_job(record(user="u", end=50.0))
+        b.record_job(record(user="u", end=70.0))
+        engine.run_until(15.0)
+        merged = a.global_usage()
+        assert merged.total("u") == pytest.approx(120.0)
+
+    def test_global_usage_local_only_view(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        b.add_peer("a")
+        b.record_job(record(user="u", end=70.0))
+        engine.run_until(15.0)
+        assert a.global_usage(include_remote=False).total("u") == 0.0
+
+    def test_interval_mismatch_dropped(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = UsageStatisticsService("b", engine, network,
+                                   histogram_interval=30.0,
+                                   exchange_interval=10.0)
+        a.add_peer("b")
+        a.record_job(record())
+        engine.run_until(15.0)
+        assert "a" not in b.remote
+
+    def test_self_peering_rejected(self, engine, network):
+        a = make_uss("a", engine, network)
+        with pytest.raises(ValueError):
+            a.add_peer("a")
+
+    def test_known_sites(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        b.add_peer("a")
+        b.record_job(record())
+        engine.run_until(15.0)
+        assert a.known_sites() == ["a", "b"]
+
+    def test_stop_halts_exchange(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.stop()
+        a.record_job(record())
+        engine.run_until(30.0)
+        assert "a" not in b.remote
+
+    def test_partition_isolates_sites(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        network.partition("uss:a", "uss:b")
+        a.record_job(record())
+        engine.run_until(30.0)
+        assert "a" not in b.remote

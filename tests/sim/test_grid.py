@@ -1,0 +1,111 @@
+"""Unit tests for the grid submission host and identity mapping."""
+
+import numpy as np
+import pytest
+
+from repro.rms.cluster import Cluster
+from repro.rms.job import Job
+from repro.rms.scheduler import BaseScheduler
+from repro.services.irs import IdentityResolutionService
+from repro.sim.engine import SimulationEngine
+from repro.sim.grid import GridIdentityMapper, GridSubmissionHost
+from repro.workload.trace import Trace, TraceJob
+
+
+class ConstantScheduler(BaseScheduler):
+    def compute_priority(self, job, now):
+        return 0.5
+
+
+def make_scheduler(name, engine, cores=16):
+    cluster = Cluster(name, n_nodes=cores, cores_per_node=1)
+    return ConstantScheduler(name, engine, cluster, sched_interval=1.0,
+                             reprioritize_interval=10.0)
+
+
+DN = "/C=SE/O=SNIC/CN=U65"
+
+
+class TestIdentityMapper:
+    def test_mapping_deterministic(self):
+        m = GridIdentityMapper()
+        assert m.system_user(DN, "c1") == m.system_user(DN, "c1")
+
+    def test_mapping_differs_per_cluster(self):
+        m = GridIdentityMapper()
+        assert m.system_user(DN, "clusterA") != m.system_user(DN, "clusterB")
+
+    def test_reverse_resolution_through_irs_endpoint(self):
+        m = GridIdentityMapper()
+        sys_user = m.system_user(DN, "c1")
+        irs = IdentityResolutionService("c1")
+        m.register_with(irs, "c1")
+        assert irs.resolve(sys_user) == DN
+
+    def test_unknown_system_user_unresolvable(self):
+        m = GridIdentityMapper()
+        irs = IdentityResolutionService("c1")
+        m.register_with(irs, "c1")
+        with pytest.raises(KeyError):
+            irs.resolve("stranger")
+
+
+class TestSubmissionHost:
+    def test_submit_job_dispatches_to_some_cluster(self):
+        engine = SimulationEngine()
+        scheds = [make_scheduler(f"c{i}", engine) for i in range(3)]
+        host = GridSubmissionHost(engine, scheds,
+                                  rng=np.random.default_rng(0))
+        job = host.submit_job(DN, duration=5.0)
+        assert isinstance(job, Job)
+        assert host.stats.submitted == 1
+        assert sum(s.jobs_submitted for s in scheds) == 1
+
+    def test_round_robin_cycles(self):
+        engine = SimulationEngine()
+        scheds = [make_scheduler(f"c{i}", engine) for i in range(3)]
+        host = GridSubmissionHost(engine, scheds, dispatch="round_robin")
+        for _ in range(6):
+            host.submit_job(DN, duration=1.0)
+        assert [s.jobs_submitted for s in scheds] == [2, 2, 2]
+
+    def test_stochastic_spreads_roughly_evenly(self):
+        engine = SimulationEngine()
+        scheds = [make_scheduler(f"c{i}", engine, cores=600) for i in range(2)]
+        host = GridSubmissionHost(engine, scheds,
+                                  rng=np.random.default_rng(1))
+        for _ in range(400):
+            host.submit_job(DN, duration=1.0)
+        counts = [s.jobs_submitted for s in scheds]
+        assert min(counts) > 120  # not all on one cluster
+
+    def test_unknown_dispatch_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            GridSubmissionHost(engine, [make_scheduler("c", engine)],
+                               dispatch="magic")
+
+    def test_empty_cluster_list_rejected(self):
+        with pytest.raises(ValueError):
+            GridSubmissionHost(SimulationEngine(), [])
+
+    def test_schedule_trace_submits_at_arrival_times(self):
+        engine = SimulationEngine()
+        sched = make_scheduler("c", engine)
+        host = GridSubmissionHost(engine, [sched])
+        trace = Trace([TraceJob(user=DN, submit=5.0, duration=1.0),
+                       TraceJob(user=DN, submit=10.0, duration=1.0)])
+        assert host.schedule_trace(trace) == 2
+        engine.run_until(4.0)
+        assert sched.jobs_submitted == 0
+        engine.run_until(5.0)
+        assert sched.jobs_submitted == 1
+        engine.run_until(10.0)
+        assert sched.jobs_submitted == 2
+
+    def test_system_user_mapped_per_cluster(self):
+        engine = SimulationEngine()
+        sched = make_scheduler("clusterx", engine)
+        host = GridSubmissionHost(engine, [sched])
+        job = host.submit_job(DN, duration=1.0)
+        assert job.system_user == host.mapper.system_user(DN, "clusterx")

@@ -1,0 +1,37 @@
+"""Unit tests for the seeded RNG stream factory."""
+
+from repro.sim.random import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).stream("x").random(5)
+        b = RandomStreams(42).stream("x").random(5)
+        assert a.tolist() == b.tolist()
+
+    def test_different_names_independent(self):
+        rs = RandomStreams(42)
+        a = rs.stream("x").random(5)
+        b = rs.stream("y").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_stream_cached(self):
+        rs = RandomStreams(0)
+        assert rs.stream("x") is rs.stream("x")
+
+    def test_spawn_independent_space(self):
+        rs = RandomStreams(7)
+        child = rs.spawn("worker")
+        a = rs.stream("x").random(3)
+        b = child.stream("x").random(3)
+        assert a.tolist() != b.tolist()
+
+    def test_spawn_deterministic(self):
+        a = RandomStreams(7).spawn("w").stream("x").random(3)
+        b = RandomStreams(7).spawn("w").stream("x").random(3)
+        assert a.tolist() == b.tolist()

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate-trace", "--jobs", "100", "--out", "x.tsv"])
+        assert args.command == "generate-trace"
+        assert args.jobs == 100
+
+    def test_run_scenario_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nonsense"])
+
+
+class TestCommands:
+    def test_generate_and_fit_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "trace.tsv"
+        assert main(["generate-trace", "--jobs", "1500",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["fit", str(out), "--subsample", "800"]) == 0
+        text = capsys.readouterr().out
+        assert "U65" in text and "arrival fits" in text
+
+    def test_generate_testbed_trace(self, tmp_path, capsys):
+        out = tmp_path / "tb.tsv"
+        assert main(["generate-trace", "--testbed", "--jobs", "500",
+                     "--span", "600", "--cores", "40",
+                     "--out", str(out)]) == 0
+        from repro.workload.trace import Trace
+        trace = Trace.load(out)
+        assert trace.n_jobs == 500
+        assert trace.end <= 600.0
+
+    def test_probe_projections(self, capsys):
+        assert main(["probe-projections"]) == 0
+        text = capsys.readouterr().out
+        assert "matches paper" in text
+        assert "DIFFERS" not in text
+
+    def test_run_baseline_small(self, capsys):
+        assert main(["run", "baseline", "--jobs", "800", "--span", "900",
+                     "--sites", "1", "--hosts", "20"]) == 0
+        text = capsys.readouterr().out
+        assert "jobs submitted/completed" in text
+
+    def test_run_partial_enforces_site_minimum(self, capsys):
+        assert main(["run", "partial", "--jobs", "800", "--span", "900",
+                     "--sites", "2", "--hosts", "10"]) == 0
+        text = capsys.readouterr().out
+        assert "read-only site" in text

@@ -1,0 +1,183 @@
+"""Unit tests for trace cleaning, categorization, ACF, phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.workload.analysis import (
+    autocorrelation,
+    categorize_users,
+    clean_trace,
+    detect_periodicity,
+    detect_phases,
+)
+from repro.workload.trace import Trace, TraceJob
+
+DAY = 86400.0
+
+
+class TestCleaning:
+    def test_removes_admin_flagged_jobs(self):
+        t = Trace([TraceJob(user="u", submit=0.0, duration=10.0),
+                   TraceJob(user="root", submit=1.0, duration=10.0, admin=True)])
+        clean, report = clean_trace(t)
+        assert clean.n_jobs == 1
+        assert report.removed_job_fraction == pytest.approx(0.5)
+
+    def test_removes_named_admin_users(self):
+        t = Trace([TraceJob(user="u", submit=0.0, duration=10.0),
+                   TraceJob(user="monitor", submit=1.0, duration=10.0)])
+        clean, _ = clean_trace(t, admin_users=["monitor"])
+        assert clean.users() == ["u"]
+
+    def test_removes_zero_duration_outliers(self):
+        t = Trace([TraceJob(user="u", submit=0.0, duration=10.0),
+                   TraceJob(user="u", submit=1.0, duration=0.0)])
+        clean, report = clean_trace(t)
+        assert clean.n_jobs == 1
+        assert report.removed_usage_fraction == 0.0
+
+    def test_usage_fraction_reported(self):
+        t = Trace([TraceJob(user="u", submit=0.0, duration=99.0),
+                   TraceJob(user="root", submit=1.0, duration=1.0, admin=True)])
+        _, report = clean_trace(t)
+        assert report.removed_usage_fraction == pytest.approx(0.01)
+
+    def test_empty_trace(self):
+        clean, report = clean_trace(Trace([]))
+        assert clean.n_jobs == 0
+        assert report.removed_job_fraction == 0.0
+
+
+class TestCategorization:
+    @pytest.fixture
+    def trace(self):
+        jobs = []
+        # big: 65% of usage, mid: 30%, small: 3%, tail users: 2%
+        for usage, user, n in [(650.0, "big", 20), (300.0, "mid", 5),
+                               (30.0, "small", 8)]:
+            for i in range(n):
+                jobs.append(TraceJob(user=user, submit=float(i),
+                                     duration=usage / n))
+        for i, u in enumerate(["t1", "t2"]):
+            jobs.append(TraceJob(user=u, submit=float(i), duration=10.0))
+        return Trace(jobs)
+
+    def test_percent_labels(self, trace):
+        cats = categorize_users(trace, top_n=3)
+        assert cats.labels["big"] == "U65"
+        assert cats.labels["mid"] == "U30"
+        assert cats.labels["small"] == "U3"
+
+    def test_tail_grouped_as_uoth(self, trace):
+        cats = categorize_users(trace, top_n=3)
+        assert cats.label_for("t1") == "Uoth"
+        assert cats.label_for("t2") == "Uoth"
+
+    def test_shares_computed_per_category(self, trace):
+        cats = categorize_users(trace, top_n=3)
+        assert cats.usage_shares["U65"] == pytest.approx(0.65)
+        assert sum(cats.usage_shares.values()) == pytest.approx(1.0)
+        assert sum(cats.job_shares.values()) == pytest.approx(1.0)
+
+    def test_relabel_applies_categories(self, trace):
+        cats = categorize_users(trace, top_n=3)
+        labeled = cats.relabel(trace)
+        assert set(labeled.users()) == {"U65", "U30", "U3", "Uoth"}
+
+    def test_rank_labels(self, trace):
+        cats = categorize_users(trace, top_n=2, label_style="rank")
+        assert cats.labels["big"] == "U1"
+        assert cats.labels["mid"] == "U2"
+
+    def test_category_names_ordered(self, trace):
+        cats = categorize_users(trace, top_n=3)
+        assert cats.category_names() == ["U65", "U30", "U3", "Uoth"]
+
+
+class TestAutocorrelation:
+    def test_acf_zero_lag_is_one(self):
+        rng = np.random.default_rng(0)
+        acf = autocorrelation(rng.normal(size=500))
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        t = np.arange(400)
+        signal = np.sin(2 * np.pi * t / 50.0)
+        acf = autocorrelation(signal)
+        assert acf[50] > 0.8
+
+    def test_white_noise_no_structure(self):
+        rng = np.random.default_rng(1)
+        acf = autocorrelation(rng.normal(size=2000), max_lag=50)
+        assert np.all(np.abs(acf[1:]) < 0.2)
+
+    def test_max_lag_truncates(self):
+        acf = autocorrelation(np.random.default_rng(2).normal(size=100),
+                              max_lag=10)
+        assert acf.size == 11
+
+    def test_constant_series_zero(self):
+        acf = autocorrelation(np.full(50, 3.0), max_lag=5)
+        assert np.all(acf == 0.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]))
+
+
+class TestPeriodicityDetection:
+    def test_weekly_pattern_detected(self):
+        rng = np.random.default_rng(3)
+        times = []
+        for week in range(26):
+            base = week * 7 * DAY
+            times.extend(base + rng.uniform(0, DAY, size=200))  # active day
+        found = detect_periodicity(np.array(times), candidate_periods=[7 * DAY])
+        assert 7 * DAY in found
+
+    def test_uniform_arrivals_no_periodicity(self):
+        rng = np.random.default_rng(4)
+        times = rng.uniform(0, 180 * DAY, size=5000)
+        found = detect_periodicity(times)
+        assert found == {}
+
+    def test_tiny_input(self):
+        assert detect_periodicity(np.array([1.0])) == {}
+
+
+class TestPhaseDetection:
+    def _bumpy_times(self, centers, width=10 * DAY, n=800, seed=0):
+        rng = np.random.default_rng(seed)
+        times = []
+        for c in centers:
+            times.extend(rng.normal(c, width / 2, size=n))
+        return np.array(times)
+
+    def test_four_bumps_four_phases(self):
+        centers = [50 * DAY, 140 * DAY, 230 * DAY, 320 * DAY]
+        phases = detect_phases(self._bumpy_times(centers), n_phases=4)
+        assert len(phases) == 4
+        for (lo, hi), center in zip(phases, centers):
+            assert lo <= center <= hi
+
+    def test_phases_cover_range_contiguously(self):
+        phases = detect_phases(self._bumpy_times([50 * DAY, 250 * DAY]),
+                               n_phases=2)
+        assert phases[0][1] == phases[1][0]
+
+    def test_single_phase(self):
+        times = np.linspace(0, 100 * DAY, 500)
+        phases = detect_phases(times, n_phases=1)
+        assert len(phases) == 1
+
+    def test_quantile_fallback_on_flat_data(self):
+        rng = np.random.default_rng(5)
+        times = rng.uniform(0, 100 * DAY, size=3000)
+        phases = detect_phases(times, n_phases=4)
+        assert len(phases) == 4
+        counts = [np.sum((times >= lo) & (times < hi)) for lo, hi in phases]
+        assert min(counts) > 300  # roughly equal-count quarters
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            detect_phases(np.array([1.0, 2.0]), n_phases=4)

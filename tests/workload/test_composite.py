@@ -1,0 +1,123 @@
+"""Unit tests for the phase-weighted composite distribution (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.composite import CompositeDistribution
+from repro.workload.distributions import FAMILIES
+
+
+@pytest.fixture
+def two_bumps():
+    d1 = FAMILIES["normal"].make(100.0, 10.0)
+    d2 = FAMILIES["normal"].make(500.0, 20.0)
+    return CompositeDistribution([(0.7, d1), (0.3, d2)])
+
+
+class TestConstruction:
+    def test_weights_normalized(self, two_bumps):
+        np.testing.assert_allclose(two_bumps.weights, [0.7, 0.3])
+
+    def test_unnormalized_weights_accepted(self):
+        d = FAMILIES["normal"].make(0.0, 1.0)
+        comp = CompositeDistribution([(2.0, d), (6.0, d)])
+        np.testing.assert_allclose(comp.weights, [0.25, 0.75])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeDistribution([])
+
+    def test_negative_weight_rejected(self):
+        d = FAMILIES["normal"].make(0.0, 1.0)
+        with pytest.raises(ValueError):
+            CompositeDistribution([(-1.0, d)])
+
+    def test_zero_total_weight_rejected(self):
+        d = FAMILIES["normal"].make(0.0, 1.0)
+        with pytest.raises(ValueError):
+            CompositeDistribution([(0.0, d)])
+
+
+class TestDensities:
+    def test_pdf_is_weighted_sum(self, two_bumps):
+        x = np.array([100.0])
+        d1 = FAMILIES["normal"].make(100.0, 10.0)
+        d2 = FAMILIES["normal"].make(500.0, 20.0)
+        expected = 0.7 * d1.pdf(x) + 0.3 * d2.pdf(x)
+        np.testing.assert_allclose(two_bumps.pdf(x), expected)
+
+    def test_pdf_integrates_to_one(self, two_bumps):
+        x = np.linspace(-100, 800, 20001)
+        integral = np.trapezoid(two_bumps.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone_zero_to_one(self, two_bumps):
+        x = np.linspace(-100, 800, 500)
+        c = two_bumps.cdf(x)
+        assert np.all(np.diff(c) >= -1e-12)
+        assert c[0] == pytest.approx(0.0, abs=1e-6)
+        assert c[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_loglik_finite(self, two_bumps):
+        data = two_bumps.sample(100, np.random.default_rng(0))
+        assert np.isfinite(two_bumps.loglik(data))
+
+
+class TestInverse:
+    def test_icdf_inverts_cdf(self, two_bumps):
+        q = np.array([0.05, 0.35, 0.7, 0.95])
+        x = two_bumps.icdf(q)
+        np.testing.assert_allclose(two_bumps.cdf(x), q, atol=2e-3)
+
+    def test_exact_mode_agrees_with_grid(self, two_bumps):
+        q = np.array([0.2, 0.5, 0.8])
+        approx = two_bumps.icdf(q)
+        exact = two_bumps.icdf(q, exact=True)
+        np.testing.assert_allclose(approx, exact, rtol=1e-3, atol=0.2)
+
+    def test_median_between_bumps_weighted(self, two_bumps):
+        # 70% of mass at the first bump: median lies inside it
+        assert 80.0 < two_bumps.median() < 130.0
+
+    def test_invalid_quantiles_rejected(self, two_bumps):
+        with pytest.raises(ValueError):
+            two_bumps.icdf(np.array([1.2]))
+
+
+class TestSampling:
+    def test_mixture_sampling_respects_weights(self, two_bumps):
+        rng = np.random.default_rng(1)
+        samples = two_bumps.sample(4000, rng, method="mixture")
+        frac_first = np.mean(samples < 300.0)
+        assert frac_first == pytest.approx(0.7, abs=0.03)
+
+    def test_icdf_sampling_matches_mixture(self, two_bumps):
+        rng = np.random.default_rng(2)
+        samples = two_bumps.sample(4000, rng, method="icdf")
+        frac_first = np.mean(samples < 300.0)
+        assert frac_first == pytest.approx(0.7, abs=0.03)
+
+    def test_unknown_method_rejected(self, two_bumps):
+        with pytest.raises(ValueError):
+            two_bumps.sample(10, np.random.default_rng(0), method="magic")
+
+    def test_sample_count(self, two_bumps):
+        assert two_bumps.sample(123, np.random.default_rng(0)).size == 123
+
+
+class TestEquationOne:
+    def test_paper_shape_four_gev_phases(self):
+        """Equation 1: weighted sum of per-phase PDFs matches empirical mix."""
+        phases = [FAMILIES["gev"].make(-0.386, 9.75, 51.0),
+                  FAMILIES["gev"].make(-0.371, 15.3, 140.0),
+                  FAMILIES["gev"].make(-0.457, 15.4, 232.0),
+                  FAMILIES["gev"].make(-0.301, 10.7, 323.0)]
+        weights = [0.28, 0.31, 0.23, 0.18]
+        comp = CompositeDistribution(list(zip(weights, phases)))
+        rng = np.random.default_rng(3)
+        samples = comp.sample(8000, rng)
+        # mass per quarter approximates the weights
+        for (lo, hi), w in zip([(0, 95), (95, 190), (190, 280), (280, 365)],
+                               weights):
+            frac = np.mean((samples >= lo) & (samples < hi))
+            assert frac == pytest.approx(w, abs=0.04)

@@ -1,0 +1,134 @@
+"""Unit tests for the distribution zoo and paper parameterizations."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import FAMILIES, FitError, get_family
+
+
+class TestRegistry:
+    def test_eighteen_families(self):
+        # the paper's "set of 18 different distributions"
+        assert len(FAMILIES) == 18
+
+    def test_headline_families_present(self):
+        # "includes distributions such as normal, Weibull, GEV, BS, Pareto,
+        # Burr, and Log-normal"
+        for name in ("normal", "weibull", "gev", "birnbaum-saunders",
+                     "pareto", "burr", "lognormal"):
+            assert name in FAMILIES
+
+    def test_get_family_case_insensitive(self):
+        assert get_family("GEV") is FAMILIES["gev"]
+
+    def test_get_family_unknown(self):
+        with pytest.raises(KeyError):
+            get_family("cauchy-mixture")
+
+
+class TestPaperParameterizations:
+    def test_gev_median_matches_matlab_convention(self):
+        # MATLAB GEV(k, sigma, mu): median = mu + sigma*((ln2)^-k - 1)/k
+        k, sigma, mu = 0.195, 29.1, 1000.0
+        dist = FAMILIES["gev"].make(k, sigma, mu)
+        expected = mu + sigma * (np.log(2.0) ** (-k) - 1.0) / k
+        assert dist.median() == pytest.approx(expected, rel=1e-6)
+
+    def test_gev_negative_shape_bounded_tail(self):
+        dist = FAMILIES["gev"].make(-0.4, 10.0, 100.0)
+        # support bounded above at mu + sigma/|k|
+        assert dist.cdf(100.0 + 10.0 / 0.4 + 1.0) == pytest.approx(1.0)
+
+    def test_birnbaum_saunders_median_is_beta(self):
+        dist = FAMILIES["birnbaum-saunders"].make(1.76e4, 3.53)
+        assert dist.median() == pytest.approx(1.76e4, rel=1e-6)
+
+    def test_weibull_median(self):
+        lam, k = 5.49e4, 0.637
+        dist = FAMILIES["weibull"].make(lam, k)
+        assert dist.median() == pytest.approx(lam * np.log(2.0) ** (1.0 / k), rel=1e-6)
+
+    def test_burr_median(self):
+        alpha, c, k = 2.07, 11.0, 0.02
+        dist = FAMILIES["burr"].make(alpha, c, k)
+        expected = alpha * (2.0 ** (1.0 / k) - 1.0) ** (1.0 / c)
+        assert dist.median() == pytest.approx(expected, rel=1e-5)
+
+    def test_lognormal_parameterization(self):
+        dist = FAMILIES["lognormal"].make(2.0, 0.5)
+        assert dist.median() == pytest.approx(np.exp(2.0), rel=1e-6)
+
+    def test_exponential_mean_parameterization(self):
+        dist = FAMILIES["exponential"].make(10.0)
+        assert dist.median() == pytest.approx(10.0 * np.log(2.0), rel=1e-6)
+
+
+class TestFittedDistribution:
+    def test_cdf_icdf_roundtrip(self):
+        dist = FAMILIES["gev"].make(0.1, 2.0, 5.0)
+        q = np.array([0.1, 0.5, 0.9])
+        np.testing.assert_allclose(dist.cdf(dist.icdf(q)), q, atol=1e-9)
+
+    def test_sample_respects_seed(self):
+        dist = FAMILIES["weibull"].make(100.0, 1.5)
+        a = dist.sample(10, np.random.default_rng(0))
+        b = dist.sample(10, np.random.default_rng(0))
+        np.testing.assert_array_equal(a, b)
+
+    def test_loglik_finite_on_support(self):
+        dist = FAMILIES["gamma"].make(2.0, 3.0)
+        data = dist.sample(100, np.random.default_rng(1))
+        assert np.isfinite(dist.loglik(data))
+
+    def test_describe_contains_param_names(self):
+        dist = FAMILIES["gev"].make(0.1, 2.0, 5.0)
+        text = dist.describe()
+        assert "GEV" in text and "sigma" in text
+
+    def test_n_params(self):
+        assert FAMILIES["gev"].make(1, 2, 3).n_params == 3
+        assert FAMILIES["exponential"].make(1.0).n_params == 1
+
+
+class TestFitting:
+    @pytest.mark.parametrize("name,params", [
+        ("gev", (0.195, 15 * 86400.0, 60 * 86400.0)),
+        ("gev", (-0.386, 9.75 * 86400.0, 51 * 86400.0)),
+        ("weibull", (5.49e4, 0.637)),
+        ("birnbaum-saunders", (1.76e4, 3.53)),
+        ("burr", (120 * 86400.0, 3.5, 1.2)),
+        ("lognormal", (8.0, 1.2)),
+        ("normal", (1e6, 2e5)),
+        ("gamma", (2.5, 1e4)),
+        ("exponential", (5e3,)),
+    ])
+    def test_parameter_recovery(self, name, params):
+        """MLE on the family's own samples must recover the parameters."""
+        family = FAMILIES[name]
+        true = family.make(*params)
+        data = true.sample(6000, np.random.default_rng(7))
+        fitted = family.fit(data)
+        for got, want in zip(fitted.params, params):
+            assert got == pytest.approx(want, rel=0.15, abs=0.05)
+
+    def test_positive_support_rejects_nonpositive_data(self):
+        with pytest.raises(FitError):
+            FAMILIES["weibull"].fit(np.array([1.0, -2.0] * 10))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(FitError):
+            FAMILIES["gev"].fit(np.array([1.0, 2.0]))
+
+    def test_constant_data_rejected_for_standardized(self):
+        with pytest.raises(FitError):
+            FAMILIES["normal"].fit(np.full(100, 7.0))
+
+    def test_scale_invariance_of_shape_params(self):
+        """Rescaling data must only move scale parameters (Table III
+        regeneration relies on this)."""
+        family = FAMILIES["weibull"]
+        data = family.make(100.0, 0.7).sample(6000, np.random.default_rng(3))
+        f1 = family.fit(data)
+        f2 = family.fit(data * 1000.0)
+        assert f2.params[1] == pytest.approx(f1.params[1], rel=1e-6)  # shape k
+        assert f2.params[0] == pytest.approx(f1.params[0] * 1000.0, rel=1e-6)

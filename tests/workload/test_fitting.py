@@ -1,0 +1,107 @@
+"""Unit tests for BIC model selection and KS validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import FAMILIES, FitError
+from repro.workload.fitting import (
+    best_fit,
+    fit_all,
+    fit_family,
+    ks_statistic,
+    whole_second_median,
+)
+
+
+@pytest.fixture(scope="module")
+def weibull_data():
+    return FAMILIES["weibull"].make(100.0, 0.8).sample(
+        4000, np.random.default_rng(0))
+
+
+class TestFitFamily:
+    def test_result_fields(self, weibull_data):
+        r = fit_family(weibull_data, FAMILIES["weibull"])
+        assert r.n == 4000
+        assert np.isfinite(r.loglik)
+        assert r.bic == pytest.approx(2 * math.log(4000) - 2 * r.loglik)
+        assert 0.0 <= r.ks <= 1.0
+
+    def test_good_fit_has_small_ks(self, weibull_data):
+        r = fit_family(weibull_data, FAMILIES["weibull"])
+        assert r.ks < 0.03
+
+    def test_bad_family_has_larger_ks(self, weibull_data):
+        r = fit_family(weibull_data, FAMILIES["rayleigh"])
+        assert r.ks > 0.1
+
+    def test_row_rendering(self, weibull_data):
+        r = fit_family(weibull_data, FAMILIES["weibull"])
+        assert "Weibull" in r.row() and "KS=" in r.row()
+
+
+class TestFitAll:
+    def test_sorted_by_bic(self, weibull_data):
+        results = fit_all(weibull_data)
+        bics = [r.bic for r in results]
+        assert bics == sorted(bics)
+
+    def test_failed_families_skipped(self):
+        # negative data excludes every positive-support family but others fit
+        data = np.random.default_rng(0).normal(-100.0, 5.0, size=2000)
+        results = fit_all(data)
+        names = {r.family_name for r in results}
+        assert "normal" in names
+        assert "weibull" not in names
+
+    def test_family_subset(self, weibull_data):
+        results = fit_all(weibull_data, families=["weibull", "gamma"])
+        assert {r.family_name for r in results} <= {"weibull", "gamma"}
+
+    def test_subsample_caps_n(self, weibull_data):
+        results = fit_all(weibull_data, families=["weibull"], subsample=500,
+                          rng=np.random.default_rng(1))
+        assert results[0].n == 500
+
+    def test_subsample_deterministic_with_rng(self, weibull_data):
+        a = fit_all(weibull_data, families=["weibull"], subsample=500,
+                    rng=np.random.default_rng(5))
+        b = fit_all(weibull_data, families=["weibull"], subsample=500,
+                    rng=np.random.default_rng(5))
+        assert a[0].fitted.params == b[0].fitted.params
+
+
+class TestBestFit:
+    def test_recovers_generating_family(self, weibull_data):
+        # BIC should prefer Weibull on Weibull data (shape far from
+        # exponential's k=1 so no aliasing)
+        assert best_fit(weibull_data).family_name == "weibull"
+
+    def test_gev_data_recovers_gev(self):
+        data = FAMILIES["gev"].make(-0.38, 10.0, 100.0).sample(
+            5000, np.random.default_rng(2))
+        assert best_fit(data).family_name == "gev"
+
+    def test_no_valid_fit_raises(self):
+        with pytest.raises(FitError):
+            best_fit(np.array([1.0] * 100), families=["normal"])
+
+
+class TestHelpers:
+    def test_ks_statistic_range(self, weibull_data):
+        fitted = FAMILIES["weibull"].fit(weibull_data)
+        assert 0.0 <= ks_statistic(weibull_data, fitted) <= 1.0
+
+    def test_whole_second_median_floors(self):
+        # paper: U3's median of 0 s means most jobs arrive within the same
+        # measured second
+        data = np.array([0.4, 0.7, 0.9, 1.2, 5.0])
+        assert whole_second_median(data) == 0.0
+
+    def test_whole_second_median_integral(self):
+        assert whole_second_median(np.array([2.9, 2.1, 13.7])) == 2.0
+
+    def test_whole_second_median_empty_nan(self):
+        assert math.isnan(whole_second_median(np.array([])))

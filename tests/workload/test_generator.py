@@ -1,0 +1,229 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import FAMILIES
+from repro.workload.generator import (
+    ArrivalModel,
+    BatchModel,
+    DurationModel,
+    SyntheticWorkloadGenerator,
+    TruncatedICDFSampler,
+    UserWorkloadModel,
+    add_pollution,
+    allocate_counts,
+    compress_to_span,
+    scale_trace_load,
+)
+from repro.workload.trace import Trace, TraceJob
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTruncatedSampler:
+    def test_samples_within_range(self, rng):
+        dist = FAMILIES["normal"].make(100.0, 50.0)
+        sampler = TruncatedICDFSampler(dist, 50.0, 150.0)
+        samples = sampler.sample(2000, rng)
+        assert samples.min() >= 50.0
+        assert samples.max() <= 150.0
+
+    def test_effective_range_is_cdf_pair(self):
+        dist = FAMILIES["normal"].make(0.0, 1.0)
+        sampler = TruncatedICDFSampler(dist, -1.0, 1.0)
+        lo, hi = sampler.effective_range
+        assert lo == pytest.approx(dist.cdf(-1.0))
+        assert hi == pytest.approx(dist.cdf(1.0))
+
+    def test_paper_u65_style_range(self):
+        """The paper reports effective range [7.451e-3, 9.946e-1] for U65 —
+        any distribution with mass outside the year gives such a pair."""
+        dist = FAMILIES["normal"].make(182.0, 75.0)
+        sampler = TruncatedICDFSampler(dist, 0.0, 365.0)
+        lo, hi = sampler.effective_range
+        assert 0.0 < lo < 0.05
+        assert 0.95 < hi < 1.0
+
+    def test_distribution_shape_preserved_inside_range(self, rng):
+        dist = FAMILIES["normal"].make(100.0, 10.0)
+        sampler = TruncatedICDFSampler(dist, 0.0, 200.0)  # range covers all
+        samples = sampler.sample(4000, rng)
+        assert np.mean(samples) == pytest.approx(100.0, abs=1.0)
+
+    def test_no_mass_in_range_rejected(self):
+        dist = FAMILIES["normal"].make(0.0, 0.1)
+        with pytest.raises(ValueError):
+            TruncatedICDFSampler(dist, 100.0, 200.0)
+
+    def test_bad_range_rejected(self):
+        dist = FAMILIES["normal"].make(0.0, 1.0)
+        with pytest.raises(ValueError):
+            TruncatedICDFSampler(dist, 1.0, 1.0)
+
+
+class TestBatchModel:
+    def test_sizes_sum_exactly(self, rng):
+        model = BatchModel(mean_batch_size=10.0, mean_gap=1.0)
+        sizes = model.batch_sizes(137, rng)
+        assert sizes.sum() == 137
+
+    def test_unit_batches_for_mean_one(self, rng):
+        model = BatchModel(mean_batch_size=1.0)
+        assert model.batch_sizes(10, rng).tolist() == [1] * 10
+
+    def test_expand_preserves_count(self, rng):
+        model = BatchModel(mean_batch_size=5.0, mean_gap=2.0)
+        sizes = model.batch_sizes(50, rng)
+        anchors = np.arange(len(sizes), dtype=float) * 1000.0
+        times = model.expand(anchors, sizes, rng)
+        assert times.size == 50
+
+    def test_batch_members_cluster_near_anchor(self, rng):
+        model = BatchModel(mean_batch_size=20.0, mean_gap=0.5)
+        times = model.expand(np.array([1000.0]), np.array([20]), rng)
+        assert times.min() == 1000.0
+        assert times.max() < 1100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchModel(mean_batch_size=0.5)
+        with pytest.raises(ValueError):
+            BatchModel(mean_gap=-1.0)
+
+
+class TestAllocateCounts:
+    def test_sums_exactly(self):
+        counts = allocate_counts({"a": 0.8103, "b": 0.0658, "c": 0.0947,
+                                  "d": 0.0293}, 43200)
+        assert sum(counts.values()) == 43200
+
+    def test_proportions_respected(self):
+        counts = allocate_counts({"a": 3, "b": 1}, 100)
+        assert counts == {"a": 75, "b": 25}
+
+    def test_largest_remainder_rounding(self):
+        counts = allocate_counts({"a": 1, "b": 1, "c": 1}, 100)
+        assert sum(counts.values()) == 100
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_counts({"a": 0.0}, 10)
+
+
+class TestGenerator:
+    def _models(self):
+        dist = FAMILIES["normal"].make(500.0, 200.0)
+        sampler = TruncatedICDFSampler(dist, 0.0, 1000.0)
+        duration = DurationModel(FAMILIES["weibull"].make(50.0, 1.0),
+                                 min_duration=1.0, max_duration=500.0)
+        return {u: UserWorkloadModel(u, ArrivalModel(sampler), duration)
+                for u in ("a", "b")}
+
+    def test_job_counts_match_shares(self, rng):
+        gen = SyntheticWorkloadGenerator(self._models(),
+                                         job_shares={"a": 0.75, "b": 0.25},
+                                         n_jobs=1000)
+        trace = gen.generate(rng)
+        assert trace.n_jobs == 1000
+        assert trace.job_shares()["a"] == pytest.approx(0.75)
+
+    def test_usage_shares_pinned_exactly(self, rng):
+        gen = SyntheticWorkloadGenerator(self._models(),
+                                         job_shares={"a": 0.5, "b": 0.5},
+                                         n_jobs=500,
+                                         usage_shares={"a": 0.9, "b": 0.1},
+                                         total_charge=1e6)
+        trace = gen.generate(rng)
+        assert trace.total_usage() == pytest.approx(1e6)
+        assert trace.usage_shares()["a"] == pytest.approx(0.9)
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator(self._models(),
+                                       job_shares={"ghost": 1.0}, n_jobs=10)
+
+    def test_usage_shares_require_total_charge(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadGenerator(self._models(),
+                                       job_shares={"a": 1.0}, n_jobs=10,
+                                       usage_shares={"a": 1.0})
+
+    def test_durations_clipped(self, rng):
+        gen = SyntheticWorkloadGenerator(self._models(),
+                                         job_shares={"a": 1.0}, n_jobs=500)
+        trace = gen.generate(rng)
+        assert trace.durations().min() >= 1.0
+        assert trace.durations().max() <= 500.0
+
+
+class TestTransformations:
+    def _trace(self):
+        return Trace([TraceJob(user="u", submit=float(i) * 10.0, duration=5.0)
+                      for i in range(11)])
+
+    def test_compress_to_span(self):
+        out = compress_to_span(self._trace(), span=50.0)
+        assert out.start == 0.0
+        assert out.end == pytest.approx(50.0)
+        assert out.n_jobs == 11
+        # durations untouched
+        assert out.durations().tolist() == [5.0] * 11
+
+    def test_compress_preserves_relative_spacing(self):
+        out = compress_to_span(self._trace(), span=10.0)
+        np.testing.assert_allclose(np.diff(out.arrival_times()), 1.0)
+
+    def test_compress_degenerate_trace(self):
+        t = Trace([TraceJob(user="u", submit=5.0, duration=1.0)])
+        out = compress_to_span(t, span=100.0)
+        assert out[0].submit == 0.0
+
+    def test_compress_invalid_span(self):
+        with pytest.raises(ValueError):
+            compress_to_span(self._trace(), span=0.0)
+
+    def test_scale_trace_load(self):
+        out = scale_trace_load(self._trace(), target_charge=110.0)
+        assert out.total_usage() == pytest.approx(110.0)
+
+    def test_scale_empty_rejected(self):
+        t = Trace([TraceJob(user="u", submit=0.0, duration=0.0)])
+        with pytest.raises(ValueError):
+            scale_trace_load(t, 100.0)
+
+
+class TestPollution:
+    def test_fractions_match_paper(self, rng):
+        clean = Trace([TraceJob(user="u", submit=float(i), duration=100.0)
+                       for i in range(850)])
+        polluted = add_pollution(clean, rng, job_fraction=0.15,
+                                 usage_fraction=0.015)
+        noise_jobs = polluted.n_jobs - clean.n_jobs
+        assert noise_jobs / polluted.n_jobs == pytest.approx(0.15, abs=0.01)
+        noise_usage = polluted.total_usage() - clean.total_usage()
+        assert noise_usage / polluted.total_usage() == pytest.approx(0.015, abs=0.002)
+
+    def test_noise_is_removable_by_cleaning(self, rng):
+        from repro.workload.analysis import clean_trace
+        clean = Trace([TraceJob(user="u", submit=float(i), duration=100.0)
+                       for i in range(200)])
+        polluted = add_pollution(clean, rng)
+        recleaned, _ = clean_trace(polluted)
+        assert recleaned.n_jobs == clean.n_jobs
+
+    def test_zero_fraction_noop(self, rng):
+        clean = Trace([TraceJob(user="u", submit=0.0, duration=1.0)])
+        out = add_pollution(clean, rng, job_fraction=0.0, usage_fraction=0.0)
+        assert out.n_jobs == 1
+
+    def test_invalid_fractions_rejected(self, rng):
+        t = Trace([TraceJob(user="u", submit=0.0, duration=1.0)])
+        with pytest.raises(ValueError):
+            add_pollution(t, rng, job_fraction=1.0)
+        with pytest.raises(ValueError):
+            add_pollution(t, rng, usage_fraction=-0.1)

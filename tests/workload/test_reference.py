@@ -1,0 +1,163 @@
+"""Unit tests for the 2012-national-grid reference model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.analysis import categorize_users, clean_trace
+from repro.workload.reference import (
+    BURSTY_JOB_SHARES,
+    BURSTY_USAGE_SHARES,
+    CATEGORIES,
+    GRID_IDENTITIES,
+    JOB_SHARES,
+    USAGE_SHARES,
+    U65_PHASES,
+    arrival_distribution,
+    build_production_trace,
+    build_testbed_trace,
+    duration_distribution,
+    generate_reference_trace,
+    user_models,
+)
+
+
+class TestConstants:
+    def test_usage_shares_match_paper(self):
+        assert USAGE_SHARES["U65"] == 0.6525
+        assert USAGE_SHARES["U30"] == 0.3049
+        assert USAGE_SHARES["U3"] == 0.0286
+        assert USAGE_SHARES["Uoth"] == 0.0140
+        assert sum(USAGE_SHARES.values()) == pytest.approx(1.0)
+
+    def test_job_shares_match_paper(self):
+        assert JOB_SHARES["U65"] == 0.8103
+        assert sum(JOB_SHARES.values()) == pytest.approx(1.0, abs=1e-4)
+
+    def test_bursty_shares_match_paper(self):
+        assert BURSTY_JOB_SHARES == {"U65": 0.455, "U30": 0.065,
+                                     "U3": 0.455, "Uoth": 0.03}
+        assert BURSTY_USAGE_SHARES["U30"] == 0.385
+
+    def test_four_phases_with_published_shapes(self):
+        assert len(U65_PHASES) == 4
+        assert [p.k for p in U65_PHASES] == [-0.386, -0.371, -0.457, -0.301]
+        assert sum(p.weight for p in U65_PHASES) == pytest.approx(1.0)
+
+
+class TestDistributions:
+    def test_duration_families_match_table3(self):
+        assert duration_distribution("U65").family.name == "birnbaum-saunders"
+        assert duration_distribution("U30").family.name == "weibull"
+        assert duration_distribution("U3").family.name == "burr"
+        assert duration_distribution("Uoth").family.name == "birnbaum-saunders"
+
+    def test_duration_medians_consistent_with_params(self):
+        # published params: U65 BS beta=1.76e4 => median 1.76e4 s
+        assert duration_distribution("U65").median() == pytest.approx(1.76e4)
+
+    def test_u3_durations_much_shorter_than_u65(self):
+        # the premise of the bursty test's share arithmetic
+        assert duration_distribution("U3").median() < \
+            duration_distribution("U65").median() / 100
+
+    def test_arrival_distribution_u65_is_composite(self):
+        dist = arrival_distribution("U65")
+        assert dist.n_components == 4
+
+    def test_arrival_unknown_user(self):
+        with pytest.raises(KeyError):
+            arrival_distribution("U99")
+
+    def test_user_models_cover_categories(self):
+        models = user_models()
+        assert set(models) == set(CATEGORIES)
+
+
+class TestReferenceTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_reference_trace(n_jobs=6000, seed=1)
+
+    def test_pollution_levels(self, trace):
+        _, report = clean_trace(trace)
+        assert report.removed_job_fraction == pytest.approx(0.15, abs=0.01)
+        assert report.removed_usage_fraction == pytest.approx(0.015, abs=0.003)
+
+    def test_categorization_recovers_paper_shares(self, trace):
+        clean, _ = clean_trace(trace)
+        cats = categorize_users(clean)
+        assert cats.usage_shares["U65"] == pytest.approx(0.6525, abs=1e-3)
+        assert cats.job_shares["U65"] == pytest.approx(0.8103, abs=1e-3)
+
+    def test_inter_arrival_medians_near_table2(self, trace):
+        from repro.workload.fitting import whole_second_median
+        clean, _ = clean_trace(trace)
+        medians = {u: whole_second_median(clean.inter_arrival_times(u))
+                   for u in CATEGORIES}
+        assert medians["U3"] == 0.0          # paper: 0 s
+        assert 1 <= medians["U65"] <= 4      # paper: 2 s
+        assert 0 <= medians["U30"] <= 3      # paper: 1 s
+        assert 5 <= medians["Uoth"] <= 40    # paper: 13 s
+
+    def test_unpolluted_variant(self):
+        t = generate_reference_trace(n_jobs=500, seed=0, pollution=False)
+        assert t.n_jobs == 500
+        assert all(j.duration > 0 and not j.admin for j in t)
+
+    def test_deterministic_for_seed(self):
+        a = generate_reference_trace(n_jobs=300, seed=9)
+        b = generate_reference_trace(n_jobs=300, seed=9)
+        assert [j.submit for j in a] == [j.submit for j in b]
+
+
+class TestTestbedTrace:
+    def test_paper_defaults_shape(self):
+        trace = build_testbed_trace(n_jobs=2000, span=1000.0, total_cores=240,
+                                    load=0.95, seed=0)
+        assert trace.n_jobs == 2000
+        assert trace.end <= 1000.0
+        assert trace.total_usage() == pytest.approx(0.95 * 240 * 1000.0)
+
+    def test_identities_are_grid_dns(self):
+        trace = build_testbed_trace(n_jobs=200, span=1000.0, seed=0)
+        assert set(trace.users()) <= set(GRID_IDENTITIES.values())
+
+    def test_usage_shares_match_targets(self):
+        trace = build_testbed_trace(n_jobs=2000, span=1000.0, seed=0)
+        shares = trace.usage_shares()
+        for user, share in USAGE_SHARES.items():
+            assert shares[GRID_IDENTITIES[user]] == pytest.approx(share, abs=1e-6)
+
+    def test_bursty_variant_shares(self):
+        trace = build_testbed_trace(n_jobs=2000, span=1000.0, seed=0, bursty=True)
+        shares = trace.usage_shares()
+        for user, share in BURSTY_USAGE_SHARES.items():
+            assert shares[GRID_IDENTITIES[user]] == pytest.approx(share, abs=1e-6)
+        job_shares = trace.job_shares()
+        # the paper's published job fractions sum to 1.005; the generator
+        # normalizes, so the realized share is 0.455/1.005
+        assert job_shares[GRID_IDENTITIES["U3"]] == pytest.approx(0.455 / 1.005,
+                                                                  abs=1e-3)
+
+    def test_bursty_u3_starts_after_one_third(self):
+        trace = build_testbed_trace(n_jobs=3000, span=3000.0, seed=0, bursty=True)
+        u3_times = trace.arrival_times(GRID_IDENTITIES["U3"])
+        assert u3_times.min() >= 3000.0 / 3.0
+
+    def test_average_rate_is_120_per_minute_at_paper_scale(self):
+        # 43,200 jobs over 6 h = 120 jobs/min — checked via proportion
+        trace = build_testbed_trace(n_jobs=4320, span=2160.0, seed=0)
+        assert trace.n_jobs / (2160.0 / 60.0) == pytest.approx(120.0)
+
+
+class TestProductionTrace:
+    def test_scale(self):
+        trace = build_production_trace(months=0.5, jobs_per_month=2000, seed=0)
+        assert trace.n_jobs == 1000
+        assert trace.span <= 0.5 * 30 * 86400.0
+
+    def test_load_pinned(self):
+        trace = build_production_trace(months=0.25, jobs_per_month=2000,
+                                       total_cores=544, load=0.85, seed=0)
+        span = 0.25 * 30 * 86400.0
+        assert trace.total_usage() == pytest.approx(0.85 * 544 * span)

@@ -1,0 +1,124 @@
+"""Unit tests for SWF import/export."""
+
+import pytest
+
+from repro.workload.swf import read_swf, write_swf
+from repro.workload.trace import Trace, TraceJob
+
+
+@pytest.fixture
+def trace():
+    return Trace([
+        TraceJob(user="alice", submit=0.0, duration=100.0, cores=1),
+        TraceJob(user="bob", submit=50.0, duration=200.0, cores=4),
+        TraceJob(user="alice", submit=75.0, duration=0.0, cores=1),
+    ])
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_modeling_fields(self, trace, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf(trace, path)
+        loaded = read_swf(path)
+        assert loaded.n_jobs == trace.n_jobs
+        for a, b in zip(loaded, trace):
+            assert a.submit == pytest.approx(b.submit)
+            assert a.duration == pytest.approx(b.duration)
+            assert a.cores == b.cores
+            assert a.job_id == b.job_id
+
+    def test_user_attribution_stable(self, trace, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf(trace, path)
+        loaded = read_swf(path)
+        # alice's two jobs map to the same SWF uid
+        users = [j.user for j in loaded]
+        assert users[0] == users[2]
+        assert users[0] != users[1]
+
+    def test_header_records_user_mapping(self, trace, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf(trace, path, comment="test export")
+        text = path.read_text()
+        assert "; UserID 1: alice" in text
+        assert "; test export" in text
+
+    def test_zero_duration_exported_as_failed(self, trace, tmp_path):
+        path = tmp_path / "t.swf"
+        write_swf(trace, path)
+        loaded = read_swf(path)
+        assert loaded[2].duration == 0.0
+
+
+class TestReader:
+    def _line(self, job_id=1, submit=10, run=60, procs=2, status=1, uid=7):
+        fields = [job_id, submit, 5, run, procs, -1, -1, procs, -1, -1,
+                  status, uid, -1, -1, -1, -1, -1, -1]
+        return " ".join(str(f) for f in fields)
+
+    def test_basic_parse(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("; header\n" + self._line() + "\n")
+        trace = read_swf(path)
+        assert trace.n_jobs == 1
+        job = trace[0]
+        assert job.submit == 10.0
+        assert job.duration == 60.0
+        assert job.cores == 2
+        assert job.user == "user7"
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("; c1\n\n; c2\n" + self._line() + "\n\n")
+        assert read_swf(path).n_jobs == 1
+
+    def test_failed_status_zeroes_duration(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(self._line(status=0, run=500) + "\n")
+        assert read_swf(path)[0].duration == 0.0
+
+    def test_failed_status_kept_when_disabled(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(self._line(status=0, run=500) + "\n")
+        trace = read_swf(path, treat_failed_as_zero_duration=False)
+        assert trace[0].duration == 500.0
+
+    def test_negative_runtime_clamped(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(self._line(run=-1) + "\n")
+        assert read_swf(path)[0].duration == 0.0
+
+    def test_negative_procs_clamped_to_one(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(self._line(procs=-1) + "\n")
+        assert read_swf(path)[0].cores == 1
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            read_swf(path)
+
+    def test_malformed_numbers_rejected(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(" ".join(["x"] * 18) + "\n")
+        with pytest.raises(ValueError):
+            read_swf(path)
+
+    def test_custom_user_prefix(self, tmp_path):
+        path = tmp_path / "t.swf"
+        path.write_text(self._line(uid=3) + "\n")
+        assert read_swf(path, user_prefix="acct")[0].user == "acct3"
+
+
+class TestPipelineIntegration:
+    def test_swf_export_feeds_the_cleaning_stage(self, tmp_path):
+        """A cancelled SWF job (status 0) must be stripped by clean_trace."""
+        from repro.workload.analysis import clean_trace
+        path = tmp_path / "t.swf"
+        trace = Trace([TraceJob(user="u", submit=0.0, duration=50.0),
+                       TraceJob(user="u", submit=1.0, duration=0.0)])
+        write_swf(trace, path)
+        loaded = read_swf(path)
+        cleaned, _ = clean_trace(loaded)
+        assert cleaned.n_jobs == 1

@@ -1,0 +1,115 @@
+"""Unit tests for trace containers and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import Trace, TraceJob
+
+
+@pytest.fixture
+def trace():
+    return Trace([
+        TraceJob(user="a", submit=10.0, duration=100.0),
+        TraceJob(user="b", submit=0.0, duration=50.0),
+        TraceJob(user="a", submit=20.0, duration=200.0, cores=2),
+        TraceJob(user="b", submit=5.0, duration=0.0),
+    ])
+
+
+class TestTraceJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceJob(user="u", submit=0.0, duration=-1.0)
+        with pytest.raises(ValueError):
+            TraceJob(user="u", submit=0.0, duration=1.0, cores=0)
+
+    def test_charge(self):
+        assert TraceJob(user="u", submit=0.0, duration=10.0, cores=3).charge == 30.0
+
+
+class TestBasics:
+    def test_sorted_by_submit(self, trace):
+        assert [j.submit for j in trace] == [0.0, 5.0, 10.0, 20.0]
+
+    def test_shape(self, trace):
+        assert trace.n_jobs == 4
+        assert trace.start == 0.0
+        assert trace.end == 20.0
+        assert trace.span == 20.0
+
+    def test_users(self, trace):
+        assert trace.users() == ["a", "b"]
+
+    def test_for_user(self, trace):
+        assert trace.for_user("a").n_jobs == 2
+
+    def test_filter(self, trace):
+        nonzero = trace.filter(lambda j: j.duration > 0)
+        assert nonzero.n_jobs == 3
+
+    def test_relabel(self, trace):
+        relabeled = trace.relabel({"a": "U65"})
+        assert set(relabeled.users()) == {"U65", "b"}
+
+    def test_concatenate(self, trace):
+        double = Trace.concatenate([trace, trace])
+        assert double.n_jobs == 8
+
+
+class TestStatistics:
+    def test_inter_arrival_times(self, trace):
+        np.testing.assert_allclose(trace.inter_arrival_times(), [5.0, 5.0, 10.0])
+
+    def test_inter_arrival_per_user(self, trace):
+        np.testing.assert_allclose(trace.inter_arrival_times("a"), [10.0])
+
+    def test_inter_arrival_single_job_empty(self):
+        t = Trace([TraceJob(user="u", submit=0.0, duration=1.0)])
+        assert t.inter_arrival_times().size == 0
+
+    def test_durations(self, trace):
+        np.testing.assert_allclose(sorted(trace.durations("a")), [100.0, 200.0])
+
+    def test_total_usage_counts_cores(self, trace):
+        assert trace.total_usage("a") == pytest.approx(100.0 + 400.0)
+
+    def test_usage_shares_sum_to_one(self, trace):
+        shares = trace.usage_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_job_shares(self, trace):
+        assert trace.job_shares() == {"a": 0.5, "b": 0.5}
+
+    def test_arrival_histogram_counts_total(self, trace):
+        edges, counts = trace.arrival_histogram(bin_size=10.0)
+        assert counts.sum() == 4
+
+    def test_peak_submission_rate(self, trace):
+        # two jobs within [0,10): peak 2 per 10-second window
+        assert trace.peak_submission_rate(window=10.0) == 2.0
+
+    def test_empty_trace(self):
+        t = Trace([])
+        assert t.n_jobs == 0
+        assert t.span == 0.0
+        assert t.usage_shares() == {}
+
+
+class TestIO:
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.tsv"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.n_jobs == trace.n_jobs
+        for a, b in zip(loaded, trace):
+            assert a.user == b.user
+            assert a.submit == pytest.approx(b.submit)
+            assert a.duration == pytest.approx(b.duration)
+            assert a.cores == b.cores
+            assert a.admin == b.admin
+
+    def test_admin_flag_roundtrip(self, tmp_path):
+        t = Trace([TraceJob(user="root", submit=0.0, duration=1.0, admin=True)])
+        path = tmp_path / "t.tsv"
+        t.save(path)
+        assert Trace.load(path)[0].admin is True
