@@ -1,0 +1,182 @@
+"""Refresh-latency scaling of the array-backed fairshare kernel.
+
+Measures one full FCS-style refresh — usage shaping, fairshare computation,
+and percental projection — at 1k / 10k / 100k users, comparing the
+vectorized kernel (:mod:`repro.core.flat`) against the retained object-tree
+reference (:func:`repro.core.fairshare.compute_fairshare_tree`), and checks
+bit-level agreement on the shared scale.
+
+Results are printed, appended to ``benchmarks/results.txt``, and written to
+``benchmarks/BENCH_refresh.json`` so CI can track the perf trajectory per
+PR.  Set ``REPRO_BENCH_SCALE=small`` for a smoke pass (drops the 100k
+tier); the ≥5× speedup gate at 10k users runs in both modes.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.fairshare import compute_fairshare_tree
+from repro.core.flat import FlatPolicy
+from repro.core.policy import PolicyTree
+from repro.core.projection import PercentalProjection
+from repro.core.usage import build_usage_tree
+
+JSON_PATH = Path(__file__).parent / "BENCH_refresh.json"
+
+#: users per scale tier; smoke mode trims the expensive top tier
+_SCALES = {"paper": (1_000, 10_000, 100_000), "small": (1_000, 10_000)}
+
+#: the tier the ≥5x acceptance gate applies to
+GATE_USERS = 10_000
+GATE_SPEEDUP = 5.0
+
+
+def scale_tiers():
+    return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "paper")]
+
+
+def grid_policy(n_users: int, users_per_project: int = 50,
+                projects_per_vo: int = 20, seed: int = 0) -> PolicyTree:
+    """A realistic 3-level hierarchy: VOs -> projects -> users.
+
+    Integer weights keep every sibling-group sum exact in float64, so the
+    reference and the kernel agree bit for bit and the 1e-9 comparison
+    below is meaningful rather than summation-order noise.
+    """
+    rng = np.random.default_rng(seed)
+    tree = PolicyTree()
+    users = 0
+    vo = 0
+    while users < n_users:
+        vo_path = f"/vo{vo}"
+        tree.set_share(vo_path, int(rng.integers(1, 100)))
+        for p in range(projects_per_vo):
+            if users >= n_users:
+                break
+            proj_path = f"{vo_path}/proj{p}"
+            tree.set_share(proj_path, int(rng.integers(1, 100)))
+            for u in range(users_per_project):
+                if users >= n_users:
+                    break
+                tree.set_share(f"{proj_path}/u{users}",
+                               int(rng.integers(1, 100)))
+                users += 1
+        vo += 1
+    return tree
+
+
+def random_usage(policy: PolicyTree, active_fraction: float = 0.7,
+                 seed: int = 1) -> dict:
+    rng = np.random.default_rng(seed)
+    return {path: float(int(rng.integers(1, 1_000_000)))
+            for path in policy.leaf_paths()
+            if rng.random() < active_fraction}
+
+
+def reference_refresh(policy, usage, projection):
+    """The pre-kernel FCS refresh: three object trees per call."""
+    usage_tree = build_usage_tree(policy, usage)
+    tree = compute_fairshare_tree(policy, usage=usage_tree)
+    return projection.project(tree)
+
+
+def flat_refresh(flat, usage, projection):
+    """The kernel refresh path (policy already compiled, as in the FCS)."""
+    return projection.project_flat(flat.compute(usage))
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def refresh_rows(report):
+    projection = PercentalProjection()
+    rows = []
+    for n_users in scale_tiers():
+        policy = grid_policy(n_users)
+        usage = random_usage(policy)
+        flat = FlatPolicy(policy)
+        repeats = 3 if n_users <= GATE_USERS else 1
+        t0 = time.perf_counter()
+        FlatPolicy(policy)
+        compile_s = time.perf_counter() - t0
+        ref_s = _best_of(lambda: reference_refresh(policy, usage, projection),
+                         repeats)
+        flat_s = _best_of(lambda: flat_refresh(flat, usage, projection),
+                          repeats)
+        rows.append(dict(n_users=n_users, reference_s=ref_s, flat_s=flat_s,
+                         compile_s=compile_s, speedup=ref_s / flat_s))
+    block = ["\n== refresh scaling (reference vs array kernel) =="] + [
+        f"{r['n_users']:>7} users: reference {r['reference_s'] * 1e3:9.1f} ms  "
+        f"kernel {r['flat_s'] * 1e3:7.1f} ms  "
+        f"(compile {r['compile_s'] * 1e3:7.1f} ms)  "
+        f"speedup {r['speedup']:6.1f}x"
+        for r in rows]
+    for line in block:
+        print(line)
+    report.extend(block)
+    JSON_PATH.write_text(json.dumps(
+        dict(benchmark="refresh_scaling",
+             scale=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+             gate=dict(users=GATE_USERS, min_speedup=GATE_SPEEDUP),
+             rows=rows),
+        indent=2) + "\n")
+    return rows
+
+
+class TestRefreshScaling:
+    def test_speedup_gate_at_10k_users(self, refresh_rows):
+        gate = next(r for r in refresh_rows if r["n_users"] == GATE_USERS)
+        assert gate["speedup"] >= GATE_SPEEDUP, (
+            f"kernel only {gate['speedup']:.1f}x faster than reference at "
+            f"{GATE_USERS} users (need >= {GATE_SPEEDUP}x)")
+
+    def test_speedup_is_monotone_ish(self, refresh_rows):
+        # the kernel's advantage must not collapse as scale grows
+        assert refresh_rows[-1]["speedup"] >= GATE_SPEEDUP
+
+    def test_json_artifact_written(self, refresh_rows):
+        data = json.loads(JSON_PATH.read_text())
+        assert data["benchmark"] == "refresh_scaling"
+        assert len(data["rows"]) == len(scale_tiers())
+
+
+class TestKernelAgreesWithReference:
+    """Randomized-tree equivalence at benchmark scale (the 1e-9 gate)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_values_match_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        policy = grid_policy(500, users_per_project=int(rng.integers(3, 30)),
+                             projects_per_vo=int(rng.integers(2, 10)),
+                             seed=seed)
+        usage = random_usage(policy, seed=seed + 100)
+        ref = compute_fairshare_tree(
+            policy, usage=build_usage_tree(policy, usage))
+        res = FlatPolicy(policy).compute(usage)
+        ref_priorities = ref.priorities()
+        flat_priorities = res.priorities()
+        assert set(ref_priorities) == set(flat_priorities)
+        for path, value in ref_priorities.items():
+            assert abs(flat_priorities[path] - value) < 1e-9
+        for node in ref.walk():
+            if node.parent is None:
+                continue
+            i = res.flat.path_index[node.path]
+            assert abs(res.balance[i] - node.balance) < 1e-9
+        projection = PercentalProjection()
+        a = projection.project(ref)
+        b = projection.project_flat(res)
+        for path, value in a.items():
+            assert abs(b[path] - value) < 1e-9

@@ -17,6 +17,7 @@ from .distance import (
     relative_distance,
 )
 from .fairshare import FairshareNode, FairshareTree, compute_fairshare_tree
+from .flat import FlatFairshare, FlatPolicy, compute_fairshare_flat
 from .policy import PolicyError, PolicyNode, PolicyTree, parse_policy
 from .projection import (
     BitwiseVectorProjection,
@@ -42,6 +43,7 @@ __all__ = [
     "FairshareParameters", "absolute_distance", "balance_score",
     "combined_priority", "relative_distance",
     "FairshareNode", "FairshareTree", "compute_fairshare_tree",
+    "FlatFairshare", "FlatPolicy", "compute_fairshare_flat",
     "PolicyError", "PolicyNode", "PolicyTree", "parse_policy",
     "BitwiseVectorProjection", "DictionaryOrderingProjection",
     "PercentalProjection", "Projection", "make_projection",

@@ -144,6 +144,8 @@ class StepDecay(DecayFunction):
                 raise ValueError("weights must be non-increasing")
             prev_w = w
         self.steps = steps
+        self._thresholds = np.array([t for t, _ in steps], dtype=float)
+        self._weights = np.array([w for _, w in steps], dtype=float)
 
     def weight(self, age: float) -> float:
         if age < 0:
@@ -152,6 +154,19 @@ class StepDecay(DecayFunction):
             if age <= threshold:
                 return w
         return 0.0
+
+    def weights(self, ages: np.ndarray) -> np.ndarray:
+        """Closed form: one ``searchsorted`` over the step thresholds.
+
+        ``side="left"`` finds the first threshold >= age, matching the
+        scalar ``age <= threshold`` scan; ages beyond the last threshold
+        (and negative ages) weigh zero.
+        """
+        ages = np.asarray(ages, dtype=float)
+        idx = np.searchsorted(self._thresholds, ages, side="left")
+        in_range = idx < len(self._weights)
+        w = self._weights[np.minimum(idx, len(self._weights) - 1)]
+        return np.where((ages >= 0) & in_range, w, 0.0)
 
     def __repr__(self) -> str:
         return f"StepDecay({self.steps!r})"

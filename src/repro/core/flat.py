@@ -1,0 +1,325 @@
+"""Array-backed fairshare kernel: the policy tree flattened to NumPy arrays.
+
+The object-tree fairshare computation (:func:`repro.core.fairshare.
+compute_fairshare_tree`) rebuilds three Python trees per FCS refresh and
+re-walks every leaf's path for vector extraction and the percental
+projection.  At grid scale (10⁴–10⁶ users) that recursive Python hot path
+dominates every benchmark scenario.
+
+This module lowers a :class:`~repro.core.policy.PolicyTree` into parallel
+arrays *once per policy epoch* (:class:`FlatPolicy`) and then evaluates a
+whole refresh — sibling-group target/usage normalization, priorities,
+balance scores, fairshare-vector elements, and path products — as
+segment-wise array operations over all nodes at once
+(:meth:`FlatPolicy.compute` → :class:`FlatFairshare`).
+
+Layout
+------
+Nodes are numbered in BFS order (the root is *not* stored).  Because a
+parent's children are appended as one contiguous block when the parent is
+dequeued, every sibling group occupies a contiguous segment, so per-group
+sums are single ``np.add.reduceat`` calls and per-node normalization is one
+gather + divide.  Usage roll-up runs level by level (deepest first) with
+``np.add.at`` — ``depth`` vectorized passes instead of ``n`` recursive
+calls.  ``leaf_levels`` maps each leaf row to the node indices on its
+root→leaf path (``-1``-padded), turning vector extraction and the percental
+path products into one fancy-indexing gather + ``prod`` over a matrix.
+
+The object-tree :class:`~repro.core.fairshare.FairshareTree` API remains
+available as a thin materialized view (:meth:`FlatFairshare.to_tree`) so
+existing tests and figures are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .distance import FairshareParameters
+from .fairshare import FairshareNode, FairshareTree
+from .policy import PolicyTree
+from .vector import FairshareVector
+
+__all__ = ["FlatPolicy", "FlatFairshare", "compute_fairshare_flat"]
+
+
+class FlatPolicy:
+    """A :class:`PolicyTree` compiled to parallel arrays.
+
+    Compilation is the once-per-policy-epoch step; :meth:`compute` is the
+    per-refresh hot path.  The compiled form is immutable — recompile when
+    the policy changes (the FCS keys compilation on the PDS policy version).
+    """
+
+    __slots__ = (
+        "n_nodes", "n_leaves", "max_depth",
+        "parent", "depth", "weight", "group_id", "group_start",
+        "names", "paths", "path_index",
+        "levels", "leaf_index", "leaf_paths", "leaf_names", "leaf_slot",
+        "leaf_levels", "by_name", "name_collisions",
+        "_target_share", "_target_valid",
+    )
+
+    def __init__(self, policy: PolicyTree):
+        names: List[str] = []
+        paths: List[str] = []
+        parent: List[int] = []
+        depth: List[int] = []
+        weight: List[float] = []
+        group_id: List[int] = []
+        group_start: List[int] = []
+
+        # BFS: children of one parent land in one contiguous block, giving
+        # sibling groups as reduceat segments.
+        queue: List[Tuple[object, int]] = [(policy.root, -1)]
+        head = 0
+        while head < len(queue):
+            node, idx = queue[head]
+            head += 1
+            children = list(node.children.values())  # type: ignore[attr-defined]
+            if not children:
+                continue
+            gid = len(group_start)
+            group_start.append(len(names))
+            base_path = paths[idx] if idx >= 0 else ""
+            base_depth = depth[idx] if idx >= 0 else 0
+            for child in children:
+                cidx = len(names)
+                names.append(child.name)
+                paths.append(base_path + "/" + child.name)
+                parent.append(idx)
+                depth.append(base_depth + 1)
+                weight.append(float(child.weight))
+                group_id.append(gid)
+                queue.append((child, cidx))
+
+        self.n_nodes = len(names)
+        self.names = names
+        self.paths = paths
+        self.path_index: Dict[str, int] = {p: i for i, p in enumerate(paths)}
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.depth = np.asarray(depth, dtype=np.int64)
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.group_id = np.asarray(group_id, dtype=np.int64)
+        self.group_start = np.asarray(group_start, dtype=np.int64)
+        self.max_depth = int(self.depth.max()) if self.n_nodes else 0
+
+        # node indices per depth level, for the level-wise usage roll-up
+        self.levels: List[np.ndarray] = [
+            np.nonzero(self.depth == d)[0] for d in range(1, self.max_depth + 1)
+        ]
+
+        # leaves: a node is a leaf iff no node names it as parent
+        is_leaf = np.ones(self.n_nodes, dtype=bool)
+        if self.n_nodes:
+            has_children = self.parent[self.parent >= 0]
+            is_leaf[has_children] = False
+        self.leaf_index = np.nonzero(is_leaf)[0]
+        self.n_leaves = int(self.leaf_index.size)
+        self.leaf_paths = [paths[i] for i in self.leaf_index]
+        self.leaf_names = [names[i] for i in self.leaf_index]
+        self.leaf_slot: Dict[str, int] = {p: r for r, p in enumerate(self.leaf_paths)}
+
+        # leaf row -> node indices along root->leaf path, -1 padded
+        self.leaf_levels = np.full((self.n_leaves, self.max_depth), -1,
+                                   dtype=np.int64)
+        for row, idx in enumerate(self.leaf_index):
+            d = int(self.depth[idx])
+            node = int(idx)
+            for level in range(d - 1, -1, -1):
+                self.leaf_levels[row, level] = node
+                node = int(self.parent[node])
+
+        # bare-name resolution must match the object-tree services exactly:
+        # first leaf in *pre-order* wins (Tree.leaves() traversal order)
+        self.by_name: Dict[str, str] = {}
+        self.name_collisions = 0
+        for leaf in policy.leaves():
+            if leaf.name in self.by_name:
+                if self.by_name[leaf.name] != leaf.path:
+                    self.name_collisions += 1
+            else:
+                self.by_name[leaf.name] = leaf.path
+
+        # target shares depend only on the policy: precompute at compile time
+        if self.n_nodes:
+            wsum = np.add.reduceat(self.weight, self.group_start)
+            self._target_share = self.weight / wsum[self.group_id]
+        else:
+            self._target_share = np.zeros(0, dtype=np.float64)
+        self._target_valid = True
+
+    # -- per-refresh evaluation ---------------------------------------------
+
+    def leaf_usage_vector(self, per_user_usage: Mapping[str, float]) -> np.ndarray:
+        """Decayed usage totals as a dense per-leaf vector.
+
+        Keys are leaf paths or bare leaf names (the UMS output format);
+        later keys targeting the same leaf overwrite earlier ones, matching
+        :func:`~repro.core.usage.build_usage_tree` assignment semantics.
+        """
+        vec = np.zeros(self.n_leaves, dtype=np.float64)
+        for key, value in per_user_usage.items():
+            path = key if key.startswith("/") else self.by_name.get(key)
+            if path is None:
+                continue
+            slot = self.leaf_slot.get(path)
+            if slot is not None:
+                vec[slot] = float(value)
+        return vec
+
+    def compute(self, per_user_usage: Optional[Mapping[str, float]] = None,
+                parameters: Optional[FairshareParameters] = None,
+                leaf_usage: Optional[np.ndarray] = None) -> "FlatFairshare":
+        """Evaluate one refresh: all node values in a handful of array ops."""
+        params = parameters or FairshareParameters()
+        if leaf_usage is None:
+            leaf_usage = self.leaf_usage_vector(per_user_usage or {})
+        usage = np.zeros(self.n_nodes, dtype=np.float64)
+        usage[self.leaf_index] = leaf_usage
+        # roll up, deepest level first (depth-1 nodes have the virtual root
+        # as parent and need no propagation)
+        for level_nodes in reversed(self.levels[1:]):
+            np.add.at(usage, self.parent[level_nodes], usage[level_nodes])
+
+        target = self._target_share
+        usum = np.add.reduceat(usage, self.group_start)[self.group_id] \
+            if self.n_nodes else np.zeros(0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            usage_share = np.where(usum > 0.0, usage / usum, 0.0)
+
+        k = params.k
+        # mirrors distance.combined_priority / distance.balance_score
+        absolute = np.clip(target - usage_share, 0.0, target)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.where(target > 0.0, target / (target + usage_share), 0.0)
+        priority = k * absolute + (1.0 - k) * rel
+        signed_abs = np.clip(0.5 + (target - usage_share) / 2.0, 0.0, 1.0)
+        rel_balance = np.where(target > 0.0, rel,
+                               np.where(usage_share == 0.0, 0.5, 0.0))
+        balance = k * signed_abs + (1.0 - k) * rel_balance
+
+        return FlatFairshare(self, params, usage, usage_share, priority, balance)
+
+
+class FlatFairshare:
+    """One refresh worth of fairshare values over a :class:`FlatPolicy`.
+
+    Everything the services and projections consume — leaf vectors, path
+    share products, priorities — is served from arrays; the object tree is
+    materialized only on demand (:meth:`to_tree`).
+    """
+
+    __slots__ = ("flat", "parameters", "usage", "usage_share", "priority",
+                 "balance", "_element_matrix", "_path_products")
+
+    def __init__(self, flat: FlatPolicy, parameters: FairshareParameters,
+                 usage: np.ndarray, usage_share: np.ndarray,
+                 priority: np.ndarray, balance: np.ndarray):
+        self.flat = flat
+        self.parameters = parameters
+        self.usage = usage
+        self.usage_share = usage_share
+        self.priority = priority
+        self.balance = balance
+        self._element_matrix: Optional[np.ndarray] = None
+        self._path_products: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @property
+    def target_share(self) -> np.ndarray:
+        return self.flat._target_share
+
+    @property
+    def leaf_paths(self) -> List[str]:
+        return self.flat.leaf_paths
+
+    @property
+    def leaf_depths(self) -> np.ndarray:
+        return self.flat.depth[self.flat.leaf_index]
+
+    # -- vector extraction (all leaves at once) -----------------------------
+
+    def element_matrix(self) -> np.ndarray:
+        """``(n_leaves, max_depth)`` fairshare-vector elements.
+
+        Row *r* holds leaf *r*'s path balances scaled to the vector
+        resolution; levels below the leaf are padded with the balance point,
+        so rows compare exactly like padded :class:`FairshareVector` tuples.
+        """
+        if self._element_matrix is None:
+            flat = self.flat
+            res = float(self.parameters.resolution)
+            idx = np.maximum(flat.leaf_levels, 0)
+            scores = np.clip(self.balance[idx], 0.0, 1.0) * res
+            self._element_matrix = np.where(flat.leaf_levels >= 0, scores,
+                                            self.parameters.balance_point)
+        return self._element_matrix
+
+    def path_products(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-leaf ``(target_total, usage_total)`` share products."""
+        if self._path_products is None:
+            flat = self.flat
+            idx = np.maximum(flat.leaf_levels, 0)
+            mask = flat.leaf_levels >= 0
+            tt = np.where(mask, self.target_share[idx], 1.0).prod(axis=1)
+            ut = np.where(mask, self.usage_share[idx], 1.0).prod(axis=1)
+            self._path_products = (tt, ut)
+        return self._path_products
+
+    # -- point queries ------------------------------------------------------
+
+    def node_priority(self, path: str) -> float:
+        return float(self.priority[self.flat.path_index[path]])
+
+    def priorities(self) -> Dict[str, float]:
+        pr = self.priority[self.flat.leaf_index]
+        return dict(zip(self.flat.leaf_paths, pr.tolist()))
+
+    def vector(self, path: str) -> FairshareVector:
+        row = self.flat.leaf_slot[path]
+        depth = int(self.leaf_depths[row])
+        elems = self.element_matrix()[row, :depth]
+        return FairshareVector(elems.tolist(), self.parameters.resolution)
+
+    def vectors(self) -> Dict[str, FairshareVector]:
+        matrix = self.element_matrix()
+        depths = self.leaf_depths
+        res = self.parameters.resolution
+        return {path: FairshareVector(matrix[r, :int(depths[r])].tolist(), res)
+                for r, path in enumerate(self.flat.leaf_paths)}
+
+    # -- object-tree view ---------------------------------------------------
+
+    def to_tree(self) -> FairshareTree:
+        """Materialize the classic :class:`FairshareTree` (thin view).
+
+        Children are attached in the policy's original (pre-order insertion)
+        order per parent, so traversal order matches the object-tree path.
+        """
+        flat = self.flat
+        out = FairshareTree(self.parameters)
+        nodes: List[FairshareNode] = []
+        for i in range(flat.n_nodes):
+            node = FairshareNode(
+                flat.names[i],
+                target_share=float(self.target_share[i]),
+                usage_share=float(self.usage_share[i]),
+                priority=float(self.priority[i]),
+                balance=float(self.balance[i]),
+            )
+            nodes.append(node)
+            parent = flat.parent[i]
+            (out.root if parent < 0 else nodes[parent]).add_child(node)
+        return out
+
+
+def compute_fairshare_flat(policy: PolicyTree,
+                           per_user_usage: Optional[Mapping[str, float]] = None,
+                           parameters: Optional[FairshareParameters] = None) -> FlatFairshare:
+    """One-shot convenience: compile and evaluate in one call.
+
+    Services that refresh repeatedly should keep the :class:`FlatPolicy`
+    compiled across refreshes instead (the FCS does).
+    """
+    return FlatPolicy(policy).compute(per_user_usage, parameters)

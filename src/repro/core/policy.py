@@ -81,6 +81,10 @@ class PolicyTree(Tree):
 
     def __init__(self, root: Optional[PolicyNode] = None):
         super().__init__(root if root is not None else PolicyNode(""))
+        #: bumped by every mutating method; consumers (the FCS) use it to
+        #: detect policy epochs without re-walking the tree.  Direct node
+        #: attribute writes bypass it — mutate via the tree methods.
+        self.revision = 0
 
     # -- construction --------------------------------------------------
 
@@ -119,6 +123,7 @@ class PolicyTree(Tree):
             raise PolicyError(f"share weight must be positive, got {weight}")
         node = self.ensure_path(path)
         node.weight = float(weight)  # type: ignore[attr-defined]
+        self.revision += 1
         return node  # type: ignore[return-value]
 
     # -- queries ---------------------------------------------------------
@@ -155,6 +160,7 @@ class PolicyTree(Tree):
             raise PolicyError(f"mount point {mount_point!r} already has children")
         node.mounted_from = source  # type: ignore[attr-defined]
         self._graft(node, subtree.root, source)  # type: ignore[arg-type]
+        self.revision += 1
         return node  # type: ignore[return-value]
 
     def _graft(self, target: PolicyNode, source_root: PolicyNode, source: str) -> None:
@@ -177,6 +183,7 @@ class PolicyTree(Tree):
         for name in list(node.children):
             node.remove_child(name)
         self._graft(node, subtree.root, source)  # type: ignore[arg-type]
+        self.revision += 1
 
     def unmount(self, mount_point: str) -> None:
         node = self.find(mount_point)
@@ -185,6 +192,7 @@ class PolicyTree(Tree):
         for name in list(node.children):
             node.remove_child(name)
         node.mounted_from = None  # type: ignore[attr-defined]
+        self.revision += 1
 
     def mount_points(self) -> List[str]:
         return [n.path for n in self.walk()

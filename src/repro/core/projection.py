@@ -27,10 +27,15 @@ at run time):
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from .fairshare import FairshareTree
 from .vector import FairshareVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flat imports us not)
+    from .flat import FlatFairshare
 
 __all__ = [
     "Projection",
@@ -49,6 +54,15 @@ class Projection:
     def project(self, tree: FairshareTree) -> Dict[str, float]:
         raise NotImplementedError
 
+    def project_flat(self, result: "FlatFairshare") -> Dict[str, float]:
+        """Project from an array-backed refresh (:mod:`repro.core.flat`).
+
+        The built-in projections override this with vectorized
+        implementations; custom projections fall back to the object-tree
+        path via the materialized view.
+        """
+        return self.project(result.to_tree())
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -64,6 +78,33 @@ class DictionaryOrderingProjection(Projection):
 
     def project(self, tree: FairshareTree) -> Dict[str, float]:
         return self.project_vectors(tree.vectors())
+
+    def project_flat(self, result: "FlatFairshare") -> Dict[str, float]:
+        """Rank all leaf rows at once via a columnar lexicographic sort.
+
+        Rows of the element matrix are balance-point padded, so comparing
+        them column-by-column is exactly the padded-vector comparison the
+        object path performs pair-by-pair.
+        """
+        matrix = result.element_matrix()
+        n, depth = matrix.shape
+        if n == 0:
+            return {}
+        if depth == 0:
+            # degenerate single-level-free tree: all vectors equal
+            return {p: n / (n + 1) for p in result.leaf_paths}
+        # np.lexsort treats the *last* key as primary; feed columns reversed
+        # and flip for a descending (best-first) order
+        order = np.lexsort(tuple(matrix[:, c] for c in range(depth - 1, -1, -1)))[::-1]
+        ranked = matrix[order]
+        differs = np.any(ranked[1:] != ranked[:-1], axis=1)
+        # rank of a row = index of the first row of its tie group
+        boundaries = np.concatenate(([0], np.nonzero(differs)[0] + 1))
+        group = np.cumsum(np.concatenate(([0], differs.astype(np.int64))))
+        values_sorted = (n - boundaries[group]) / (n + 1)
+        values = np.empty(n, dtype=np.float64)
+        values[order] = values_sorted
+        return dict(zip(result.leaf_paths, values.tolist()))
 
     def project_vectors(self, vectors: Mapping[str, FairshareVector]) -> Dict[str, float]:
         paths = list(vectors)
@@ -92,6 +133,29 @@ class BitwiseVectorProjection(Projection):
     """
 
     name = "bitwise"
+
+    def project_flat(self, result: "FlatFairshare") -> Dict[str, float]:
+        """Pack all leaves at once.
+
+        Per-level quantized values stay below ``2**bits_per_level`` and the
+        packed total below ``2**52``, so float64 accumulation is exact and
+        matches the object path's Python-int packing bit for bit.
+        """
+        matrix = result.element_matrix()
+        n, depth = matrix.shape
+        if n == 0:
+            return {}
+        levels = self.max_levels
+        quantum = (1 << self.bits_per_level) - 1
+        resolution = float(result.parameters.resolution)
+        balance = result.parameters.balance_point
+        packed = np.zeros(n, dtype=np.float64)
+        for i in range(levels):
+            elem = matrix[:, i] if i < depth else np.full(n, balance)
+            q = np.clip(np.rint(elem / resolution * quantum), 0, quantum)
+            packed = packed * (quantum + 1) + q
+        packed /= float((1 << (self.bits_per_level * levels)) - 1)
+        return dict(zip(result.leaf_paths, packed.tolist()))
 
     def __init__(self, bits_per_level: int = 16, max_levels: Optional[int] = None):
         if not 1 <= bits_per_level <= 52:
@@ -137,6 +201,11 @@ class PercentalProjection(Projection):
             diff = tree.target_total_share(path) - tree.usage_total_share(path)
             values[path] = min(max((diff + 1.0) / 2.0, 0.0), 1.0)
         return values
+
+    def project_flat(self, result: "FlatFairshare") -> Dict[str, float]:
+        target_total, usage_total = result.path_products()
+        values = np.clip((target_total - usage_total + 1.0) / 2.0, 0.0, 1.0)
+        return dict(zip(result.leaf_paths, values.tolist()))
 
 
 _PROJECTIONS = {

@@ -12,12 +12,25 @@ II and III in the update-delay analysis (Section IV-A.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, Hashable, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Hashable, Mapping, Tuple, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
-__all__ = ["TTLCache", "CacheStats"]
+__all__ = ["TTLCache", "CacheStats", "usage_digest"]
+
+
+def usage_digest(totals: Mapping[str, float]) -> frozenset:
+    """Exact, order-independent digest of per-user usage totals.
+
+    The FCS skips an entire refresh when the policy epoch and this digest
+    are unchanged (idle sites would otherwise rebuild identical trees every
+    period).  A frozenset compares by exact element equality, so a digest
+    hit can never be a hash collision (a wrongly skipped recomputation);
+    the comparison is a plain set-equality check, orders of magnitude
+    cheaper than the tree computation it gates.
+    """
+    return frozenset(totals.items())
 
 
 @dataclass

@@ -49,6 +49,15 @@ class PolicyDistributionService:
         """The current effective policy tree (local + mounted)."""
         return self._policy
 
+    def policy_epoch(self) -> tuple:
+        """Cheap monotone identifier of the effective policy content.
+
+        Combines the PDS version (bumped on set_policy/set_share/mounting)
+        with the tree's own revision counter, so consumers also observe
+        in-place mutations made directly on :meth:`policy`'s return value.
+        """
+        return (self.version, self._policy.revision)
+
     def set_policy(self, policy: PolicyTree) -> None:
         """Replace the local policy (run-time policy change, Section II-A)."""
         self._policy = policy

@@ -263,9 +263,13 @@ def _build_families() -> Dict[str, Family]:
         fams[fam.name] = fam
 
     # 1. Generalized Extreme Value — paper GEV(k, sigma, mu); scipy c = -k.
+    # Subnormal |k| is snapped to the exact Gumbel limit: scipy's c != 0
+    # branch computes expm1(c*v)/c, which loses all precision (ppf
+    # collapses to loc) once c*v underflows below the normal float range.
     add(Family(
         "gev", "GEV", ("k", "sigma", "mu"), stats.genextreme,
-        to_scipy=lambda p: (-p[0], p[2], p[1]),
+        to_scipy=lambda p: (-p[0] if abs(p[0]) >= np.finfo(float).tiny
+                            else 0.0, p[2], p[1]),
         from_scipy=lambda s: (-s[0], s[2], s[1]),
         standardize=True,
         initial_guess=_gev_lmoment_guess,

@@ -259,8 +259,11 @@ def compress_to_span(trace: Trace, span: float) -> Trace:
     width = hi - lo
     if width == 0:
         return Trace(replace(j, submit=0.0) for j in trace.jobs)
-    factor = span / width
-    return Trace(replace(j, submit=(j.submit - lo) * factor) for j in trace.jobs)
+    # divide before scaling: (submit - lo) <= width keeps the ratio in
+    # [0, 1], whereas span / width overflows to inf for subnormal widths
+    # (turning the earliest submit into 0 * inf = NaN)
+    return Trace(replace(j, submit=(j.submit - lo) / width * span)
+                 for j in trace.jobs)
 
 
 def scale_trace_load(trace: Trace, target_charge: float) -> Trace:

@@ -102,6 +102,25 @@ class TestStepDecay:
         with pytest.raises(ValueError):
             StepDecay([(-1, 1.0)])
 
+    def test_vectorized_matches_scalar(self):
+        d = StepDecay([(10, 1.0), (20, 0.5), (30, 0.1)])
+        # exercise negative ages, exact thresholds, interior points, and
+        # ages beyond the last step
+        ages = np.array([-5.0, -1e-9, 0.0, 5.0, 10.0, 10.0 + 1e-9, 15.0,
+                         20.0, 25.0, 30.0, 30.0 + 1e-9, 1e9])
+        assert d.weights(ages).tolist() == [d.weight(a) for a in ages]
+
+    def test_vectorized_single_step(self):
+        d = StepDecay([(7.0, 0.3)])
+        ages = np.array([-1.0, 0.0, 7.0, 7.5])
+        assert d.weights(ages).tolist() == [d.weight(a) for a in ages]
+
+    def test_vectorized_in_decayed_sum(self):
+        d = StepDecay([(10, 1.0), (20, 0.5)])
+        amounts = np.array([4.0, 2.0, 8.0])
+        ages = np.array([5.0, 15.0, 25.0])
+        assert decayed_sum(amounts, ages, d) == pytest.approx(4.0 + 1.0 + 0.0)
+
 
 class TestDecayedSum:
     def test_weighted_dot_product(self):

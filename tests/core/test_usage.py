@@ -68,6 +68,21 @@ class TestUsageHistogram:
     def test_decayed_total_unknown_user_is_zero(self):
         assert UsageHistogram().decayed_total("ghost", now=0.0) == 0.0
 
+    def test_decayed_totals_matches_per_user_totals(self):
+        h = UsageHistogram(interval=100.0)
+        h.add_charge("a", 0.0, 250.0)
+        h.add_charge("b", 120.0, 480.0, cores=2)
+        h.add_charge("c", 50.0, 60.0)
+        decay = ExponentialDecay(half_life=200.0)
+        totals = h.decayed_totals(now=500.0, decay=decay)
+        assert set(totals) == {"a", "b", "c"}
+        for user in totals:
+            assert totals[user] == pytest.approx(
+                h.decayed_total(user, now=500.0, decay=decay))
+
+    def test_decayed_totals_empty_histogram(self):
+        assert UsageHistogram().decayed_totals(now=0.0) == {}
+
     def test_snapshot_replace_roundtrip(self):
         h = UsageHistogram(interval=60.0)
         h.add_charge("a", 0.0, 120.0)

@@ -77,6 +77,8 @@ class TestIdentityResolution:
     def test_unknown_user_gets_default(self, stack):
         _, _, _, _, fcs = stack
         assert fcs.fairshare_value("ghost") == fcs.unknown_user_value
+        assert fcs.priority("ghost") == fcs.unknown_user_value
+        assert fcs.vector("ghost") is None
 
     def test_leaf_path_lookup(self, stack):
         _, _, _, _, fcs = stack
@@ -95,6 +97,37 @@ class TestIdentityResolution:
         uss.record_job(UsageRecord(user=dn, site="a", start=0.0, end=1000.0))
         engine.run_until(11.0)
         assert fcs.priority("alice") < fcs.priority("bob")
+
+    def test_register_identity_after_refresh_takes_effect(self, stack):
+        engine, _, _, _, fcs = stack
+        engine.run_until(11.0)  # several refreshes already done
+        dn = "/C=SE/O=Grid/CN=alice"
+        assert fcs.fairshare_value(dn) == fcs.unknown_user_value
+        fcs.register_identity(dn, "alice")
+        # lookup aliasing is live — no refresh needed for value resolution
+        assert fcs.fairshare_value(dn) == fcs.fairshare_value("alice")
+        assert fcs.priority(dn) == fcs.priority("alice")
+
+    def test_alias_usage_folds_multiple_identities_onto_one_leaf(self, stack):
+        engine, uss, ums, _, fcs = stack
+        dn1 = "/C=SE/O=Grid/CN=alice"
+        dn2 = "/C=DE/O=OtherGrid/CN=alice.b"
+        fcs.register_identity(dn1, "alice")
+        fcs.register_identity(dn2, "alice")
+        uss.record_job(UsageRecord(user=dn1, site="a", start=0.0, end=400.0))
+        uss.record_job(UsageRecord(user=dn2, site="a", start=0.0, end=600.0))
+        engine.run_until(11.0)
+        tree = fcs.tree()
+        # both identities' usage lands on /alice: 1000 of 1000 total
+        assert tree["/alice"].usage_share == pytest.approx(1.0)
+        assert tree["/bob"].usage_share == 0.0
+
+    def test_unregistered_alias_usage_is_ignored(self, stack):
+        engine, uss, _, _, fcs = stack
+        uss.record_job(UsageRecord(user="/C=SE/CN=stranger", site="a",
+                                   start=0.0, end=500.0))
+        engine.run_until(11.0)
+        assert fcs.tree()["/alice"].usage_share == 0.0
 
 
 class TestProjectionSwap:
@@ -129,3 +162,91 @@ class TestProjectionSwap:
         before = fcs.fairshare_value("alice")
         engine.run_until(60.0)
         assert fcs.fairshare_value("alice") == before
+
+
+class TestRefreshCache:
+    def test_idle_refreshes_hit_the_cache(self, stack):
+        engine, _, _, _, fcs = stack
+        engine.run_until(51.0)  # ten refresh periods, no usage, no policy change
+        assert fcs.refreshes > 5
+        # only the initial refresh computed; every periodic one was skipped
+        assert fcs.refresh_stats.misses == 1
+        assert fcs.refresh_stats.hits == fcs.refreshes - 1
+        assert fcs.refresh_stats.hit_rate > 0.8
+
+    def test_cache_hit_performs_no_tree_computation(self, stack):
+        _, _, _, _, fcs = stack
+        result_before = fcs.flat_result()
+        values_before = fcs.values()
+        hits_before = fcs.refresh_stats.hits
+        fcs.refresh()
+        assert fcs.refresh_stats.hits == hits_before + 1
+        # the pre-computed state object is reused untouched
+        assert fcs.flat_result() is result_before
+        assert fcs.values() == values_before
+
+    def test_usage_change_invalidates(self, stack):
+        engine, uss, _, _, fcs = stack
+        misses_before = fcs.refresh_stats.misses
+        uss.record_job(UsageRecord(user="alice", site="a", start=0.0, end=500.0))
+        engine.run_until(11.0)
+        assert fcs.refresh_stats.misses > misses_before
+
+    def test_policy_change_invalidates(self, stack):
+        _, _, _, pds, fcs = stack
+        misses_before = fcs.refresh_stats.misses
+        pds.set_share("/carol", 10)
+        fcs.refresh()
+        assert fcs.refresh_stats.misses == misses_before + 1
+        assert fcs.priority("carol") > fcs.priority("alice")
+
+    def test_direct_policy_mutation_invalidates(self, stack):
+        """Mutating the policy tree in place (as runtime_mount does) must be
+        picked up by the next refresh even without a PDS version bump."""
+        _, _, _, pds, fcs = stack
+        pds.policy().set_share("/dave", 99)
+        fcs.refresh()
+        assert fcs.priority("dave") > fcs.priority("alice")
+
+    def test_cache_hit_still_advances_timestamp(self, stack):
+        engine, _, _, _, fcs = stack
+        t0 = fcs.computed_at
+        engine.run_until(11.0)
+        assert fcs.computed_at > t0
+
+
+class TestDuplicateLeafNames:
+    @pytest.fixture
+    def collision_stack(self):
+        engine = SimulationEngine()
+        network = Network(engine, base_latency=0.1)
+        uss = UsageStatisticsService("a", engine, network,
+                                     histogram_interval=60.0, exchange_interval=5.0)
+        ums = UsageMonitoringService("a", engine, sources=[uss],
+                                     decay=NoDecay(), refresh_interval=5.0)
+        policy = PolicyTree.from_dict({"p1": {"sam": 3}, "p2": {"sam": 1}})
+        pds = PolicyDistributionService("a", engine, policy=policy,
+                                        refresh_interval=100.0)
+        fcs = FairshareCalculationService("a", engine, pds=pds, ums=ums,
+                                          refresh_interval=5.0)
+        return engine, uss, fcs
+
+    def test_collision_counter_tracks_shadowed_names(self, collision_stack):
+        _, _, fcs = collision_stack
+        assert fcs.name_collisions == 1
+
+    def test_full_paths_resolve_unambiguously(self, collision_stack):
+        engine, uss, fcs = collision_stack
+        uss.record_job(UsageRecord(user="/p1/sam", site="a", start=0.0, end=900.0))
+        engine.run_until(11.0)
+        # only p1's sam consumed: its priority must drop below p2's sam
+        assert fcs.priority("/p1/sam") < fcs.priority("/p2/sam")
+        assert fcs.fairshare_value("/p1/sam") != fcs.fairshare_value("/p2/sam")
+
+    def test_bare_name_maps_to_first_preorder_leaf(self, collision_stack):
+        _, _, fcs = collision_stack
+        assert fcs.fairshare_value("sam") == fcs.fairshare_value("/p1/sam")
+
+    def test_no_collisions_on_unique_names(self, stack):
+        _, _, _, _, fcs = stack
+        assert fcs.name_collisions == 0
