@@ -1,0 +1,202 @@
+"""Usage data-plane scaling: delta exchange + incremental UMS vs reference.
+
+Drives a multi-site grid (paper scale: 8 sites x 10k grid users with
+established per-user histograms) through identical steady-state churn under
+two configurations:
+
+* **full** — the original data plane: every exchange tick ships the entire
+  dict-of-dict histogram snapshot to every peer, and every UMS refresh
+  re-merges and re-decays every user (``delta_exchange=False`` /
+  ``incremental=False``);
+* **delta** — the incremental data plane: sequence-numbered changed-entry
+  publishes in the compact array wire format, dirty-user UMS aggregation
+  with the analytic exponential age shift (the defaults).
+
+Both runs execute the same seeded churn schedule on a jitter-free network,
+so their UMS totals must agree (checked at 1e-6) and the measured
+difference is purely data-plane cost.  Measured per steady-state tick:
+bytes-on-wire (``NetworkStats.payload_bytes``, reset between warm-up and
+measurement) and wall-clock latency of the combined exchange + UMS-refresh
+round.  CI gates on >=5x reduction in both.
+
+Results land in ``benchmarks/BENCH_exchange.json`` (and results.txt); set
+``REPRO_BENCH_SCALE=small`` for the smoke tier (4 sites x 2k users).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.decay import ExponentialDecay
+from repro.services.network import Network
+from repro.services.ums import UsageMonitoringService
+from repro.services.uss import UsageStatisticsService
+from repro.sim.engine import SimulationEngine
+
+JSON_PATH = Path(__file__).parent / "BENCH_exchange.json"
+
+#: (n_sites, grid users) per scale tier
+_SCALES = {"paper": (8, 10_000), "small": (4, 2_000)}
+
+GATE_BYTES_REDUCTION = 5.0
+GATE_SPEEDUP = 5.0
+
+HISTOGRAM_INTERVAL = 3600.0
+EXCHANGE_INTERVAL = 30.0
+HISTORY_BINS = 16            # seeded per-user history depth
+CHURN_FRACTION = 0.01        # users touched per steady-state tick
+WARMUP_TICKS = 3
+MEASURE_TICKS = 4
+
+
+def scale_tier():
+    return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "paper")]
+
+
+class Grid:
+    """N sites x M users with established histograms and periodic churn."""
+
+    def __init__(self, n_sites: int, n_users: int, delta: bool, seed: int = 0):
+        # start beyond the seeded history so every seeded bin midpoint is
+        # in the past (steady state, not a cold start)
+        self.t0 = HISTORY_BINS * HISTOGRAM_INTERVAL
+        self.n_users = n_users
+        self.engine = SimulationEngine(start_time=self.t0)
+        self.network = Network(self.engine, base_latency=0.05)
+        decay = ExponentialDecay(half_life=7 * 24 * 3600.0)
+        self.usses = [
+            UsageStatisticsService(
+                f"s{i}", self.engine, self.network,
+                histogram_interval=HISTOGRAM_INTERVAL,
+                exchange_interval=EXCHANGE_INTERVAL,
+                delta_exchange=delta)
+            for i in range(n_sites)]
+        # seed: user u homes on site u % n_sites with HISTORY_BINS of usage
+        rng = np.random.default_rng(seed)
+        charges = rng.uniform(10.0, 3600.0, size=(n_users, HISTORY_BINS))
+        for u in range(n_users):
+            local = self.usses[u % n_sites].local
+            for b in range(HISTORY_BINS):
+                local.add_bin(f"u{u}", b, float(charges[u, b]))
+        # UMS after seeding: the priming refresh covers the seeded history
+        self.umses = [
+            UsageMonitoringService(
+                f"s{i}", self.engine, sources=[uss], decay=decay,
+                refresh_interval=EXCHANGE_INTERVAL, incremental=delta)
+            for i, uss in enumerate(self.usses)]
+        for a in self.usses:
+            for b in self.usses:
+                if a is not b:
+                    a.add_peer(b.site)
+        # steady-state churn: each tick, a deterministic 1% of users run
+        # jobs on their home site (offset keeps churn strictly between
+        # exchange ticks, identically in both configurations)
+        self.churn_rng = np.random.default_rng(seed + 1)
+        self.engine.periodic(EXCHANGE_INTERVAL, self._churn,
+                             start_offset=WARMUP_TICKS * EXCHANGE_INTERVAL + 11.0)
+
+    def _churn(self) -> None:
+        now = self.engine.now
+        n = max(1, int(self.n_users * CHURN_FRACTION))
+        users = self.churn_rng.choice(self.n_users, size=n, replace=False)
+        durations = self.churn_rng.uniform(5.0, 600.0, size=n)
+        for u, d in zip(users, durations):
+            uss = self.usses[int(u) % len(self.usses)]
+            uss.local.add_charge(f"u{int(u)}", now - float(d), now)
+
+    def run_phase(self, ticks: int) -> float:
+        """Advance ``ticks`` exchange/refresh rounds; returns wall seconds."""
+        horizon = self.engine.now + ticks * EXCHANGE_INTERVAL
+        t0 = time.perf_counter()
+        self.engine.run_until(horizon)
+        return time.perf_counter() - t0
+
+
+def run_mode(n_sites: int, n_users: int, delta: bool) -> dict:
+    grid = Grid(n_sites, n_users, delta=delta)
+    grid.run_phase(WARMUP_TICKS)                # propagate initial snapshots
+    grid.network.stats.reset()                  # phase boundary: measure only
+    wall = grid.run_phase(MEASURE_TICKS)        # steady state under churn
+    stats = grid.network.stats
+    return dict(
+        mode="delta" if delta else "full",
+        n_sites=n_sites, n_users=n_users,
+        ticks=MEASURE_TICKS,
+        tick_s=wall / MEASURE_TICKS,
+        bytes_per_tick=stats.payload_bytes / MEASURE_TICKS,
+        entries_per_tick=stats.payload_entries / MEASURE_TICKS,
+        messages_per_tick=stats.sent / MEASURE_TICKS,
+        totals={u.site: u.usage_totals() for u in grid.umses},
+    )
+
+
+@pytest.fixture(scope="module")
+def exchange_rows(report):
+    n_sites, n_users = scale_tier()
+    full = run_mode(n_sites, n_users, delta=False)
+    delta = run_mode(n_sites, n_users, delta=True)
+    rows = [full, delta]
+    reduction = dict(
+        bytes=full["bytes_per_tick"] / max(delta["bytes_per_tick"], 1e-12),
+        entries=full["entries_per_tick"] / max(delta["entries_per_tick"], 1e-12),
+        tick=full["tick_s"] / max(delta["tick_s"], 1e-12),
+    )
+    block = [f"\n== exchange scaling ({n_sites} sites x {n_users} users, "
+             f"{MEASURE_TICKS} steady-state ticks) =="] + [
+        f"{r['mode']:>6}: {r['bytes_per_tick'] / 1e3:10.1f} KB/tick  "
+        f"{r['entries_per_tick']:10.0f} entries/tick  "
+        f"tick {r['tick_s'] * 1e3:8.1f} ms"
+        for r in rows] + [
+        f"reduction: bytes {reduction['bytes']:.1f}x  "
+        f"entries {reduction['entries']:.1f}x  "
+        f"tick latency {reduction['tick']:.1f}x"]
+    for line in block:
+        print(line)
+    report.extend(block)
+    JSON_PATH.write_text(json.dumps(
+        dict(benchmark="exchange_scaling",
+             scale=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+             n_sites=n_sites, n_users=n_users,
+             gate=dict(min_bytes_reduction=GATE_BYTES_REDUCTION,
+                       min_speedup=GATE_SPEEDUP),
+             rows=[{k: v for k, v in r.items() if k != "totals"}
+                   for r in rows],
+             reduction=reduction),
+        indent=2) + "\n")
+    return rows, reduction
+
+
+class TestExchangeScaling:
+    def test_bytes_on_wire_reduction_gate(self, exchange_rows):
+        _, reduction = exchange_rows
+        assert reduction["bytes"] >= GATE_BYTES_REDUCTION, (
+            f"delta exchange only cut steady-state bytes-on-wire by "
+            f"{reduction['bytes']:.1f}x (need >= {GATE_BYTES_REDUCTION}x)")
+
+    def test_tick_latency_speedup_gate(self, exchange_rows):
+        _, reduction = exchange_rows
+        assert reduction["tick"] >= GATE_SPEEDUP, (
+            f"incremental data plane only {reduction['tick']:.1f}x faster "
+            f"per exchange+refresh tick (need >= {GATE_SPEEDUP}x)")
+
+    def test_delta_totals_match_full_reference(self, exchange_rows):
+        """Same churn, same clock: both planes must agree on every user."""
+        rows, _ = exchange_rows
+        full, delta = rows
+        for site, ref_totals in full["totals"].items():
+            got_totals = delta["totals"][site]
+            users = set(ref_totals) | set(got_totals)
+            for user in users:
+                ref = ref_totals.get(user, 0.0)
+                got = got_totals.get(user, 0.0)
+                assert got == pytest.approx(ref, rel=1e-6, abs=1e-6), (
+                    f"{site}/{user}: delta plane {got} != reference {ref}")
+
+    def test_json_artifact_written(self, exchange_rows):
+        data = json.loads(JSON_PATH.read_text())
+        assert data["benchmark"] == "exchange_scaling"
+        assert {r["mode"] for r in data["rows"]} == {"full", "delta"}

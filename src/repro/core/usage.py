@@ -14,8 +14,9 @@ Mirrors the data side of the Aequus pipeline (paper Section II-A):
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -59,6 +60,12 @@ class UsageHistogram:
     Bin ``i`` covers ``[i * interval, (i+1) * interval)``.  A job's charge is
     split proportionally across the bins its runtime overlaps, so totals are
     conserved regardless of binning (a property test guards this).
+
+    Consumers that need to know *what changed* (the USS delta exchange, the
+    incremental UMS refresh) register a **change cursor**: every mutation of
+    a ``(user, bin)`` entry is recorded against all registered cursors, and
+    :meth:`drain_cursor` hands back (and resets) the accumulated dirty set.
+    When no cursor is registered, mutations pay a single truthiness check.
     """
 
     def __init__(self, interval: float = 3600.0):
@@ -66,6 +73,35 @@ class UsageHistogram:
             raise ValueError("interval must be positive")
         self.interval = float(interval)
         self._bins: Dict[str, Dict[int, float]] = {}
+        #: cursor id -> {user -> set of dirty bin indexes since last drain}
+        self._cursors: Dict[int, Dict[str, Set[int]]] = {}
+        self._cursor_ids = itertools.count()
+
+    # -- change tracking ---------------------------------------------------
+
+    def register_cursor(self) -> int:
+        """Start tracking mutations; returns a cursor id for draining."""
+        cursor = next(self._cursor_ids)
+        self._cursors[cursor] = {}
+        return cursor
+
+    def drain_cursor(self, cursor: int) -> Dict[str, Set[int]]:
+        """Dirty ``user -> bins`` accumulated since the last drain; resets."""
+        dirty = self._cursors[cursor]
+        self._cursors[cursor] = {}
+        return dirty
+
+    def release_cursor(self, cursor: int) -> None:
+        self._cursors.pop(cursor, None)
+
+    def _mark(self, user: str, bin_index: int) -> None:
+        for pending in self._cursors.values():
+            pending.setdefault(user, set()).add(bin_index)
+
+    def _mark_all_of(self, user: str, bins: Iterable[int]) -> None:
+        bins = set(bins)
+        for pending in self._cursors.values():
+            pending.setdefault(user, set()).update(bins)
 
     # -- recording ---------------------------------------------------------
 
@@ -86,6 +122,8 @@ class UsageHistogram:
             hi = min(end, (b + 1) * self.interval)
             if hi > lo:
                 user_bins[b] = user_bins.get(b, 0.0) + (hi - lo) * cores
+                if self._cursors:
+                    self._mark(user, b)
 
     def add_bin(self, user: str, bin_index: int, charge: float) -> None:
         """Merge a pre-aggregated bin (used when ingesting remote usage)."""
@@ -93,9 +131,31 @@ class UsageHistogram:
             raise ValueError("charge must be non-negative")
         if charge == 0:
             return
-        self._bins.setdefault(user, {})[bin_index] = (
-            self._bins.get(user, {}).get(bin_index, 0.0) + charge
-        )
+        user_bins = self._bins.setdefault(user, {})
+        user_bins[bin_index] = user_bins.get(bin_index, 0.0) + charge
+        if self._cursors:
+            self._mark(user, bin_index)
+
+    def set_bin(self, user: str, bin_index: int, charge: float) -> None:
+        """Overwrite a bin with an absolute value; ``charge == 0`` deletes.
+
+        This is the receiving end of the delta exchange: senders transmit
+        *current bin values* (not increments), so applying an entry twice —
+        or applying a later full snapshot over it — is idempotent.
+        """
+        if charge < 0:
+            raise ValueError("charge must be non-negative")
+        if charge == 0:
+            user_bins = self._bins.get(user)
+            if user_bins is None or bin_index not in user_bins:
+                return
+            del user_bins[bin_index]
+            if not user_bins:
+                del self._bins[user]
+        else:
+            self._bins.setdefault(user, {})[bin_index] = charge
+        if self._cursors:
+            self._mark(user, bin_index)
 
     # -- queries ----------------------------------------------------------
 
@@ -103,8 +163,32 @@ class UsageHistogram:
     def users(self) -> List[str]:
         return sorted(self._bins)
 
+    def has_user(self, user: str) -> bool:
+        return user in self._bins
+
     def user_bins(self, user: str) -> Dict[int, float]:
         return dict(self._bins.get(user, {}))
+
+    def bin_value(self, user: str, bin_index: int) -> float:
+        """Current value of one bin (0.0 when absent)."""
+        return self._bins.get(user, {}).get(bin_index, 0.0)
+
+    def newest_midpoint(self, user: str) -> Optional[float]:
+        """Midpoint time of the user's newest bin (None if unknown).
+
+        The incremental UMS uses this to decide whether a user's decayed
+        total can be age-shifted analytically: that is exact only once every
+        bin midpoint lies in the past of the previous refresh.
+        """
+        bins = self._bins.get(user)
+        if not bins:
+            return None
+        return (max(bins) + 0.5) * self.interval
+
+    def newest_midpoints(self) -> Dict[str, float]:
+        """``newest_midpoint`` for every user in one pass."""
+        return {u: (max(b) + 0.5) * self.interval
+                for u, b in self._bins.items() if b}
 
     def total(self, user: Optional[str] = None) -> float:
         if user is not None:
@@ -175,8 +259,11 @@ class UsageHistogram:
         dropped = 0.0
         for user in list(self._bins):
             bins = self._bins[user]
-            for b in [b for b in bins if (b + 1) * self.interval <= now - horizon]:
+            stale = [b for b in bins if (b + 1) * self.interval <= now - horizon]
+            for b in stale:
                 dropped += bins.pop(b)
+            if stale and self._cursors:
+                self._mark_all_of(user, stale)
             if not bins:
                 del self._bins[user]
         return dropped
@@ -187,10 +274,62 @@ class UsageHistogram:
         """Compact per-user per-bin totals — the USS↔USS wire payload."""
         return {u: dict(b) for u, b in self._bins.items()}
 
+    def snapshot_arrays(self) -> Tuple[List[str], List[int], List[int], List[float]]:
+        """Full state as the compact array wire format.
+
+        Returns ``(user_table, user_idx, bin_idx, charges)``: each entry
+        ``j`` states that user ``user_table[user_idx[j]]`` holds charge
+        ``charges[j]`` in bin ``bin_idx[j]`` — every user name is spelled
+        out once instead of once per bin.
+        """
+        user_table: List[str] = []
+        user_idx: List[int] = []
+        bin_idx: List[int] = []
+        charges: List[float] = []
+        for user, bins in self._bins.items():
+            ui = len(user_table)
+            user_table.append(user)
+            for b, charge in bins.items():
+                user_idx.append(ui)
+                bin_idx.append(b)
+                charges.append(charge)
+        return user_table, user_idx, bin_idx, charges
+
+    def apply_arrays(self, user_table: Sequence[str], user_idx: Sequence[int],
+                     bin_idx: Sequence[int], charges: Sequence[float],
+                     full: bool = False) -> None:
+        """Apply compact-array entries in place (the delta-exchange receiver).
+
+        Entries carry *absolute* bin values (0 deletes).  With ``full=True``
+        the arrays describe the sender's complete state: entries not listed
+        are removed first, so the call is equivalent to :meth:`replace` but
+        keeps change cursors informed.
+        """
+        if full:
+            listed: Dict[str, Set[int]] = {}
+            for ui, b in zip(user_idx, bin_idx):
+                listed.setdefault(user_table[ui], set()).add(int(b))
+            for user in list(self._bins):
+                extinct = set(self._bins[user]) - listed.get(user, set())
+                for b in extinct:
+                    self.set_bin(user, b, 0.0)
+        for ui, b, charge in zip(user_idx, bin_idx, charges):
+            self.set_bin(user_table[ui], int(b), float(charge))
+
     def replace(self, snapshot: Mapping[str, Mapping[int, float]]) -> None:
-        """Overwrite contents with a snapshot (remote-site bookkeeping)."""
+        """Overwrite contents with a snapshot (remote-site bookkeeping).
+
+        Registered cursors see every entry of both the old and the new
+        state as dirty — a full replacement gives no finer information.
+        """
+        if self._cursors:
+            for user, bins in self._bins.items():
+                self._mark_all_of(user, bins)
         self._bins = {u: {int(i): float(c) for i, c in b.items()}
                       for u, b in snapshot.items()}
+        if self._cursors:
+            for user, bins in self._bins.items():
+                self._mark_all_of(user, bins)
 
     def merge(self, other: "UsageHistogram") -> None:
         """Add another histogram's contents into this one.

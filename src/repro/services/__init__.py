@@ -4,7 +4,8 @@ simulated network connecting installations (paper Figure 2)."""
 from .cache import CacheStats, TTLCache
 from .fcs import FairshareCalculationService
 from .irs import IdentityResolutionError, IdentityResolutionService, table_endpoint
-from .messages import PolicyExportMessage, UsageExchangeMessage
+from .messages import (PolicyExportMessage, UsageDeltaMessage,
+                       UsageExchangeMessage, UsageResyncRequest)
 from .network import Network, NetworkStats
 from .pds import PolicyDistributionService
 from .site import AequusSite, ParticipationMode, SiteConfig, connect_sites
@@ -15,7 +16,8 @@ __all__ = [
     "CacheStats", "TTLCache",
     "FairshareCalculationService",
     "IdentityResolutionError", "IdentityResolutionService", "table_endpoint",
-    "PolicyExportMessage", "UsageExchangeMessage",
+    "PolicyExportMessage", "UsageDeltaMessage", "UsageExchangeMessage",
+    "UsageResyncRequest",
     "Network", "NetworkStats",
     "PolicyDistributionService",
     "AequusSite", "ParticipationMode", "SiteConfig", "connect_sites",

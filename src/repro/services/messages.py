@@ -4,6 +4,22 @@ The real system uses Java web services; what matters for behaviour is the
 *content* and *timing* of the exchanges, which these dataclasses capture.
 Payloads are plain data (no live object references cross the simulated
 network), mirroring the serialization boundary of the original SOAP calls.
+
+Every message type reports its own wire footprint via ``wire_entries()``
+(how many (user, bin) data points it carries) and ``wire_bytes()`` (size
+under the cost model below), which the network layer accumulates into
+:class:`repro.services.network.NetworkStats` — the paper's "compact form"
+claim is thereby a measured quantity rather than an assertion.
+
+Wire cost model (documented in DESIGN.md §7): 8-byte message envelope,
+8 bytes per float (timestamps, charges), 4 bytes per integer (bin indexes,
+user indexes, sequence numbers), 1 byte per flag, UTF-8 strings with a
+2-byte length prefix, and — the distinction the compact format exists to
+exploit — 8 bytes of structural framing per *map entry*.  Generic map
+serializations (SOAP/XML tags in the original Java services, JSON keys,
+protobuf map submessages) pay per-entry structure that packed parallel
+primitive arrays do not; pricing it makes the dict-of-dict snapshot and
+the array delta comparable by shape, not just by element count.
 """
 
 from __future__ import annotations
@@ -11,16 +27,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["UsageExchangeMessage", "PolicyExportMessage"]
+__all__ = ["UsageExchangeMessage", "UsageDeltaMessage", "UsageResyncRequest",
+           "PolicyExportMessage"]
+
+_ENVELOPE = 8
+_FLOAT = 8
+_INT = 4
+_FLAG = 1
+_MAP_ENTRY = 8
+
+
+def _str_bytes(s: str) -> int:
+    return 2 + len(s.encode("utf-8"))
 
 
 @dataclass(frozen=True)
 class UsageExchangeMessage:
-    """Compact usage relayed between USS instances.
+    """Full per-user histogram state relayed between USS instances.
 
     Per paper Section II-A: the combined usage of each user on each site,
     omitting the details of individual jobs — i.e. per-user histogram bins,
-    not job records.
+    not job records.  This dict-of-dict full snapshot is the original
+    (pre-delta) exchange format; it remains the reference the delta
+    protocol is benchmarked and property-tested against.
     """
 
     site: str
@@ -30,6 +59,69 @@ class UsageExchangeMessage:
 
     def total_charge(self) -> float:
         return sum(sum(bins.values()) for bins in self.snapshot.values())
+
+    def wire_entries(self) -> int:
+        return sum(len(bins) for bins in self.snapshot.values())
+
+    def wire_bytes(self) -> int:
+        return (_ENVELOPE + _str_bytes(self.site) + 2 * _FLOAT
+                + sum(_str_bytes(u) + _MAP_ENTRY
+                      + len(bins) * (_INT + _FLOAT + _MAP_ENTRY)
+                      for u, bins in self.snapshot.items()))
+
+
+@dataclass(frozen=True)
+class UsageDeltaMessage:
+    """Changed (user, bin) entries since the sender's previous publish.
+
+    The compact array wire format: ``user_table`` spells each referenced
+    user once; entry ``j`` sets the *absolute* value ``charges[j]`` for
+    ``(user_table[user_idx[j]], bin_idx[j])`` (0 deletes the bin).
+    Absolute values make application idempotent, so a resync snapshot
+    racing an in-flight delta cannot double-count.
+
+    ``seq`` numbers the sender's publishes consecutively; a receiver that
+    observes a gap missed a delta (partition, drop, late join) and must
+    request a full resync.  ``full=True`` marks a complete-state snapshot
+    (first publish, or a resync reply): the receiver drops entries not
+    listed and may apply it regardless of gaps.
+    """
+
+    site: str
+    sent_at: float
+    interval: float
+    seq: int
+    full: bool
+    user_table: List[str] = field(default_factory=list)
+    user_idx: List[int] = field(default_factory=list)
+    bin_idx: List[int] = field(default_factory=list)
+    charges: List[float] = field(default_factory=list)
+
+    def total_charge(self) -> float:
+        return sum(self.charges)
+
+    def wire_entries(self) -> int:
+        return len(self.charges)
+
+    def wire_bytes(self) -> int:
+        return (_ENVELOPE + _str_bytes(self.site) + 2 * _FLOAT + _INT + _FLAG
+                + sum(_str_bytes(u) for u in self.user_table)
+                + len(self.charges) * (2 * _INT + _FLOAT))
+
+
+@dataclass(frozen=True)
+class UsageResyncRequest:
+    """Ask a peer for a full snapshot after a sequence gap was detected."""
+
+    site: str
+    sent_at: float
+    target: str
+
+    def wire_entries(self) -> int:
+        return 0
+
+    def wire_bytes(self) -> int:
+        return _ENVELOPE + _str_bytes(self.site) + _FLOAT + _str_bytes(self.target)
 
 
 @dataclass(frozen=True)
@@ -46,3 +138,10 @@ class PolicyExportMessage:
 
     def text(self) -> str:
         return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+    def wire_entries(self) -> int:
+        return len(self.lines)
+
+    def wire_bytes(self) -> int:
+        return (_ENVELOPE + _str_bytes(self.source) + _FLOAT
+                + sum(_str_bytes(line) for line in self.lines))

@@ -22,12 +22,49 @@ __all__ = ["Network", "NetworkStats"]
 @dataclass
 class NetworkStats:
     """Counters for traffic accounting (the paper's caching argument is all
-    about reducing call volume, so tests assert on these)."""
+    about reducing call volume, so tests assert on these).
+
+    ``payload_entries`` / ``payload_bytes`` accumulate each queued message's
+    self-reported ``wire_entries()`` / ``wire_bytes()`` (see
+    :mod:`repro.services.messages` for the cost model); the per-type dicts
+    break the same totals down by payload class name.  Messages that do not
+    implement the protocol (raw test payloads) count as zero.
+
+    Memory: ``per_link`` and the by-type dicts are O(distinct links) and
+    O(distinct message types) — bounded by topology, not by traffic volume
+    or simulation length.  Long-running harnesses that measure phases
+    separately (e.g. warm-up vs steady state in the exchange benchmark)
+    call :meth:`reset` between phases instead of accumulating forever.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    payload_entries: int = 0
+    payload_bytes: int = 0
+    messages_by_type: Dict[str, int] = field(default_factory=dict)
+    bytes_by_type: Dict[str, int] = field(default_factory=dict)
     per_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def record_payload(self, message: Any) -> None:
+        """Account a queued message's wire footprint (duck-typed)."""
+        entries = getattr(message, "wire_entries", None)
+        size = getattr(message, "wire_bytes", None)
+        n = int(entries()) if callable(entries) else 0
+        b = int(size()) if callable(size) else 0
+        name = type(message).__name__
+        self.payload_entries += n
+        self.payload_bytes += b
+        self.messages_by_type[name] = self.messages_by_type.get(name, 0) + 1
+        self.bytes_by_type[name] = self.bytes_by_type.get(name, 0) + b
+
+    def reset(self) -> None:
+        """Zero every counter (phase boundary in measurement harnesses)."""
+        self.sent = self.delivered = self.dropped = 0
+        self.payload_entries = self.payload_bytes = 0
+        self.messages_by_type.clear()
+        self.bytes_by_type.clear()
+        self.per_link.clear()
 
 
 class Network:
@@ -84,6 +121,8 @@ class Network:
         if self.is_partitioned(src, dst) or dst not in self._endpoints:
             self.stats.dropped += 1
             return False
+        # the message actually goes on the wire: account its payload
+        self.stats.record_payload(message)
         handler = self._endpoints[dst]
 
         def deliver() -> None:

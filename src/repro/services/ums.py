@@ -5,6 +5,20 @@ per-user usage totals (and usage trees shaped by the site policy) on a
 refresh interval (paper Section II-A).  The refresh interval is delay
 source II in the update-delay analysis.
 
+Refresh is **incremental** (DESIGN.md §7): instead of merging every
+histogram and re-decaying every user each period, the UMS keeps cached
+per-user decayed totals and pulls only the *dirty-user set* (users whose
+bins changed since the last pull) from each USS through a registered
+change cursor.  Clean users are age-shifted analytically — exponential
+decay is multiplicative in age, so advancing a total by ``Δt`` is one
+multiply by ``0.5**(Δt/half_life)`` (``decay.weight(Δt)``); with
+:class:`~repro.core.decay.NoDecay` the factor is 1.  Users whose newest
+bin midpoint still lies in the future of the previous refresh (the ages
+were clamped at zero) stay in a "young" set and are recomputed until the
+midpoint has passed, keeping the shift exact.  Decay families whose
+weights are not multiplicative in age (linear, window, step) fall back to
+the full per-user recompute every refresh, as does the priming refresh.
+
 A site in LOCAL_ONLY participation mode points its UMS at local usage only
 (``consider_remote=False``): it still publishes data to the grid but
 prioritizes on local history — the second scenario of the
@@ -13,9 +27,9 @@ partial-participation test.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
-from ..core.decay import DecayFunction, ExponentialDecay
+from ..core.decay import DecayFunction, ExponentialDecay, NoDecay
 from ..core.tree import Tree
 from ..core.usage import UsageTree, build_usage_tree
 from ..sim.engine import PeriodicTask, SimulationEngine
@@ -32,6 +46,7 @@ class UsageMonitoringService:
                  decay: Optional[DecayFunction] = None,
                  refresh_interval: float = 30.0,
                  consider_remote: bool = True,
+                 incremental: bool = True,
                  start_offset: float = 0.0):
         if not sources:
             raise ValueError("a UMS needs at least one USS source")
@@ -42,23 +57,101 @@ class UsageMonitoringService:
         self.consider_remote = consider_remote
         self.refresh_interval = refresh_interval
         self.refreshes = 0
+        #: refreshes that went through the full merge-and-decay path
+        self.full_refreshes = 0
+        #: dirty/young users recomputed on incremental refreshes
+        self.users_recomputed = 0
+        # the analytic age shift is exact only for decays multiplicative in
+        # age; other families recompute every user each refresh
+        self.incremental = incremental and isinstance(
+            self.decay, (ExponentialDecay, NoDecay))
+        self._cursors: List[Optional[int]] = [None] * len(self.sources)
+        if self.incremental:
+            self._cursors = [
+                uss.register_usage_cursor(include_remote=consider_remote)
+                for uss in self.sources]
         self._totals: Dict[str, float] = {}
+        #: newest bin midpoint per cached user (staleness of the age shift)
+        self._max_mid: Dict[str, float] = {}
+        #: users recomputed while their newest midpoint was still ahead
+        self._young: Set[str] = set()
+        self._primed = False
         self._computed_at: float = engine.now
         self._task: Optional[PeriodicTask] = engine.periodic(
             refresh_interval, self.refresh, start_offset=start_offset)
         self.refresh()
 
     def refresh(self) -> None:
-        """Pull histograms and recompute decayed per-user totals."""
+        """Advance the cached decayed per-user totals to ``engine.now``."""
         now = self.engine.now
+        dirty: Set[str] = set()
+        if self.incremental:
+            for uss, cursor in zip(self.sources, self._cursors):
+                if cursor is not None:
+                    dirty |= uss.drain_dirty_users(cursor)
+        if not self.incremental or not self._primed:
+            self._full_refresh(now)
+        else:
+            self._incremental_refresh(now, dirty)
+        self._computed_at = now
+        self.refreshes += 1
+
+    def _full_refresh(self, now: float) -> None:
+        """Merge every histogram and re-decay every user (reference path)."""
         totals: Dict[str, float] = {}
         for uss in self.sources:
             merged = uss.global_usage(include_remote=self.consider_remote)
             for user, value in merged.decayed_totals(now, self.decay).items():
                 totals[user] = totals.get(user, 0.0) + value
         self._totals = totals
-        self._computed_at = now
-        self.refreshes += 1
+        self.full_refreshes += 1
+        if self.incremental:
+            # seed the age-shift bookkeeping for subsequent delta refreshes
+            mids: Dict[str, float] = {}
+            for uss in self.sources:
+                for user, m in uss.newest_user_midpoints(
+                        self.consider_remote).items():
+                    if m > mids.get(user, float("-inf")):
+                        mids[user] = m
+            self._max_mid = mids
+            self._young = {u for u, m in mids.items() if m > now}
+            self._primed = True
+
+    def _incremental_refresh(self, now: float, dirty: Set[str]) -> None:
+        factor = self.decay.weight(now - self._computed_at)
+        if factor != 1.0:
+            for user in self._totals:
+                self._totals[user] *= factor
+        recompute = dirty | self._young
+        if not recompute:
+            return
+        self._young = set()
+        self.users_recomputed += len(recompute)
+        for user in recompute:
+            total = 0.0
+            max_mid = float("-inf")
+            found = False
+            for uss in self.sources:
+                t = uss.decayed_user_total(user, now, self.decay,
+                                           self.consider_remote)
+                if t is None:
+                    continue
+                found = True
+                total += t
+                m = uss.newest_user_midpoint(user, self.consider_remote)
+                if m is not None and m > max_mid:
+                    max_mid = m
+            if not found:
+                # pruned/deleted everywhere: drop, as a full merge would
+                self._totals.pop(user, None)
+                self._max_mid.pop(user, None)
+                continue
+            self._totals[user] = total
+            self._max_mid[user] = max_mid
+            if max_mid > now:
+                # the newest bin's age is still clamped at zero; keep
+                # recomputing until the midpoint passes, then shift freely
+                self._young.add(user)
 
     # -- queries (served from the pre-computed state) ------------------------
 
@@ -78,3 +171,8 @@ class UsageMonitoringService:
         if self._task is not None:
             self._task.cancel()
             self._task = None
+        if self.incremental:
+            for uss, cursor in zip(self.sources, self._cursors):
+                if cursor is not None:
+                    uss.release_usage_cursor(cursor)
+            self._cursors = [None] * len(self.sources)

@@ -6,6 +6,19 @@ is also the *only* inter-site channel: Aequus instances "communicate only
 by exchanging data through the USS services", relaying per-user histogram
 snapshots rather than individual job records.
 
+Exchange protocol (DESIGN.md §7).  By default the USS is **incremental**:
+each publish carries only the (user, bin) entries that changed since the
+previous publish, as absolute bin values in the compact array format of
+:class:`~repro.services.messages.UsageDeltaMessage`.  Publishes are
+numbered consecutively (``seq``); the first publish — and every resync
+reply — is a ``full=True`` complete-state snapshot.  A receiver applies a
+delta only when it extends its last applied sequence by exactly one;
+older messages are dropped as stale (network jitter can reorder them) and
+a gap (partition, drop, late join) triggers a
+:class:`~repro.services.messages.UsageResyncRequest`, answered with a full
+snapshot.  ``delta_exchange=False`` restores the original
+full-snapshot-every-tick behaviour, retained as the measured reference.
+
 Participation is asymmetric by design: a site may publish without
 consuming or vice versa — the partial-participation experiment
 (Section IV-A.4) exercises exactly those modes.
@@ -13,11 +26,13 @@ consuming or vice versa — the partial-participation experiment
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import itertools
+from typing import Dict, List, Optional, Set
 
+from ..core.decay import DecayFunction
 from ..core.usage import UsageHistogram, UsageRecord
 from ..sim.engine import PeriodicTask, SimulationEngine
-from .messages import UsageExchangeMessage
+from .messages import UsageDeltaMessage, UsageExchangeMessage, UsageResyncRequest
 from .network import Network
 
 __all__ = ["UsageStatisticsService"]
@@ -30,12 +45,14 @@ class UsageStatisticsService:
                  histogram_interval: float = 60.0,
                  exchange_interval: float = 30.0,
                  publish: bool = True,
+                 delta_exchange: bool = True,
                  prune_horizon: Optional[float] = None,
                  start_offset: float = 0.0):
         self.site = site
         self.engine = engine
         self.network = network
         self.publish = publish
+        self.delta_exchange = delta_exchange
         self.exchange_interval = exchange_interval
         #: optional history horizon: bins entirely older than this are
         #: dropped at each exchange tick (bounds long-run memory)
@@ -47,6 +64,27 @@ class UsageStatisticsService:
         self.records_received = 0
         self.exchanges_sent = 0
         self.exchanges_received = 0
+        #: reordered/duplicate usage messages dropped (jitter can deliver an
+        #: older message after a newer one; applying it would roll state back)
+        self.exchanges_stale = 0
+        #: publish ticks with no changed entries — only a sequence-number
+        #: heartbeat goes out, letting silent peers detect missed deltas
+        self.exchanges_skipped = 0
+        self.resyncs_requested = 0
+        self.resyncs_served = 0
+        #: sender state: consecutive publish sequence number (0 = never)
+        self._seq = 0
+        self._exchange_cursor: Optional[int] = None
+        if delta_exchange and publish:
+            self._exchange_cursor = self.local.register_cursor()
+        #: receiver state per remote site
+        self._recv_seq: Dict[str, int] = {}
+        self._recv_sent_at: Dict[str, float] = {}
+        #: UMS-facing dirty-user cursors: cursor id -> histogram-cursor map
+        #: keyed by histogram owner ("" = local, else remote site name)
+        self._usage_cursors: Dict[int, Dict[str, int]] = {}
+        self._usage_cursor_remote: Dict[int, bool] = {}
+        self._usage_cursor_ids = itertools.count()
         self._endpoint = f"uss:{site}"
         network.connect(self._endpoint, self._on_message)
         self._task: Optional[PeriodicTask] = engine.periodic(
@@ -67,6 +105,8 @@ class UsageStatisticsService:
         if site not in self.peers:
             self.peers.append(site)
 
+    # -- publishing --------------------------------------------------------
+
     def _exchange(self) -> None:
         if self.prune_horizon is not None:
             self.charge_pruned += self.local.prune(self.engine.now,
@@ -75,25 +115,145 @@ class UsageStatisticsService:
                 hist.prune(self.engine.now, self.prune_horizon)
         if not self.publish or not self.peers:
             return
-        message = UsageExchangeMessage(
-            site=self.site,
-            sent_at=self.engine.now,
-            interval=self.local.interval,
-            snapshot=self.local.snapshot(),
-        )
+        if not self.delta_exchange:
+            message = UsageExchangeMessage(
+                site=self.site,
+                sent_at=self.engine.now,
+                interval=self.local.interval,
+                snapshot=self.local.snapshot(),
+            )
+        else:
+            message = self._build_delta()
         for peer in self.peers:
             self.network.send(self._endpoint, f"uss:{peer}", message)
         self.exchanges_sent += 1
 
-    def _on_message(self, message: UsageExchangeMessage) -> None:
+    def _build_delta(self) -> UsageDeltaMessage:
+        """Next publish: a full snapshot first, then changed entries only.
+
+        A tick with no changes publishes an empty **heartbeat** carrying the
+        current sequence number without advancing it: a receiver that is
+        behind (a delta was lost to a partition while the sender then went
+        idle) detects the gap from the heartbeat and requests a resync —
+        without it, loss followed by silence would never be repaired.
+        """
+        dirty = self.local.drain_cursor(self._exchange_cursor)
+        if self._seq == 0:
+            self._seq = 1
+            return self._full_message()
+        if not dirty:
+            self.exchanges_skipped += 1
+            return UsageDeltaMessage(
+                site=self.site, sent_at=self.engine.now,
+                interval=self.local.interval, seq=self._seq, full=False)
+        user_table: List[str] = []
+        user_idx: List[int] = []
+        bin_idx: List[int] = []
+        charges: List[float] = []
+        for user, bins in dirty.items():
+            ui = len(user_table)
+            user_table.append(user)
+            for b in bins:
+                user_idx.append(ui)
+                bin_idx.append(b)
+                # absolute current value; 0.0 propagates a pruned/deleted bin
+                charges.append(self.local.bin_value(user, b))
+        self._seq += 1
+        return UsageDeltaMessage(
+            site=self.site, sent_at=self.engine.now,
+            interval=self.local.interval, seq=self._seq, full=False,
+            user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
+            charges=charges)
+
+    def _full_message(self) -> UsageDeltaMessage:
+        user_table, user_idx, bin_idx, charges = self.local.snapshot_arrays()
+        return UsageDeltaMessage(
+            site=self.site, sent_at=self.engine.now,
+            interval=self.local.interval, seq=self._seq, full=True,
+            user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
+            charges=charges)
+
+    # -- receiving ---------------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        if isinstance(message, UsageResyncRequest):
+            self._serve_resync(message)
+            return
         if message.interval != self.local.interval:
             # Sites must agree on the histogram interval for bins to align;
             # mismatched configurations are dropped (and visible in stats).
             return
+        if isinstance(message, UsageDeltaMessage):
+            self._on_delta(message)
+        else:
+            self._on_full_snapshot(message)
+
+    def _remote_histogram(self, site: str) -> UsageHistogram:
+        """The persistent per-site histogram, created on first contact.
+
+        Deltas are applied *in place*, so the object must outlive any one
+        message; UMS dirty-user cursors attach to it the moment it exists.
+        """
+        hist = self.remote.get(site)
+        if hist is None:
+            hist = UsageHistogram(self.local.interval)
+            self.remote[site] = hist
+            for cursor, per_hist in self._usage_cursors.items():
+                if self._usage_cursor_remote[cursor]:
+                    per_hist[site] = hist.register_cursor()
+        return hist
+
+    def _on_full_snapshot(self, message: UsageExchangeMessage) -> None:
+        """Legacy dict-of-dict full snapshot (``delta_exchange=False`` peers)."""
+        last = self._recv_sent_at.get(message.site)
+        if last is not None and message.sent_at < last:
+            self.exchanges_stale += 1
+            return
+        self._recv_sent_at[message.site] = message.sent_at
         self.exchanges_received += 1
-        hist = UsageHistogram(message.interval)
-        hist.replace(message.snapshot)
-        self.remote[message.site] = hist
+        self._remote_histogram(message.site).replace(message.snapshot)
+
+    def _on_delta(self, message: UsageDeltaMessage) -> None:
+        last = self._recv_seq.get(message.site, 0)
+        heartbeat = not message.full and not message.charges
+        if message.full:
+            if message.seq < last:
+                self.exchanges_stale += 1
+                return
+        else:
+            if message.seq <= last:
+                if not heartbeat:
+                    self.exchanges_stale += 1
+                return  # heartbeat at (or behind) our state: already current
+            if heartbeat or last == 0 or message.seq != last + 1:
+                # missed at least one publish (partition, drop, late join):
+                # state can no longer be patched — ask for a full snapshot.
+                # A heartbeat never advances the applied sequence, so the
+                # resync reply remains the only way to catch up.
+                self.resyncs_requested += 1
+                self.network.send(
+                    self._endpoint, f"uss:{message.site}",
+                    UsageResyncRequest(site=self.site,
+                                       sent_at=self.engine.now,
+                                       target=message.site))
+                return
+        self._recv_seq[message.site] = message.seq
+        self._recv_sent_at[message.site] = message.sent_at
+        self.exchanges_received += 1
+        self._remote_histogram(message.site).apply_arrays(
+            message.user_table, message.user_idx, message.bin_idx,
+            message.charges, full=message.full)
+
+    def _serve_resync(self, request: UsageResyncRequest) -> None:
+        if not self.publish or not self.delta_exchange:
+            return
+        self.resyncs_served += 1
+        # current state at the current sequence number; an in-flight delta
+        # with the same seq is redundant at the receiver (absolute values)
+        if self._seq == 0:
+            self._seq = 1
+        self.network.send(self._endpoint, f"uss:{request.site}",
+                          self._full_message())
 
     # -- queries ----------------------------------------------------------
 
@@ -108,6 +268,81 @@ class UsageStatisticsService:
 
     def known_sites(self) -> List[str]:
         return sorted([self.site, *self.remote])
+
+    # -- incremental-UMS support ------------------------------------------
+
+    def register_usage_cursor(self, include_remote: bool = True) -> int:
+        """Track which users' histograms change (local and, optionally,
+        remote) so a UMS can recompute only those on refresh."""
+        cursor = next(self._usage_cursor_ids)
+        per_hist = {"": self.local.register_cursor()}
+        if include_remote:
+            for site, hist in self.remote.items():
+                per_hist[site] = hist.register_cursor()
+        self._usage_cursors[cursor] = per_hist
+        self._usage_cursor_remote[cursor] = include_remote
+        return cursor
+
+    def drain_dirty_users(self, cursor: int) -> Set[str]:
+        """Users changed (on any tracked histogram) since the last drain."""
+        dirty: Set[str] = set()
+        for site, hist_cursor in self._usage_cursors[cursor].items():
+            hist = self.local if site == "" else self.remote[site]
+            dirty.update(hist.drain_cursor(hist_cursor))
+        return dirty
+
+    def release_usage_cursor(self, cursor: int) -> None:
+        per_hist = self._usage_cursors.pop(cursor, None)
+        if per_hist is None:
+            return
+        self._usage_cursor_remote.pop(cursor, None)
+        for site, hist_cursor in per_hist.items():
+            hist = self.local if site == "" else self.remote.get(site)
+            if hist is not None:
+                hist.release_cursor(hist_cursor)
+
+    def decayed_user_total(self, user: str, now: float, decay: DecayFunction,
+                           include_remote: bool = True) -> Optional[float]:
+        """One user's decayed usage across local (+ remote) histograms.
+
+        Returns None when the user holds no bins anywhere — the caller
+        drops them from its cache, matching the full-recompute view.
+        """
+        total = 0.0
+        found = False
+        if self.local.has_user(user):
+            total += self.local.decayed_total(user, now, decay)
+            found = True
+        if include_remote:
+            for hist in self.remote.values():
+                if hist.has_user(user):
+                    total += hist.decayed_total(user, now, decay)
+                    found = True
+        return total if found else None
+
+    def newest_user_midpoint(self, user: str,
+                             include_remote: bool = True) -> Optional[float]:
+        """Newest bin midpoint for a user across tracked histograms."""
+        mids = []
+        m = self.local.newest_midpoint(user)
+        if m is not None:
+            mids.append(m)
+        if include_remote:
+            for hist in self.remote.values():
+                m = hist.newest_midpoint(user)
+                if m is not None:
+                    mids.append(m)
+        return max(mids) if mids else None
+
+    def newest_user_midpoints(self, include_remote: bool = True) -> Dict[str, float]:
+        """``newest_user_midpoint`` for every known user in one pass."""
+        mids = dict(self.local.newest_midpoints())
+        if include_remote:
+            for hist in self.remote.values():
+                for user, m in hist.newest_midpoints().items():
+                    if m > mids.get(user, float("-inf")):
+                        mids[user] = m
+        return mids
 
     def stop(self) -> None:
         if self._task is not None:

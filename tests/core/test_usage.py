@@ -127,6 +127,152 @@ class TestUsageHistogram:
             UsageHistogram(interval=0)
 
 
+class TestChangeCursors:
+    def test_add_charge_marks_touched_bins(self):
+        h = UsageHistogram(interval=60.0)
+        cur = h.register_cursor()
+        h.add_charge("u", 30.0, 90.0)  # spans bins 0 and 1
+        assert h.drain_cursor(cur) == {"u": {0, 1}}
+
+    def test_drain_resets(self):
+        h = UsageHistogram(interval=60.0)
+        cur = h.register_cursor()
+        h.add_charge("u", 0.0, 10.0)
+        h.drain_cursor(cur)
+        assert h.drain_cursor(cur) == {}
+
+    def test_mutations_before_registration_invisible(self):
+        h = UsageHistogram(interval=60.0)
+        h.add_charge("u", 0.0, 10.0)
+        cur = h.register_cursor()
+        assert h.drain_cursor(cur) == {}
+
+    def test_independent_cursors(self):
+        h = UsageHistogram(interval=60.0)
+        c1 = h.register_cursor()
+        c2 = h.register_cursor()
+        h.add_bin("a", 3, 5.0)
+        assert h.drain_cursor(c1) == {"a": {3}}
+        h.add_bin("b", 1, 1.0)
+        assert h.drain_cursor(c1) == {"b": {1}}
+        assert h.drain_cursor(c2) == {"a": {3}, "b": {1}}
+
+    def test_released_cursor_stops_tracking(self):
+        h = UsageHistogram(interval=60.0)
+        cur = h.register_cursor()
+        h.release_cursor(cur)
+        h.add_bin("a", 0, 1.0)  # must not raise or leak
+
+    def test_prune_marks_dropped_bins(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_charge("u", 0.0, 10.0)
+        cur = h.register_cursor()
+        h.prune(now=1000.0, horizon=10.0)
+        assert h.drain_cursor(cur) == {"u": {0}}
+
+    def test_replace_marks_old_and_new_state(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_bin("old", 2, 1.0)
+        cur = h.register_cursor()
+        h.replace({"new": {5: 3.0}})
+        assert h.drain_cursor(cur) == {"old": {2}, "new": {5}}
+
+
+class TestSetBin:
+    def test_absolute_overwrite(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_bin("u", 0, 5.0)
+        h.set_bin("u", 0, 2.0)
+        assert h.bin_value("u", 0) == 2.0
+
+    def test_idempotent(self):
+        h = UsageHistogram(interval=10.0)
+        h.set_bin("u", 0, 2.0)
+        h.set_bin("u", 0, 2.0)
+        assert h.total("u") == 2.0
+
+    def test_zero_deletes_bin_and_empty_user(self):
+        h = UsageHistogram(interval=10.0)
+        h.set_bin("u", 0, 2.0)
+        h.set_bin("u", 0, 0.0)
+        assert h.users == []
+        assert h.n_bins() == 0
+
+    def test_zero_on_absent_bin_is_noop(self):
+        h = UsageHistogram(interval=10.0)
+        cur = h.register_cursor()
+        h.set_bin("u", 7, 0.0)
+        assert h.drain_cursor(cur) == {}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UsageHistogram().set_bin("u", 0, -1.0)
+
+    def test_marks_cursor(self):
+        h = UsageHistogram(interval=10.0)
+        cur = h.register_cursor()
+        h.set_bin("u", 4, 1.0)
+        assert h.drain_cursor(cur) == {"u": {4}}
+
+
+class TestCompactArrays:
+    def test_snapshot_arrays_roundtrip(self):
+        h = UsageHistogram(interval=60.0)
+        h.add_charge("a", 0.0, 120.0)
+        h.add_charge("b", 30.0, 90.0)
+        h2 = UsageHistogram(interval=60.0)
+        h2.apply_arrays(*h.snapshot_arrays(), full=True)
+        assert h2.snapshot() == h.snapshot()
+
+    def test_user_names_spelled_once(self):
+        h = UsageHistogram(interval=10.0)
+        for b in range(5):
+            h.add_bin("verylongusername", b, 1.0)
+        user_table, user_idx, bin_idx, charges = h.snapshot_arrays()
+        assert user_table == ["verylongusername"]
+        assert user_idx == [0] * 5
+        assert len(bin_idx) == len(charges) == 5
+
+    def test_apply_delta_entries_in_place(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_bin("a", 0, 5.0)
+        h.apply_arrays(["a", "b"], [0, 1], [0, 2], [7.0, 3.0])
+        assert h.bin_value("a", 0) == 7.0
+        assert h.bin_value("b", 2) == 3.0
+
+    def test_apply_zero_entry_deletes(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_bin("a", 0, 5.0)
+        h.apply_arrays(["a"], [0], [0], [0.0])
+        assert h.users == []
+
+    def test_full_apply_removes_unlisted_entries(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_bin("gone", 0, 5.0)
+        h.add_bin("kept", 1, 2.0)
+        h.apply_arrays(["kept"], [0], [1], [4.0], full=True)
+        assert h.users == ["kept"]
+        assert h.bin_value("kept", 1) == 4.0
+
+
+class TestNewestMidpoints:
+    def test_newest_midpoint(self):
+        h = UsageHistogram(interval=100.0)
+        h.add_bin("u", 0, 1.0)
+        h.add_bin("u", 4, 1.0)
+        assert h.newest_midpoint("u") == pytest.approx(450.0)
+
+    def test_unknown_user_is_none(self):
+        assert UsageHistogram().newest_midpoint("ghost") is None
+
+    def test_newest_midpoints_all_users(self):
+        h = UsageHistogram(interval=10.0)
+        h.add_bin("a", 2, 1.0)
+        h.add_bin("b", 0, 1.0)
+        assert h.newest_midpoints() == {"a": pytest.approx(25.0),
+                                        "b": pytest.approx(5.0)}
+
+
 class TestUsageTree:
     def test_roll_up_sums_children(self):
         t = UsageTree()

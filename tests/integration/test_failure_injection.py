@@ -49,11 +49,34 @@ class TestPartitionDuringOperation:
         engine.run_until(60.0)
         seen = sites[1].ums.usage_totals().get("alice", 0.0)
         assert seen < 150.0  # only the pre-partition snapshot
-        # heal: the full-snapshot exchange resynchronizes without replay
+        # heal: the delta protocol detects the sequence gap and repairs it
+        # with a requested full-snapshot resync — no replay of lost deltas
         network.heal("uss:s0", "uss:s1")
         engine.run_until(90.0)
         assert sites[1].ums.usage_totals().get("alice", 0.0) == pytest.approx(
             500.0, rel=0.01)
+        assert sites[1].uss.resyncs_requested >= 1
+        assert sites[0].uss.resyncs_served >= 1
+
+    def test_in_flight_drop_counted_and_heal_restores_delivery(self):
+        engine, network, sites = build(2)
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=0.0, end=100.0))
+        engine.run_until(7.0)
+        delivered = network.stats.delivered
+        # a message already in flight when the partition lands is lost
+        sites[0].uss.record_job(
+            UsageRecord(user="alice", site="s0", start=7.0, end=9.0))
+        engine.run_until(10.01)  # exchange sent at t=10, latency 0.1
+        network.partition("uss:s0", "uss:s1")
+        engine.run_until(12.0)
+        assert network.stats.dropped >= 1
+        assert network.stats.delivered == delivered
+        network.heal("uss:s0", "uss:s1")
+        engine.run_until(40.0)
+        assert network.stats.delivered > delivered
+        assert sites[1].ums.usage_totals().get("alice", 0.0) == pytest.approx(
+            102.0, rel=0.01)
 
     def test_partitioned_grid_halves_stay_internally_consistent(self):
         engine, network, sites = build(3)

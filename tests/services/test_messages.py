@@ -1,7 +1,8 @@
 """Unit tests for the service message payloads."""
 
 from repro.core.policy import parse_policy
-from repro.services.messages import PolicyExportMessage, UsageExchangeMessage
+from repro.services.messages import (PolicyExportMessage, UsageDeltaMessage,
+                                     UsageExchangeMessage, UsageResyncRequest)
 
 
 class TestUsageExchangeMessage:
@@ -24,6 +25,70 @@ class TestUsageExchangeMessage:
             assert False, "should be immutable"
         except AttributeError:
             pass
+
+
+class TestUsageExchangeWireAccounting:
+    def test_wire_entries_counts_bins(self):
+        msg = UsageExchangeMessage(
+            site="a", sent_at=0.0, interval=60.0,
+            snapshot={"u1": {0: 10.0, 1: 20.0}, "u2": {0: 5.0}})
+        assert msg.wire_entries() == 3
+
+    def test_wire_bytes_grow_with_payload(self):
+        small = UsageExchangeMessage(site="a", sent_at=0.0, interval=60.0,
+                                     snapshot={"u": {0: 1.0}})
+        big = UsageExchangeMessage(site="a", sent_at=0.0, interval=60.0,
+                                   snapshot={"u": {b: 1.0 for b in range(10)}})
+        assert small.wire_bytes() < big.wire_bytes()
+
+
+class TestUsageDeltaMessage:
+    def delta(self, **kwargs):
+        base = dict(site="a", sent_at=1.0, interval=60.0, seq=3, full=False,
+                    user_table=["alice", "bob"], user_idx=[0, 0, 1],
+                    bin_idx=[0, 1, 0], charges=[10.0, 20.0, 5.0])
+        base.update(kwargs)
+        return UsageDeltaMessage(**base)
+
+    def test_total_charge(self):
+        assert self.delta().total_charge() == 35.0
+
+    def test_wire_entries(self):
+        assert self.delta().wire_entries() == 3
+
+    def test_heartbeat_is_tiny(self):
+        hb = self.delta(user_table=[], user_idx=[], bin_idx=[], charges=[])
+        assert hb.wire_entries() == 0
+        assert hb.wire_bytes() < 50
+
+    def test_array_format_more_compact_than_dicts_at_equal_content(self):
+        """Packed arrays skip the per-map-entry framing that dict-of-dict
+        serializations pay, so at identical content the array form is
+        strictly smaller."""
+        snapshot = {f"grid-user-{u:04d}": {b: float(b) for b in range(4)}
+                    for u in range(50)}
+        legacy = UsageExchangeMessage(site="a", sent_at=0.0, interval=60.0,
+                                      snapshot=snapshot)
+        user_table = list(snapshot)
+        user_idx, bin_idx, charges = [], [], []
+        for i, bins in enumerate(snapshot.values()):
+            for b, c in bins.items():
+                user_idx.append(i)
+                bin_idx.append(b)
+                charges.append(c)
+        arrays = UsageDeltaMessage(
+            site="a", sent_at=0.0, interval=60.0, seq=1, full=True,
+            user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
+            charges=charges)
+        assert arrays.wire_entries() == legacy.wire_entries()
+        assert arrays.wire_bytes() < legacy.wire_bytes()
+
+
+class TestUsageResyncRequest:
+    def test_carries_no_entries(self):
+        req = UsageResyncRequest(site="b", sent_at=2.0, target="a")
+        assert req.wire_entries() == 0
+        assert req.wire_bytes() > 0
 
 
 class TestPolicyExportMessage:

@@ -69,6 +69,55 @@ class TestDelivery:
             Network(engine, base_latency=-1.0)
 
 
+class TestPayloadAccounting:
+    def delta(self, entries=2):
+        from repro.services.messages import UsageDeltaMessage
+        return UsageDeltaMessage(
+            site="a", sent_at=0.0, interval=60.0, seq=1, full=True,
+            user_table=["u"], user_idx=[0] * entries,
+            bin_idx=list(range(entries)), charges=[1.0] * entries)
+
+    def test_send_accumulates_entries_and_bytes(self, network):
+        network.connect("b", lambda m: None)
+        msg = self.delta(entries=3)
+        network.send("a", "b", msg)
+        assert network.stats.payload_entries == 3
+        assert network.stats.payload_bytes == msg.wire_bytes()
+        assert network.stats.messages_by_type["UsageDeltaMessage"] == 1
+        assert network.stats.bytes_by_type["UsageDeltaMessage"] == msg.wire_bytes()
+
+    def test_raw_payloads_count_zero(self, network):
+        network.connect("b", lambda m: None)
+        network.send("a", "b", {"not": "a message"})
+        assert network.stats.sent == 1
+        assert network.stats.payload_entries == 0
+        assert network.stats.payload_bytes == 0
+
+    def test_dropped_at_send_not_counted(self, network):
+        network.connect("b", lambda m: None)
+        network.partition("a", "b")
+        network.send("a", "b", self.delta())
+        assert network.stats.dropped == 1
+        assert network.stats.payload_bytes == 0
+        assert network.stats.payload_entries == 0
+
+    def test_unknown_endpoint_not_counted(self, network):
+        network.send("a", "nowhere", self.delta())
+        assert network.stats.payload_bytes == 0
+
+    def test_reset_clears_everything(self, engine, network):
+        network.connect("b", lambda m: None)
+        network.send("a", "b", self.delta())
+        network.send("a", "nowhere", "x")
+        engine.run_until(2.0)
+        network.stats.reset()
+        s = network.stats
+        assert s.sent == s.delivered == s.dropped == 0
+        assert s.payload_entries == 0 and s.payload_bytes == 0
+        assert s.per_link == {} and s.messages_by_type == {}
+        assert s.bytes_by_type == {}
+
+
 class TestPartitions:
     def test_partition_drops_messages(self, engine, network):
         inbox = []

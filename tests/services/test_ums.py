@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.decay import NoDecay
+from repro.core.decay import ExponentialDecay, LinearDecay, NoDecay
 from repro.core.policy import PolicyTree
 from repro.core.usage import UsageRecord
 from repro.services.network import Network
@@ -113,3 +113,113 @@ class TestUsageTree:
                                      decay=NoDecay(), refresh_interval=5.0)
         engine.run_until(5.0)
         assert ums.usage_totals()["u"] == pytest.approx(30.0)
+
+
+class TestIncrementalRefresh:
+    """The dirty-user incremental path must be indistinguishable from the
+    full merge-and-decay reference (DESIGN.md §7)."""
+
+    def paired(self, engine, uss, decay):
+        inc = UsageMonitoringService("a", engine, sources=[uss], decay=decay,
+                                     refresh_interval=10.0, incremental=True)
+        ref = UsageMonitoringService("a", engine, sources=[uss], decay=decay,
+                                     refresh_interval=10.0, incremental=False)
+        return inc, ref
+
+    def assert_match(self, inc, ref):
+        ref_totals = ref.usage_totals()
+        inc_totals = inc.usage_totals()
+        for user in set(ref_totals) | set(inc_totals):
+            assert inc_totals.get(user, 0.0) == pytest.approx(
+                ref_totals.get(user, 0.0), rel=1e-9, abs=1e-9), user
+
+    def test_matches_full_recompute_across_refreshes(self, engine, uss):
+        inc, ref = self.paired(engine, uss,
+                               ExponentialDecay(half_life=3600.0))
+        uss.record_job(UsageRecord(user="u1", site="a", start=0.0, end=100.0))
+        engine.run_until(10.0)
+        self.assert_match(inc, ref)
+        uss.record_job(UsageRecord(user="u2", site="a", start=10.0, end=15.0))
+        engine.run_until(20.0)
+        self.assert_match(inc, ref)
+        # several idle refreshes: clean users age-shift analytically
+        engine.run_until(60.0)
+        assert inc.full_refreshes < inc.refreshes
+        self.assert_match(inc, ref)
+
+    def test_only_dirty_users_recomputed(self, engine, uss):
+        ums = make_ums(engine, uss, decay=ExponentialDecay(half_life=3600.0))
+        for u in range(5):
+            uss.record_job(UsageRecord(user=f"u{u}", site="a",
+                                       start=0.0, end=30.0))
+        engine.run_until(10.0)   # priming covers all 5 (full path)
+        engine.run_until(40.0)   # young users settle
+        before = ums.users_recomputed
+        uss.record_job(UsageRecord(user="u3", site="a", start=40.0, end=45.0))
+        engine.run_until(50.0)
+        assert ums.users_recomputed == before + 1
+
+    def test_pruned_user_dropped_from_totals(self, engine):
+        network = Network(engine, base_latency=0.1)
+        uss = UsageStatisticsService("a", engine, network,
+                                     histogram_interval=60.0,
+                                     exchange_interval=10.0,
+                                     prune_horizon=100.0)
+        uss.add_peer("nowhere")  # exchanges (and prunes) still tick
+        ums = make_ums(engine, uss, decay=ExponentialDecay(half_life=3600.0))
+        uss.record_job(UsageRecord(user="old", site="a", start=0.0, end=60.0))
+        engine.run_until(20.0)
+        assert "old" in ums.usage_totals()
+        engine.run_until(250.0)  # bin 0 ages out past the horizon
+        assert uss.local.total("old") == 0.0
+        assert "old" not in ums.usage_totals()
+
+    def test_non_multiplicative_decay_falls_back_to_full(self, engine, uss):
+        ums = make_ums(engine, uss, decay=LinearDecay(window=3600.0))
+        assert not ums.incremental
+        engine.run_until(40.0)
+        assert ums.full_refreshes == ums.refreshes
+
+    def test_incremental_false_is_pure_reference(self, engine, uss):
+        ums = make_ums(engine, uss, decay=ExponentialDecay(half_life=3600.0),
+                       incremental=False)
+        uss.record_job(UsageRecord(user="u", site="a", start=0.0, end=50.0))
+        engine.run_until(40.0)
+        assert ums.full_refreshes == ums.refreshes
+
+    def test_young_user_stays_exact(self, engine, uss):
+        """A job whose bin midpoint lies beyond ``now`` would break the
+        analytic age shift (ages clamp at 0); the user must be recomputed
+        until the midpoint passes — and totals must match throughout."""
+        inc, ref = self.paired(engine, uss,
+                               ExponentialDecay(half_life=600.0))
+        # bin 0 covers [0, 60): its midpoint (30) is ahead of the first
+        # refreshes at t=10 and t=20
+        uss.record_job(UsageRecord(user="u", site="a", start=0.0, end=5.0))
+        for t in (10.0, 20.0, 30.0, 40.0, 50.0):
+            engine.run_until(t)
+            self.assert_match(inc, ref)
+
+    def test_stop_releases_cursors(self, engine, uss):
+        ums = make_ums(engine, uss, decay=ExponentialDecay(half_life=3600.0))
+        assert uss._usage_cursors
+        ums.stop()
+        assert not uss._usage_cursors
+
+    def test_remote_updates_mark_users_dirty(self, engine):
+        network = Network(engine, base_latency=0.1)
+        a = UsageStatisticsService("a", engine, network,
+                                   histogram_interval=60.0,
+                                   exchange_interval=5.0)
+        b = UsageStatisticsService("b", engine, network,
+                                   histogram_interval=60.0,
+                                   exchange_interval=5.0)
+        b.add_peer("a")
+        ums = UsageMonitoringService("a", engine, sources=[a],
+                                     decay=NoDecay(), refresh_interval=5.0)
+        b.record_job(UsageRecord(user="u", site="b", start=0.0, end=80.0))
+        engine.run_until(20.0)
+        assert ums.usage_totals().get("u", 0.0) == pytest.approx(80.0)
+        b.record_job(UsageRecord(user="u", site="b", start=20.0, end=30.0))
+        engine.run_until(40.0)
+        assert ums.usage_totals().get("u", 0.0) == pytest.approx(90.0)

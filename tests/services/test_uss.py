@@ -3,6 +3,8 @@
 import pytest
 
 from repro.core.usage import UsageRecord
+from repro.services.messages import (UsageDeltaMessage, UsageExchangeMessage,
+                                     UsageResyncRequest)
 from repro.services.network import Network
 from repro.services.uss import UsageStatisticsService
 from repro.sim.engine import SimulationEngine
@@ -124,3 +126,148 @@ class TestExchange:
         a.record_job(record())
         engine.run_until(30.0)
         assert "a" not in b.remote
+
+
+class TestDeltaProtocol:
+    def test_first_publish_is_full_snapshot(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(15.0)
+        assert b._recv_seq["a"] == 1
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+    def test_idle_ticks_send_heartbeats_not_data(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(55.0)  # one full publish, then idle ticks
+        assert a.exchanges_skipped >= 3
+        # heartbeats neither advance nor disturb the receiver
+        assert b.exchanges_received == 1
+        assert b.exchanges_stale == 0
+        assert b._recv_seq["a"] == 1
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+    def test_subsequent_changes_ship_as_deltas(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(15.0)
+        a.record_job(record(user="bob", start=20.0, end=50.0))
+        engine.run_until(25.0)
+        assert b._recv_seq["a"] == 2
+        assert b.remote["a"].total("bob") == pytest.approx(30.0)
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+    def test_stale_delta_dropped_and_counted(self, engine, network):
+        """Satellite: a reordered in-flight message older than the last
+        applied one must be discarded, not applied as a rollback."""
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(15.0)
+        a.record_job(record(user="alice", start=20.0, end=50.0))
+        engine.run_until(25.0)
+        assert b._recv_seq["a"] == 2
+        total = b.remote["a"].total("alice")
+        # a delayed duplicate of seq=2 arrives after it was already applied
+        stale = UsageDeltaMessage(
+            site="a", sent_at=20.0, interval=60.0, seq=2, full=False,
+            user_table=["alice"], user_idx=[0], bin_idx=[0], charges=[1.0])
+        b._on_message(stale)
+        assert b.exchanges_stale == 1
+        assert b.remote["a"].total("alice") == pytest.approx(total)
+
+    def test_stale_full_snapshot_dropped_and_counted(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(25.0)
+        stale = UsageDeltaMessage(
+            site="a", sent_at=5.0, interval=60.0, seq=0, full=True)
+        b._on_message(stale)
+        assert b.exchanges_stale == 1
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+    def test_legacy_snapshot_reordering_dropped_by_sent_at(self, engine, network):
+        """Satellite: the legacy dict-of-dict path gates on sent_at."""
+        b = make_uss("b", engine, network)
+        newer = UsageExchangeMessage(site="a", sent_at=10.0, interval=60.0,
+                                     snapshot={"u": {0: 60.0}})
+        older = UsageExchangeMessage(site="a", sent_at=5.0, interval=60.0,
+                                     snapshot={"u": {0: 1.0}})
+        b._on_message(newer)
+        b._on_message(older)
+        assert b.exchanges_stale == 1
+        assert b.remote["a"].total("u") == pytest.approx(60.0)
+
+    def test_sequence_gap_triggers_resync(self, engine, network):
+        """A delta lost to a partition is repaired by request/reply resync
+        once the link heals — even if the sender has gone idle since."""
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(15.0)
+        network.partition("uss:a", "uss:b")
+        a.record_job(record(user="alice", start=100.0, end=500.0))
+        engine.run_until(25.0)  # delta seq=2 dropped at send
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+        network.heal("uss:a", "uss:b")
+        engine.run_until(45.0)  # heartbeat exposes the gap -> resync
+        assert b.resyncs_requested >= 1
+        assert a.resyncs_served >= 1
+        assert b.remote["a"].total("alice") == pytest.approx(500.0)
+
+    def test_late_joiner_catches_up_via_resync(self, engine, network):
+        a = make_uss("a", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(25.0)  # publishes dropped: b does not exist yet
+        b = make_uss("b", engine, network)
+        engine.run_until(55.0)
+        assert b.resyncs_requested >= 1
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+    def test_pruned_bin_propagates_as_deletion(self, engine, network):
+        a = make_uss("a", engine, network, prune_horizon=100.0)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="old", end=60.0))
+        engine.run_until(15.0)
+        assert b.remote["a"].total("old") == pytest.approx(60.0)
+        # once bin 0 ages past the horizon, the prune is itself a change
+        # and the next delta deletes it at every peer
+        engine.run_until(200.0)
+        assert a.local.total("old") == 0.0
+        assert b.remote["a"].total("old") == 0.0
+
+    def test_resync_request_wire_shape(self):
+        req = UsageResyncRequest(site="b", sent_at=1.0, target="a")
+        assert req.target == "a"
+
+    def test_legacy_mode_still_full_snapshots(self, engine, network):
+        a = make_uss("a", engine, network, delta_exchange=False)
+        inbox = []
+        network.connect("uss:b", inbox.append)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(25.0)
+        assert inbox and all(isinstance(m, UsageExchangeMessage)
+                             for m in inbox)
+        assert inbox[-1].snapshot["alice"][0] == pytest.approx(60.0)
+
+    def test_mixed_modes_interoperate(self, engine, network):
+        """A legacy publisher's snapshots are understood by a delta peer."""
+        a = make_uss("a", engine, network, delta_exchange=False)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(25.0)
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
