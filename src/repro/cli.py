@@ -13,12 +13,25 @@ Subcommands
     on the simulated national test bed and print the summary.
 ``probe-projections``
     Print the probed Table I property matrix.
+``serve``
+    Boot aequusd: a demo site stack ticked in wall-clock time behind the
+    TCP serve plane.
+``query``
+    One-shot client operations against a running aequusd
+    (fairshare / vector / resolve / report / ping / info / batch).
+``probe``
+    Health probe: protocol version, snapshot epoch and age; exits
+    non-zero when the snapshot is stale (older than ``--stale-factor``
+    times the server's refresh interval).
 
 Examples::
 
     python -m repro.cli generate-trace --jobs 20000 --out trace.tsv
     python -m repro.cli fit trace.tsv
     python -m repro.cli run baseline --jobs 6000 --span 3600 --sites 2
+    python -m repro.cli serve --users 1000 --port 4730
+    python -m repro.cli query fairshare u17 --port 4730
+    python -m repro.cli probe --port 4730
 """
 
 from __future__ import annotations
@@ -70,6 +83,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("probe-projections",
                    help="print the probed Table I property matrix")
+
+    serve = sub.add_parser("serve", help="run aequusd (the TCP serve plane)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=4730)
+    serve.add_argument("--users", type=int, default=1000,
+                       help="demo-site size (VO/project/user hierarchy)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--refresh-interval", type=float, default=30.0,
+                       help="FCS refresh (= snapshot publish) interval")
+    serve.add_argument("--time-factor", type=float, default=1.0,
+                       help="virtual seconds advanced per wall second")
+
+    query = sub.add_parser("query", help="query a running aequusd")
+    query.add_argument("action",
+                       choices=["fairshare", "vector", "resolve", "report",
+                                "ping", "info", "batch"])
+    query.add_argument("args", nargs="*",
+                       help="users (fairshare/vector/resolve/batch) or "
+                            "USER START END (report)")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=4730)
+    query.add_argument("--cores", type=int, default=1,
+                       help="cores for 'report'")
+    query.add_argument("--timeout", type=float, default=5.0)
+
+    probe = sub.add_parser("probe", help="health-probe a running aequusd")
+    probe.add_argument("--host", default="127.0.0.1")
+    probe.add_argument("--port", type=int, default=4730)
+    probe.add_argument("--stale-factor", type=float, default=2.0,
+                       help="snapshot age threshold, in refresh intervals")
+    probe.add_argument("--timeout", type=float, default=5.0)
     return parser
 
 
@@ -160,6 +204,112 @@ def _cmd_probe(_args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve.daemon import AequusDaemon, build_demo_site
+    from .services.site import SiteConfig
+
+    config = SiteConfig(fcs_refresh_interval=args.refresh_interval)
+    engine, site = build_demo_site(args.users, seed=args.seed, config=config)
+    daemon = AequusDaemon(engine, site, host=args.host, port=args.port,
+                          time_factor=args.time_factor)
+    daemon.start()
+    print(f"aequusd: site {site.name!r} ({args.users} users) on "
+          f"{daemon.host}:{daemon.port}, refresh every "
+          f"{args.refresh_interval:.0f}s (Ctrl-C to stop)")
+    try:
+        import time as _time
+        while True:
+            _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("stopping")
+    finally:
+        daemon.stop()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .serve.client import AequusServerError, AequusTransportError, \
+        SyncAequusClient
+    from .services.irs import IdentityResolutionError
+
+    try:
+        with SyncAequusClient(args.host, args.port,
+                              timeout=args.timeout) as client:
+            action = args.action
+            if action == "fairshare":
+                for user in args.args:
+                    value, known = client.lookup_fairshare(user)
+                    print(f"{user}\t{value:.6f}" +
+                          ("" if known else "\t(unknown user)"))
+            elif action == "vector":
+                for user in args.args:
+                    vector = client.get_vector(user)
+                    print(f"{user}\t{list(vector.quantized())}")
+            elif action == "resolve":
+                for user in args.args:
+                    print(f"{user}\t{client.resolve_identity(user)}")
+            elif action == "report":
+                if len(args.args) != 3:
+                    print("report needs: USER START END")
+                    return 2
+                user, start, end = args.args
+                client.report_usage(user, float(start), float(end),
+                                    cores=args.cores)
+                print(f"reported {float(end) - float(start):.0f}s x "
+                      f"{args.cores} cores for {user}")
+            elif action == "ping":
+                reply = client.ping()
+                print(f"pong (protocol ok): {reply.get('pong')}")
+            elif action == "info":
+                import json as _json
+                print(_json.dumps(client.info(), indent=2))
+            elif action == "batch":
+                values = client.batch_lookup_fairshare(args.args)
+                for user in args.args:
+                    value, known = values.get(user, (float("nan"), False))
+                    print(f"{user}\t{value:.6f}" +
+                          ("" if known else "\t(unknown user)"))
+    except (AequusTransportError, ConnectionError) as exc:
+        print(f"transport error: {exc}")
+        return 1
+    except (AequusServerError, IdentityResolutionError) as exc:
+        print(f"server error: {exc}")
+        return 1
+    return 0
+
+
+def _cmd_probe_daemon(args) -> int:
+    """Health probe; exit 1 on a stale snapshot, 2 when unreachable/empty."""
+    from .serve.client import AequusTransportError, SyncAequusClient
+
+    try:
+        with SyncAequusClient(args.host, args.port, timeout=args.timeout,
+                              retries=1) as client:
+            reply = client.info()
+    except (AequusTransportError, ConnectionError) as exc:
+        print(f"probe: aequusd at {args.host}:{args.port} unreachable: {exc}")
+        return 2
+    info = reply.get("info", {})
+    snapshot = info.get("snapshot")
+    print(f"probe: protocol v{reply.get('protocol')}")
+    if not snapshot:
+        print("probe: no snapshot published yet")
+        return 2
+    age = float(info.get("snapshot_age", 0.0))
+    interval = float(info.get("refresh_interval", 0.0))
+    limit = args.stale_factor * interval
+    print(f"probe: site {snapshot['site']!r} epoch {snapshot['epoch']} "
+          f"seq {snapshot['seq']} users {snapshot['users']}")
+    print(f"probe: snapshot age {age:.1f}s "
+          f"(refresh interval {interval:.1f}s, stale limit {limit:.1f}s)")
+    if interval > 0 and age > limit:
+        print(f"probe: STALE — snapshot is {age / interval:.1f} refresh "
+              "intervals old")
+        return 1
+    print("probe: ok")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -167,6 +317,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fit": _cmd_fit,
         "run": _cmd_run,
         "probe-projections": _cmd_probe,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
+        "probe": _cmd_probe_daemon,
     }
     return handlers[args.command](args)
 

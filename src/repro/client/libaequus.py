@@ -13,11 +13,23 @@ call.  It provides exactly the three operations the paper names:
 with previously resolved fairshare values and identities cached "for a
 configurable amount of time", which is what keeps batch job processing
 cheap (and is delay source III in the update-delay analysis).
+
+Transport modes
+---------------
+The library speaks to the Aequus stack either by **direct dispatch**
+(in-process method calls on the site's FCS/IRS/USS, the default for the
+discrete-event experiments) or over the **socket transport**: pass a
+``transport`` object — normally a
+:class:`repro.serve.client.SyncAequusClient` pointed at a running
+aequusd — and every call-out crosses the network boundary exactly as the
+paper's deployment does.  The RMS plugins are oblivious to the mode; the
+caching, stats, and call signatures are identical on both paths.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+import time
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol, Tuple
 
 from ..core.usage import UsageRecord
 from ..services.cache import TTLCache
@@ -29,30 +41,56 @@ if TYPE_CHECKING:  # avoid a services<->client import cycle at runtime
     from ..services.uss import UsageStatisticsService
     from ..sim.engine import SimulationEngine
 
-__all__ = ["LibAequus"]
+__all__ = ["LibAequus", "AequusTransport"]
+
+
+class AequusTransport(Protocol):
+    """Duck-type of a socket transport (``SyncAequusClient`` satisfies it)."""
+
+    def lookup_fairshare(self, user: str) -> Tuple[float, bool]: ...
+
+    def resolve_identity(self, system_user: str) -> str: ...
+
+    def report_usage(self, user: str, start: float, end: float,
+                     cores: int = 1) -> bool: ...
 
 
 class LibAequus:
     """Client library instance, one per resource-manager integration."""
 
-    def __init__(self, engine: "SimulationEngine",
-                 fcs: "FairshareCalculationService",
-                 uss: "UsageStatisticsService",
-                 irs: "IdentityResolutionService",
-                 site: str,
+    def __init__(self, engine: Optional["SimulationEngine"] = None,
+                 fcs: Optional["FairshareCalculationService"] = None,
+                 uss: Optional["UsageStatisticsService"] = None,
+                 irs: Optional["IdentityResolutionService"] = None,
+                 site: str = "",
                  cache_ttl: float = 15.0,
-                 report_delay: float = 0.0):
+                 report_delay: float = 0.0,
+                 transport: Optional[AequusTransport] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        if transport is None and (fcs is None or uss is None or irs is None):
+            raise ValueError(
+                "direct mode needs fcs/uss/irs; or pass a socket transport")
         self.engine = engine
         self.fcs = fcs
         self.uss = uss
         self.irs = irs
         self.site = site
         self.report_delay = report_delay
-        clock = lambda: engine.now  # noqa: E731 - tiny clock closure
-        self._fairshare_cache: TTLCache[str, float] = TTLCache(clock, cache_ttl)
+        self.transport = transport
+        if clock is None:
+            # virtual time when wired into a simulation, wall clock when
+            # talking to a real daemon
+            clock = (lambda: engine.now) if engine is not None \
+                else time.monotonic
+        self._fairshare_cache: TTLCache[str, Tuple[float, bool]] = \
+            TTLCache(clock, cache_ttl)
         self._identity_cache: TTLCache[str, str] = TTLCache(clock, cache_ttl)
         self.fairshare_calls = 0
         self.usage_reports = 0
+        #: negative lookups: fairshare queries that hit the unknown-user
+        #: fallback, and identity resolutions that failed
+        self.fairshare_negative = 0
+        self.identity_negative = 0
 
     @classmethod
     def for_site(cls, site: "AequusSite", cache_ttl: Optional[float] = None,
@@ -62,14 +100,65 @@ class LibAequus:
         return cls(site.engine, site.fcs, site.uss, site.irs,
                    site=site.name, cache_ttl=ttl, report_delay=report_delay)
 
+    @classmethod
+    def over_socket(cls, transport: AequusTransport, site: str = "",
+                    cache_ttl: float = 15.0,
+                    engine: Optional["SimulationEngine"] = None,
+                    report_delay: float = 0.0,
+                    clock: Optional[Callable[[], float]] = None) -> "LibAequus":
+        """Socket transport mode: every call-out goes through ``transport``.
+
+        Pass ``engine`` when the scheduler still runs in virtual time (the
+        TTL cache then ages on the simulation clock and ``report_delay``
+        stays meaningful); without one, wall-clock time is used.
+        """
+        return cls(engine=engine, site=site, cache_ttl=cache_ttl,
+                   report_delay=report_delay, transport=transport,
+                   clock=clock)
+
     # -- identity ---------------------------------------------------------
 
     def resolve_identity(self, system_user: str) -> str:
-        """System user -> grid identity, TTL-cached."""
-        return self._identity_cache.get(
-            system_user, lambda: self.irs.resolve(system_user))
+        """System user -> grid identity, TTL-cached.
+
+        Failed resolutions are counted (:attr:`identity_negative`) and
+        never cached — a mapping may be stored at any moment.
+        """
+        resolver = self.transport.resolve_identity if self.transport \
+            else self.irs.resolve
+
+        def load() -> str:
+            try:
+                return resolver(system_user)
+            except Exception:
+                self.identity_negative += 1
+                raise
+
+        return self._identity_cache.get(system_user, load)
 
     # -- fairshare ----------------------------------------------------------
+
+    def lookup_fairshare(self, system_user: str) -> Tuple[float, bool]:
+        """Projected value plus whether the user's identity is known.
+
+        Unknown users resolve to the site's fallback value; they count as
+        negative lookups (:attr:`fairshare_negative`) and are cached like
+        any other value — repeating an unknown user in a batch must not
+        re-query the service on every job.
+        """
+        self.fairshare_calls += 1
+        identity = self.resolve_identity(system_user)
+
+        def load() -> Tuple[float, bool]:
+            if self.transport is not None:
+                value, known = self.transport.lookup_fairshare(identity)
+            else:
+                value, known = self.fcs.lookup(identity)
+            if not known:
+                self.fairshare_negative += 1
+            return value, known
+
+        return self._fairshare_cache.get(identity, load)
 
     def get_fairshare(self, system_user: str) -> float:
         """Projected fairshare value in [0, 1] for a job's owner.
@@ -77,10 +166,7 @@ class LibAequus:
         This is the call the SLURM priority plugin / Maui patch makes in
         place of the local fairshare calculation.
         """
-        self.fairshare_calls += 1
-        identity = self.resolve_identity(system_user)
-        return self._fairshare_cache.get(
-            identity, lambda: self.fcs.fairshare_value(identity))
+        return self.lookup_fairshare(system_user)[0]
 
     # -- usage reporting -------------------------------------------------------
 
@@ -93,13 +179,17 @@ class LibAequus:
         """
         self.usage_reports += 1
         identity = self.resolve_identity(system_user)
-        record = UsageRecord(user=identity, site=self.site,
-                             start=start, end=end, cores=cores)
-        if self.report_delay > 0:
-            self.engine.schedule(self.report_delay,
-                                 lambda: self.uss.record_job(record))
+        if self.transport is not None:
+            send = lambda: self.transport.report_usage(  # noqa: E731
+                identity, start, end, cores)
         else:
-            self.uss.record_job(record)
+            record = UsageRecord(user=identity, site=self.site,
+                                 start=start, end=end, cores=cores)
+            send = lambda: self.uss.record_job(record)  # noqa: E731
+        if self.report_delay > 0 and self.engine is not None:
+            self.engine.schedule(self.report_delay, send)
+        else:
+            send()
 
     # -- cache introspection --------------------------------------------------
 
@@ -110,3 +200,25 @@ class LibAequus:
     @property
     def identity_cache_stats(self):
         return self._identity_cache.stats
+
+    def cache_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Uniform hit/miss/negative counters for both caches.
+
+        The serve plane and the in-process path report the same shape, so
+        cache behaviour is directly comparable across transport modes.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, cache, negative in (
+                ("fairshare", self._fairshare_cache, self.fairshare_negative),
+                ("identity", self._identity_cache, self.identity_negative)):
+            stats = cache.stats
+            out[name] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "lookups": stats.lookups,
+                "hit_rate": stats.hit_rate,
+                "negative": negative,
+                "entries": len(cache),
+                "ttl": cache.ttl,
+            }
+        return out

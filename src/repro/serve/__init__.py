@@ -1,0 +1,32 @@
+"""aequusd — the stand-alone query-serving plane (DESIGN.md §8).
+
+The paper runs Aequus as a separate system that SLURM and Maui query
+through ``libaequus`` over a network boundary.  This package provides that
+boundary for real: an atomic snapshot store fed by FCS refreshes, an
+asyncio TCP server speaking a versioned length-prefixed JSON protocol, and
+a resilient client transport the RMS integrations can run over unmodified.
+
+Layering: ``repro.serve`` imports from ``repro.services`` (it wraps a site
+stack), never the other way around — the simulation core stays free of any
+serving concern.
+"""
+
+from .backend import SiteBackend
+from .client import (AequusClient, AequusServerError, AequusTransportError,
+                     SyncAequusClient)
+from .protocol import PROTOCOL_VERSION
+from .server import AequusServer, ServerThread
+from .snapshot import FairshareSnapshot, SnapshotStore
+
+__all__ = [
+    "AequusClient",
+    "AequusServer",
+    "AequusServerError",
+    "AequusTransportError",
+    "FairshareSnapshot",
+    "PROTOCOL_VERSION",
+    "ServerThread",
+    "SiteBackend",
+    "SnapshotStore",
+    "SyncAequusClient",
+]

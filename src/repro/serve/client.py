@@ -1,0 +1,380 @@
+"""Resilient client transport for aequusd.
+
+:class:`AequusClient` is the asyncio transport: a small connection pool,
+correlation-id pipelining (any number of requests in flight per
+connection), per-request timeouts, and bounded exponential-backoff
+reconnect-and-retry.  :class:`SyncAequusClient` wraps it behind a private
+event-loop thread for synchronous callers — including ``libaequus``'s
+socket transport mode, whose duck-type (``lookup_fairshare`` /
+``resolve_identity`` / ``report_usage``) it implements.
+
+Retry semantics: a request that failed before its frame was written is
+always safe to retry.  A request whose reply never arrived is ambiguous —
+the server may or may not have executed it.  Reads are idempotent and
+retried unconditionally; ``REPORT_USAGE`` is retried too (at-least-once:
+a rare duplicate usage record decays away, a silently dropped one is a
+permanent under-charge), but the ambiguity window is counted in
+``stats["ambiguous_retries"]`` so operators can see it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.vector import FairshareVector
+from ..services.irs import IdentityResolutionError
+from .protocol import (ERR_UNKNOWN_USER, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                       ConnectionClosed, encode_frame, read_frame)
+
+__all__ = ["AequusClient", "SyncAequusClient", "AequusServerError",
+           "AequusTransportError"]
+
+
+class AequusTransportError(ConnectionError):
+    """The request could not be completed after all retry attempts."""
+
+
+class AequusServerError(Exception):
+    """The server answered with a structured error reply."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+    @classmethod
+    def from_reply(cls, reply: Dict[str, Any]) -> "AequusServerError":
+        error = reply.get("error") or {}
+        return cls(error.get("code", "UNKNOWN"), error.get("message", ""))
+
+
+class _RequestFailed(Exception):
+    """Internal: transport failure, remembering whether the frame went out."""
+
+    def __init__(self, sent: bool, cause: BaseException):
+        super().__init__(str(cause))
+        self.sent = sent
+        self.cause = cause
+
+
+class _Connection:
+    """One pooled connection: id-correlated pipelining over a single socket."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, max_frame: int):
+        self.reader = reader
+        self.writer = writer
+        self.max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self.broken = False
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                reply = await read_frame(self.reader, self.max_frame)
+                future = self._pending.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionClosed, ConnectionError, OSError) as exc:
+            self._fail_pending(exc)
+        except asyncio.CancelledError:
+            self._fail_pending(ConnectionError("connection closed"))
+            raise
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        self.broken = True
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    _RequestFailed(sent=True, cause=exc))
+
+    def _timeout_one(self, rid: int) -> None:
+        future = self._pending.pop(rid, None)
+        if future is not None and not future.done():
+            self.broken = True
+            future.set_exception(_RequestFailed(
+                sent=True, cause=asyncio.TimeoutError()))
+
+    async def request(self, payload: Dict[str, Any],
+                      timeout: float) -> Dict[str, Any]:
+        rid = next(self._ids)
+        payload = dict(payload, v=PROTOCOL_VERSION, id=rid)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[rid] = future
+        try:
+            self.writer.write(encode_frame(payload))
+            # only pay for drain() when the transport actually buffered up
+            # (the hot path writes straight through to the socket)
+            if self.writer.transport.get_write_buffer_size() > 65536:
+                await self.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(rid, None)
+            self.broken = True
+            raise _RequestFailed(sent=False, cause=exc) from exc
+        # a plain timer handle is far cheaper than asyncio.wait_for on a
+        # hot path: pipelined reads pay it tens of thousands of times/s
+        handle = loop.call_later(timeout, self._timeout_one, rid)
+        try:
+            return await future
+        finally:
+            handle.cancel()
+
+    async def close(self) -> None:
+        self.broken = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AequusClient:
+    """Pooled, pipelining, retrying asyncio client for aequusd."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 4730,
+                 pool_size: int = 2,
+                 timeout: float = 5.0,
+                 retries: int = 4,
+                 backoff_base: float = 0.05,
+                 backoff_max: float = 1.0,
+                 max_frame: int = MAX_FRAME_BYTES):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.max_frame = max_frame
+        self._pool: List[Optional[_Connection]] = [None] * pool_size
+        self._pool_locks = [asyncio.Lock() for _ in range(pool_size)]
+        self._next_slot = itertools.count()
+        self.stats: Dict[str, int] = {
+            "requests": 0, "retries": 0, "reconnects": 0,
+            "transport_errors": 0, "ambiguous_retries": 0, "batches": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def __aenter__(self) -> "AequusClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        for i, conn in enumerate(self._pool):
+            if conn is not None:
+                await conn.close()
+                self._pool[i] = None
+
+    # -- transport core --------------------------------------------------------
+
+    async def _connection(self, slot: int) -> _Connection:
+        conn = self._pool[slot]
+        if conn is not None and not conn.broken:
+            return conn  # hot path: no lock round trip for a live connection
+        async with self._pool_locks[slot]:
+            conn = self._pool[slot]
+            if conn is None or conn.broken:
+                if conn is not None:
+                    await conn.close()
+                    self.stats["reconnects"] += 1
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    self.timeout)
+                conn = _Connection(reader, writer, self.max_frame)
+                self._pool[slot] = conn
+            return conn
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_max, self.backoff_base * (2 ** attempt))
+
+    async def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, reconnecting and retrying with backoff."""
+        self.stats["requests"] += 1
+        slot = next(self._next_slot) % self.pool_size
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.stats["retries"] += 1
+                await asyncio.sleep(self._backoff(attempt - 1))
+            try:
+                conn = await self._connection(slot)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                last = exc
+                continue
+            try:
+                reply = await conn.request(payload, self.timeout)
+            except _RequestFailed as exc:
+                if exc.sent:
+                    self.stats["ambiguous_retries"] += 1
+                last = exc.cause
+                continue
+            if not reply.get("ok", False):
+                raise AequusServerError.from_reply(reply)
+            return reply
+        self.stats["transport_errors"] += 1
+        raise AequusTransportError(
+            f"aequusd at {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempts: {last}")
+
+    # -- single-key API --------------------------------------------------------
+
+    async def lookup_fairshare(self, user: str) -> Tuple[float, bool]:
+        reply = await self._call({"op": "GET_FAIRSHARE", "user": user})
+        return float(reply["value"]), bool(reply["known"])
+
+    async def get_fairshare(self, user: str) -> float:
+        return (await self.lookup_fairshare(user))[0]
+
+    async def get_vector(self, user: str) -> FairshareVector:
+        reply = await self._call({"op": "GET_VECTOR", "user": user})
+        return FairshareVector(reply["elements"],
+                               resolution=int(reply["resolution"]))
+
+    async def resolve_identity(self, system_user: str) -> str:
+        try:
+            reply = await self._call({"op": "RESOLVE_IDENTITY",
+                                      "user": system_user})
+        except AequusServerError as exc:
+            if exc.code == ERR_UNKNOWN_USER:
+                raise IdentityResolutionError(system_user) from exc
+            raise
+        return str(reply["identity"])
+
+    async def report_usage(self, user: str, start: float, end: float,
+                           cores: int = 1) -> bool:
+        reply = await self._call({"op": "REPORT_USAGE", "user": user,
+                                  "start": start, "end": end, "cores": cores})
+        return bool(reply["accepted"])
+
+    async def ping(self, payload: Any = None) -> Dict[str, Any]:
+        request: Dict[str, Any] = {"op": "PING"}
+        if payload is not None:
+            request["payload"] = payload
+        return await self._call(request)
+
+    async def info(self) -> Dict[str, Any]:
+        return await self._call({"op": "INFO"})
+
+    # -- batch API -------------------------------------------------------------
+
+    async def batch(self, requests: Sequence[Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+        """Execute sub-requests as one atomic batch; returns reply bodies.
+
+        Unlike the single-key API, per-item errors are returned in place
+        (an item body with ``ok: false``), not raised — one bad key must
+        not poison its batch.
+        """
+        self.stats["batches"] += 1
+        reply = await self._call({"op": "BATCH", "requests": list(requests)})
+        return reply["replies"]
+
+    async def batch_lookup_fairshare(self, users: Iterable[str]
+                                     ) -> Dict[str, Tuple[float, bool]]:
+        """One round trip, one snapshot: users -> (value, known)."""
+        users = list(users)
+        replies = await self.batch(
+            [{"op": "GET_FAIRSHARE", "user": u} for u in users])
+        out: Dict[str, Tuple[float, bool]] = {}
+        for user, body in zip(users, replies):
+            if body.get("ok"):
+                out[user] = (float(body["value"]), bool(body["known"]))
+        return out
+
+
+class SyncAequusClient:
+    """Blocking facade over :class:`AequusClient` (private loop thread).
+
+    Implements the transport duck-type ``libaequus`` expects, so the
+    existing RMS plugins can run over the socket path unmodified::
+
+        lib = LibAequus.over_socket(SyncAequusClient(port=port), site="a")
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 4730,
+                 **client_kwargs: Any):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever,
+                                        name="aequus-client", daemon=True)
+        self._thread.start()
+        self._client = self._run(self._make_client(host, port, client_kwargs))
+
+    @staticmethod
+    async def _make_client(host: str, port: int,
+                           kwargs: Dict[str, Any]) -> AequusClient:
+        # the client binds futures/locks to the running loop, so build it
+        # on the loop thread
+        return AequusClient(host, port, **kwargs)
+
+    def _run(self, coro: Any) -> Any:
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._run(self._client.aclose())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(5.0)
+            self._loop.close()
+
+    def __enter__(self) -> "SyncAequusClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return self._client.stats
+
+    # -- mirrored API ----------------------------------------------------------
+
+    def lookup_fairshare(self, user: str) -> Tuple[float, bool]:
+        return self._run(self._client.lookup_fairshare(user))
+
+    def get_fairshare(self, user: str) -> float:
+        return self._run(self._client.get_fairshare(user))
+
+    def get_vector(self, user: str) -> FairshareVector:
+        return self._run(self._client.get_vector(user))
+
+    def resolve_identity(self, system_user: str) -> str:
+        return self._run(self._client.resolve_identity(system_user))
+
+    def report_usage(self, user: str, start: float, end: float,
+                     cores: int = 1) -> bool:
+        return self._run(self._client.report_usage(user, start, end, cores))
+
+    def ping(self, payload: Any = None) -> Dict[str, Any]:
+        return self._run(self._client.ping(payload))
+
+    def info(self) -> Dict[str, Any]:
+        return self._run(self._client.info())
+
+    def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return self._run(self._client.batch(requests))
+
+    def batch_lookup_fairshare(self, users: Iterable[str]
+                               ) -> Dict[str, Tuple[float, bool]]:
+        return self._run(self._client.batch_lookup_fairshare(list(users)))

@@ -1,0 +1,148 @@
+"""The aequusd stand-alone runtime (``repro serve``).
+
+Binds one site's Aequus stack to wall-clock time and puts the TCP server
+in front of it: a tick thread advances the site's discrete-event engine by
+the elapsed real time (multiplied by ``time_factor``), so the periodic
+services — USS exchange (which also drains the serve plane's usage
+ingress), UMS decay, FCS refresh — run on their configured intervals and
+every FCS refresh publishes a fresh snapshot to the server.
+
+Also home to the synthetic site builders shared by the CLI, the serve
+benchmark, and the tests (a VO -> project -> user policy hierarchy with
+seeded random shares and usage).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.policy import PolicyTree
+from ..core.usage import UsageRecord
+from ..services.network import Network
+from ..services.site import AequusSite, SiteConfig
+from ..sim.engine import SimulationEngine
+from .backend import SiteBackend
+from .server import AequusServer, ServerThread
+
+__all__ = ["AequusDaemon", "build_grid_policy", "build_demo_site",
+           "serve_site"]
+
+
+def build_grid_policy(n_users: int, users_per_project: int = 50,
+                      projects_per_vo: int = 20, seed: int = 0) -> PolicyTree:
+    """A realistic 3-level hierarchy: VOs -> projects -> users."""
+    rng = np.random.default_rng(seed)
+    tree = PolicyTree()
+    users = 0
+    vo = 0
+    while users < n_users:
+        vo_path = f"/vo{vo}"
+        tree.set_share(vo_path, int(rng.integers(1, 100)))
+        for p in range(projects_per_vo):
+            if users >= n_users:
+                break
+            proj_path = f"{vo_path}/proj{p}"
+            tree.set_share(proj_path, int(rng.integers(1, 100)))
+            for _ in range(users_per_project):
+                if users >= n_users:
+                    break
+                tree.set_share(f"{proj_path}/u{users}",
+                               int(rng.integers(1, 100)))
+                users += 1
+        vo += 1
+    return tree
+
+
+def build_demo_site(n_users: int, site_name: str = "demo", seed: int = 0,
+                    active_fraction: float = 0.7,
+                    config: Optional[SiteConfig] = None
+                    ) -> Tuple[SimulationEngine, AequusSite]:
+    """A single self-contained site with seeded usage, refreshed and ready.
+
+    The engine is advanced far enough that the UMS has merged the seeded
+    usage and the FCS has published a snapshot computed from it.
+    """
+    engine = SimulationEngine()
+    network = Network(engine)
+    policy = build_grid_policy(n_users, seed=seed)
+    site = AequusSite(site_name, engine, network, policy=policy,
+                      config=config or SiteConfig())
+    rng = np.random.default_rng(seed + 1)
+    for path in policy.leaf_paths():
+        if rng.random() < active_fraction:
+            site.uss.record_job(UsageRecord(
+                user=path.rsplit("/", 1)[-1], site=site_name,
+                start=0.0, end=float(rng.integers(60, 36_000))))
+    cfg = site.config
+    engine.run_until(max(cfg.ums_refresh_interval, cfg.fcs_refresh_interval,
+                         cfg.histogram_interval) + cfg.start_offset + 1.0)
+    return engine, site
+
+
+def serve_site(site: AequusSite, host: str = "127.0.0.1", port: int = 0,
+               **server_kwargs) -> ServerThread:
+    """Start an aequusd server thread for an existing site stack."""
+    backend = SiteBackend.for_site(site)
+    return ServerThread(AequusServer(backend, host, port,
+                                     **server_kwargs)).start()
+
+
+class AequusDaemon:
+    """aequusd: one site stack, wall-clock ticked, served over TCP."""
+
+    def __init__(self, engine: SimulationEngine, site: AequusSite,
+                 host: str = "127.0.0.1", port: int = 4730,
+                 tick_interval: float = 0.5, time_factor: float = 1.0,
+                 **server_kwargs):
+        self.engine = engine
+        self.site = site
+        self.tick_interval = tick_interval
+        self.time_factor = time_factor
+        self.backend = SiteBackend.for_site(site)
+        self.server = AequusServer(self.backend, host, port, **server_kwargs)
+        self._thread = ServerThread(self.server)
+        self._ticker: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self.ticks = 0
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "AequusDaemon":
+        self._thread.start()
+        self._stopping.clear()
+        self._ticker = threading.Thread(target=self._tick_loop,
+                                        name="aequusd-tick", daemon=True)
+        self._ticker.start()
+        return self
+
+    def _tick_loop(self) -> None:
+        last = time.monotonic()
+        while not self._stopping.wait(self.tick_interval):
+            now = time.monotonic()
+            elapsed = (now - last) * self.time_factor
+            last = now
+            # the engine is only ever advanced from this thread; server
+            # threads reach the stack through snapshots and ingress queues
+            self.engine.run_until(self.engine.now + elapsed)
+            self.ticks += 1
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._ticker is not None:
+            self._ticker.join(5.0)
+            self._ticker = None
+        self._thread.stop()
+        self.site.stop()
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self.server.stats, ticks=self.ticks)

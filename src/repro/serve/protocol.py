@@ -1,0 +1,162 @@
+"""aequusd wire protocol: versioned, length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian payload length followed by that many bytes
+of UTF-8 JSON.  Both directions use the same framing; the JSON payload is
+always a single object.
+
+Requests carry ``{"v": <protocol version>, "id": <correlation id>,
+"op": "<OP>", ...operands}``.  Replies echo ``id`` and carry either
+``"ok": true`` plus result fields, or ``"ok": false`` plus a structured
+``"error": {"code": "<CODE>", "message": "<human text>"}``.  Correlation
+ids let a pipelining client match replies to requests without assuming
+ordering (the server does reply in order, but the contract is the id).
+
+Operations
+----------
+``GET_FAIRSHARE``     ``user`` -> ``value`` (projected scalar), ``known``,
+                      ``seq``/``epoch`` of the serving snapshot.
+``GET_VECTOR``        ``user`` -> ``elements`` + ``resolution``.
+``RESOLVE_IDENTITY``  ``user`` (system user) -> ``identity``.
+``REPORT_USAGE``      ``user``/``start``/``end``/``cores`` -> ``accepted``.
+``BATCH``             ``requests``: list of request objects (no nesting);
+                      reply carries ``replies`` in the same order, all
+                      served from ONE snapshot (no torn batches).
+``PING``              liveness probe; echoes ``payload`` if present.
+``INFO``              server, snapshot, and statistics summary.
+
+The frame length prefix is validated against a configurable cap before the
+payload is read, so an adversarial or broken peer cannot make the server
+buffer an arbitrarily large frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "HEADER",
+    "OPS",
+    "ERR_MALFORMED",
+    "ERR_BAD_VERSION",
+    "ERR_UNSUPPORTED_OP",
+    "ERR_UNKNOWN_USER",
+    "ERR_NOT_A_LEAF",
+    "ERR_OVERSIZED",
+    "ERR_BAD_BATCH",
+    "ERR_INTERNAL",
+    "ProtocolError",
+    "MalformedFrame",
+    "FrameTooLarge",
+    "ConnectionClosed",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "error_reply",
+    "ok_reply",
+]
+
+#: bump on any incompatible frame or payload change
+PROTOCOL_VERSION = 1
+
+#: default cap on a single frame's payload size (1 MiB)
+MAX_FRAME_BYTES = 1 << 20
+
+#: 4-byte big-endian unsigned payload length
+HEADER = struct.Struct(">I")
+
+OPS = frozenset({"GET_FAIRSHARE", "GET_VECTOR", "RESOLVE_IDENTITY",
+                 "REPORT_USAGE", "BATCH", "PING", "INFO"})
+
+# -- structured error codes ---------------------------------------------------
+
+ERR_MALFORMED = "MALFORMED"          # frame payload is not a valid request
+ERR_BAD_VERSION = "BAD_VERSION"      # protocol version mismatch
+ERR_UNSUPPORTED_OP = "UNSUPPORTED_OP"
+ERR_UNKNOWN_USER = "UNKNOWN_USER"    # identity cannot be resolved
+ERR_NOT_A_LEAF = "NOT_A_LEAF"        # vector requested for a non-leaf node
+ERR_OVERSIZED = "OVERSIZED"          # frame exceeded the size cap
+ERR_BAD_BATCH = "BAD_BATCH"          # malformed or nested batch
+ERR_INTERNAL = "INTERNAL"
+
+
+class ProtocolError(Exception):
+    """Base class for framing-level failures."""
+
+
+class MalformedFrame(ProtocolError):
+    """The payload bytes are not valid UTF-8 JSON, or not an object."""
+
+
+class FrameTooLarge(ProtocolError):
+    """The declared payload length exceeds the configured cap."""
+
+    def __init__(self, declared: int, limit: int):
+        super().__init__(f"frame of {declared} bytes exceeds cap {limit}")
+        self.declared = declared
+        self.limit = limit
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (cleanly or mid-frame)."""
+
+
+# -- framing ------------------------------------------------------------------
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one payload object into a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict[str, Any]:
+    """Parse a frame body; raises :class:`MalformedFrame` on garbage."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MalformedFrame(str(exc)) from exc
+    if not isinstance(payload, dict):
+        raise MalformedFrame(f"payload is {type(payload).__name__}, "
+                             "expected an object")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = MAX_FRAME_BYTES) -> Dict[str, Any]:
+    """Read one frame; the length prefix is validated before the payload.
+
+    Raises :class:`ConnectionClosed` at a clean EOF between frames or a
+    truncation mid-frame, :class:`FrameTooLarge` when the declared length
+    exceeds ``max_frame`` (the payload is NOT read in that case), and
+    :class:`MalformedFrame` for undecodable payloads.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("eof") from exc
+    (length,) = HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLarge(length, max_frame)
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("truncated frame") from exc
+    return decode_payload(body)
+
+
+# -- reply builders -----------------------------------------------------------
+
+def ok_reply(request_id: Optional[int], **fields: Any) -> Dict[str, Any]:
+    reply: Dict[str, Any] = {"id": request_id, "ok": True}
+    reply.update(fields)
+    return reply
+
+
+def error_reply(request_id: Optional[int], code: str,
+                message: str) -> Dict[str, Any]:
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}

@@ -1,0 +1,408 @@
+"""aequusd — the asyncio TCP server for the Aequus serve plane.
+
+Concurrency model
+-----------------
+One event loop serves every connection.  Per connection, a *reader* loop
+parses frames and executes requests (backend reads are sub-microsecond
+snapshot lookups, so execution is synchronous), and a *writer* task drains
+an ordered reply queue to the socket.  The queue is bounded by
+``max_inflight``: when a client stops reading, ``drain()`` blocks the
+writer, the queue fills, the reader stalls on ``put`` and stops consuming
+bytes — TCP backpressure then bounds the client's send side too.  Server
+memory per connection is therefore capped at roughly ``max_inflight``
+replies plus the socket buffers, no matter how fast the client writes.
+
+Request coalescing
+------------------
+Pipelined and batched workloads repeat keys (many jobs per user submitted
+together).  Identical single-key reads against the *same snapshot* produce
+identical reply bodies, so the server memoizes bodies keyed by
+``(op, user, snapshot seq)`` in a small bounded map and only recomputes on
+a snapshot change.  Coalesced hits are counted in the stats.
+
+Batches resolve the current snapshot ONCE and serve every sub-request from
+it, so a batch can never straddle an FCS refresh (no torn batches).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from .backend import SiteBackend
+from .protocol import (ERR_BAD_BATCH, ERR_BAD_VERSION, ERR_INTERNAL,
+                       ERR_MALFORMED, ERR_NOT_A_LEAF, ERR_OVERSIZED,
+                       ERR_UNKNOWN_USER, ERR_UNSUPPORTED_OP, MAX_FRAME_BYTES,
+                       OPS, PROTOCOL_VERSION, ConnectionClosed, FrameTooLarge,
+                       MalformedFrame, encode_frame, error_reply, ok_reply,
+                       read_frame)
+from .snapshot import FairshareSnapshot
+
+__all__ = ["AequusServer", "ServerThread"]
+
+#: sentinel closing a connection's reply queue
+_CLOSE = object()
+
+
+class AequusServer:
+    """Versioned JSON-over-TCP front end for a :class:`SiteBackend`."""
+
+    def __init__(self, backend: SiteBackend,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_frame: int = MAX_FRAME_BYTES,
+                 max_inflight: int = 128,
+                 max_batch: int = 4096,
+                 coalesce_size: int = 4096,
+                 write_buffer_limit: int = 256 * 1024):
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.max_inflight = max_inflight
+        self.max_batch = max_batch
+        self.write_buffer_limit = write_buffer_limit
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: (op, user, snapshot seq) -> reply body, LRU-bounded
+        self._coalesce: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
+        self._coalesce_size = coalesce_size
+        self.stats: Dict[str, int] = {
+            "connections": 0,
+            "connections_active": 0,
+            "requests": 0,
+            "batches": 0,
+            "batch_items": 0,
+            "coalesced": 0,
+            "errors": 0,
+            "oversized_frames": 0,
+            "malformed_frames": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def close(self) -> None:
+        """Stop accepting connections (sync; used during loop teardown)."""
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    # -- per-connection loops -------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.stats["connections"] += 1
+        self.stats["connections_active"] += 1
+        writer.transport.set_write_buffer_limits(high=self.write_buffer_limit)
+        replies: asyncio.Queue = asyncio.Queue(maxsize=self.max_inflight)
+        writer_task = asyncio.ensure_future(self._writer_loop(replies, writer))
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader, self.max_frame)
+                except ConnectionClosed:
+                    break
+                except FrameTooLarge as exc:
+                    # the oversized payload was never read; the stream is no
+                    # longer aligned to frame boundaries, so reply and close
+                    self.stats["oversized_frames"] += 1
+                    self.stats["errors"] += 1
+                    await replies.put(error_reply(None, ERR_OVERSIZED,
+                                                  str(exc)))
+                    break
+                except MalformedFrame as exc:
+                    # framing was intact (declared length matched), only the
+                    # payload was garbage — the connection stays usable
+                    self.stats["malformed_frames"] += 1
+                    self.stats["errors"] += 1
+                    await replies.put(error_reply(None, ERR_MALFORMED,
+                                                  str(exc)))
+                    continue
+                await replies.put(self._execute(request))
+        finally:
+            await replies.put(_CLOSE)
+            try:
+                await writer_task
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                self.stats["connections_active"] -= 1
+
+    async def _writer_loop(self, replies: asyncio.Queue,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                reply = await replies.get()
+                if reply is _CLOSE:
+                    return
+                writer.write(encode_frame(reply))
+                # greedily fold already-queued replies into one syscall
+                while True:
+                    try:
+                        reply = replies.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if reply is _CLOSE:
+                        await writer.drain()
+                        return
+                    writer.write(encode_frame(reply))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            # client went away mid-write; the reader loop will see EOF
+            return
+
+    # -- request execution -----------------------------------------------------
+
+    def _execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rid = request.get("id")
+        if not isinstance(rid, (int, type(None))):
+            rid = None
+        version = request.get("v", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            self.stats["errors"] += 1
+            return error_reply(rid, ERR_BAD_VERSION,
+                               f"server speaks protocol {PROTOCOL_VERSION}, "
+                               f"request used {version!r}")
+        op = request.get("op")
+        if op not in OPS:
+            self.stats["errors"] += 1
+            return error_reply(rid, ERR_UNSUPPORTED_OP, f"unknown op {op!r}")
+        self.stats["requests"] += 1
+        try:
+            if op == "BATCH":
+                return self._execute_batch(rid, request)
+            body = self._execute_single(op, request,
+                                        self.backend.snapshot())
+        except Exception as exc:  # defensive: a bug must not kill the loop
+            self.stats["errors"] += 1
+            return error_reply(rid, ERR_INTERNAL,
+                               f"{type(exc).__name__}: {exc}")
+        if not body.get("ok", False):
+            self.stats["errors"] += 1
+        return dict(body, id=rid)
+
+    def _execute_batch(self, rid: Optional[int],
+                       request: Dict[str, Any]) -> Dict[str, Any]:
+        subs = request.get("requests")
+        if not isinstance(subs, list):
+            return error_reply(rid, ERR_BAD_BATCH,
+                               "BATCH needs a 'requests' list")
+        if len(subs) > self.max_batch:
+            return error_reply(rid, ERR_BAD_BATCH,
+                               f"batch of {len(subs)} exceeds cap "
+                               f"{self.max_batch}")
+        # one snapshot for the whole batch: items can never straddle a refresh
+        snapshot = self.backend.snapshot()
+        self.stats["batches"] += 1
+        self.stats["batch_items"] += len(subs)
+        replies = []
+        for sub in subs:
+            if not isinstance(sub, dict):
+                replies.append(error_reply(None, ERR_BAD_BATCH,
+                                           "batch item is not an object"))
+                continue
+            sub_op = sub.get("op")
+            if sub_op == "BATCH":
+                replies.append(error_reply(sub.get("id"), ERR_BAD_BATCH,
+                                           "batches do not nest"))
+                continue
+            if sub_op not in OPS:
+                replies.append(error_reply(sub.get("id"), ERR_UNSUPPORTED_OP,
+                                           f"unknown op {sub_op!r}"))
+                continue
+            body = self._execute_single(sub_op, sub, snapshot)
+            # only copy when the item carried an id: batch items usually
+            # correlate by position, and coalesced bodies serialize as-is
+            sub_id = sub.get("id")
+            replies.append(dict(body, id=sub_id) if sub_id is not None
+                           else body)
+        return ok_reply(rid, replies=replies)
+
+    def _execute_single(self, op: str, request: Dict[str, Any],
+                        snapshot: Optional[FairshareSnapshot]
+                        ) -> Dict[str, Any]:
+        """Reply *body* (no id) for one non-batch op."""
+        if op == "PING":
+            body: Dict[str, Any] = {"ok": True, "pong": True}
+            if "payload" in request:
+                body["payload"] = request["payload"]
+            return body
+        if op == "INFO":
+            return {"ok": True, "protocol": PROTOCOL_VERSION,
+                    "info": self.backend.info(), "stats": dict(self.stats)}
+        if op == "REPORT_USAGE":
+            return self._report_usage(request)
+        # key-addressed reads: coalesce identical keys per snapshot
+        user = request.get("user")
+        if not isinstance(user, str) or not user:
+            return {"ok": False,
+                    "error": {"code": ERR_MALFORMED,
+                              "message": f"{op} needs a 'user' string"}}
+        seq = snapshot.seq if snapshot is not None else -1
+        key = (op, user, seq)
+        cached = self._coalesce.get(key)
+        if cached is not None:
+            self.stats["coalesced"] += 1
+            return cached
+        if op == "GET_FAIRSHARE":
+            body = self._get_fairshare(user, snapshot)
+        elif op == "GET_VECTOR":
+            body = self._get_vector(user, snapshot)
+        else:  # RESOLVE_IDENTITY
+            body = self._resolve_identity(user)
+            if not body["ok"]:
+                # an IRS mapping may be stored at any moment; a memoized
+                # negative answer would outlive it within this snapshot
+                return body
+        if len(self._coalesce) >= self._coalesce_size:
+            self._coalesce.popitem(last=False)
+        self._coalesce[key] = body
+        return body
+
+    # -- op implementations ----------------------------------------------------
+
+    def _get_fairshare(self, user: str,
+                       snapshot: Optional[FairshareSnapshot]
+                       ) -> Dict[str, Any]:
+        value, known, snap = self.backend.lookup_fairshare(user, snapshot)
+        body: Dict[str, Any] = {"ok": True, "value": value, "known": known}
+        if snap is not None:
+            body["seq"] = snap.seq
+            body["epoch"] = list(snap.epoch) if isinstance(snap.epoch, tuple) \
+                else snap.epoch
+        return body
+
+    def _get_vector(self, user: str,
+                    snapshot: Optional[FairshareSnapshot]) -> Dict[str, Any]:
+        vector = self.backend.vector(user, snapshot)
+        if vector is None:
+            code = ERR_UNKNOWN_USER
+            if snapshot is not None and snapshot.result is not None:
+                path = snapshot.identity_map.get(user, user)
+                flat = snapshot.result.flat
+                if snapshot.resolve_path(user) or (
+                        path in flat.path_index
+                        and path not in flat.leaf_slot):
+                    code = ERR_NOT_A_LEAF
+            return {"ok": False,
+                    "error": {"code": code,
+                              "message": f"no vector for {user!r}"}}
+        return {"ok": True, "elements": list(vector.elements),
+                "resolution": vector.resolution,
+                "seq": snapshot.seq if snapshot is not None else -1}
+
+    def _resolve_identity(self, user: str) -> Dict[str, Any]:
+        identity = self.backend.resolve_identity(user)
+        if identity is None:
+            return {"ok": False,
+                    "error": {"code": ERR_UNKNOWN_USER,
+                              "message": f"cannot resolve {user!r}"}}
+        return {"ok": True, "identity": identity}
+
+    def _report_usage(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        user = request.get("user")
+        start = request.get("start")
+        end = request.get("end")
+        cores = request.get("cores", 1)
+        if not isinstance(user, str) or not user \
+                or not isinstance(start, (int, float)) \
+                or not isinstance(end, (int, float)) \
+                or not isinstance(cores, int) or cores < 1 or end < start:
+            return {"ok": False,
+                    "error": {"code": ERR_MALFORMED,
+                              "message": "REPORT_USAGE needs user/start/end"
+                                         " (end >= start, cores >= 1)"}}
+        accepted = self.backend.report_usage(user, start, end, cores)
+        return {"ok": True, "accepted": accepted}
+
+
+class ServerThread:
+    """Run an :class:`AequusServer` on a private event loop thread.
+
+    Tests, benchmarks and the daemon embed the server next to code driving
+    the simulation engine; this wrapper owns the loop, starts the server
+    (resolving port 0 to the real ephemeral port before returning), and
+    tears both down on :meth:`stop`.
+    """
+
+    def __init__(self, server: AequusServer):
+        self.server = server
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, name="aequusd",
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("aequusd server thread failed to start")
+        if self._startup_error is not None:
+            raise RuntimeError("aequusd failed to bind") \
+                from self._startup_error
+        return self
+
+    @staticmethod
+    def _quiet_cancelled(loop: asyncio.AbstractEventLoop,
+                         context: Dict[str, Any]) -> None:
+        # cancelling connection handlers at teardown makes asyncio streams
+        # report a spurious "Exception in callback ... CancelledError"
+        if isinstance(context.get("exception"), asyncio.CancelledError):
+            return
+        loop.default_exception_handler(context)
+
+    def _run(self) -> None:
+        assert self.loop is not None
+        asyncio.set_event_loop(self.loop)
+        self.loop.set_exception_handler(self._quiet_cancelled)
+        try:
+            self.loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # bind failure etc.
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self.loop.run_forever()
+        finally:
+            self.server.close()
+            tasks = [t for t in asyncio.all_tasks(self.loop) if not t.done()]
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                self.loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True))
+            self.loop.run_until_complete(self.loop.shutdown_asyncgens())
+            self.loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.loop is None or self._thread is None:
+            return
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout)
+        self._thread = None
+        self.loop = None

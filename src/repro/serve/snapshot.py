@@ -1,0 +1,161 @@
+"""Atomic fairshare snapshots for the serve plane.
+
+Every FCS refresh publishes one :class:`FairshareSnapshot`: an immutable,
+read-optimized view of the refresh result (projected values, name index,
+policy epoch, publish sequence number, computation timestamp).  Readers in
+other threads pick up the *current* snapshot with a single attribute read —
+publication is one reference assignment, so a reader observes either the
+whole previous refresh or the whole new one, never a mix.  A batch of
+queries resolves the snapshot once and serves every key from it, which is
+what makes torn batches impossible by construction.
+
+The store never blocks readers and the publisher never waits for readers:
+old snapshots stay alive for exactly as long as someone holds a reference.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..core.flat import FlatFairshare
+    from ..core.vector import FairshareVector
+    from ..services.fcs import FairshareCalculationService
+
+__all__ = ["FairshareSnapshot", "SnapshotStore", "snapshot_from_fcs"]
+
+
+@dataclass(frozen=True)
+class FairshareSnapshot:
+    """One refresh worth of servable fairshare state.
+
+    ``values`` and ``by_name`` are read-only mapping views over the FCS's
+    internal dicts; the FCS replaces those dicts wholesale on every
+    recomputation (it never mutates them in place), so a snapshot taken at
+    publish time stays internally consistent forever.  ``identity_map`` is
+    a point-in-time copy (it is the one FCS table that mutates in place).
+    """
+
+    site: str
+    #: monotonically increasing publish number (the FCS refresh counter)
+    seq: int
+    #: policy epoch the refresh was computed against
+    epoch: Any
+    #: virtual-clock time of the refresh
+    computed_at: float
+    projection: str
+    resolution: int
+    unknown_user_value: float
+    values: Mapping[str, float]
+    by_name: Mapping[str, str]
+    identity_map: Mapping[str, str] = field(default_factory=dict)
+    #: the array-backed refresh result, for vector queries (leaf paths only)
+    result: Optional["FlatFairshare"] = None
+
+    # -- queries ------------------------------------------------------------
+
+    def resolve_path(self, identity: str) -> Optional[str]:
+        identity = self.identity_map.get(identity, identity)
+        if identity.startswith("/") and identity in self.values:
+            return identity
+        return self.by_name.get(identity)
+
+    def lookup(self, identity: str) -> Tuple[float, bool]:
+        """Projected value and whether the identity is actually known."""
+        path = self.resolve_path(identity)
+        if path is None:
+            return self.unknown_user_value, False
+        value = self.values.get(path)
+        if value is None:
+            return self.unknown_user_value, False
+        return value, True
+
+    def fairshare_value(self, identity: str) -> float:
+        return self.lookup(identity)[0]
+
+    def vector(self, identity: str) -> Optional["FairshareVector"]:
+        """Leaf fairshare vector, or None for unknown/non-leaf identities."""
+        if self.result is None:
+            return None
+        path = self.resolve_path(identity)
+        if path is None or path not in self.result.flat.leaf_slot:
+            return None
+        return self.result.vector(path)
+
+    def age(self, now: float) -> float:
+        return max(0.0, now - self.computed_at)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready summary (INFO replies, `repro probe`)."""
+        return {
+            "site": self.site,
+            "seq": self.seq,
+            "epoch": list(self.epoch) if isinstance(self.epoch, tuple)
+            else self.epoch,
+            "computed_at": self.computed_at,
+            "projection": self.projection,
+            "users": len(self.values),
+        }
+
+
+def snapshot_from_fcs(fcs: "FairshareCalculationService") -> FairshareSnapshot:
+    """Build an immutable snapshot of the FCS's last refresh."""
+    return FairshareSnapshot(
+        site=fcs.site,
+        seq=fcs.publishes,
+        epoch=fcs.snapshot_epoch,
+        computed_at=fcs.computed_at,
+        projection=type(fcs.projection).__name__,
+        resolution=fcs.parameters.resolution,
+        unknown_user_value=fcs.unknown_user_value,
+        values=fcs.values_view(),
+        by_name=fcs.names_view(),
+        identity_map=dict(fcs.identity_map),
+        result=fcs.flat_result(),
+    )
+
+
+class SnapshotStore:
+    """Single-writer, many-reader holder of the current snapshot.
+
+    ``publish`` is called from the thread driving the FCS (the simulation
+    or daemon tick thread); ``current`` from any number of server threads.
+    The handoff is one attribute assignment — atomic under the GIL — so no
+    reader ever blocks and no reader ever sees a half-published state.
+    """
+
+    def __init__(self) -> None:
+        self._current: Optional[FairshareSnapshot] = None
+        self._cond = threading.Condition()
+        self.published = 0
+
+    # -- writer side --------------------------------------------------------
+
+    def publish(self, snapshot: FairshareSnapshot) -> None:
+        self._current = snapshot
+        with self._cond:
+            self.published += 1
+            self._cond.notify_all()
+
+    def attach(self, fcs: "FairshareCalculationService") -> "SnapshotStore":
+        """Publish on every FCS refresh (and once now, for the last one)."""
+        fcs.add_refresh_listener(lambda f: self.publish(snapshot_from_fcs(f)))
+        return self
+
+    # -- reader side --------------------------------------------------------
+
+    def current(self) -> Optional[FairshareSnapshot]:
+        return self._current
+
+    def wait_for_seq(self, seq: int, timeout: Optional[float] = None) -> bool:
+        """Block until a snapshot with ``seq >= seq`` is published."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._current is not None and self._current.seq >= seq,
+                timeout)
+
+    @classmethod
+    def for_fcs(cls, fcs: "FairshareCalculationService") -> "SnapshotStore":
+        return cls().attach(fcs)

@@ -21,7 +21,8 @@ are tracked in :attr:`FairshareCalculationService.refresh_stats`.
 from __future__ import annotations
 
 import logging
-from typing import Dict, Optional, Tuple
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.distance import FairshareParameters
 from ..core.fairshare import FairshareTree
@@ -73,6 +74,13 @@ class FairshareCalculationService:
         self._values: Dict[str, float] = {}
         self._by_name: Dict[str, str] = {}
         self._computed_at: float = engine.now
+        #: serve-plane publication hook: called after every refresh (hit or
+        #: miss) with this FCS; listeners must not mutate FCS state
+        self._refresh_listeners: List[Callable[
+            ["FairshareCalculationService"], None]] = []
+        #: monotone snapshot publication counter (bumps even on cached-epoch
+        #: refreshes and projection switches, unlike :attr:`refreshes`)
+        self.publishes = 0
         self._task: Optional[PeriodicTask] = engine.periodic(
             refresh_interval, self.refresh, start_offset=start_offset)
         self.refresh()
@@ -94,6 +102,7 @@ class FairshareCalculationService:
             self.refresh_stats.hits += 1
             self._computed_at = self.engine.now
             self.refreshes += 1
+            self._notify_listeners()
             return
         self.refresh_stats.misses += 1
         if self._flat is None or self._flat_epoch != epoch:
@@ -112,12 +121,35 @@ class FairshareCalculationService:
         self._refresh_key = refresh_key
         self._computed_at = self.engine.now
         self.refreshes += 1
+        self._notify_listeners()
 
     def set_projection(self, projection: Projection) -> None:
         """Switch projection algorithm (run-time configurable, Sec. III-C)."""
         self.projection = projection
         if self._result is not None:
             self._values = projection.project_flat(self._result)
+            self._notify_listeners()
+
+    # -- serve-plane publication hook ---------------------------------------
+
+    def _notify_listeners(self) -> None:
+        self.publishes += 1
+        for listener in self._refresh_listeners:
+            listener(self)
+
+    def add_refresh_listener(self, listener: Callable[
+            ["FairshareCalculationService"], None],
+            fire_now: bool = True) -> None:
+        """Register a post-refresh callback (snapshot publication hook).
+
+        Listeners run synchronously at the end of every :meth:`refresh`
+        (including cached-epoch hits, whose timestamp still moves) and on
+        :meth:`set_projection`.  With ``fire_now`` the listener is also
+        invoked immediately so a late subscriber sees the current state.
+        """
+        self._refresh_listeners.append(listener)
+        if fire_now:
+            listener(self)
 
     # -- queries (constant-time, from pre-computed state) ------------------
 
@@ -137,12 +169,25 @@ class FairshareCalculationService:
             return identity
         return self._by_name.get(identity)
 
-    def fairshare_value(self, identity: str) -> float:
-        """Projected scalar in [0, 1] for a grid identity (leaf path or name)."""
+    def lookup(self, identity: str) -> Tuple[float, bool]:
+        """Projected value plus whether the identity is actually known.
+
+        The fallback value for unknown identities is indistinguishable from
+        a real mid-range value, so callers that need to count negative
+        lookups (libaequus cache stats, the serve plane's UNKNOWN_USER
+        replies) use this instead of :meth:`fairshare_value`.
+        """
         path = self._resolve_path(identity)
         if path is None:
-            return self.unknown_user_value
-        return self._values.get(path, self.unknown_user_value)
+            return self.unknown_user_value, False
+        value = self._values.get(path)
+        if value is None:
+            return self.unknown_user_value, False
+        return value, True
+
+    def fairshare_value(self, identity: str) -> float:
+        """Projected scalar in [0, 1] for a grid identity (leaf path or name)."""
+        return self.lookup(identity)[0]
 
     def priority(self, identity: str) -> float:
         """The leaf-node fairshare priority (k·abs + (1−k)·rel)."""
@@ -163,6 +208,24 @@ class FairshareCalculationService:
     def values(self) -> Dict[str, float]:
         """All users' projected values (leaf path -> value)."""
         return dict(self._values)
+
+    def values_view(self) -> Mapping[str, float]:
+        """Zero-copy read-only view of the current values.
+
+        Refreshes replace the underlying dict wholesale (never mutate it),
+        so a view taken now remains a consistent picture of this refresh
+        even after later refreshes land — the basis of snapshot atomicity.
+        """
+        return MappingProxyType(self._values)
+
+    def names_view(self) -> Mapping[str, str]:
+        """Read-only view of the bare-name -> leaf-path index."""
+        return MappingProxyType(self._by_name)
+
+    @property
+    def snapshot_epoch(self):
+        """Policy epoch of the last refresh (None before the first)."""
+        return self._refresh_key[0] if self._refresh_key is not None else None
 
     def tree(self) -> Optional[FairshareTree]:
         """The classic object-tree view of the last refresh (lazy)."""

@@ -27,7 +27,8 @@ consuming or vice versa — the partial-participation experiment
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Set
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
 
 from ..core.decay import DecayFunction
 from ..core.usage import UsageHistogram, UsageRecord
@@ -60,6 +61,12 @@ class UsageStatisticsService:
         self.charge_pruned = 0.0
         self.local = UsageHistogram(histogram_interval)
         self.remote: Dict[str, UsageHistogram] = {}
+        #: serve-plane ingress: records enqueued from other threads (deque
+        #: appends are atomic), folded into the histogram on the service's
+        #: own thread at the next exchange tick or explicit drain
+        self._ingest: Deque[UsageRecord] = deque()
+        self.records_enqueued = 0
+        self.records_drained = 0
         self.peers: List[str] = []
         self.records_received = 0
         self.exchanges_sent = 0
@@ -97,6 +104,31 @@ class UsageStatisticsService:
         self.records_received += 1
         self.local.add_record(record)
 
+    def enqueue_record(self, record: UsageRecord) -> None:
+        """Thread-safe usage ingress for the serve plane (aequusd).
+
+        Server threads may not touch the histogram directly — every
+        mutation must happen on the thread driving this service.  They
+        append here instead (``deque.append`` is atomic under the GIL);
+        the record lands in the histogram at the next :meth:`drain_ingest`,
+        which the exchange tick runs automatically.
+        """
+        self.records_enqueued += 1
+        self._ingest.append(record)
+
+    def drain_ingest(self) -> int:
+        """Fold all enqueued records into the local histogram (owner thread)."""
+        drained = 0
+        while True:
+            try:
+                record = self._ingest.popleft()
+            except IndexError:
+                break
+            self.record_job(record)
+            drained += 1
+        self.records_drained += drained
+        return drained
+
     # -- peering -----------------------------------------------------------
 
     def add_peer(self, site: str) -> None:
@@ -108,6 +140,7 @@ class UsageStatisticsService:
     # -- publishing --------------------------------------------------------
 
     def _exchange(self) -> None:
+        self.drain_ingest()
         if self.prune_horizon is not None:
             self.charge_pruned += self.local.prune(self.engine.now,
                                                    self.prune_horizon)

@@ -95,3 +95,119 @@ class TestUsageReporting:
         _, site, _ = setup
         lib = LibAequus.for_site(site)
         assert lib._fairshare_cache.ttl == site.config.libaequus_cache_ttl
+
+
+class TestUniformCacheStats:
+    """Both caches report the same shape, negatives included."""
+
+    def test_stats_shape_is_symmetric(self, setup):
+        _, _, lib = setup
+        lib.get_fairshare("sys_alice")
+        stats = lib.cache_stats()
+        assert set(stats) == {"fairshare", "identity"}
+        expected_keys = {"hits", "misses", "lookups", "hit_rate",
+                         "negative", "entries", "ttl"}
+        for side in stats.values():
+            assert set(side) == expected_keys
+
+    def test_hit_and_miss_counters_agree_with_cache(self, setup):
+        _, _, lib = setup
+        for _ in range(4):
+            lib.get_fairshare("sys_alice")
+        stats = lib.cache_stats()
+        assert stats["fairshare"]["misses"] == 1
+        assert stats["fairshare"]["hits"] == 3
+        assert stats["fairshare"]["lookups"] == 4
+        assert stats["identity"]["misses"] == 1
+        assert stats["identity"]["hits"] == 3
+
+    def test_unknown_grid_user_counts_fairshare_negative(self, setup):
+        _, site, lib = setup
+        # identity resolves, but the grid user is absent from the policy
+        site.irs.store_mapping("sys_ghost", "ghost")
+        value, known = lib.lookup_fairshare("sys_ghost")
+        assert not known
+        assert value == site.fcs.unknown_user_value
+        assert lib.cache_stats()["fairshare"]["negative"] == 1
+
+    def test_negative_fairshare_results_are_cached(self, setup):
+        _, site, lib = setup
+        site.irs.store_mapping("sys_ghost", "ghost")
+        for _ in range(5):
+            lib.lookup_fairshare("sys_ghost")
+        # the fallback value was loaded once and served from cache after:
+        # a batch of unknown-user jobs must not hammer the service
+        assert lib.cache_stats()["fairshare"]["negative"] == 1
+        assert lib.cache_stats()["fairshare"]["hits"] == 4
+
+    def test_failed_resolution_counts_negative_and_is_never_cached(
+            self, setup):
+        _, site, lib = setup
+        from repro.services.irs import IdentityResolutionError
+        for _ in range(3):
+            with pytest.raises(IdentityResolutionError):
+                lib.resolve_identity("sys_nobody")
+        assert lib.cache_stats()["identity"]["negative"] == 3
+        # a mapping stored later must be picked up immediately
+        site.irs.store_mapping("sys_nobody", "alice")
+        assert lib.resolve_identity("sys_nobody") == "alice"
+
+    def test_legacy_stats_properties_still_work(self, setup):
+        _, _, lib = setup
+        lib.get_fairshare("sys_alice")
+        assert lib.fairshare_cache_stats.misses == 1
+        assert lib.identity_cache_stats.misses == 1
+
+
+class TestSocketTransport:
+    """The same library, with every call-out crossing a real socket."""
+
+    @pytest.fixture
+    def socket_lib(self, setup):
+        from repro.serve.backend import SiteBackend
+        from repro.serve.client import SyncAequusClient
+        from repro.serve.server import AequusServer, ServerThread
+
+        engine, site, _ = setup
+        thread = ServerThread(AequusServer(SiteBackend.for_site(site))).start()
+        client = SyncAequusClient(thread.host, thread.port, timeout=5.0,
+                                  retries=2, backoff_base=0.01)
+        lib = LibAequus.over_socket(client, site="a", engine=engine,
+                                    cache_ttl=10.0)
+        try:
+            yield engine, site, lib, client
+        finally:
+            client.close()
+            thread.stop()
+
+    def test_fairshare_matches_direct_dispatch(self, socket_lib):
+        _, site, lib, _ = socket_lib
+        assert lib.get_fairshare("sys_alice") == \
+            site.fcs.fairshare_value("alice")
+
+    def test_identity_resolution_over_socket(self, socket_lib):
+        _, _, lib, _ = socket_lib
+        assert lib.resolve_identity("sys_bob") == "bob"
+
+    def test_cache_suppresses_round_trips(self, socket_lib):
+        _, _, lib, client = socket_lib
+        before = client.stats["requests"]
+        for _ in range(10):
+            lib.get_fairshare("sys_alice")
+        # one RESOLVE_IDENTITY + one GET_FAIRSHARE; nine cache hits
+        assert client.stats["requests"] == before + 2
+
+    def test_report_usage_lands_in_uss(self, socket_lib):
+        engine, site, lib, _ = socket_lib
+        before = site.uss.local.total("bob")
+        lib.report_usage("sys_bob", start=engine.now, end=engine.now + 240.0)
+        assert site.uss.records_enqueued >= 1
+        engine.run_until(engine.now + 5.0)  # exchange tick drains ingress
+        assert site.uss.local.total("bob") == pytest.approx(before + 240.0)
+
+    def test_unknown_resolution_raises_same_error_as_direct(self, socket_lib):
+        _, _, lib, _ = socket_lib
+        from repro.services.irs import IdentityResolutionError
+        with pytest.raises(IdentityResolutionError):
+            lib.resolve_identity("sys_nobody")
+        assert lib.cache_stats()["identity"]["negative"] == 1

@@ -63,6 +63,92 @@ class TestLocalFairshare:
             LocalFairsharePlugin(shares={"a": 1}, half_life=0)
 
 
+class TestAequusPluginsOverSocket:
+    """The SLURM-style plugin seams, with libaequus on the socket path.
+
+    The plugins themselves are transport-oblivious: wired to a
+    ``LibAequus.over_socket`` instance they must produce exactly the
+    factors and usage records the in-process direct-dispatch mode does.
+    """
+
+    @pytest.fixture
+    def stack(self):
+        from repro.client.libaequus import LibAequus
+        from repro.core.policy import PolicyTree
+        from repro.serve.backend import SiteBackend
+        from repro.serve.client import SyncAequusClient
+        from repro.serve.server import AequusServer, ServerThread
+        from repro.services.network import Network
+        from repro.services.site import AequusSite, SiteConfig
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine()
+        network = Network(engine)
+        site = AequusSite(
+            "a", engine, network,
+            policy=PolicyTree.from_dict({"alice": 3, "bob": 1}),
+            config=SiteConfig(uss_exchange_interval=5.0,
+                              ums_refresh_interval=5.0,
+                              fcs_refresh_interval=5.0))
+        site.irs.store_mapping("sys_alice", "alice")
+        site.irs.store_mapping("sys_bob", "bob")
+        engine.run_until(1.0)
+        thread = ServerThread(AequusServer(SiteBackend.for_site(site))).start()
+        client = SyncAequusClient(thread.host, thread.port, timeout=5.0,
+                                  retries=2, backoff_base=0.01)
+        direct = LibAequus.for_site(site, cache_ttl=0.0)
+        socketed = LibAequus.over_socket(client, site="a", engine=engine,
+                                         cache_ttl=0.0)
+        try:
+            yield engine, site, direct, socketed
+        finally:
+            client.close()
+            thread.stop()
+
+    def test_priority_plugin_factor_matches_direct_mode(self, stack):
+        from repro.rms.plugins import AequusPriorityPlugin
+
+        engine, _, direct, socketed = stack
+        job = Job(system_user="sys_alice", duration=10.0, submit_time=0.0)
+        over_socket = AequusPriorityPlugin(socketed).fairshare_factor(
+            job, engine.now)
+        in_process = AequusPriorityPlugin(direct).fairshare_factor(
+            job, engine.now)
+        assert over_socket == in_process
+        assert 0.0 <= over_socket <= 1.0
+
+    def test_unknown_user_factor_matches_direct_mode(self, stack):
+        from repro.rms.plugins import AequusPriorityPlugin
+
+        engine, site, direct, socketed = stack
+        site.irs.store_mapping("sys_ghost", "ghost")  # not in the policy
+        job = Job(system_user="sys_ghost", duration=10.0, submit_time=0.0)
+        assert AequusPriorityPlugin(socketed).fairshare_factor(
+            job, engine.now) == AequusPriorityPlugin(direct).fairshare_factor(
+            job, engine.now)
+
+    def test_jobcomp_plugin_charges_usage_through_the_socket(self, stack):
+        from repro.rms.plugins import AequusJobCompletionPlugin
+
+        engine, site, _, socketed = stack
+        plugin = AequusJobCompletionPlugin(socketed)
+        job = finished_job("sys_bob", duration=120.0, end=engine.now)
+        before = site.uss.local.total("bob")
+        plugin.job_completed(job, engine.now)
+        engine.run_until(engine.now + 5.0)  # exchange tick drains ingress
+        assert site.uss.local.total("bob") == pytest.approx(before + 120.0)
+
+    def test_incomplete_job_reports_nothing(self, stack):
+        from repro.rms.plugins import AequusJobCompletionPlugin
+
+        engine, site, _, socketed = stack
+        plugin = AequusJobCompletionPlugin(socketed)
+        plugin.job_completed(
+            Job(system_user="sys_bob", duration=5.0, submit_time=0.0),
+            engine.now)
+        assert site.uss.records_enqueued == 0
+
+
 class TestFixedFairshare:
     def test_returns_configured_values(self):
         plugin = FixedFairsharePlugin({"a": 0.9}, default=0.3)

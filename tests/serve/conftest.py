@@ -1,0 +1,54 @@
+"""Shared fixtures for serve-plane tests: one small served site per test."""
+
+import pytest
+
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageRecord
+from repro.serve.backend import SiteBackend
+from repro.serve.client import SyncAequusClient
+from repro.serve.server import AequusServer, ServerThread
+from repro.services.network import Network
+from repro.services.site import AequusSite, SiteConfig
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def small_site():
+    """A two-VO site with usage folded in and a published FCS refresh."""
+    engine = SimulationEngine()
+    network = Network(engine)
+    policy = PolicyTree.from_dict({
+        "hpc": {"alice": 3, "bob": 1},
+        "astro": {"carol": 2, "dave": 2},
+    })
+    site = AequusSite("a", engine, network, policy=policy,
+                      config=SiteConfig(histogram_interval=10.0,
+                                        uss_exchange_interval=5.0,
+                                        ums_refresh_interval=5.0,
+                                        fcs_refresh_interval=5.0))
+    site.irs.store_mapping("sys_alice", "alice")
+    site.irs.store_mapping("sys_bob", "bob")
+    site.uss.record_job(UsageRecord(user="alice", site="a",
+                                    start=0.0, end=900.0))
+    site.uss.record_job(UsageRecord(user="carol", site="a",
+                                    start=0.0, end=300.0))
+    engine.run_until(11.0)
+    return engine, site
+
+
+@pytest.fixture
+def served(small_site):
+    """The small site behind a live aequusd on an ephemeral port."""
+    engine, site = small_site
+    backend = SiteBackend.for_site(site)
+    thread = ServerThread(AequusServer(backend)).start()
+    yield engine, site, thread
+    thread.stop()
+
+
+@pytest.fixture
+def client(served):
+    _, _, thread = served
+    with SyncAequusClient(thread.host, thread.port, timeout=5.0,
+                          retries=2, backoff_base=0.01) as c:
+        yield c

@@ -1,0 +1,93 @@
+"""Framing-layer tests: length prefixes, caps, malformed payloads."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.protocol import (HEADER, PROTOCOL_VERSION, ConnectionClosed,
+                                  FrameTooLarge, MalformedFrame,
+                                  decode_payload, encode_frame, error_reply,
+                                  ok_reply, read_frame)
+
+
+def feed_reader(*chunks: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+def read_one(data: bytes, max_frame: int = 1 << 20):
+    async def _run():
+        return await read_frame(feed_reader(data), max_frame)
+    return asyncio.run(_run())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame({"op": "PING", "id": 7})
+        assert read_one(frame) == {"op": "PING", "id": 7}
+
+    def test_multiple_frames_in_sequence(self):
+        frames = encode_frame({"id": 1}) + encode_frame({"id": 2})
+
+        async def _run():
+            reader = feed_reader(frames)
+            return (await read_frame(reader), await read_frame(reader))
+
+        first, second = asyncio.run(_run())
+        assert (first["id"], second["id"]) == (1, 2)
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"a": 1})
+        (length,) = HEADER.unpack(frame[:4])
+        assert length == len(frame) - 4
+
+    def test_clean_eof_raises_connection_closed(self):
+        with pytest.raises(ConnectionClosed):
+            read_one(b"")
+
+    def test_truncated_frame_raises_connection_closed(self):
+        frame = encode_frame({"op": "PING"})
+        with pytest.raises(ConnectionClosed):
+            read_one(frame[:-2])
+
+    def test_oversized_frame_rejected_before_payload_read(self):
+        # declared length over the cap must raise without the body present
+        with pytest.raises(FrameTooLarge):
+            read_one(HEADER.pack(10_000), max_frame=1024)
+
+    def test_at_cap_is_allowed(self):
+        payload = {"pad": "x" * 100}
+        frame = encode_frame(payload)
+        assert read_one(frame, max_frame=len(frame) - 4) == payload
+
+    def test_garbage_payload_is_malformed(self):
+        body = b"\xff\xfe not json"
+        with pytest.raises(MalformedFrame):
+            read_one(HEADER.pack(len(body)) + body)
+
+    def test_non_object_payload_is_malformed(self):
+        body = b"[1, 2, 3]"
+        with pytest.raises(MalformedFrame):
+            read_one(HEADER.pack(len(body)) + body)
+
+
+class TestPayloads:
+    def test_decode_payload_object(self):
+        assert decode_payload(b'{"x": 1}') == {"x": 1}
+
+    def test_ok_reply_shape(self):
+        reply = ok_reply(3, value=0.5)
+        assert reply == {"id": 3, "ok": True, "value": 0.5}
+
+    def test_error_reply_shape(self):
+        reply = error_reply(9, "UNKNOWN_USER", "no such user")
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "UNKNOWN_USER"
+        assert reply["error"]["message"] == "no such user"
+
+    def test_protocol_version_pinned(self):
+        # bump deliberately; the probe and BAD_VERSION tests key off it
+        assert PROTOCOL_VERSION == 1

@@ -1,0 +1,163 @@
+"""End-to-end server/client tests over a real TCP connection."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.client import (AequusClient, AequusServerError,
+                                AequusTransportError, SyncAequusClient)
+from repro.serve.protocol import (ERR_BAD_VERSION, ERR_NOT_A_LEAF,
+                                  ERR_UNSUPPORTED_OP, PROTOCOL_VERSION)
+from repro.services.irs import IdentityResolutionError
+
+
+class TestSingleKeyOps:
+    def test_get_fairshare_matches_direct_dispatch(self, served, client):
+        _, site, _ = served
+        assert client.get_fairshare("alice") == \
+            site.fcs.fairshare_value("alice")
+
+    def test_lookup_flags_unknown_user(self, served, client):
+        _, site, _ = served
+        value, known = client.lookup_fairshare("ghost")
+        assert not known
+        assert value == site.fcs.unknown_user_value
+
+    def test_full_path_lookup(self, served, client):
+        _, site, _ = served
+        assert client.get_fairshare("/astro/carol") == \
+            site.fcs.fairshare_value("carol")
+
+    def test_get_vector_round_trips(self, served, client):
+        _, site, _ = served
+        assert client.get_vector("alice") == site.fcs.vector("alice")
+
+    def test_vector_for_internal_node_is_not_a_leaf(self, served, client):
+        with pytest.raises(AequusServerError) as err:
+            client.get_vector("/hpc")
+        assert err.value.code == ERR_NOT_A_LEAF
+
+    def test_resolve_identity(self, served, client):
+        assert client.resolve_identity("sys_alice") == "alice"
+
+    def test_resolve_unknown_raises_identity_error(self, served, client):
+        with pytest.raises(IdentityResolutionError):
+            client.resolve_identity("nobody")
+
+    def test_report_usage_lands_in_uss_at_next_tick(self, served, client):
+        engine, site, _ = served
+        before = site.uss.local.total("bob")
+        assert client.report_usage("bob", start=engine.now,
+                                   end=engine.now + 300.0)
+        assert site.uss.records_enqueued >= 1
+        engine.run_until(engine.now + 5.0)  # exchange tick drains ingress
+        assert site.uss.local.total("bob") == pytest.approx(before + 300.0)
+
+    def test_ping_and_info(self, served, client):
+        assert client.ping()["pong"] is True
+        reply = client.info()
+        assert reply["protocol"] == PROTOCOL_VERSION
+        assert reply["info"]["snapshot"]["site"] == "a"
+        assert reply["info"]["snapshot"]["users"] == 4
+
+
+class TestBatch:
+    def test_batch_lookup(self, served, client):
+        _, site, _ = served
+        users = ["alice", "bob", "carol", "dave"]
+        values = client.batch_lookup_fairshare(users)
+        for user in users:
+            assert values[user][0] == site.fcs.fairshare_value(user)
+
+    def test_batch_reports_per_item_errors_in_place(self, served, client):
+        replies = client.batch([
+            {"op": "GET_FAIRSHARE", "user": "alice"},
+            {"op": "GET_VECTOR", "user": "ghost"},
+            {"op": "NO_SUCH_OP"},
+        ])
+        assert replies[0]["ok"] is True
+        assert replies[1]["ok"] is False
+        assert replies[2]["error"]["code"] == ERR_UNSUPPORTED_OP
+
+    def test_batch_is_served_from_one_snapshot(self, served, client):
+        replies = client.batch(
+            [{"op": "GET_FAIRSHARE", "user": u}
+             for u in ["alice", "bob", "carol", "dave"]])
+        seqs = {r["seq"] for r in replies}
+        assert len(seqs) == 1
+
+    def test_nested_batch_rejected(self, served, client):
+        replies = client.batch([{"op": "BATCH", "requests": []}])
+        assert replies[0]["ok"] is False
+
+    def test_mixed_batch(self, served, client):
+        engine, site, _ = served
+        replies = client.batch([
+            {"op": "RESOLVE_IDENTITY", "user": "sys_bob"},
+            {"op": "REPORT_USAGE", "user": "bob", "start": engine.now,
+             "end": engine.now + 60.0},
+            {"op": "PING"},
+        ])
+        assert replies[0]["identity"] == "bob"
+        assert replies[1]["accepted"] is True
+        assert replies[2]["pong"] is True
+
+
+class TestServerBehaviour:
+    def test_coalescing_counts_repeated_keys(self, served, client):
+        _, _, thread = served
+        before = thread.server.stats["coalesced"]
+        for _ in range(10):
+            client.get_fairshare("alice")
+        assert thread.server.stats["coalesced"] >= before + 9
+
+    def test_bad_version_rejected(self, served):
+        # the real client always stamps its own version; speak raw frames
+        _, _, thread = served
+        from repro.serve.protocol import encode_frame, read_frame
+
+        async def _run():
+            reader, writer = await asyncio.open_connection(
+                thread.host, thread.port)
+            writer.write(encode_frame({"op": "PING", "v": 99, "id": 1}))
+            await writer.drain()
+            reply = await read_frame(reader)
+            writer.close()
+            return reply
+
+        reply = asyncio.run(_run())
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == ERR_BAD_VERSION
+
+    def test_pipelined_requests_all_answered(self, served):
+        _, site, thread = served
+
+        async def _run():
+            async with AequusClient(thread.host, thread.port) as c:
+                return await asyncio.gather(*[
+                    c.get_fairshare("alice") for _ in range(200)])
+
+        values = asyncio.run(_run())
+        assert len(values) == 200
+        assert set(values) == {site.fcs.fairshare_value("alice")}
+
+    def test_snapshot_seq_advances_for_clients(self, served, client):
+        engine, _, _ = served
+        first = client.batch([{"op": "GET_FAIRSHARE", "user": "alice"}])
+        engine.run_until(engine.now + 5.0)  # next FCS refresh
+        second = client.batch([{"op": "GET_FAIRSHARE", "user": "alice"}])
+        assert second[0]["seq"] > first[0]["seq"]
+
+
+class TestTransportResilience:
+    def test_unreachable_server_raises_transport_error(self):
+        with SyncAequusClient("127.0.0.1", 1, timeout=0.2, retries=1,
+                              backoff_base=0.01) as client:
+            with pytest.raises(AequusTransportError):
+                client.ping()
+
+    def test_stats_track_requests(self, served, client):
+        client.ping()
+        client.ping()
+        assert client.stats["requests"] >= 2
+        assert client.stats["transport_errors"] == 0

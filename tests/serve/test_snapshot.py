@@ -1,0 +1,155 @@
+"""Snapshot store semantics: publication hook, atomicity, lookups."""
+
+import threading
+
+import pytest
+
+from repro.core.projection import DictionaryOrderingProjection
+from repro.serve.snapshot import SnapshotStore, snapshot_from_fcs
+
+
+class TestPublicationHook:
+    def test_store_attaches_and_sees_current_state(self, small_site):
+        _, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        snap = store.current()
+        assert snap is not None
+        assert snap.site == "a"
+        assert snap.values == site.fcs.values()
+
+    def test_every_refresh_publishes(self, small_site):
+        engine, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        before = store.published
+        engine.run_until(engine.now + 15.0)  # three refresh periods
+        assert store.published >= before + 3
+
+    def test_cached_epoch_refresh_still_publishes_fresh_timestamp(
+            self, small_site):
+        engine, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        first = store.current()
+        site.fcs.refresh()  # no usage change: cache hit path
+        second = store.current()
+        assert second.seq > first.seq
+        assert second.computed_at >= first.computed_at
+        assert second.result is first.result  # not recomputed, just restamped
+
+    def test_projection_switch_publishes(self, small_site):
+        _, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        before = store.current()
+        site.fcs.set_projection(DictionaryOrderingProjection())
+        after = store.current()
+        assert after.seq > before.seq
+        assert after.values != before.values
+
+    def test_seq_is_monotone(self, small_site):
+        engine, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        seqs = [store.current().seq]
+        for _ in range(4):
+            engine.run_until(engine.now + 5.0)
+            seqs.append(store.current().seq)
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestSnapshotQueries:
+    def test_lookup_known_user_matches_fcs(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        value, known = snap.lookup("alice")
+        assert known
+        assert value == site.fcs.fairshare_value("alice")
+
+    def test_lookup_by_full_path(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        by_name = snap.lookup("alice")
+        by_path = snap.lookup("/hpc/alice")
+        assert by_name == by_path
+
+    def test_unknown_user_gets_fallback_and_flag(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        value, known = snap.lookup("ghost")
+        assert not known
+        assert value == site.fcs.unknown_user_value
+
+    def test_identity_map_is_a_point_in_time_copy(self, small_site):
+        _, site = small_site
+        site.fcs.register_identity("/DC=org/CN=alice", "alice")
+        snap = snapshot_from_fcs(site.fcs)
+        assert snap.lookup("/DC=org/CN=alice")[1]
+        # aliases registered after the snapshot do not leak into it
+        site.fcs.register_identity("/DC=org/CN=bob", "bob")
+        assert not snap.lookup("/DC=org/CN=bob")[1]
+
+    def test_vector_for_leaf(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        vector = snap.vector("alice")
+        assert vector is not None
+        assert vector == site.fcs.vector("alice")
+
+    def test_vector_for_unknown_is_none(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        assert snap.vector("ghost") is None
+
+    def test_snapshot_is_immutable(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        with pytest.raises(AttributeError):
+            snap.seq = 999
+        with pytest.raises(TypeError):
+            snap.values["alice"] = 1.0
+
+    def test_age(self, small_site):
+        engine, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        t0 = snap.computed_at
+        assert snap.age(t0) == 0.0
+        assert snap.age(t0 + 12.5) == 12.5
+        assert snap.age(t0 - 1.0) == 0.0  # clock skew clamps to zero
+
+
+class TestStoreConcurrency:
+    def test_wait_for_seq(self, small_site):
+        engine, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        target = store.current().seq + 1
+
+        waiter_saw = []
+
+        def wait():
+            waiter_saw.append(store.wait_for_seq(target, timeout=5.0))
+
+        thread = threading.Thread(target=wait)
+        thread.start()
+        engine.run_until(engine.now + 5.0)  # next refresh publishes
+        thread.join(5.0)
+        assert waiter_saw == [True]
+
+    def test_wait_for_seq_timeout(self, small_site):
+        _, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        assert not store.wait_for_seq(store.current().seq + 100, timeout=0.05)
+
+    def test_old_snapshot_stays_consistent_after_new_publishes(
+            self, small_site):
+        engine, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        old = store.current()
+        old_values = dict(old.values)
+        # change usage so the next refresh recomputes different values
+        from repro.core.usage import UsageRecord
+        site.uss.record_job(UsageRecord(user="bob", site="a",
+                                        start=engine.now,
+                                        end=engine.now + 5000.0))
+        engine.run_until(engine.now + 15.0)
+        new = store.current()
+        assert new.seq > old.seq
+        assert dict(old.values) == old_values  # held reference never moved
+        assert new.values["/hpc/bob"] != old.values["/hpc/bob"]

@@ -1,0 +1,150 @@
+"""Concurrency proof: readers observe only whole snapshots.
+
+A writer keeps mutating usage and refreshing the FCS (new snapshot per
+refresh) while reader threads hammer the server with batch reads.  Every
+batch reply must be internally consistent: one snapshot sequence number
+across all items, and values exactly equal to what the FCS published under
+that sequence number — never a mix of two refreshes.
+"""
+
+import threading
+import time
+
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageRecord
+from repro.serve.backend import SiteBackend
+from repro.serve.client import SyncAequusClient
+from repro.serve.server import AequusServer, ServerThread
+from repro.services.network import Network
+from repro.services.site import AequusSite, SiteConfig
+from repro.sim.engine import SimulationEngine
+
+N_USERS = 24
+N_REFRESHES = 30
+N_READERS = 3
+BATCHES_PER_READER = 40
+
+
+def build_site():
+    engine = SimulationEngine()
+    network = Network(engine)
+    users = {f"u{i}": i + 1 for i in range(N_USERS)}
+    site = AequusSite("torn", engine, network,
+                      policy=PolicyTree.from_dict({"grp": users}),
+                      config=SiteConfig(histogram_interval=10.0,
+                                        uss_exchange_interval=5.0,
+                                        ums_refresh_interval=5.0,
+                                        fcs_refresh_interval=5.0))
+    engine.run_until(6.0)
+    return engine, site
+
+
+class TestNoTornReads:
+    def test_batches_never_straddle_a_refresh(self):
+        engine, site = build_site()
+        users = [f"u{i}" for i in range(N_USERS)]
+
+        # record every published value set BEFORE the snapshot goes live
+        # (listeners run in registration order; the store attaches second)
+        published = {}
+        site.fcs.add_refresh_listener(
+            lambda fcs: published.setdefault(fcs.publishes,
+                                             dict(fcs.values_view())))
+        thread = ServerThread(AequusServer(SiteBackend.for_site(site))).start()
+
+        failures = []
+        batches_done = threading.Semaphore(0)
+
+        def reader(idx):
+            try:
+                with SyncAequusClient(thread.host, thread.port,
+                                      timeout=10.0) as client:
+                    for _ in range(BATCHES_PER_READER):
+                        replies = client.batch(
+                            [{"op": "GET_FAIRSHARE", "user": u}
+                             for u in users])
+                        seqs = {r["seq"] for r in replies}
+                        if len(seqs) != 1:
+                            failures.append(
+                                f"reader {idx}: torn batch across {seqs}")
+                            continue
+                        seq = seqs.pop()
+                        expected = published.get(seq)
+                        if expected is None:
+                            failures.append(
+                                f"reader {idx}: unpublished seq {seq}")
+                            continue
+                        got = {u: r["value"]
+                               for u, r in zip(users, replies)}
+                        want = {u: expected[f"/grp/{u}"] for u in users}
+                        if got != want:
+                            failures.append(
+                                f"reader {idx}: seq {seq} values mixed")
+                        batches_done.release()
+            except Exception as exc:  # surface, don't hang the test
+                failures.append(f"reader {idx}: {type(exc).__name__}: {exc}")
+
+        readers = [threading.Thread(target=reader, args=(i,))
+                   for i in range(N_READERS)]
+        for r in readers:
+            r.start()
+
+        try:
+            # the writer: keep changing usage so every refresh recomputes
+            for i in range(N_REFRESHES):
+                site.uss.record_job(UsageRecord(
+                    user=f"u{i % N_USERS}", site="torn",
+                    start=engine.now, end=engine.now + 100.0 * (i + 1)))
+                engine.run_until(engine.now + 5.0)
+                # let readers interleave with the next publish
+                batches_done.acquire(timeout=2.0)
+            for r in readers:
+                r.join(60.0)
+                assert not r.is_alive(), "reader thread hung"
+        finally:
+            thread.stop()
+
+        assert failures == []
+        # sanity: the writer actually produced many distinct value sets,
+        # so the consistency above is a real claim, not a constant function
+        distinct = {tuple(sorted(v.items())) for v in published.values()}
+        assert len(distinct) >= N_REFRESHES // 2
+
+    def test_single_reads_see_monotone_seq(self):
+        engine, site = build_site()
+        thread = ServerThread(AequusServer(SiteBackend.for_site(site))).start()
+        seqs = []
+        stop = threading.Event()
+
+        def reader():
+            with SyncAequusClient(thread.host, thread.port,
+                                  timeout=10.0) as client:
+                while not stop.is_set():
+                    replies = client.batch(
+                        [{"op": "GET_FAIRSHARE", "user": "u0"}])
+                    seqs.append(replies[0]["seq"])
+
+        worker = threading.Thread(target=reader)
+        worker.start()
+        try:
+            # run_until advances VIRTUAL time and returns in microseconds,
+            # so pace each refresh on real reader progress — otherwise all
+            # ten publishes land before the reader's first request
+            for i in range(10):
+                observed = len(seqs)
+                site.uss.record_job(UsageRecord(
+                    user="u1", site="torn", start=engine.now,
+                    end=engine.now + 500.0))
+                engine.run_until(engine.now + 5.0)
+                deadline = time.monotonic() + 5.0
+                while len(seqs) < observed + 2 and \
+                        time.monotonic() < deadline:
+                    time.sleep(0.005)
+        finally:
+            stop.set()
+            worker.join(30.0)
+            thread.stop()
+        assert not worker.is_alive()
+        # a reader can never travel back in time across snapshots
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) >= 2  # it really did observe refreshes

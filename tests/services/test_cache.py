@@ -85,3 +85,62 @@ class TestTTLCache:
 
     def test_hit_rate_empty_is_zero(self, clock):
         assert TTLCache(clock, ttl=1.0).stats.hit_rate == 0.0
+
+
+class TestTTLCacheEdgeCases:
+    """Boundary semantics the services and libaequus depend on."""
+
+    def test_expiry_exactly_at_the_boundary_is_a_miss(self, clock):
+        # the contract is age < ttl, not <=: an entry exactly ttl old is
+        # stale (delay-source analysis counts the full cache time as lag)
+        cache = TTLCache(clock, ttl=10.0)
+        cache.get("k", lambda: 1)
+        clock.now = 10.0
+        assert cache.get("k", lambda: 2) == 2
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_just_inside_the_boundary_is_a_hit(self, clock):
+        cache = TTLCache(clock, ttl=10.0)
+        cache.get("k", lambda: 1)
+        clock.now = 10.0 - 1e-9
+        assert cache.get("k", lambda: 2) == 1
+        assert cache.stats.hits == 1
+
+    def test_zero_ttl_still_counts_every_lookup(self, clock):
+        cache = TTLCache(clock, ttl=0.0)
+        for i in range(5):
+            cache.get("k", lambda: i)
+        assert cache.stats.lookups == 5
+        assert cache.stats.hits == 0
+        assert cache.stats.hit_rate == 0.0
+        assert len(cache) == 0  # nothing is ever stored
+
+    def test_negative_zero_ttl_behaves_like_zero(self, clock):
+        cache = TTLCache(clock, ttl=-0.0)
+        assert cache.ttl == 0.0
+        cache.get("k", lambda: 1)
+        assert cache.get("k", lambda: 2) == 2
+
+    def test_negative_ttl_rejected_even_when_tiny(self, clock):
+        with pytest.raises(ValueError):
+            TTLCache(clock, ttl=-1e-12)
+
+    def test_stats_survive_clear(self, clock):
+        # clear() empties entries but keeps the counters: operators read
+        # cumulative hit rates across cache resets
+        cache = TTLCache(clock, ttl=100.0)
+        cache.get("a", lambda: 1)
+        cache.get("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        # and the next lookup after a clear is a fresh miss
+        assert cache.get("a", lambda: 2) == 2
+        assert cache.stats.misses == 2
+
+    def test_invalidate_missing_key_is_a_noop(self, clock):
+        cache = TTLCache(clock, ttl=100.0)
+        cache.invalidate("never-stored")
+        assert len(cache) == 0
