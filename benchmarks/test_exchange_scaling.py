@@ -15,9 +15,10 @@ two configurations:
 Both runs execute the same seeded churn schedule on a jitter-free network,
 so their UMS totals must agree (checked at 1e-6) and the measured
 difference is purely data-plane cost.  Measured per steady-state tick:
-bytes-on-wire (``NetworkStats.payload_bytes``, reset between warm-up and
-measurement) and wall-clock latency of the combined exchange + UMS-refresh
-round.  CI gates on >=5x reduction in both.
+bytes-on-wire (diff of immutable ``NetworkStats.snapshot()`` frames taken
+at the warm-up/measurement boundary, so the phase split never mutates the
+live counters) and wall-clock latency of the combined exchange +
+UMS-refresh round.  CI gates on >=5x reduction in both.
 
 Results land in ``benchmarks/BENCH_exchange.json`` (and results.txt); set
 ``REPRO_BENCH_SCALE=small`` for the smoke tier (4 sites x 2k users).
@@ -119,17 +120,19 @@ class Grid:
 def run_mode(n_sites: int, n_users: int, delta: bool) -> dict:
     grid = Grid(n_sites, n_users, delta=delta)
     grid.run_phase(WARMUP_TICKS)                # propagate initial snapshots
-    grid.network.stats.reset()                  # phase boundary: measure only
+    warm = grid.network.stats.snapshot()        # phase boundary: measure only
     wall = grid.run_phase(MEASURE_TICKS)        # steady state under churn
-    stats = grid.network.stats
+    steady = grid.network.stats.snapshot()
     return dict(
         mode="delta" if delta else "full",
         n_sites=n_sites, n_users=n_users,
         ticks=MEASURE_TICKS,
         tick_s=wall / MEASURE_TICKS,
-        bytes_per_tick=stats.payload_bytes / MEASURE_TICKS,
-        entries_per_tick=stats.payload_entries / MEASURE_TICKS,
-        messages_per_tick=stats.sent / MEASURE_TICKS,
+        bytes_per_tick=(steady["payload_bytes"]
+                        - warm["payload_bytes"]) / MEASURE_TICKS,
+        entries_per_tick=(steady["payload_entries"]
+                          - warm["payload_entries"]) / MEASURE_TICKS,
+        messages_per_tick=(steady["sent"] - warm["sent"]) / MEASURE_TICKS,
         totals={u.site: u.usage_totals() for u in grid.umses},
     )
 

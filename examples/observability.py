@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Observability: the metrics registry, span tracing, and the METRICS op.
+
+Boots a demo site behind aequusd, drives a little traffic, then shows the
+three faces of the obs layer (DESIGN.md Section 9):
+
+* the shared site registry, scraped over the socket with the ``METRICS``
+  op (Prometheus text exposition — what ``aequus-repro metrics`` prints);
+* the span tracer, whose ring buffer holds every FCS refresh phase as a
+  Chrome ``trace_event`` record (load the exported file in Perfetto /
+  ``chrome://tracing`` for a flame view);
+* the old stats surfaces, which are now *views* over registry metrics —
+  same numbers, one source of truth.
+
+Run:  python examples/observability.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.obs import trace
+from repro.serve.client import SyncAequusClient
+from repro.serve.daemon import build_demo_site, serve_site
+
+# ---------------------------------------------------------------------------
+# 1. One site, one registry: build_demo_site wires the network, the five
+#    services, and (through serve_site) the TCP server onto a single shared
+#    registry, so one scrape covers the whole stack.
+# ---------------------------------------------------------------------------
+tracer = trace.default_tracer()
+tracer.clear()
+
+engine, site = build_demo_site(n_users=2000, site_name="demo", seed=7)
+thread = serve_site(site)
+print(f"== aequusd serving site {site.name!r} on "
+      f"{thread.host}:{thread.port} ==")
+
+client = SyncAequusClient(thread.host, thread.port)
+for i in range(50):
+    client.lookup_fairshare(f"u{i}")
+client.batch([{"op": "GET_FAIRSHARE", "user": f"u{i}"} for i in range(20)])
+engine.run_until(engine.now + 2 * site.config.fcs_refresh_interval)
+
+# ---------------------------------------------------------------------------
+# 2. Scrape. The METRICS op returns Prometheus text exposition 0.0.4 —
+#    server series (requests, latency, connections) and service series
+#    (refreshes, exchanges, cache hits) side by side, one label scheme.
+# ---------------------------------------------------------------------------
+text = client.metrics()
+interesting = ("aequus_requests_total", "aequus_fcs_refreshes_total",
+               "aequus_uss_exchanges_total", "aequus_cache_lookups_total",
+               "aequus_connections_active")
+print(f"\n-- scrape excerpt ({len(text.splitlines())} lines total) --")
+for line in text.splitlines():
+    if line.startswith(interesting):
+        print(line)
+bucket_lines = [l for l in text.splitlines()
+                if l.startswith("aequus_request_seconds_bucket")
+                and 'op="GET_FAIRSHARE"' in l]
+print(f'... plus {len(bucket_lines)} latency buckets for GET_FAIRSHARE alone')
+
+# ---------------------------------------------------------------------------
+# 3. Spans. Every refresh recorded compile/rollup/project children under a
+#    fcs.refresh parent; the export is a Chrome-loadable trace document.
+# ---------------------------------------------------------------------------
+events = tracer.events()
+names = sorted({e["name"] for e in events})
+print(f"\n-- tracer: {len(events)} spans buffered, names {names} --")
+refresh = next(e for e in reversed(events) if e["name"] == "fcs.refresh")
+print(f"last fcs.refresh: {refresh['dur']:.0f} us, "
+      f"cache={refresh['args'].get('cache')}, id={refresh['args']['id']}")
+
+out = Path(tempfile.gettempdir()) / "aequus_trace.json"
+tracer.export_chrome(str(out))
+doc = json.loads(out.read_text())
+print(f"exported {len(doc['traceEvents'])} events to {out} "
+      f"(open in chrome://tracing)")
+
+# ---------------------------------------------------------------------------
+# 4. Views. The historical stats APIs read the same registry the scrape
+#    renders — no double accounting anywhere.
+# ---------------------------------------------------------------------------
+print(f"\nfcs.refreshes = {site.fcs.refreshes}  "
+      f"(cache: {site.fcs.refresh_stats.hits} hits / "
+      f"{site.fcs.refresh_stats.misses} misses)")
+print(f"network: {site.network.stats.sent} messages sent, "
+      f"{site.network.stats.payload_bytes} payload bytes")
+
+client.close()
+thread.stop()
+site.stop()
+print("\nstopped cleanly")

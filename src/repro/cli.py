@@ -23,6 +23,9 @@ Subcommands
     Health probe: protocol version, snapshot epoch and age; exits
     non-zero when the snapshot is stale (older than ``--stale-factor``
     times the server's refresh interval).
+``metrics``
+    Scrape a running aequusd's Prometheus text exposition (the METRICS
+    op) to stdout — pipe into a textfile collector or curl-style checks.
 
 Examples::
 
@@ -32,6 +35,7 @@ Examples::
     python -m repro.cli serve --users 1000 --port 4730
     python -m repro.cli query fairshare u17 --port 4730
     python -m repro.cli probe --port 4730
+    python -m repro.cli metrics --port 4730
 """
 
 from __future__ import annotations
@@ -94,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="FCS refresh (= snapshot publish) interval")
     serve.add_argument("--time-factor", type=float, default=1.0,
                        help="virtual seconds advanced per wall second")
+    serve.add_argument("--json-log", default=None, metavar="PATH",
+                       help="append one structured JSON line per tick / "
+                            "refresh / exchange to PATH ('-' for stderr)")
 
     query = sub.add_parser("query", help="query a running aequusd")
     query.add_argument("action",
@@ -114,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--stale-factor", type=float, default=2.0,
                        help="snapshot age threshold, in refresh intervals")
     probe.add_argument("--timeout", type=float, default=5.0)
+
+    metrics = sub.add_parser("metrics",
+                             help="scrape Prometheus metrics from aequusd")
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=4730)
+    metrics.add_argument("--timeout", type=float, default=5.0)
     return parser
 
 
@@ -210,8 +223,14 @@ def _cmd_serve(args) -> int:
 
     config = SiteConfig(fcs_refresh_interval=args.refresh_interval)
     engine, site = build_demo_site(args.users, seed=args.seed, config=config)
+    json_log = None
+    log_file = None
+    if args.json_log == "-":
+        json_log = sys.stderr
+    elif args.json_log:
+        log_file = json_log = open(args.json_log, "a", encoding="utf-8")
     daemon = AequusDaemon(engine, site, host=args.host, port=args.port,
-                          time_factor=args.time_factor)
+                          time_factor=args.time_factor, json_log=json_log)
     daemon.start()
     print(f"aequusd: site {site.name!r} ({args.users} users) on "
           f"{daemon.host}:{daemon.port}, refresh every "
@@ -224,6 +243,8 @@ def _cmd_serve(args) -> int:
         print("stopping")
     finally:
         daemon.stop()
+        if log_file is not None:
+            log_file.close()
     return 0
 
 
@@ -300,13 +321,33 @@ def _cmd_probe_daemon(args) -> int:
     limit = args.stale_factor * interval
     print(f"probe: site {snapshot['site']!r} epoch {snapshot['epoch']} "
           f"seq {snapshot['seq']} users {snapshot['users']}")
+    # age, seq and the coarse verdict all come from the server's
+    # SnapshotStore (one source of truth); older servers omit "staleness"
+    verdict = info.get("staleness")
     print(f"probe: snapshot age {age:.1f}s "
-          f"(refresh interval {interval:.1f}s, stale limit {limit:.1f}s)")
+          f"(refresh interval {interval:.1f}s, stale limit {limit:.1f}s"
+          + (f", {verdict}" if verdict else "") + ")")
     if interval > 0 and age > limit:
         print(f"probe: STALE — snapshot is {age / interval:.1f} refresh "
               "intervals old")
         return 1
     print("probe: ok")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Scrape the METRICS op; prints the text exposition verbatim."""
+    from .serve.client import AequusTransportError, SyncAequusClient
+
+    try:
+        with SyncAequusClient(args.host, args.port, timeout=args.timeout,
+                              retries=1) as client:
+            text = client.metrics()
+    except (AequusTransportError, ConnectionError) as exc:
+        print(f"metrics: aequusd at {args.host}:{args.port} "
+              f"unreachable: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(text)
     return 0
 
 
@@ -320,6 +361,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "query": _cmd_query,
         "probe": _cmd_probe_daemon,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

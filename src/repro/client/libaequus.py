@@ -32,7 +32,8 @@ import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Protocol, Tuple
 
 from ..core.usage import UsageRecord
-from ..services.cache import TTLCache
+from ..obs.registry import MetricsRegistry, metric_property
+from ..services.cache import RegistryCacheStats, TTLCache
 
 if TYPE_CHECKING:  # avoid a services<->client import cycle at runtime
     from ..services.fcs import FairshareCalculationService
@@ -66,7 +67,8 @@ class LibAequus:
                  cache_ttl: float = 15.0,
                  report_delay: float = 0.0,
                  transport: Optional[AequusTransport] = None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 registry: Optional[MetricsRegistry] = None):
         if transport is None and (fcs is None or uss is None or irs is None):
             raise ValueError(
                 "direct mode needs fcs/uss/irs; or pass a socket transport")
@@ -82,15 +84,34 @@ class LibAequus:
             # talking to a real daemon
             clock = (lambda: engine.now) if engine is not None \
                 else time.monotonic
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"component": "libaequus"}, clock=clock)
         self._fairshare_cache: TTLCache[str, Tuple[float, bool]] = \
-            TTLCache(clock, cache_ttl)
-        self._identity_cache: TTLCache[str, str] = TTLCache(clock, cache_ttl)
-        self.fairshare_calls = 0
-        self.usage_reports = 0
-        #: negative lookups: fairshare queries that hit the unknown-user
-        #: fallback, and identity resolutions that failed
-        self.fairshare_negative = 0
-        self.identity_negative = 0
+            TTLCache(clock, cache_ttl,
+                     stats=RegistryCacheStats(self.registry, "fairshare"))
+        self._identity_cache: TTLCache[str, str] = \
+            TTLCache(clock, cache_ttl,
+                     stats=RegistryCacheStats(self.registry, "identity"))
+        calls = self.registry.counter(
+            "aequus_client_calls_total",
+            "libaequus call-outs by operation", ("op",))
+        negatives = self.registry.counter(
+            "aequus_client_negative_total",
+            "Negative lookups: unknown-user fairshare fallbacks and failed "
+            "identity resolutions", ("kind",))
+        self._metrics = {
+            "fairshare_calls": calls.labels(op="fairshare"),
+            "usage_reports": calls.labels(op="report_usage"),
+            "fairshare_negative": negatives.labels(kind="fairshare"),
+            "identity_negative": negatives.labels(kind="identity"),
+        }
+
+    fairshare_calls = metric_property("fairshare_calls")
+    usage_reports = metric_property("usage_reports")
+    #: negative lookups: fairshare queries that hit the unknown-user
+    #: fallback, and identity resolutions that failed
+    fairshare_negative = metric_property("fairshare_negative")
+    identity_negative = metric_property("identity_negative")
 
     @classmethod
     def for_site(cls, site: "AequusSite", cache_ttl: Optional[float] = None,

@@ -1,0 +1,48 @@
+"""``repro.obs`` — unified observability for the Aequus stack.
+
+Three pieces (DESIGN.md §9):
+
+* :mod:`~repro.obs.registry` — labeled Counter/Gauge/Histogram metrics in
+  lock-safe registries (process default + per-site children, dual clocks);
+* :mod:`~repro.obs.trace` — nested span tracing into a bounded ring
+  buffer, exported as Chrome ``trace_event`` JSON/JSONL;
+* :mod:`~repro.obs.export` — Prometheus text-format exposition, served by
+  aequusd's ``METRICS`` op and the ``aequus-repro metrics`` CLI.
+
+:func:`set_enabled` flips the process default for both metrics-only
+instruments (histograms/timers) and tracing — the switch the overhead
+benchmark uses for its instrumentation-off baseline.  Counters and gauges
+backing public stats APIs always stay live (see the registry docstring).
+"""
+
+from .jsonlog import JsonLogger
+from .registry import (LATENCY_BUCKETS, MetricsRegistry, StatsView,
+                       default_enabled, default_registry, metric_property,
+                       set_default_enabled)
+from .trace import Tracer, default_tracer, set_default_tracer, span
+from .export import render, render_many
+
+__all__ = [
+    "JsonLogger",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "StatsView",
+    "Tracer",
+    "default_enabled",
+    "default_registry",
+    "default_tracer",
+    "metric_property",
+    "render",
+    "render_many",
+    "set_default_enabled",
+    "set_default_tracer",
+    "set_enabled",
+    "span",
+]
+
+
+def set_enabled(flag: bool) -> None:
+    """Flip the process-wide observability default (new registries/tracers)
+    AND the current default tracer — one switch for 'instrumentation off'."""
+    set_default_enabled(flag)
+    default_tracer().enabled = bool(flag)

@@ -1,0 +1,105 @@
+"""Prometheus text-format exposition for :mod:`repro.obs.registry`.
+
+Renders any registry (plus its children) in the Prometheus text format
+(version 0.0.4): ``# HELP`` / ``# TYPE`` headers, label escaping
+(backslash, double quote, newline), and histogram expansion into
+cumulative ``_bucket{le=...}`` series (monotone, closed by ``le="+Inf"``)
+plus ``_sum`` and ``_count``.
+
+Output is deterministic — families sorted by name, children by label
+values — which is what lets the serve plane's ``METRICS`` op guarantee
+byte-for-byte agreement with a direct :func:`render` of the same
+registries (tested in ``tests/serve/test_metrics_op.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from .registry import Histogram, MetricsRegistry
+
+__all__ = ["render", "render_many", "escape_label_value", "escape_help"]
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape ``\\``, ``"`` and newlines (exposition §label)."""
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def escape_help(text: str) -> str:
+    """HELP text escapes backslash and newline (but not quotes)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float)
+                                  and value.is_integer()
+                                  and abs(value) < 1e15):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(f'{name}="{escape_label_value(value)}"'
+                        for name, value in pairs)
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _sample(name: str, pairs: List[Tuple[str, str]], value) -> str:
+    return f"{name}{_format_labels(pairs)} {_format_value(value)}"
+
+
+def render_many(registries: Iterable[MetricsRegistry]) -> str:
+    """Concatenated exposition of several registries (deduped by identity;
+    a family name appearing in more than one registry keeps one header)."""
+    seen_registries: List[int] = []
+    lines: List[str] = []
+    headered: Dict[str, str] = {}
+    for registry in registries:
+        if id(registry) in seen_registries:
+            continue
+        seen_registries.append(id(registry))
+        for family, constant_labels in registry.collect():
+            known = headered.get(family.name)
+            if known is None:
+                if family.help:
+                    lines.append(f"# HELP {family.name} "
+                                 f"{escape_help(family.help)}")
+                lines.append(f"# TYPE {family.name} {family.type}")
+                headered[family.name] = family.type
+            base = sorted(constant_labels.items())
+            for label_values, child in family.items():
+                pairs = base + list(zip(family.labelnames, label_values))
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(child.buckets, child.counts):
+                        cumulative += count
+                        lines.append(_sample(
+                            f"{family.name}_bucket",
+                            pairs + [("le", _format_value(bound))],
+                            cumulative))
+                    lines.append(_sample(f"{family.name}_bucket",
+                                         pairs + [("le", "+Inf")],
+                                         child.count))
+                    lines.append(_sample(f"{family.name}_sum", pairs,
+                                         child.sum))
+                    lines.append(_sample(f"{family.name}_count", pairs,
+                                         child.count))
+                else:
+                    lines.append(_sample(family.name, pairs, child.value))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of one registry (and its children)."""
+    return render_many([registry])

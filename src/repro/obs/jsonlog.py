@@ -1,0 +1,48 @@
+"""Structured JSON logging for the aequusd daemon (DESIGN.md §9).
+
+One JSON object per line on a stream: ``{"ts": ..., "event": ..., ...}``.
+The daemon emits a line per wall-clock tick, per FCS refresh (with publish
+seq, duration, and cache hit/miss), and per USS exchange round — the
+greppable operational record the paper's HPC2N deployment analysis leans
+on (update delay, message traffic per service).
+
+Timestamps come from the logger's clock — wall clock in the daemon; pass
+a sim-engine clock to stamp virtual time.  Non-serializable field values
+degrade to ``repr`` rather than raising: a log line must never take down
+the tick thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, IO, Optional
+
+__all__ = ["JsonLogger"]
+
+
+class JsonLogger:
+    """Thread-safe one-line-per-event JSON logger."""
+
+    def __init__(self, stream: IO[str],
+                 clock: Optional[Callable[[], float]] = None):
+        self.stream = stream
+        self.clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self.lines = 0
+
+    def log(self, event: str, **fields: Any) -> None:
+        record = {"ts": round(self.clock(), 6), "event": event, **fields}
+        try:
+            line = json.dumps(record, separators=(",", ":"))
+        except (TypeError, ValueError):
+            line = json.dumps({"ts": record["ts"], "event": event,
+                               "repr": repr(fields)},
+                              separators=(",", ":"))
+        with self._lock:
+            self.stream.write(line + "\n")
+            flush = getattr(self.stream, "flush", None)
+            if flush is not None:
+                flush()
+            self.lines += 1

@@ -1,0 +1,168 @@
+"""Lightweight span tracing for the Aequus stack (DESIGN.md §9).
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.span("fcs.refresh", site="a"):
+        with trace.span("fcs.rollup"):
+            ...
+
+Spans nest per thread (a thread-local stack carries the parent id), land
+in a bounded in-memory ring buffer as Chrome ``trace_event`` "complete"
+(``ph: "X"``) records, and export either as JSONL (one event object per
+line, for grep/jq pipelines) or as a Chrome-loadable JSON document
+(``{"traceEvents": [...]}`` — open in ``chrome://tracing`` / Perfetto for
+a flame view).
+
+Clock semantics match the registry (dual clocks): the ``ts`` timestamp
+comes from the tracer's clock (wall by default; pass the sim engine's
+clock to stamp spans in virtual time), while ``dur`` is always measured
+with ``time.perf_counter`` — in a discrete-event simulation a refresh
+takes zero *simulated* time but real milliseconds, and the flame view
+exists to show the latter.  Every span also records the raw ``args`` it
+was opened with, plus its ``id``/``parent`` so nesting survives even when
+virtual timestamps collapse onto one instant.
+
+A disabled tracer's :meth:`Tracer.span` costs one attribute check and
+yields ``None``; the ring buffer bounds memory no matter how long a
+simulation runs (``dropped`` counts what fell off the front).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Union
+
+from .registry import default_enabled
+
+__all__ = ["Tracer", "span", "default_tracer", "set_default_tracer"]
+
+
+class Tracer:
+    """Bounded in-memory span recorder (Chrome ``trace_event`` schema)."""
+
+    def __init__(self, capacity: int = 8192,
+                 clock: Optional[Callable[[], float]] = None,
+                 enabled: Optional[bool] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock if clock is not None else time.time
+        self.enabled = default_enabled() if enabled is None else bool(enabled)
+        self._events: deque = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self.started = 0
+        self.recorded = 0
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Optional[Dict[str, Any]]]:
+        """Record one span; yields the (mutable) args dict, or None when
+        disabled — ``with`` bodies may add result fields to it."""
+        if not self.enabled:
+            yield None
+            return
+        self.started += 1
+        span_id = next(self._ids)
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        parent = stack[-1] if stack else 0
+        stack.append(span_id)
+        ts = self.clock()
+        t0 = time.perf_counter()
+        try:
+            yield args
+        finally:
+            dur = time.perf_counter() - t0
+            stack.pop()
+            args["id"] = span_id
+            if parent:
+                args["parent"] = parent
+            event = {
+                "name": name,
+                "ph": "X",
+                "ts": ts * 1e6,          # trace_event timestamps are µs
+                "dur": dur * 1e6,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": args,
+            }
+            self._events.append(event)
+            self.recorded += 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Spans pushed off the ring buffer's front by newer ones."""
+        return self.recorded - len(self._events)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The buffered events, oldest first (a copy; safe to mutate)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- export -------------------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write one ``trace_event`` object per line; returns event count.
+
+        The stream form is greppable and append-friendly; wrap the lines
+        in ``[...]`` (or use :meth:`export_chrome`) for a file Chrome's
+        trace viewer loads directly.
+        """
+        events = self.events()
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                return self.export_jsonl(fh)
+        for event in events:
+            target.write(json.dumps(event, separators=(",", ":")) + "\n")
+        return len(events)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace viewer's JSON object form."""
+        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+
+    def export_chrome(self, target: Union[str, IO[str]]) -> int:
+        """Write a Chrome-loadable trace document; returns event count."""
+        doc = self.chrome_trace()
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+        else:
+            json.dump(doc, target)
+        return len(doc["traceEvents"])
+
+
+_default_tracer = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-default tracer the service instrumentation records to."""
+    return _default_tracer
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-default tracer (tests, per-run capture); returns
+    the previous one so callers can restore it."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def span(name: str, **args: Any):
+    """``with trace.span("uss.exchange", site=...):`` on the default tracer."""
+    return _default_tracer.span(name, **args)

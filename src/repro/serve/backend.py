@@ -19,6 +19,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..core.usage import UsageRecord
+from ..obs.registry import MetricsRegistry
 from ..services.irs import IdentityResolutionError
 from .snapshot import FairshareSnapshot, SnapshotStore
 
@@ -49,6 +50,12 @@ class SiteBackend:
         self._lock = threading.Lock()
         self.refresh_interval = fcs.refresh_interval
         self._clock = lambda: fcs.engine.now
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The service-side registry (the FCS's, shared site-wide when the
+        stack was built through :class:`~repro.services.site.AequusSite`)."""
+        return self.fcs.registry
 
     @classmethod
     def for_site(cls, site: "AequusSite") -> "SiteBackend":
@@ -113,7 +120,10 @@ class SiteBackend:
         }
         if snap is not None:
             payload["snapshot"] = snap.describe()
-            payload["snapshot_age"] = snap.age(now)
+            # age and staleness from the store's single source of truth
+            payload["snapshot_age"] = self.store.age(now)
+            payload["staleness"] = self.store.staleness(
+                now, self.refresh_interval)
         if self.uss is not None:
             payload["usage_ingress"] = {
                 "enqueued": self.uss.records_enqueued,

@@ -25,6 +25,7 @@ import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.vector import FairshareVector
+from ..obs.registry import MetricsRegistry, StatsView
 from ..services.irs import IdentityResolutionError
 from .protocol import (ERR_UNKNOWN_USER, MAX_FRAME_BYTES, PROTOCOL_VERSION,
                        ConnectionClosed, encode_frame, read_frame)
@@ -149,7 +150,8 @@ class AequusClient:
                  retries: int = 4,
                  backoff_base: float = 0.05,
                  backoff_max: float = 1.0,
-                 max_frame: int = MAX_FRAME_BYTES):
+                 max_frame: int = MAX_FRAME_BYTES,
+                 registry: Optional[MetricsRegistry] = None):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         self.host = host
@@ -163,10 +165,16 @@ class AequusClient:
         self._pool: List[Optional[_Connection]] = [None] * pool_size
         self._pool_locks = [asyncio.Lock() for _ in range(pool_size)]
         self._next_slot = itertools.count()
-        self.stats: Dict[str, int] = {
-            "requests": 0, "retries": 0, "reconnects": 0,
-            "transport_errors": 0, "ambiguous_retries": 0, "batches": 0,
-        }
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"component": "client"})
+        events = self.registry.counter(
+            "aequus_client_transport_total",
+            "Client transport events: requests, retry/reconnect churn, "
+            "ambiguity windows, final failures", ("event",))
+        self.stats = StatsView({
+            key: events.labels(event=key)
+            for key in ("requests", "retries", "reconnects",
+                        "transport_errors", "ambiguous_retries", "batches")})
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -272,6 +280,11 @@ class AequusClient:
     async def info(self) -> Dict[str, Any]:
         return await self._call({"op": "INFO"})
 
+    async def metrics(self) -> str:
+        """Prometheus text exposition scraped from the server."""
+        reply = await self._call({"op": "METRICS"})
+        return str(reply["text"])
+
     # -- batch API -------------------------------------------------------------
 
     async def batch(self, requests: Sequence[Dict[str, Any]]
@@ -371,6 +384,9 @@ class SyncAequusClient:
 
     def info(self) -> Dict[str, Any]:
         return self._run(self._client.info())
+
+    def metrics(self) -> str:
+        return self._run(self._client.metrics())
 
     def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
         return self._run(self._client.batch(requests))

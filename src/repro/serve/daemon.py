@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Optional, Tuple
+from typing import IO, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.policy import PolicyTree
 from ..core.usage import UsageRecord
+from ..obs.jsonlog import JsonLogger
+from ..obs.registry import MetricsRegistry
+from ..services.fcs import FairshareCalculationService
 from ..services.network import Network
 from ..services.site import AequusSite, SiteConfig
 from ..sim.engine import SimulationEngine
@@ -67,10 +70,14 @@ def build_demo_site(n_users: int, site_name: str = "demo", seed: int = 0,
     usage and the FCS has published a snapshot computed from it.
     """
     engine = SimulationEngine()
-    network = Network(engine)
+    # one registry across network + services (+ the server, via serve_site /
+    # AequusDaemon): a single METRICS scrape covers the whole stack
+    registry = MetricsRegistry(constant_labels={"site": site_name},
+                               clock=lambda: engine.now)
+    network = Network(engine, registry=registry)
     policy = build_grid_policy(n_users, seed=seed)
     site = AequusSite(site_name, engine, network, policy=policy,
-                      config=config or SiteConfig())
+                      config=config or SiteConfig(), registry=registry)
     rng = np.random.default_rng(seed + 1)
     for path in policy.leaf_paths():
         if rng.random() < active_fraction:
@@ -87,6 +94,7 @@ def serve_site(site: AequusSite, host: str = "127.0.0.1", port: int = 0,
                **server_kwargs) -> ServerThread:
     """Start an aequusd server thread for an existing site stack."""
     backend = SiteBackend.for_site(site)
+    server_kwargs.setdefault("registry", site.registry)
     return ServerThread(AequusServer(backend, host, port,
                                      **server_kwargs)).start()
 
@@ -97,17 +105,33 @@ class AequusDaemon:
     def __init__(self, engine: SimulationEngine, site: AequusSite,
                  host: str = "127.0.0.1", port: int = 4730,
                  tick_interval: float = 0.5, time_factor: float = 1.0,
+                 json_log: Optional[Union[JsonLogger, IO[str]]] = None,
                  **server_kwargs):
         self.engine = engine
         self.site = site
         self.tick_interval = tick_interval
         self.time_factor = time_factor
         self.backend = SiteBackend.for_site(site)
+        server_kwargs.setdefault("registry", site.registry)
         self.server = AequusServer(self.backend, host, port, **server_kwargs)
         self._thread = ServerThread(self.server)
         self._ticker: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self.ticks = 0
+        #: structured operational log: one JSON line per tick, per FCS
+        #: refresh (seq, duration, cache hit/miss) and per exchange round;
+        #: wall-clock timestamps (this is the real-time runtime)
+        self.log: Optional[JsonLogger] = None
+        if json_log is not None:
+            self.log = json_log if isinstance(json_log, JsonLogger) \
+                else JsonLogger(json_log)
+            site.fcs.add_refresh_listener(self._log_refresh, fire_now=False)
+
+    def _log_refresh(self, fcs: FairshareCalculationService) -> None:
+        self.log.log("refresh", site=fcs.site, seq=fcs.publishes,
+                     duration=round(fcs.last_refresh_seconds, 6),
+                     cache="hit" if fcs.last_refresh_hit else "miss",
+                     users=len(fcs.values_view()))
 
     @property
     def host(self) -> str:
@@ -131,10 +155,24 @@ class AequusDaemon:
             now = time.monotonic()
             elapsed = (now - last) * self.time_factor
             last = now
+            sent_before = self.site.uss.exchanges_sent if self.log else 0
+            t0 = time.perf_counter()
             # the engine is only ever advanced from this thread; server
             # threads reach the stack through snapshots and ingress queues
             self.engine.run_until(self.engine.now + elapsed)
             self.ticks += 1
+            if self.log is not None:
+                self.log.log("tick", n=self.ticks,
+                             engine_now=round(self.engine.now, 3),
+                             advanced=round(elapsed, 3),
+                             duration=round(time.perf_counter() - t0, 6))
+                exchanged = self.site.uss.exchanges_sent - sent_before
+                if exchanged:
+                    self.log.log("exchange", site=self.site.name,
+                                 rounds=exchanged,
+                                 seq=self.site.uss._seq,
+                                 stale=self.site.uss.exchanges_stale,
+                                 skipped=self.site.uss.exchanges_skipped)
 
     def stop(self) -> None:
         self._stopping.set()

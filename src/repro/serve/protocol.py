@@ -23,6 +23,9 @@ Operations
                       served from ONE snapshot (no torn batches).
 ``PING``              liveness probe; echoes ``payload`` if present.
 ``INFO``              server, snapshot, and statistics summary.
+``METRICS``           Prometheus text exposition of every registry wired
+                      into the server (server, FCS, USS/UMS, network) as
+                      ``text``; scrape with ``aequus-repro metrics``.
 
 The frame length prefix is validated against a configurable cap before the
 payload is read, so an adversarial or broken peer cannot make the server
@@ -70,7 +73,7 @@ MAX_FRAME_BYTES = 1 << 20
 HEADER = struct.Struct(">I")
 
 OPS = frozenset({"GET_FAIRSHARE", "GET_VECTOR", "RESOLVE_IDENTITY",
-                 "REPORT_USAGE", "BATCH", "PING", "INFO"})
+                 "REPORT_USAGE", "BATCH", "PING", "INFO", "METRICS"})
 
 # -- structured error codes ---------------------------------------------------
 

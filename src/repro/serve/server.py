@@ -28,9 +28,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
+from bisect import bisect_left
 from collections import OrderedDict
 from typing import Any, Dict, Optional
 
+from ..obs.export import render_many
+from ..obs.registry import MetricsRegistry, StatsView
 from .backend import SiteBackend
 from .protocol import (ERR_BAD_BATCH, ERR_BAD_VERSION, ERR_INTERNAL,
                        ERR_MALFORMED, ERR_NOT_A_LEAF, ERR_OVERSIZED,
@@ -55,7 +59,8 @@ class AequusServer:
                  max_inflight: int = 128,
                  max_batch: int = 4096,
                  coalesce_size: int = 4096,
-                 write_buffer_limit: int = 256 * 1024):
+                 write_buffer_limit: int = 256 * 1024,
+                 registry: Optional[MetricsRegistry] = None):
         self.backend = backend
         self.host = host
         self.port = port
@@ -67,17 +72,44 @@ class AequusServer:
         #: (op, user, snapshot seq) -> reply body, LRU-bounded
         self._coalesce: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
         self._coalesce_size = coalesce_size
-        self.stats: Dict[str, int] = {
-            "connections": 0,
-            "connections_active": 0,
-            "requests": 0,
-            "batches": 0,
-            "batch_items": 0,
-            "coalesced": 0,
-            "errors": 0,
-            "oversized_frames": 0,
-            "malformed_frames": 0,
+        #: server-side registry (wall-clock); pass the site's shared one to
+        #: fold request metrics into the same METRICS scrape
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"site": backend.site, "component": "server"})
+        bad_frames = self.registry.counter(
+            "aequus_bad_frames_total",
+            "Frames rejected before execution, by failure kind", ("kind",))
+        self._metrics = {
+            "connections": self.registry.counter(
+                "aequus_connections_total",
+                "Connections accepted over the server's lifetime").labels(),
+            "connections_active": self.registry.gauge(
+                "aequus_connections_active",
+                "Connections currently open").labels(),
+            "requests": self.registry.counter(
+                "aequus_requests_total",
+                "Requests executed (any op, batches count once)").labels(),
+            "batches": self.registry.counter(
+                "aequus_batches_total", "BATCH requests executed").labels(),
+            "batch_items": self.registry.counter(
+                "aequus_batch_items_total",
+                "Sub-requests carried inside batches").labels(),
+            "coalesced": self.registry.counter(
+                "aequus_coalesced_total",
+                "Key-addressed reads served from the per-snapshot "
+                "coalescing map").labels(),
+            "errors": self.registry.counter(
+                "aequus_errors_total",
+                "Requests answered with an error reply").labels(),
+            "oversized_frames": bad_frames.labels(kind="oversized"),
+            "malformed_frames": bad_frames.labels(kind="malformed"),
         }
+        self.stats = StatsView(self._metrics)
+        latency = self.registry.histogram(
+            "aequus_request_seconds",
+            "Server-side request execution time by op (METRICS itself is "
+            "excluded so a scrape never perturbs what it reports)", ("op",))
+        self._op_latency = {op: latency.labels(op=op) for op in OPS}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -102,8 +134,18 @@ class AequusServer:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
-        self.stats["connections"] += 1
-        self.stats["connections_active"] += 1
+        self._metrics["connections"].inc()
+        self._metrics["connections_active"].inc()
+        try:
+            await self._connection_loop(reader, writer)
+        finally:
+            # the one decrement, on the outermost exit: no disconnect path
+            # (reader exception, writer death, cancellation mid-teardown)
+            # can leak the gauge or drive it negative
+            self._metrics["connections_active"].dec()
+
+    async def _connection_loop(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
         writer.transport.set_write_buffer_limits(high=self.write_buffer_limit)
         replies: asyncio.Queue = asyncio.Queue(maxsize=self.max_inflight)
         writer_task = asyncio.ensure_future(self._writer_loop(replies, writer))
@@ -131,24 +173,34 @@ class AequusServer:
                     continue
                 await replies.put(self._execute(request))
         finally:
-            await replies.put(_CLOSE)
             try:
+                await replies.put(_CLOSE)
                 await writer_task
             finally:
+                # cancellation during the puts above must not strand the task
+                if not writer_task.done():
+                    writer_task.cancel()
                 writer.close()
                 try:
                     await writer.wait_closed()
                 except (ConnectionError, OSError):
                     pass
-                self.stats["connections_active"] -= 1
 
     async def _writer_loop(self, replies: asyncio.Queue,
                            writer: asyncio.StreamWriter) -> None:
-        try:
-            while True:
-                reply = await replies.get()
-                if reply is _CLOSE:
-                    return
+        # Keeps consuming until it sees _CLOSE even after the socket dies:
+        # returning early would leave the reader blocked forever on a full
+        # bounded queue (and the connection gauge leaked).  After a write
+        # error, replies are drained and discarded.
+        alive = True
+        while True:
+            reply = await replies.get()
+            if reply is _CLOSE:
+                return
+            if not alive:
+                continue
+            saw_close = False
+            try:
                 writer.write(encode_frame(reply))
                 # greedily fold already-queued replies into one syscall
                 while True:
@@ -157,13 +209,15 @@ class AequusServer:
                     except asyncio.QueueEmpty:
                         break
                     if reply is _CLOSE:
-                        await writer.drain()
-                        return
+                        saw_close = True
+                        break
                     writer.write(encode_frame(reply))
                 await writer.drain()
-        except (ConnectionError, OSError):
-            # client went away mid-write; the reader loop will see EOF
-            return
+            except (ConnectionError, OSError):
+                # client went away mid-write; the reader loop will see EOF
+                alive = False
+            if saw_close:
+                return
 
     # -- request execution -----------------------------------------------------
 
@@ -181,19 +235,36 @@ class AequusServer:
         if op not in OPS:
             self.stats["errors"] += 1
             return error_reply(rid, ERR_UNSUPPORTED_OP, f"unknown op {op!r}")
-        self.stats["requests"] += 1
+        self._metrics["requests"].inc()
+        # a METRICS scrape is never timed: observing its own latency would
+        # mutate the histogram after rendering, breaking the guarantee that
+        # the reply matches a direct render of the same registries
+        timed = self.registry.enabled and op != "METRICS"
+        t0 = time.perf_counter() if timed else 0.0
         try:
             if op == "BATCH":
-                return self._execute_batch(rid, request)
-            body = self._execute_single(op, request,
-                                        self.backend.snapshot())
+                reply = self._execute_batch(rid, request)
+            else:
+                body = self._execute_single(op, request,
+                                            self.backend.snapshot())
+                if not body.get("ok", False):
+                    self.stats["errors"] += 1
+                reply = dict(body, id=rid)
         except Exception as exc:  # defensive: a bug must not kill the loop
             self.stats["errors"] += 1
-            return error_reply(rid, ERR_INTERNAL,
-                               f"{type(exc).__name__}: {exc}")
-        if not body.get("ok", False):
-            self.stats["errors"] += 1
-        return dict(body, id=rid)
+            reply = error_reply(rid, ERR_INTERNAL,
+                                f"{type(exc).__name__}: {exc}")
+        if timed:
+            # inline observe: op-latency children are written only from
+            # this (the event-loop) thread, so the per-request fast path
+            # skips the registry lock and the method dispatch — this is
+            # the hottest instrument in the stack
+            hist = self._op_latency[op]
+            elapsed = time.perf_counter() - t0
+            hist.counts[bisect_left(hist.buckets, elapsed)] += 1
+            hist.sum += elapsed
+            hist.count += 1
+        return reply
 
     def _execute_batch(self, rid: Optional[int],
                        request: Dict[str, Any]) -> Dict[str, Any]:
@@ -244,6 +315,14 @@ class AequusServer:
         if op == "INFO":
             return {"ok": True, "protocol": PROTOCOL_VERSION,
                     "info": self.backend.info(), "stats": dict(self.stats)}
+        if op == "METRICS":
+            # requests_total was already incremented for this request, so
+            # the scrape observes itself exactly once — and byte-for-byte
+            # matches a direct render of the same registries afterwards
+            return {"ok": True,
+                    "content_type": "text/plain; version=0.0.4",
+                    "text": render_many([self.registry,
+                                         self.backend.registry])}
         if op == "REPORT_USAGE":
             return self._report_usage(request)
         # key-addressed reads: coalesce identical keys per snapshot

@@ -149,6 +149,32 @@ class SnapshotStore:
     def current(self) -> Optional[FairshareSnapshot]:
         return self._current
 
+    def age(self, now: float) -> Optional[float]:
+        """Seconds since the current snapshot was computed (None if none).
+
+        The single source of truth for snapshot age: INFO replies, the
+        METRICS gauge, and ``aequus probe`` all derive from this.
+        """
+        snap = self._current
+        return snap.age(now) if snap is not None else None
+
+    def staleness(self, now: float,
+                  refresh_interval: float) -> Optional[str]:
+        """Coarse freshness verdict against the refresh cadence.
+
+        ``"fresh"`` within one refresh interval, ``"stale"`` within three,
+        ``"dead"`` beyond that (the refresh loop has almost certainly
+        stopped); None before the first publication.
+        """
+        age = self.age(now)
+        if age is None:
+            return None
+        if age <= refresh_interval:
+            return "fresh"
+        if age <= 3 * refresh_interval:
+            return "stale"
+        return "dead"
+
     def wait_for_seq(self, seq: int, timeout: Optional[float] = None) -> bool:
         """Block until a snapshot with ``seq >= seq`` is published."""
         with self._cond:

@@ -12,12 +12,15 @@ II and III in the update-delay analysis (Section IV-A.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, Hashable, Mapping, Tuple, TypeVar
+from typing import (Callable, Dict, Generic, Hashable, Mapping, Optional,
+                    Tuple, TypeVar)
+
+from ..obs.registry import MetricsRegistry
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
-__all__ = ["TTLCache", "CacheStats", "usage_digest"]
+__all__ = ["TTLCache", "CacheStats", "RegistryCacheStats", "usage_digest"]
 
 
 def usage_digest(totals: Mapping[str, float]) -> frozenset:
@@ -47,6 +50,42 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+class RegistryCacheStats(CacheStats):
+    """``CacheStats`` whose counts live in ``aequus_cache_lookups_total``
+    series of a :class:`~repro.obs.registry.MetricsRegistry`.
+
+    Same reads and writes as the dataclass (``stats.hits``,
+    ``stats.hits += 1``, ``hit_rate``), so callers holding a stats object
+    — ``FairshareCalculationService.refresh_stats``, the ``libaequus``
+    cache surfaces — cannot tell the difference, but a Prometheus scrape
+    sees the hit/miss series labeled by cache name.
+    """
+
+    def __init__(self, registry: MetricsRegistry, cache: str):
+        family = registry.counter(
+            "aequus_cache_lookups_total",
+            "Cache lookups by cache name and hit/miss outcome",
+            ("cache", "outcome"))
+        self._hits = family.labels(cache=cache, outcome="hit")
+        self._misses = family.labels(cache=cache, outcome="miss")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value) -> None:
+        self._hits.set(value)
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value) -> None:
+        self._misses.set(value)
+
+
 class TTLCache(Generic[K, V]):
     """Time-based cache keyed on a virtual clock.
 
@@ -56,13 +95,14 @@ class TTLCache(Generic[K, V]):
     uses to isolate delay sources.
     """
 
-    def __init__(self, clock: Callable[[], float], ttl: float):
+    def __init__(self, clock: Callable[[], float], ttl: float,
+                 stats: Optional[CacheStats] = None):
         if ttl < 0:
             raise ValueError("ttl must be non-negative")
         self.clock = clock
         self.ttl = float(ttl)
         self._entries: Dict[K, Tuple[float, V]] = {}
-        self.stats = CacheStats()
+        self.stats = stats if stats is not None else CacheStats()
 
     def get(self, key: K, loader: Callable[[], V]) -> V:
         """Return the cached value for ``key``, refreshing via ``loader``."""

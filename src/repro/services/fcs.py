@@ -21,6 +21,7 @@ are tracked in :attr:`FairshareCalculationService.refresh_stats`.
 from __future__ import annotations
 
 import logging
+import time
 from types import MappingProxyType
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -29,8 +30,10 @@ from ..core.fairshare import FairshareTree
 from ..core.flat import FlatFairshare, FlatPolicy
 from ..core.projection import PercentalProjection, Projection
 from ..core.vector import FairshareVector
+from ..obs import trace
+from ..obs.registry import MetricsRegistry, metric_property
 from ..sim.engine import PeriodicTask, SimulationEngine
-from .cache import CacheStats, usage_digest
+from .cache import RegistryCacheStats, usage_digest
 from .pds import PolicyDistributionService
 from .ums import UsageMonitoringService
 
@@ -50,7 +53,8 @@ class FairshareCalculationService:
                  refresh_interval: float = 30.0,
                  unknown_user_value: float = 0.5,
                  identity_map: Optional[Dict[str, str]] = None,
-                 start_offset: float = 0.0):
+                 start_offset: float = 0.0,
+                 registry: Optional[MetricsRegistry] = None):
         self.site = site
         self.engine = engine
         self.pds = pds
@@ -60,9 +64,29 @@ class FairshareCalculationService:
         self.refresh_interval = refresh_interval
         self.unknown_user_value = unknown_user_value
         self.identity_map: Dict[str, str] = dict(identity_map or {})
-        self.refreshes = 0
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"site": site}, clock=lambda: engine.now)
+        self._metrics = {
+            "refreshes": self.registry.counter(
+                "aequus_fcs_refreshes_total",
+                "FCS refresh rounds (cached-epoch hits included)").labels(),
+            "publishes": self.registry.counter(
+                "aequus_fcs_publishes_total",
+                "Snapshot publications to refresh listeners").labels(),
+        }
+        refresh_seconds = self.registry.histogram(
+            "aequus_refresh_seconds",
+            "FCS refresh wall time by phase (compile/rollup/project/total)",
+            ("phase",))
+        self._phase_hist = {
+            phase: refresh_seconds.labels(phase=phase)
+            for phase in ("compile", "rollup", "project", "total")}
         #: unchanged-epoch refreshes skipped vs. full recomputations
-        self.refresh_stats = CacheStats()
+        self.refresh_stats = RegistryCacheStats(self.registry, "fcs_refresh")
+        #: wall seconds and cache outcome of the most recent refresh — the
+        #: daemon's per-refresh structured log line reads these
+        self.last_refresh_seconds: float = 0.0
+        self.last_refresh_hit: bool = False
         #: distinct bare leaf names shadowed by an earlier same-named leaf
         #: in the current policy (resolvable only via their full path)
         self.name_collisions = 0
@@ -78,16 +102,28 @@ class FairshareCalculationService:
         #: miss) with this FCS; listeners must not mutate FCS state
         self._refresh_listeners: List[Callable[
             ["FairshareCalculationService"], None]] = []
-        #: monotone snapshot publication counter (bumps even on cached-epoch
-        #: refreshes and projection switches, unlike :attr:`refreshes`)
-        self.publishes = 0
         self._task: Optional[PeriodicTask] = engine.periodic(
             refresh_interval, self.refresh, start_offset=start_offset)
         self.refresh()
 
+    #: FCS refresh rounds, including cached-epoch hits (registry view)
+    refreshes = metric_property("refreshes")
+    #: monotone snapshot publication counter (bumps even on cached-epoch
+    #: refreshes and projection switches, unlike :attr:`refreshes`)
+    publishes = metric_property("publishes")
+
     # -- the periodic pre-computation -----------------------------------------
 
     def refresh(self) -> None:
+        timed = self.registry.enabled
+        t_start = time.perf_counter() if timed else 0.0
+        with trace.span("fcs.refresh", site=self.site) as sp:
+            self._refresh(timed, sp)
+        if timed:
+            self.last_refresh_seconds = time.perf_counter() - t_start
+            self._phase_hist["total"].observe(self.last_refresh_seconds)
+
+    def _refresh(self, timed: bool, sp: Optional[Dict] = None) -> None:
         epoch = self.pds.policy_epoch()
         # usage is recorded under external grid identities; fold aliases
         # onto policy leaves before shaping the usage vector
@@ -100,13 +136,24 @@ class FairshareCalculationService:
             # idle fast path: same policy epoch, same usage — the previous
             # refresh's values are still exact, only the timestamp moves
             self.refresh_stats.hits += 1
+            self.last_refresh_hit = True
+            if sp is not None:
+                sp["cache"] = "hit"
             self._computed_at = self.engine.now
-            self.refreshes += 1
+            self._metrics["refreshes"].inc()
             self._notify_listeners()
             return
         self.refresh_stats.misses += 1
+        self.last_refresh_hit = False
+        if sp is not None:
+            sp["cache"] = "miss"
         if self._flat is None or self._flat_epoch != epoch:
-            self._flat = FlatPolicy(self.pds.policy())
+            with trace.span("fcs.compile", site=self.site):
+                t0 = time.perf_counter() if timed else 0.0
+                self._flat = FlatPolicy(self.pds.policy())
+                if timed:
+                    self._phase_hist["compile"].observe(
+                        time.perf_counter() - t0)
             self._flat_epoch = epoch
             self.name_collisions = self._flat.name_collisions
             if self._flat.name_collisions:
@@ -114,13 +161,21 @@ class FairshareCalculationService:
                     "site %s: %d bare user name(s) shadowed by duplicates in "
                     "the policy; shadowed leaves resolve only via full paths",
                     self.site, self._flat.name_collisions)
-        self._result = self._flat.compute(totals, self.parameters)
-        self._values = self.projection.project_flat(self._result)
+        with trace.span("fcs.rollup", site=self.site):
+            t0 = time.perf_counter() if timed else 0.0
+            self._result = self._flat.compute(totals, self.parameters)
+            if timed:
+                self._phase_hist["rollup"].observe(time.perf_counter() - t0)
+        with trace.span("fcs.project", site=self.site):
+            t0 = time.perf_counter() if timed else 0.0
+            self._values = self.projection.project_flat(self._result)
+            if timed:
+                self._phase_hist["project"].observe(time.perf_counter() - t0)
         self._by_name = dict(self._flat.by_name)
         self._tree_cache = None
         self._refresh_key = refresh_key
         self._computed_at = self.engine.now
-        self.refreshes += 1
+        self._metrics["refreshes"].inc()
         self._notify_listeners()
 
     def set_projection(self, projection: Projection) -> None:
@@ -133,7 +188,7 @@ class FairshareCalculationService:
     # -- serve-plane publication hook ---------------------------------------
 
     def _notify_listeners(self) -> None:
-        self.publishes += 1
+        self._metrics["publishes"].inc()
         for listener in self._refresh_listeners:
             listener(self)
 

@@ -9,17 +9,17 @@ tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry, metric_property
 from ..sim.engine import SimulationEngine
 
 __all__ = ["Network", "NetworkStats"]
 
 
-@dataclass
 class NetworkStats:
     """Counters for traffic accounting (the paper's caching argument is all
     about reducing call volume, so tests assert on these).
@@ -30,21 +30,78 @@ class NetworkStats:
     break the same totals down by payload class name.  Messages that do not
     implement the protocol (raw test payloads) count as zero.
 
-    Memory: ``per_link`` and the by-type dicts are O(distinct links) and
+    The counters live in a :class:`~repro.obs.registry.MetricsRegistry`
+    (``aequus_network_*`` series); the historical attributes are views over
+    the registry, so existing call sites and a Prometheus scrape see one
+    set of numbers.  Each ``Network`` gets its own registry by default —
+    pass a shared one (as the aequusd site builder does) to fold the
+    series into a site-wide scrape.
+
+    Memory: ``per_link`` and the by-type series are O(distinct links) and
     O(distinct message types) — bounded by topology, not by traffic volume
     or simulation length.  Long-running harnesses that measure phases
-    separately (e.g. warm-up vs steady state in the exchange benchmark)
-    call :meth:`reset` between phases instead of accumulating forever.
+    separately take :meth:`snapshot` at each phase boundary and diff, or
+    call :meth:`reset` to zero everything.
     """
 
-    sent: int = 0
-    delivered: int = 0
-    dropped: int = 0
-    payload_entries: int = 0
-    payload_bytes: int = 0
-    messages_by_type: Dict[str, int] = field(default_factory=dict)
-    bytes_by_type: Dict[str, int] = field(default_factory=dict)
-    per_link: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    _COUNTERS = ("sent", "delivered", "dropped",
+                 "payload_entries", "payload_bytes")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(constant_labels={"component": "network"})
+        messages = self.registry.counter(
+            "aequus_network_messages_total",
+            "Messages by delivery outcome (sent counts every send attempt)",
+            ("event",))
+        self._metrics = {
+            event: messages.labels(event=event)
+            for event in ("sent", "delivered", "dropped")}
+        self._metrics["payload_entries"] = self.registry.counter(
+            "aequus_network_payload_entries_total",
+            "Wire entries across all queued payloads").labels()
+        self._metrics["payload_bytes"] = self.registry.counter(
+            "aequus_network_payload_bytes_total",
+            "Modeled bytes on the wire across all queued payloads").labels()
+        self._by_type_messages = self.registry.counter(
+            "aequus_network_messages_by_type_total",
+            "Queued payloads by message class", ("type",))
+        self._by_type_bytes = self.registry.counter(
+            "aequus_network_bytes_by_type_total",
+            "Modeled wire bytes by message class", ("type",))
+        self._link_messages = self.registry.counter(
+            "aequus_network_link_messages_total",
+            "Send attempts per (src, dst) link", ("src", "dst"))
+
+    sent = metric_property("sent")
+    delivered = metric_property("delivered")
+    dropped = metric_property("dropped")
+    payload_entries = metric_property("payload_entries")
+    payload_bytes = metric_property("payload_bytes")
+
+    # -- the dict-shaped breakdowns (rebuilt from labeled series) -----------
+
+    @property
+    def messages_by_type(self) -> Dict[str, int]:
+        return {key[0]: child.value
+                for key, child in self._by_type_messages.items()}
+
+    @property
+    def bytes_by_type(self) -> Dict[str, int]:
+        return {key[0]: child.value
+                for key, child in self._by_type_bytes.items()}
+
+    @property
+    def per_link(self) -> Dict[Tuple[str, str], int]:
+        return {key: child.value
+                for key, child in self._link_messages.items()}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_send(self, src: str, dst: str) -> None:
+        """Account one send attempt (delivered or not) on a link."""
+        self._metrics["sent"].inc()
+        self._link_messages.labels(src=src, dst=dst).inc()
 
     def record_payload(self, message: Any) -> None:
         """Account a queued message's wire footprint (duck-typed)."""
@@ -53,25 +110,42 @@ class NetworkStats:
         n = int(entries()) if callable(entries) else 0
         b = int(size()) if callable(size) else 0
         name = type(message).__name__
-        self.payload_entries += n
-        self.payload_bytes += b
-        self.messages_by_type[name] = self.messages_by_type.get(name, 0) + 1
-        self.bytes_by_type[name] = self.bytes_by_type.get(name, 0) + b
+        self._metrics["payload_entries"].inc(n)
+        self._metrics["payload_bytes"].inc(b)
+        self._by_type_messages.labels(type=name).inc()
+        self._by_type_bytes.labels(type=name).inc(b)
+
+    # -- phase measurement ---------------------------------------------------
+
+    def snapshot(self) -> Mapping[str, Any]:
+        """Immutable point-in-time copy of every counter.
+
+        The measurement-phase companion to :meth:`reset`: diffing two
+        snapshots isolates a phase without zeroing state other readers
+        (a live scrape, a concurrent measurement) may rely on.
+        """
+        return MappingProxyType({
+            **{name: self._metrics[name].value for name in self._COUNTERS},
+            "messages_by_type": MappingProxyType(self.messages_by_type),
+            "bytes_by_type": MappingProxyType(self.bytes_by_type),
+            "per_link": MappingProxyType(self.per_link),
+        })
 
     def reset(self) -> None:
         """Zero every counter (phase boundary in measurement harnesses)."""
-        self.sent = self.delivered = self.dropped = 0
-        self.payload_entries = self.payload_bytes = 0
-        self.messages_by_type.clear()
-        self.bytes_by_type.clear()
-        self.per_link.clear()
+        for name in self._COUNTERS:
+            self._metrics[name].set(0)
+        self._by_type_messages.clear()
+        self._by_type_bytes.clear()
+        self._link_messages.clear()
 
 
 class Network:
     """Point-to-point message delivery with latency over the sim engine."""
 
     def __init__(self, engine: SimulationEngine, base_latency: float = 0.05,
-                 jitter: float = 0.0, rng: Optional[np.random.Generator] = None):
+                 jitter: float = 0.0, rng: Optional[np.random.Generator] = None,
+                 registry: Optional[MetricsRegistry] = None):
         if base_latency < 0 or jitter < 0:
             raise ValueError("latency and jitter must be non-negative")
         self.engine = engine
@@ -80,7 +154,7 @@ class Network:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._endpoints: Dict[str, Callable[[Any], None]] = {}
         self._partitions: Set[frozenset] = set()
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(registry=registry)
 
     # -- topology ----------------------------------------------------------
 
@@ -115,9 +189,7 @@ class Network:
 
     def send(self, src: str, dst: str, message: Any) -> bool:
         """Queue ``message`` for delivery; returns False if dropped."""
-        self.stats.sent += 1
-        link = (src, dst)
-        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        self.stats.record_send(src, dst)
         if self.is_partitioned(src, dst) or dst not in self._endpoints:
             self.stats.dropped += 1
             return False

@@ -29,6 +29,7 @@ from ..core.decay import DecayFunction, ExponentialDecay
 from ..core.distance import FairshareParameters
 from ..core.policy import PolicyTree
 from ..core.projection import make_projection
+from ..obs.registry import MetricsRegistry
 from ..sim.engine import SimulationEngine
 from .fcs import FairshareCalculationService
 from .irs import IdentityResolutionService
@@ -97,12 +98,17 @@ class AequusSite:
     def __init__(self, name: str, engine: SimulationEngine, network: Network,
                  policy: PolicyTree,
                  config: Optional[SiteConfig] = None,
-                 mode: ParticipationMode = ParticipationMode.FULL):
+                 mode: ParticipationMode = ParticipationMode.FULL,
+                 registry: Optional[MetricsRegistry] = None):
         self.name = name
         self.engine = engine
         self.network = network
         self.config = config or SiteConfig()
         self.mode = mode
+        #: one registry across USS/UMS/FCS so a single scrape (or the serve
+        #: plane's METRICS op) covers the whole stack; sim-time timestamps
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"site": name}, clock=lambda: engine.now)
         cfg = self.config
         self.uss = UsageStatisticsService(
             name, engine, network,
@@ -111,6 +117,7 @@ class AequusSite:
             publish=mode.publishes,
             delta_exchange=cfg.uss_delta_exchange,
             start_offset=cfg.start_offset,
+            registry=self.registry,
         )
         self.ums = UsageMonitoringService(
             name, engine, sources=[self.uss],
@@ -119,6 +126,7 @@ class AequusSite:
             consider_remote=mode.consumes_remote,
             incremental=cfg.ums_incremental,
             start_offset=cfg.start_offset,
+            registry=self.registry,
         )
         self.pds = PolicyDistributionService(
             name, engine, policy=policy,
@@ -131,6 +139,7 @@ class AequusSite:
             projection=make_projection(cfg.projection),
             refresh_interval=cfg.fcs_refresh_interval,
             start_offset=cfg.start_offset,
+            registry=self.registry,
         )
         self.irs = IdentityResolutionService(name)
 

@@ -27,11 +27,14 @@ partial-participation test.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Set
 
 from ..core.decay import DecayFunction, ExponentialDecay, NoDecay
 from ..core.tree import Tree
 from ..core.usage import UsageTree, build_usage_tree
+from ..obs import trace
+from ..obs.registry import MetricsRegistry, metric_property
 from ..sim.engine import PeriodicTask, SimulationEngine
 from .uss import UsageStatisticsService
 
@@ -47,7 +50,8 @@ class UsageMonitoringService:
                  refresh_interval: float = 30.0,
                  consider_remote: bool = True,
                  incremental: bool = True,
-                 start_offset: float = 0.0):
+                 start_offset: float = 0.0,
+                 registry: Optional[MetricsRegistry] = None):
         if not sources:
             raise ValueError("a UMS needs at least one USS source")
         self.site = site
@@ -56,11 +60,25 @@ class UsageMonitoringService:
         self.decay = decay or ExponentialDecay(half_life=7 * 24 * 3600.0)
         self.consider_remote = consider_remote
         self.refresh_interval = refresh_interval
-        self.refreshes = 0
-        #: refreshes that went through the full merge-and-decay path
-        self.full_refreshes = 0
-        #: dirty/young users recomputed on incremental refreshes
-        self.users_recomputed = 0
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"site": site}, clock=lambda: engine.now)
+        refreshes = self.registry.counter(
+            "aequus_ums_refreshes_total",
+            "UMS refresh rounds by path (full merge vs incremental)",
+            ("path",))
+        users = self.registry.counter(
+            "aequus_ums_users_total",
+            "Users touched by incremental refreshes, by how",
+            ("how",))
+        self._metrics = {
+            "refreshes": refreshes.labels(path="all"),
+            "full_refreshes": refreshes.labels(path="full"),
+            "users_recomputed": users.labels(how="recomputed"),
+            "users_shifted": users.labels(how="shifted"),
+        }
+        self._refresh_hist = self.registry.histogram(
+            "aequus_ums_refresh_seconds",
+            "Wall time of one UMS refresh").labels()
         # the analytic age shift is exact only for decays multiplicative in
         # age; other families recompute every user each refresh
         self.incremental = incremental and isinstance(
@@ -81,20 +99,33 @@ class UsageMonitoringService:
             refresh_interval, self.refresh, start_offset=start_offset)
         self.refresh()
 
+    refreshes = metric_property("refreshes")
+    #: refreshes that went through the full merge-and-decay path
+    full_refreshes = metric_property("full_refreshes")
+    #: dirty/young users recomputed on incremental refreshes
+    users_recomputed = metric_property("users_recomputed")
+    #: clean users advanced by the analytic age shift (one multiply each)
+    users_shifted = metric_property("users_shifted")
+
     def refresh(self) -> None:
         """Advance the cached decayed per-user totals to ``engine.now``."""
-        now = self.engine.now
-        dirty: Set[str] = set()
-        if self.incremental:
-            for uss, cursor in zip(self.sources, self._cursors):
-                if cursor is not None:
-                    dirty |= uss.drain_dirty_users(cursor)
-        if not self.incremental or not self._primed:
-            self._full_refresh(now)
-        else:
-            self._incremental_refresh(now, dirty)
-        self._computed_at = now
-        self.refreshes += 1
+        timed = self.registry.enabled
+        t0 = time.perf_counter() if timed else 0.0
+        with trace.span("ums.refresh", site=self.site):
+            now = self.engine.now
+            dirty: Set[str] = set()
+            if self.incremental:
+                for uss, cursor in zip(self.sources, self._cursors):
+                    if cursor is not None:
+                        dirty |= uss.drain_dirty_users(cursor)
+            if not self.incremental or not self._primed:
+                self._full_refresh(now)
+            else:
+                self._incremental_refresh(now, dirty)
+            self._computed_at = now
+            self._metrics["refreshes"].inc()
+        if timed:
+            self._refresh_hist.observe(time.perf_counter() - t0)
 
     def _full_refresh(self, now: float) -> None:
         """Merge every histogram and re-decay every user (reference path)."""
@@ -104,7 +135,7 @@ class UsageMonitoringService:
             for user, value in merged.decayed_totals(now, self.decay).items():
                 totals[user] = totals.get(user, 0.0) + value
         self._totals = totals
-        self.full_refreshes += 1
+        self._metrics["full_refreshes"].inc()
         if self.incremental:
             # seed the age-shift bookkeeping for subsequent delta refreshes
             mids: Dict[str, float] = {}
@@ -123,10 +154,12 @@ class UsageMonitoringService:
             for user in self._totals:
                 self._totals[user] *= factor
         recompute = dirty | self._young
+        self._metrics["users_shifted"].inc(
+            len(self._totals) - len(recompute & self._totals.keys()))
         if not recompute:
             return
         self._young = set()
-        self.users_recomputed += len(recompute)
+        self._metrics["users_recomputed"].inc(len(recompute))
         for user in recompute:
             total = 0.0
             max_mid = float("-inf")

@@ -27,11 +27,14 @@ consuming or vice versa — the partial-participation experiment
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
 from ..core.decay import DecayFunction
 from ..core.usage import UsageHistogram, UsageRecord
+from ..obs import trace
+from ..obs.registry import MetricsRegistry, metric_property
 from ..sim.engine import PeriodicTask, SimulationEngine
 from .messages import UsageDeltaMessage, UsageExchangeMessage, UsageResyncRequest
 from .network import Network
@@ -48,7 +51,8 @@ class UsageStatisticsService:
                  publish: bool = True,
                  delta_exchange: bool = True,
                  prune_horizon: Optional[float] = None,
-                 start_offset: float = 0.0):
+                 start_offset: float = 0.0,
+                 registry: Optional[MetricsRegistry] = None):
         self.site = site
         self.engine = engine
         self.network = network
@@ -65,20 +69,34 @@ class UsageStatisticsService:
         #: appends are atomic), folded into the histogram on the service's
         #: own thread at the next exchange tick or explicit drain
         self._ingest: Deque[UsageRecord] = deque()
-        self.records_enqueued = 0
-        self.records_drained = 0
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"site": site}, clock=lambda: engine.now)
+        records = self.registry.counter(
+            "aequus_uss_records_total",
+            "Usage records by ingress event", ("event",))
+        exchanges = self.registry.counter(
+            "aequus_uss_exchanges_total",
+            "Exchange messages by outcome", ("event",))
+        resyncs = self.registry.counter(
+            "aequus_uss_resyncs_total",
+            "Full-snapshot resyncs requested from / served to peers",
+            ("event",))
+        self._metrics = {
+            "records_received": records.labels(event="received"),
+            "records_enqueued": records.labels(event="enqueued"),
+            "records_drained": records.labels(event="drained"),
+            "exchanges_sent": exchanges.labels(event="sent"),
+            "exchanges_received": exchanges.labels(event="received"),
+            "exchanges_stale": exchanges.labels(event="stale"),
+            "exchanges_skipped": exchanges.labels(event="skipped"),
+            "resyncs_requested": resyncs.labels(event="requested"),
+            "resyncs_served": resyncs.labels(event="served"),
+        }
+        self._exchange_hist = self.registry.histogram(
+            "aequus_uss_exchange_seconds",
+            "Wall time of one USS exchange tick (drain, prune, publish)"
+        ).labels()
         self.peers: List[str] = []
-        self.records_received = 0
-        self.exchanges_sent = 0
-        self.exchanges_received = 0
-        #: reordered/duplicate usage messages dropped (jitter can deliver an
-        #: older message after a newer one; applying it would roll state back)
-        self.exchanges_stale = 0
-        #: publish ticks with no changed entries — only a sequence-number
-        #: heartbeat goes out, letting silent peers detect missed deltas
-        self.exchanges_skipped = 0
-        self.resyncs_requested = 0
-        self.resyncs_served = 0
         #: sender state: consecutive publish sequence number (0 = never)
         self._seq = 0
         self._exchange_cursor: Optional[int] = None
@@ -97,11 +115,25 @@ class UsageStatisticsService:
         self._task: Optional[PeriodicTask] = engine.periodic(
             exchange_interval, self._exchange, start_offset=start_offset)
 
+    records_received = metric_property("records_received")
+    records_enqueued = metric_property("records_enqueued")
+    records_drained = metric_property("records_drained")
+    exchanges_sent = metric_property("exchanges_sent")
+    exchanges_received = metric_property("exchanges_received")
+    #: reordered/duplicate usage messages dropped (jitter can deliver an
+    #: older message after a newer one; applying it would roll state back)
+    exchanges_stale = metric_property("exchanges_stale")
+    #: publish ticks with no changed entries — only a sequence-number
+    #: heartbeat goes out, letting silent peers detect missed deltas
+    exchanges_skipped = metric_property("exchanges_skipped")
+    resyncs_requested = metric_property("resyncs_requested")
+    resyncs_served = metric_property("resyncs_served")
+
     # -- local recording -------------------------------------------------
 
     def record_job(self, record: UsageRecord) -> None:
         """Ingest a completed job's usage (from libaequus call-outs)."""
-        self.records_received += 1
+        self._metrics["records_received"].inc()
         self.local.add_record(record)
 
     def enqueue_record(self, record: UsageRecord) -> None:
@@ -113,7 +145,7 @@ class UsageStatisticsService:
         the record lands in the histogram at the next :meth:`drain_ingest`,
         which the exchange tick runs automatically.
         """
-        self.records_enqueued += 1
+        self._metrics["records_enqueued"].inc()
         self._ingest.append(record)
 
     def drain_ingest(self) -> int:
@@ -126,7 +158,7 @@ class UsageStatisticsService:
                 break
             self.record_job(record)
             drained += 1
-        self.records_drained += drained
+        self._metrics["records_drained"].inc(drained)
         return drained
 
     # -- peering -----------------------------------------------------------
@@ -140,6 +172,14 @@ class UsageStatisticsService:
     # -- publishing --------------------------------------------------------
 
     def _exchange(self) -> None:
+        timed = self.registry.enabled
+        t0 = time.perf_counter() if timed else 0.0
+        with trace.span("uss.exchange", site=self.site):
+            self._exchange_tick()
+        if timed:
+            self._exchange_hist.observe(time.perf_counter() - t0)
+
+    def _exchange_tick(self) -> None:
         self.drain_ingest()
         if self.prune_horizon is not None:
             self.charge_pruned += self.local.prune(self.engine.now,
@@ -159,7 +199,7 @@ class UsageStatisticsService:
             message = self._build_delta()
         for peer in self.peers:
             self.network.send(self._endpoint, f"uss:{peer}", message)
-        self.exchanges_sent += 1
+        self._metrics["exchanges_sent"].inc()
 
     def _build_delta(self) -> UsageDeltaMessage:
         """Next publish: a full snapshot first, then changed entries only.
@@ -175,7 +215,7 @@ class UsageStatisticsService:
             self._seq = 1
             return self._full_message()
         if not dirty:
-            self.exchanges_skipped += 1
+            self._metrics["exchanges_skipped"].inc()
             return UsageDeltaMessage(
                 site=self.site, sent_at=self.engine.now,
                 interval=self.local.interval, seq=self._seq, full=False)
@@ -240,10 +280,10 @@ class UsageStatisticsService:
         """Legacy dict-of-dict full snapshot (``delta_exchange=False`` peers)."""
         last = self._recv_sent_at.get(message.site)
         if last is not None and message.sent_at < last:
-            self.exchanges_stale += 1
+            self._metrics["exchanges_stale"].inc()
             return
         self._recv_sent_at[message.site] = message.sent_at
-        self.exchanges_received += 1
+        self._metrics["exchanges_received"].inc()
         self._remote_histogram(message.site).replace(message.snapshot)
 
     def _on_delta(self, message: UsageDeltaMessage) -> None:
@@ -251,19 +291,19 @@ class UsageStatisticsService:
         heartbeat = not message.full and not message.charges
         if message.full:
             if message.seq < last:
-                self.exchanges_stale += 1
+                self._metrics["exchanges_stale"].inc()
                 return
         else:
             if message.seq <= last:
                 if not heartbeat:
-                    self.exchanges_stale += 1
+                    self._metrics["exchanges_stale"].inc()
                 return  # heartbeat at (or behind) our state: already current
             if heartbeat or last == 0 or message.seq != last + 1:
                 # missed at least one publish (partition, drop, late join):
                 # state can no longer be patched — ask for a full snapshot.
                 # A heartbeat never advances the applied sequence, so the
                 # resync reply remains the only way to catch up.
-                self.resyncs_requested += 1
+                self._metrics["resyncs_requested"].inc()
                 self.network.send(
                     self._endpoint, f"uss:{message.site}",
                     UsageResyncRequest(site=self.site,
@@ -272,7 +312,7 @@ class UsageStatisticsService:
                 return
         self._recv_seq[message.site] = message.seq
         self._recv_sent_at[message.site] = message.sent_at
-        self.exchanges_received += 1
+        self._metrics["exchanges_received"].inc()
         self._remote_histogram(message.site).apply_arrays(
             message.user_table, message.user_idx, message.bin_idx,
             message.charges, full=message.full)
@@ -280,7 +320,7 @@ class UsageStatisticsService:
     def _serve_resync(self, request: UsageResyncRequest) -> None:
         if not self.publish or not self.delta_exchange:
             return
-        self.resyncs_served += 1
+        self._metrics["resyncs_served"].inc()
         # current state at the current sequence number; an in-flight delta
         # with the same seq is redundant at the receiver (absolute values)
         if self._seq == 0:

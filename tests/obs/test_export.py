@@ -1,0 +1,152 @@
+"""Prometheus text exposition: escaping, histogram cumulativity, dedupe."""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.export import (escape_help, escape_label_value, render,
+                              render_many)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("raw,escaped", [
+        ("plain", "plain"),
+        ('with"quote', r'with\"quote'),
+        ("back\\slash", r"back\\slash"),
+        ("new\nline", r"new\nline"),
+        ("\\\"\n", r'\\\"\n'),
+    ])
+    def test_label_values(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+
+    def test_help_escapes_backslash_and_newline_but_not_quotes(self):
+        assert escape_help('a\\b\nc"d') == r'a\\b\nc"d'
+
+    def test_escaped_labels_render_into_samples(self, registry):
+        registry.counter("x_total", "", ("path",)).labels(
+            path='C:\\tmp\n"x"').inc()
+        text = render(registry)
+        assert r'x_total{path="C:\\tmp\n\"x\""} 1' in text
+
+
+class TestHeaders:
+    def test_help_and_type_lines(self, registry):
+        registry.counter("x_total", "things counted").labels().inc(3)
+        text = render(registry)
+        assert "# HELP x_total things counted\n" in text
+        assert "# TYPE x_total counter\n" in text
+        assert "x_total 3\n" in text
+
+    def test_families_sorted_by_name(self, registry):
+        registry.counter("z_total")
+        registry.counter("a_total")
+        text = render(registry)
+        assert text.index("a_total") < text.index("z_total")
+
+    def test_children_sorted_by_label_values(self, registry):
+        family = registry.counter("x_total", "", ("op",))
+        family.labels(op="z").inc()
+        family.labels(op="a").inc()
+        text = render(registry)
+        assert text.index('op="a"') < text.index('op="z"')
+
+    def test_constant_labels_attach_to_every_sample(self):
+        registry = MetricsRegistry(constant_labels={"site": "a"},
+                                   enabled=True)
+        registry.counter("x_total", "", ("op",)).labels(op="r").inc()
+        assert 'x_total{site="a",op="r"} 1' in render(registry)
+
+
+class TestHistogramExposition:
+    def test_buckets_are_cumulative_and_le_monotone(self, registry):
+        h = registry.histogram("d_seconds", "lat",
+                               buckets=(0.1, 1.0, 10.0)).labels()
+        for value in (0.05, 0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        text = render(registry)
+        buckets = re.findall(
+            r'd_seconds_bucket\{le="([^"]+)"\} (\d+)', text)
+        assert [b[0] for b in buckets] == ["0.1", "1", "10", "+Inf"]
+        counts = [int(b[1]) for b in buckets]
+        assert counts == [2, 3, 4, 5]
+        assert counts == sorted(counts)  # le-cumulativity is monotone
+
+    def test_inf_bucket_equals_count(self, registry):
+        h = registry.histogram("d_seconds", buckets=(1.0,)).labels()
+        h.observe(0.5)
+        h.observe(2.0)
+        text = render(registry)
+        assert 'd_seconds_bucket{le="+Inf"} 2' in text
+        assert "d_seconds_count 2" in text
+
+    def test_sum_and_count_samples(self, registry):
+        h = registry.histogram("d_seconds", buckets=(1.0,)).labels()
+        h.observe(0.25)
+        h.observe(0.5)
+        text = render(registry)
+        assert "d_seconds_sum 0.75" in text
+        assert "d_seconds_count 2" in text
+
+    def test_labeled_histogram_keeps_op_before_le(self, registry):
+        h = registry.histogram("d_seconds", "", ("op",),
+                               buckets=(1.0,)).labels(op="GET")
+        h.observe(0.5)
+        text = render(registry)
+        assert 'd_seconds_bucket{op="GET",le="1"} 1' in text
+        assert 'd_seconds_sum{op="GET"} 0.5' in text
+
+    def test_type_line_says_histogram(self, registry):
+        registry.histogram("d_seconds", "lat")
+        assert "# TYPE d_seconds histogram\n" in render(registry)
+
+
+class TestValueFormatting:
+    def test_integral_floats_render_as_integers(self, registry):
+        registry.gauge("g").labels().set(3.0)
+        assert "g 3\n" in render(registry)
+
+    def test_non_finite_values(self, registry):
+        registry.gauge("g_inf").labels().set(math.inf)
+        registry.gauge("g_nan").labels().set(math.nan)
+        text = render(registry)
+        assert "g_inf +Inf" in text
+        assert "g_nan NaN" in text
+
+
+class TestRenderMany:
+    def test_registries_deduped_by_identity(self, registry):
+        registry.counter("x_total").labels().inc()
+        assert render_many([registry, registry]) == render(registry)
+
+    def test_same_family_name_keeps_one_header(self):
+        a = MetricsRegistry(constant_labels={"site": "a"}, enabled=True)
+        b = MetricsRegistry(constant_labels={"site": "b"}, enabled=True)
+        a.counter("x_total", "help").labels().inc(1)
+        b.counter("x_total", "help").labels().inc(2)
+        text = render_many([a, b])
+        assert text.count("# TYPE x_total counter") == 1
+        assert 'x_total{site="a"} 1' in text
+        assert 'x_total{site="b"} 2' in text
+
+    def test_children_render_with_the_parent(self):
+        parent = MetricsRegistry(constant_labels={"site": "a"}, enabled=True)
+        child = parent.child(component="server")
+        child.counter("x_total").labels().inc()
+        assert 'x_total{component="server",site="a"} 1' in render(parent)
+
+    def test_empty_registry_renders_empty(self):
+        assert render(MetricsRegistry()) == ""
+
+    def test_rendering_is_deterministic(self, registry):
+        family = registry.counter("x_total", "", ("op",))
+        family.labels(op="b").inc()
+        family.labels(op="a").inc()
+        registry.histogram("d_seconds").labels().observe(0.01)
+        assert render(registry) == render(registry)

@@ -1,0 +1,194 @@
+"""MetricsRegistry: families, labels, views, enabled gating, hierarchy."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (LATENCY_BUCKETS, MetricsRegistry, StatsView,
+                                metric_property)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounterGauge:
+    def test_counter_inc_and_set(self, registry):
+        c = registry.counter("x_total", "help").labels()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set(0)
+        assert c.value == 0
+
+    def test_gauge_up_and_down(self, registry):
+        g = registry.gauge("x_active").labels()
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value == 1
+
+    def test_labeled_children_are_independent(self, registry):
+        family = registry.counter("x_total", "", ("op",))
+        family.labels(op="a").inc(2)
+        family.labels(op="b").inc(5)
+        assert family.labels(op="a").value == 2
+        assert family.labels(op="b").value == 5
+
+    def test_labels_get_or_create_returns_same_child(self, registry):
+        family = registry.counter("x_total", "", ("op",))
+        assert family.labels(op="a") is family.labels(op="a")
+
+    def test_wrong_labelnames_rejected(self, registry):
+        family = registry.counter("x_total", "", ("op",))
+        with pytest.raises(ValueError):
+            family.labels(kind="a")
+
+    def test_family_get_or_create_idempotent(self, registry):
+        a = registry.counter("x_total", "", ("op",))
+        b = registry.counter("x_total", "", ("op",))
+        assert a is b
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_labelname_mismatch_rejected(self, registry):
+        registry.counter("x_total", "", ("op",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "", ("kind",))
+
+
+class TestHistogram:
+    def test_observe_fills_the_right_bucket(self, registry):
+        h = registry.histogram("d_seconds", buckets=(0.1, 1.0, 10.0)).labels()
+        h.observe(0.05)    # <= 0.1
+        h.observe(0.5)     # <= 1.0
+        h.observe(100.0)   # overflow
+        assert h.counts == [1, 1, 0, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(100.55)
+
+    def test_boundary_lands_in_le_bucket(self, registry):
+        # Prometheus buckets are le= (inclusive upper bounds)
+        h = registry.histogram("d_seconds", buckets=(0.1, 1.0)).labels()
+        h.observe(0.1)
+        assert h.counts == [1, 0, 0]
+
+    def test_default_buckets_are_shared_latency_scale(self, registry):
+        h = registry.histogram("d_seconds").labels()
+        assert h.buckets == tuple(sorted(LATENCY_BUCKETS))
+        assert len(h.counts) == len(LATENCY_BUCKETS) + 1
+
+    def test_timer_observes_duration(self, registry):
+        h = registry.histogram("d_seconds").labels()
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+    def test_disabled_registry_skips_observations(self):
+        registry = MetricsRegistry(enabled=False)
+        h = registry.histogram("d_seconds").labels()
+        h.observe(1.0)
+        assert h.count == 0 and h.sum == 0.0
+
+    def test_disabled_registry_still_counts(self):
+        # counters/gauges back public stats APIs: never gated
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("x_total").labels()
+        c.inc()
+        assert c.value == 1
+
+    def test_histogram_cannot_be_set(self, registry):
+        h = registry.histogram("d_seconds").labels()
+        with pytest.raises(TypeError):
+            h.set(1.0)
+
+
+class TestHierarchy:
+    def test_child_inherits_and_extends_constant_labels(self):
+        parent = MetricsRegistry(constant_labels={"site": "a"})
+        child = parent.child(component="server")
+        assert child.constant_labels == {"site": "a", "component": "server"}
+
+    def test_collect_recurses_children(self):
+        parent = MetricsRegistry()
+        child = parent.child(component="x")
+        child.counter("x_total").labels().inc()
+        names = [family.name for family, _ in parent.collect()]
+        assert "x_total" in names
+
+    def test_adopt_attaches_existing_registry(self):
+        parent = MetricsRegistry()
+        other = MetricsRegistry(constant_labels={"site": "b"})
+        other.counter("y_total")
+        parent.adopt(other)
+        assert "y_total" in [f.name for f, _ in parent.collect()]
+
+    def test_adopt_is_idempotent_and_never_self(self):
+        parent = MetricsRegistry()
+        parent.adopt(parent)
+        other = MetricsRegistry()
+        parent.adopt(other)
+        parent.adopt(other)
+        assert parent._children == [other]
+
+    def test_clock_drives_timestamp(self):
+        registry = MetricsRegistry(clock=lambda: 42.0)
+        assert registry.timestamp() == 42.0
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        c = registry.counter("x_total").labels()
+        n, per = 8, 5_000
+
+        def work():
+            for _ in range(per):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per
+
+
+class _Service:
+    refreshes = metric_property("refreshes")
+
+    def __init__(self, registry):
+        self._metrics = {
+            "refreshes": registry.counter("svc_refreshes_total").labels()}
+
+
+class TestViews:
+    def test_metric_property_reads_and_writes_the_metric(self, registry):
+        svc = _Service(registry)
+        svc.refreshes += 1
+        svc.refreshes += 1
+        assert svc.refreshes == 2
+        assert registry.counter("svc_refreshes_total").labels().value == 2
+        svc.refreshes = 0
+        assert registry.counter("svc_refreshes_total").labels().value == 0
+
+    def test_stats_view_behaves_like_the_old_dict(self, registry):
+        view = StatsView({
+            "requests": registry.counter("r_total").labels(),
+            "errors": registry.counter("e_total").labels()})
+        view["requests"] += 3
+        assert view["requests"] == 3
+        assert dict(view) == {"requests": 3, "errors": 0}
+        assert set(view) == {"requests", "errors"}
+        assert len(view) == 2
+
+    def test_stats_view_keys_are_a_fixed_contract(self, registry):
+        view = StatsView({"requests": registry.counter("r_total").labels()})
+        with pytest.raises(KeyError):
+            view["nope"]
+        with pytest.raises(TypeError):
+            del view["requests"]

@@ -1,0 +1,148 @@
+"""Span tracing: nesting, the ring bound, and the Chrome trace exports."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import Tracer, default_tracer, set_default_tracer, span
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(capacity=64, clock=lambda: 100.0, enabled=True)
+
+
+class TestSpans:
+    def test_span_records_a_complete_event(self, tracer):
+        with tracer.span("fcs.refresh", site="a"):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "fcs.refresh"
+        assert event["ph"] == "X"
+        assert event["ts"] == 100.0 * 1e6      # clock, in microseconds
+        assert event["dur"] >= 0.0
+        assert event["args"]["site"] == "a"
+
+    def test_nesting_links_parent_and_child(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events()  # inner closes (and lands) first
+        assert inner["name"] == "inner"
+        assert inner["args"]["parent"] == outer["args"]["id"]
+        assert "parent" not in outer["args"]
+
+    def test_siblings_share_a_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.events()
+        assert a["args"]["parent"] == outer["args"]["id"]
+        assert b["args"]["parent"] == outer["args"]["id"]
+
+    def test_body_may_annotate_the_span(self, tracer):
+        with tracer.span("fcs.refresh") as sp:
+            sp["cache"] = "hit"
+        (event,) = tracer.events()
+        assert event["args"]["cache"] == "hit"
+
+    def test_span_records_even_when_the_body_raises(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert [e["name"] for e in tracer.events()] == ["boom"]
+        # the parent stack unwound: a following span is a root again
+        with tracer.span("next"):
+            pass
+        assert "parent" not in tracer.events()[-1]["args"]
+
+    def test_disabled_tracer_yields_none_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as sp:
+            assert sp is None
+        assert tracer.events() == []
+        assert tracer.started == 0
+
+
+class TestRingBuffer:
+    def test_buffer_is_bounded_and_drops_oldest(self):
+        tracer = Tracer(capacity=4, enabled=True)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        events = tracer.events()
+        assert len(events) == 4
+        assert [e["name"] for e in events] == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped == 6
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear_empties_the_buffer(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.events() == []
+
+
+class TestExport:
+    def _record(self, tracer):
+        with tracer.span("fcs.refresh", site="a"):
+            with tracer.span("fcs.rollup"):
+                pass
+
+    def test_jsonl_is_one_trace_event_per_line(self, tracer):
+        self._record(tracer)
+        buf = io.StringIO()
+        assert tracer.export_jsonl(buf) == 2
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            event = json.loads(line)
+            assert {"name", "ph", "ts", "dur", "pid", "tid",
+                    "args"} <= set(event)
+            assert event["ph"] == "X"
+
+    def test_jsonl_to_path_roundtrips(self, tracer, tmp_path):
+        self._record(tracer)
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["name"] for e in events] == ["fcs.rollup", "fcs.refresh"]
+
+    def test_chrome_document_loads_as_trace_event_json(self, tracer, tmp_path):
+        self._record(tracer)
+        path = tmp_path / "trace.json"
+        assert tracer.export_chrome(str(path)) == 2
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+
+    def test_jsonl_lines_wrap_into_a_chrome_array(self, tracer):
+        # the documented jq/grep pipeline: [line, line, ...] is loadable
+        self._record(tracer)
+        buf = io.StringIO()
+        tracer.export_jsonl(buf)
+        wrapped = "[" + ",".join(buf.getvalue().strip().splitlines()) + "]"
+        assert len(json.loads(wrapped)) == 2
+
+
+class TestDefaultTracer:
+    def test_module_span_records_to_the_default_tracer(self):
+        replacement = Tracer(enabled=True)
+        previous = set_default_tracer(replacement)
+        try:
+            with span("x", k="v"):
+                pass
+            assert default_tracer() is replacement
+            assert replacement.events()[0]["args"]["k"] == "v"
+        finally:
+            set_default_tracer(previous)

@@ -12,9 +12,10 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
-FAST = ["quickstart.py", "vector_factors.py"]
+FAST = ["quickstart.py", "vector_factors.py", "observability.py"]
 ALL = ["quickstart.py", "vector_factors.py", "national_grid.py",
-       "workload_modeling.py", "partial_participation.py", "slurm_vs_maui.py"]
+       "workload_modeling.py", "partial_participation.py", "slurm_vs_maui.py",
+       "serving.py", "observability.py"]
 
 
 class TestExamples:
@@ -47,3 +48,12 @@ class TestExamples:
             capture_output=True, text=True, timeout=120)
         out = proc.stdout
         assert "suffix" in out and "blend" in out
+
+    def test_observability_output_shape(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "observability.py")],
+            capture_output=True, text=True, timeout=120)
+        out = proc.stdout
+        assert "aequus_requests_total" in out
+        assert "fcs.refresh" in out
+        assert "chrome://tracing" in out
