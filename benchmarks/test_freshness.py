@@ -1,0 +1,343 @@
+"""Freshness benchmark: staleness bound, partition recovery, overhead gate.
+
+Drives a four-site full-mesh grid with continuous usage churn and measures
+the end-to-end update delay the causal freshness plane reports (DESIGN.md
+§10): the per-origin usage horizons captured USS -> UMS -> FCS.
+
+Three claims are gated:
+
+1. **Steady state** — every site's view of every remote origin stays within
+   ~one exchange interval end-to-end: the horizon observed at each FCS
+   refresh lags the origin's clock by at most
+   ``exchange + ums_refresh + fcs_refresh + 2*latency`` (each layer holds
+   its capture for up to one interval; the wire adds latency twice —
+   publish and, after a gap, resync).  The exported
+   ``aequus_snapshot_staleness_seconds`` histogram must account for at
+   least as many observations as the refresh listener saw.
+2. **Partition** — cutting one USS link stalls exactly that origin's
+   horizon (staleness grows with wall time), and after healing the seq-gap
+   triggered ``UsageResyncRequest`` restores it to the steady-state bound
+   within two exchange intervals.
+3. **Overhead** — two gates over four grids advancing in lock-step:
+   the evaluation plane (freshness series + an attached
+   :class:`FairnessRecorder`) must add < ``REPRO_OBS_MAX_OVERHEAD``
+   (default 5%) wall time on top of the obs-instrumented grid, and a
+   grid built with observability disabled (``obs.set_enabled(False)``,
+   the in-process equivalent of ``REPRO_OBS_DISABLED=1``) must restore
+   baseline cost *even with a recorder attached* — the kill switch
+   quiets the recorder too.  (The instrumentation layer's own < 5% gate
+   lives in ``test_obs_overhead.py`` at denominators sized for it.)
+   All grids live for the whole measurement, so every timed pass pair
+   does identical virtual work at the same histogram age; the gated
+   figure is the *median* of the paired wall-time ratios, which sheds
+   the scheduler-noise outliers a best-of protocol can't.
+
+Results land in ``benchmarks/BENCH_freshness.json`` (and results.txt); set
+``REPRO_BENCH_SCALE=small`` for the smoke tier.
+"""
+
+import gc
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.usage import UsageRecord
+from repro.obs.evaluate import FairnessRecorder, parse_exposition
+from repro.obs.export import render
+from repro.serve.daemon import build_grid_policy
+from repro.services.network import Network
+from repro.services.site import AequusSite, SiteConfig, connect_sites
+from repro.sim.engine import SimulationEngine
+
+JSON_PATH = Path(__file__).parent / "BENCH_freshness.json"
+
+#: (sites, users) per scale tier
+_SCALES = {"paper": (4, 2000), "small": (4, 500)}
+
+GATE_MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", 0.05))
+
+EXCHANGE = 30.0               #: USS delta-exchange interval
+UMS = 10.0                    #: UMS refresh interval
+FCS = 10.0                    #: FCS refresh interval
+LATENCY = 0.1                 #: one-way network latency
+CHURN = 3.0                   #: one job recorded somewhere every CHURN s
+#: worst-case end-to-end lag: each layer holds its capture for one full
+#: interval, the wire adds latency on publish and on resync; +1s slack for
+#: same-tick event ordering
+BOUND = EXCHANGE + UMS + FCS + 2 * LATENCY + 1.0
+
+WARMUP = 2 * EXCHANGE         #: virtual seconds before sampling starts
+STEADY_SPAN = 600.0           #: steady-state observation window
+PARTITION_SPAN = 200.0        #: link-cut duration (>> BOUND so the stall
+                              #: is unambiguous)
+RECOVERY_SPAN = 2 * EXCHANGE + UMS + FCS + 5.0
+PAIR_SPAN = 300.0             #: virtual seconds per timed pass
+PAIRS = 12                    #: lock-step pass sets per grid
+
+
+def scale_tier():
+    return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "paper")]
+
+
+def _build_grid(n_sites, n_users):
+    engine = SimulationEngine()
+    network = Network(engine, base_latency=LATENCY)
+    policy = build_grid_policy(n_users, seed=0)
+    config = SiteConfig(histogram_interval=60.0,
+                        uss_exchange_interval=EXCHANGE,
+                        ums_refresh_interval=UMS,
+                        fcs_refresh_interval=FCS)
+    sites = [AequusSite(f"s{i}", engine, network, policy=policy,
+                        config=config) for i in range(n_sites)]
+    connect_sites(sites)
+    return engine, network, sites
+
+
+def _attach_churn(engine, sites, n_users):
+    """Rotating per-site job stream: every exchange window carries fresh
+    dirty users, so deltas flow and no refresh hits the cached-epoch
+    fast path for long."""
+    state = {"n": 0}
+
+    def tick():
+        state["n"] += 1
+        site = sites[state["n"] % len(sites)]
+        user = f"u{(state['n'] * 13) % n_users}"
+        now = engine.now
+        site.uss.record_job(UsageRecord(user=user, site=site.name,
+                                        start=now, end=now + 60.0))
+
+    engine.periodic(CHURN, tick, start_offset=CHURN)
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _run_freshness_phases(n_sites, n_users):
+    """Steady-state staleness sweep, then partition/heal, on one grid."""
+    engine, network, sites = _build_grid(n_sites, n_users)
+    _attach_churn(engine, sites, n_users)
+    engine.run_for(WARMUP)
+
+    samples = {}  # (site, origin) -> [staleness at each FCS refresh]
+    for site in sites:
+        def listener(fcs, name=site.name):
+            now = fcs.engine.now
+            for origin, horizon in fcs.usage_horizons().items():
+                if origin != name:
+                    samples.setdefault((name, origin), []).append(
+                        now - horizon)
+        site.fcs.add_refresh_listener(listener, fire_now=False)
+    engine.run_for(STEADY_SPAN)
+
+    flat = [s for pair in samples.values() for s in pair]
+    steady = dict(
+        pairs=len(samples), samples=len(flat),
+        expected_pairs=n_sites * (n_sites - 1),
+        max=max(flat), mean=sum(flat) / len(flat),
+        p99=_percentile(flat, 0.99), bound=BOUND)
+
+    # the continuously exported Fig. 11 distribution must account for at
+    # least the steady-window observations of the same (site, origin) pair
+    exposition = parse_exposition(render(sites[0].registry))
+    counts = {labels["origin"]: value for name, labels, value in exposition
+              if name == "aequus_snapshot_staleness_seconds_count"}
+    steady["exposition_count"] = counts.get(sites[1].name, 0.0)
+    steady["listener_count"] = len(samples[(sites[0].name, sites[1].name)])
+
+    # partition s0 <-> s1: only that origin's horizon stalls at s0
+    network.partition("uss:s0", "uss:s1")
+    partitioned_at = engine.now
+    engine.run_for(PARTITION_SPAN)
+    horizons = sites[0].fcs.usage_horizons()
+    stalled = engine.now - horizons["s1"]
+    witness = engine.now - horizons["s2"]
+
+    network.heal("uss:s0", "uss:s1")
+    engine.run_for(RECOVERY_SPAN)
+    recovered = engine.now - sites[0].fcs.usage_horizons()["s1"]
+    partition = dict(
+        span=PARTITION_SPAN, stalled=stalled, witness=witness,
+        recovered=recovered, recovery_span=RECOVERY_SPAN,
+        resyncs_requested=sites[0].uss.resyncs_requested,
+        resyncs_served=sites[1].uss.resyncs_served,
+        partitioned_at=partitioned_at)
+
+    for site in sites:
+        site.stop()
+    return steady, partition
+
+
+def _in_mode(enabled, fn, *args):
+    """Run ``fn`` with the obs default toggled; fresh stacks inside ``fn``
+    inherit the flag.  Always restores the previous default."""
+    previous = obs.default_enabled()
+    obs.set_enabled(enabled)
+    try:
+        return fn(*args)
+    finally:
+        obs.set_enabled(previous)
+
+
+def _boot_grid(n_sites, n_users, with_recorder):
+    engine, _, sites = _build_grid(n_sites, n_users)
+    _attach_churn(engine, sites, n_users)
+    if with_recorder:
+        FairnessRecorder(sites, interval=FCS).attach(engine)
+    engine.run_for(WARMUP)
+    return engine, sites
+
+
+def _measure_overhead(n_sites, n_users):
+    """Median paired wall-time ratios of four grids advancing in lock-step.
+
+    Per-user histograms grow with virtual time, so a grid's pass cost
+    rises as it ages — comparing fresh boots across trials confounds age
+    with mode.  Instead every grid advances ``PAIR_SPAN`` in turn and
+    each pass set is compared at identical virtual age; the median ratio
+    sheds scheduler-noise outliers on either side.
+    """
+    grids = {  # name -> (obs enabled, recorder attached)
+        "baseline": (False, False),
+        "killed": (False, True),      # recorder attached, switch off
+        "instrumented": (True, False),
+        "evaluation": (True, True),
+    }
+    stacks = {name: _in_mode(enabled, _boot_grid, n_sites, n_users, rec)
+              for name, (enabled, rec) in grids.items()}
+    for engine, _ in stacks.values():
+        engine.run_for(PAIR_SPAN)  # one untimed pass sheds cold-path cost
+    times = {name: [] for name in grids}
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(PAIRS):
+            for name, (engine, _) in stacks.items():
+                t0 = time.perf_counter()
+                engine.run_for(PAIR_SPAN)
+                times[name].append(time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    for _, sites in stacks.values():
+        for site in sites:
+            site.stop()
+
+    def ratio(num, den):
+        return statistics.median(
+            a / b for a, b in zip(times[num], times[den])) - 1.0
+
+    return dict(
+        pass_ms={name: statistics.median(ts) * 1e3
+                 for name, ts in times.items()},
+        recorder_overhead=ratio("evaluation", "instrumented"),
+        killed_overhead=ratio("killed", "baseline"),
+        instrumentation_overhead=ratio("instrumented", "baseline"))
+
+
+@pytest.fixture(scope="module")
+def freshness_rows(report):
+    n_sites, n_users = scale_tier()
+    steady, partition = _run_freshness_phases(n_sites, n_users)
+    overhead = _measure_overhead(n_sites, n_users)
+
+    rows = dict(steady=steady, partition=partition, overhead=overhead,
+                n_sites=n_sites, n_users=n_users)
+    block = [
+        "\n== freshness: end-to-end staleness "
+        f"({n_sites} sites, {n_users} users) ==",
+        f"steady state:  max {steady['max']:6.1f}s  "
+        f"mean {steady['mean']:6.1f}s  p99 {steady['p99']:6.1f}s  "
+        f"(bound {BOUND:.1f}s, {steady['samples']} samples, "
+        f"{steady['pairs']} pairs)",
+        f"partition:     stalled {partition['stalled']:6.1f}s after "
+        f"{PARTITION_SPAN:.0f}s cut (witness origin {partition['witness']:.1f}s), "
+        f"recovered to {partition['recovered']:.1f}s "
+        f"via {partition['resyncs_requested']:.0f} resync(s)",
+        "overhead:      " + "  ".join(
+            f"{name} {ms:6.1f} ms" for name, ms in
+            overhead["pass_ms"].items()) + f" per {PAIR_SPAN:.0f}s pass",
+        f"gates:         recorder+freshness "
+        f"{overhead['recorder_overhead'] * 100:+5.1f}%  "
+        f"kill-switch {overhead['killed_overhead'] * 100:+5.1f}%  "
+        f"(medians of {PAIRS} pairs, each < {GATE_MAX_OVERHEAD * 100:.0f}%; "
+        f"instrumentation itself "
+        f"{overhead['instrumentation_overhead'] * 100:+5.1f}%, "
+        "gated in BENCH_obs)"]
+    for line in block:
+        print(line)
+    report.extend(block)
+    JSON_PATH.write_text(json.dumps(
+        dict(benchmark="freshness",
+             scale=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+             gate=dict(max_overhead=GATE_MAX_OVERHEAD,
+                       staleness_bound=BOUND),
+             rows=rows),
+        indent=2) + "\n")
+    return rows
+
+
+class TestSteadyStateStaleness:
+    def test_staleness_bounded_by_exchange_pipeline(self, freshness_rows):
+        steady = freshness_rows["steady"]
+        assert steady["max"] <= BOUND, (
+            f"worst observed staleness {steady['max']:.1f}s exceeds the "
+            f"end-to-end pipeline bound {BOUND:.1f}s")
+        assert steady["mean"] < steady["max"]
+
+    def test_every_remote_pair_observed(self, freshness_rows):
+        steady = freshness_rows["steady"]
+        assert steady["pairs"] == steady["expected_pairs"]
+        assert steady["samples"] >= steady["pairs"] * (STEADY_SPAN / FCS) / 2
+
+    def test_exported_histogram_covers_observations(self, freshness_rows):
+        steady = freshness_rows["steady"]
+        # histogram counts every refresh since construction, the listener
+        # only the steady window — exported count must dominate
+        assert steady["exposition_count"] >= steady["listener_count"] > 0
+
+
+class TestPartitionRecovery:
+    def test_partition_stalls_only_the_cut_origin(self, freshness_rows):
+        partition = freshness_rows["partition"]
+        assert partition["stalled"] >= PARTITION_SPAN * 0.75
+        assert partition["witness"] <= BOUND  # untouched origin stays fresh
+
+    def test_resync_restores_freshness(self, freshness_rows):
+        partition = freshness_rows["partition"]
+        assert partition["recovered"] <= BOUND, (
+            f"staleness {partition['recovered']:.1f}s still above the "
+            f"bound {partition['recovery_span']:.0f}s after healing")
+        assert partition["resyncs_requested"] >= 1
+        assert partition["resyncs_served"] >= 1
+
+
+class TestFreshnessOverhead:
+    def test_recorder_overhead_gate(self, freshness_rows):
+        row = freshness_rows["overhead"]
+        assert row["recorder_overhead"] < GATE_MAX_OVERHEAD, (
+            f"freshness series + recorder add "
+            f"{row['recorder_overhead'] * 100:.1f}% wall time on top of "
+            f"the instrumented grid (gate < {GATE_MAX_OVERHEAD * 100:.0f}%)")
+
+    def test_kill_switch_restores_baseline(self, freshness_rows):
+        row = freshness_rows["overhead"]
+        assert row["killed_overhead"] < GATE_MAX_OVERHEAD, (
+            f"REPRO_OBS_DISABLED grid with an attached recorder still "
+            f"costs {row['killed_overhead'] * 100:.1f}% over baseline "
+            f"(gate < {GATE_MAX_OVERHEAD * 100:.0f}%)")
+
+    def test_json_artifact_written(self, freshness_rows):
+        data = json.loads(JSON_PATH.read_text())
+        assert data["benchmark"] == "freshness"
+        assert data["rows"]["steady"]["max"] <= \
+            data["gate"]["staleness_bound"]
+        overhead = data["rows"]["overhead"]
+        assert overhead["recorder_overhead"] < data["gate"]["max_overhead"]
+        assert overhead["killed_overhead"] < data["gate"]["max_overhead"]

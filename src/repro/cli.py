@@ -26,6 +26,11 @@ Subcommands
 ``metrics``
     Scrape a running aequusd's Prometheus text exposition (the METRICS
     op) to stdout — pipe into a textfile collector or curl-style checks.
+``report``
+    Render a markdown fairness report, either live from a running aequusd
+    (INFO + METRICS: current usage horizons, lifetime staleness
+    distribution) or offline from a recorder JSONL file written by
+    ``serve --record`` or :meth:`repro.obs.SeriesStore.to_jsonl`.
 
 Examples::
 
@@ -34,8 +39,10 @@ Examples::
     python -m repro.cli run baseline --jobs 6000 --span 3600 --sites 2
     python -m repro.cli serve --users 1000 --port 4730
     python -m repro.cli query fairshare u17 --port 4730
-    python -m repro.cli probe --port 4730
+    python -m repro.cli probe --port 4730 --max-staleness 120
     python -m repro.cli metrics --port 4730
+    python -m repro.cli report --port 4730
+    python -m repro.cli report --from fairness.jsonl --out report.md
 """
 
 from __future__ import annotations
@@ -101,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json-log", default=None, metavar="PATH",
                        help="append one structured JSON line per tick / "
                             "refresh / exchange to PATH ('-' for stderr)")
+    serve.add_argument("--record", default=None, metavar="PATH",
+                       help="sample fairness-quality series while serving "
+                            "and export them as JSONL to PATH on shutdown "
+                            "(render with 'report --from PATH')")
+    serve.add_argument("--record-interval", type=float, default=None,
+                       help="recorder sampling interval in virtual seconds "
+                            "(default: the FCS refresh interval)")
 
     query = sub.add_parser("query", help="query a running aequusd")
     query.add_argument("action",
@@ -120,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--port", type=int, default=4730)
     probe.add_argument("--stale-factor", type=float, default=2.0,
                        help="snapshot age threshold, in refresh intervals")
+    probe.add_argument("--max-staleness", type=float, default=None,
+                       metavar="SECONDS",
+                       help="also fail (exit 1) when any remote origin's "
+                            "usage horizon lags further than SECONDS")
     probe.add_argument("--timeout", type=float, default=5.0)
 
     metrics = sub.add_parser("metrics",
@@ -127,6 +145,18 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--host", default="127.0.0.1")
     metrics.add_argument("--port", type=int, default=4730)
     metrics.add_argument("--timeout", type=float, default=5.0)
+
+    report = sub.add_parser("report",
+                            help="render a markdown fairness report")
+    report.add_argument("--host", default="127.0.0.1")
+    report.add_argument("--port", type=int, default=4730)
+    report.add_argument("--timeout", type=float, default=5.0)
+    report.add_argument("--from", dest="from_file", default=None,
+                        metavar="JSONL",
+                        help="render from a recorder JSONL export instead "
+                             "of querying a live daemon")
+    report.add_argument("--out", default=None, metavar="PATH",
+                        help="write the report to PATH instead of stdout")
     return parser
 
 
@@ -229,20 +259,39 @@ def _cmd_serve(args) -> int:
         json_log = sys.stderr
     elif args.json_log:
         log_file = json_log = open(args.json_log, "a", encoding="utf-8")
+    recorder = None
+    if args.record:
+        from .obs.evaluate import FairnessRecorder
+        interval = args.record_interval or args.refresh_interval
+        recorder = FairnessRecorder([site], interval=interval)
     daemon = AequusDaemon(engine, site, host=args.host, port=args.port,
-                          time_factor=args.time_factor, json_log=json_log)
+                          time_factor=args.time_factor, json_log=json_log,
+                          recorder=recorder)
     daemon.start()
     print(f"aequusd: site {site.name!r} ({args.users} users) on "
           f"{daemon.host}:{daemon.port}, refresh every "
           f"{args.refresh_interval:.0f}s (Ctrl-C to stop)")
     try:
+        import signal
         import time as _time
+        # SIGTERM (plain `kill`, service managers) must take the same
+        # clean path as Ctrl-C, or the recorder JSONL is never written.
+        # One-shot: a repeat SIGTERM during cleanup must not abort the
+        # flush (process supervisors often signal the whole group).
+        def _terminate(signum, frame):
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _terminate)
         while True:
             _time.sleep(3600.0)
     except KeyboardInterrupt:
         print("stopping")
     finally:
         daemon.stop()
+        if recorder is not None:
+            rows = recorder.store.to_jsonl(args.record)
+            print(f"wrote {rows} fairness samples to {args.record}")
         if log_file is not None:
             log_file.close()
     return 0
@@ -327,9 +376,23 @@ def _cmd_probe_daemon(args) -> int:
     print(f"probe: snapshot age {age:.1f}s "
           f"(refresh interval {interval:.1f}s, stale limit {limit:.1f}s"
           + (f", {verdict}" if verdict else "") + ")")
+    horizons = info.get("usage_horizons") or {}
+    worst: float = 0.0
+    for origin in sorted(horizons):
+        entry = horizons[origin]
+        staleness = float(entry.get("staleness", 0.0))
+        worst = max(worst, staleness)
+        print(f"probe: origin {origin!r} horizon "
+              f"{float(entry.get('horizon', 0.0)):.1f} "
+              f"staleness {staleness:.1f}s")
     if interval > 0 and age > limit:
         print(f"probe: STALE — snapshot is {age / interval:.1f} refresh "
               "intervals old")
+        return 1
+    if args.max_staleness is not None and horizons \
+            and worst > args.max_staleness:
+        print(f"probe: STALE — worst origin usage horizon lags "
+              f"{worst:.1f}s (> {args.max_staleness:.1f}s)")
         return 1
     print("probe: ok")
     return 0
@@ -351,6 +414,38 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    """Render a fairness report (live daemon or recorder JSONL export)."""
+    if args.from_file:
+        from .obs.evaluate import render_report
+        from .obs.timeseries import SeriesStore
+
+        store = SeriesStore.from_jsonl(args.from_file)
+        text = render_report(
+            store, title=f"Aequus fairness report — {args.from_file}")
+    else:
+        from .obs.evaluate import report_from_daemon
+        from .serve.client import AequusTransportError, SyncAequusClient
+
+        try:
+            with SyncAequusClient(args.host, args.port, timeout=args.timeout,
+                                  retries=1) as client:
+                info = client.info().get("info", {})
+                metrics_text = client.metrics()
+        except (AequusTransportError, ConnectionError) as exc:
+            print(f"report: aequusd at {args.host}:{args.port} "
+                  f"unreachable: {exc}", file=sys.stderr)
+            return 2
+        text = report_from_daemon(info, metrics_text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as out:
+            out.write(text)
+        print(f"wrote report to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -362,6 +457,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "probe": _cmd_probe_daemon,
         "metrics": _cmd_metrics,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

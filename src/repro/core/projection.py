@@ -63,6 +63,21 @@ class Projection:
         """
         return self.project(result.to_tree())
 
+    def project_flat_array(self, result: "FlatFairshare") -> np.ndarray:
+        """Projected values as a float64 array aligned with
+        ``result.leaf_paths``.
+
+        The built-in projections compute this form directly (their dict
+        surface is derived from it); custom projections fall back through
+        their dict output.  The array surface lets consumers that hold
+        results from several sites with one shared policy — the fairness
+        recorder's cross-site divergence — compare values without any
+        per-user dict traffic.
+        """
+        values = self.project_flat(result)
+        return np.array([values[p] for p in result.leaf_paths],
+                        dtype=np.float64)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -80,6 +95,10 @@ class DictionaryOrderingProjection(Projection):
         return self.project_vectors(tree.vectors())
 
     def project_flat(self, result: "FlatFairshare") -> Dict[str, float]:
+        return dict(zip(result.leaf_paths,
+                        self.project_flat_array(result).tolist()))
+
+    def project_flat_array(self, result: "FlatFairshare") -> np.ndarray:
         """Rank all leaf rows at once via a columnar lexicographic sort.
 
         Rows of the element matrix are balance-point padded, so comparing
@@ -89,10 +108,10 @@ class DictionaryOrderingProjection(Projection):
         matrix = result.element_matrix()
         n, depth = matrix.shape
         if n == 0:
-            return {}
+            return np.empty(0, dtype=np.float64)
         if depth == 0:
             # degenerate single-level-free tree: all vectors equal
-            return {p: n / (n + 1) for p in result.leaf_paths}
+            return np.full(n, n / (n + 1), dtype=np.float64)
         # np.lexsort treats the *last* key as primary; feed columns reversed
         # and flip for a descending (best-first) order
         order = np.lexsort(tuple(matrix[:, c] for c in range(depth - 1, -1, -1)))[::-1]
@@ -104,7 +123,7 @@ class DictionaryOrderingProjection(Projection):
         values_sorted = (n - boundaries[group]) / (n + 1)
         values = np.empty(n, dtype=np.float64)
         values[order] = values_sorted
-        return dict(zip(result.leaf_paths, values.tolist()))
+        return values
 
     def project_vectors(self, vectors: Mapping[str, FairshareVector]) -> Dict[str, float]:
         paths = list(vectors)
@@ -135,6 +154,10 @@ class BitwiseVectorProjection(Projection):
     name = "bitwise"
 
     def project_flat(self, result: "FlatFairshare") -> Dict[str, float]:
+        return dict(zip(result.leaf_paths,
+                        self.project_flat_array(result).tolist()))
+
+    def project_flat_array(self, result: "FlatFairshare") -> np.ndarray:
         """Pack all leaves at once.
 
         Per-level quantized values stay below ``2**bits_per_level`` and the
@@ -144,7 +167,7 @@ class BitwiseVectorProjection(Projection):
         matrix = result.element_matrix()
         n, depth = matrix.shape
         if n == 0:
-            return {}
+            return np.empty(0, dtype=np.float64)
         levels = self.max_levels
         quantum = (1 << self.bits_per_level) - 1
         resolution = float(result.parameters.resolution)
@@ -155,7 +178,7 @@ class BitwiseVectorProjection(Projection):
             q = np.clip(np.rint(elem / resolution * quantum), 0, quantum)
             packed = packed * (quantum + 1) + q
         packed /= float((1 << (self.bits_per_level * levels)) - 1)
-        return dict(zip(result.leaf_paths, packed.tolist()))
+        return packed
 
     def __init__(self, bits_per_level: int = 16, max_levels: Optional[int] = None):
         if not 1 <= bits_per_level <= 52:
@@ -203,9 +226,12 @@ class PercentalProjection(Projection):
         return values
 
     def project_flat(self, result: "FlatFairshare") -> Dict[str, float]:
+        return dict(zip(result.leaf_paths,
+                        self.project_flat_array(result).tolist()))
+
+    def project_flat_array(self, result: "FlatFairshare") -> np.ndarray:
         target_total, usage_total = result.path_products()
-        values = np.clip((target_total - usage_total + 1.0) / 2.0, 0.0, 1.0)
-        return dict(zip(result.leaf_paths, values.tolist()))
+        return np.clip((target_total - usage_total + 1.0) / 2.0, 0.0, 1.0)
 
 
 _PROJECTIONS = {

@@ -9,6 +9,11 @@ Three pieces (DESIGN.md §9):
 * :mod:`~repro.obs.export` — Prometheus text-format exposition, served by
   aequusd's ``METRICS`` op and the ``aequus-repro metrics`` CLI.
 
+Plus the evaluation plane (DESIGN.md §10): :mod:`~repro.obs.timeseries`
+(bounded ring series with CSV/JSONL export) and :mod:`~repro.obs.evaluate`
+(fairness-quality recorder — distance, divergence, staleness — and the
+markdown report renderers behind ``aequus-repro report``).
+
 :func:`set_enabled` flips the process default for both metrics-only
 instruments (histograms/timers) and tracing — the switch the overhead
 benchmark uses for its instrumentation-off baseline.  Counters and gauges
@@ -16,24 +21,38 @@ backing public stats APIs always stay live (see the registry docstring).
 """
 
 from .jsonlog import JsonLogger
-from .registry import (LATENCY_BUCKETS, MetricsRegistry, StatsView,
-                       default_enabled, default_registry, metric_property,
-                       set_default_enabled)
+from .registry import (AGE_BUCKETS, LATENCY_BUCKETS, MetricsRegistry,
+                       StatsView, default_enabled, default_registry,
+                       metric_property, set_default_enabled)
 from .trace import Tracer, default_tracer, set_default_tracer, span
 from .export import render, render_many
+from .timeseries import RingSeries, SeriesStore
+from .evaluate import (FairnessRecorder, convergence_half_life,
+                       cross_site_divergence, distance_stats,
+                       parse_exposition, render_report, report_from_daemon)
 
 __all__ = [
+    "AGE_BUCKETS",
+    "FairnessRecorder",
     "JsonLogger",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "RingSeries",
+    "SeriesStore",
     "StatsView",
     "Tracer",
+    "convergence_half_life",
+    "cross_site_divergence",
     "default_enabled",
     "default_registry",
     "default_tracer",
+    "distance_stats",
     "metric_property",
+    "parse_exposition",
     "render",
     "render_many",
+    "render_report",
+    "report_from_daemon",
     "set_default_enabled",
     "set_default_tracer",
     "set_enabled",

@@ -47,6 +47,7 @@ from typing import (Any, Callable, Dict, Iterable, Iterator, List, Mapping,
                     MutableMapping, Optional, Tuple)
 
 __all__ = [
+    "AGE_BUCKETS",
     "LATENCY_BUCKETS",
     "Counter",
     "Gauge",
@@ -64,6 +65,15 @@ __all__ = [
 LATENCY_BUCKETS: Tuple[float, ...] = (
     1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
     1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: buckets for *ages* in virtual seconds (snapshot age, usage-horizon
+#: staleness) — spanning sub-interval freshness to multi-hour stalls, so
+#: the paper's update-delay distribution (Fig. 11) and partition outages
+#: land in distinguishable buckets
+AGE_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 15.0, 30.0, 45.0, 60.0, 90.0, 120.0,
+    300.0, 600.0, 1800.0, 3600.0, 7200.0,
 )
 
 #: process-wide default for newly created registries and tracers;

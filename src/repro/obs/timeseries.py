@@ -1,0 +1,200 @@
+"""Bounded time-series storage for the evaluation plane (DESIGN.md §10).
+
+:class:`RingSeries` is a fixed-capacity (time, value) ring buffer;
+:class:`SeriesStore` is a named collection of them with CSV/JSONL export
+and re-import.  This is the *operational* counterpart of
+:mod:`repro.sim.metrics`: that module's :class:`~repro.sim.metrics.TimeSeries`
+grows without bound for offline analysis of one simulation run, while a
+ring series can sample a long-running daemon forever in O(capacity)
+memory — the recorder in :mod:`repro.obs.evaluate` samples into a store
+every tick and the ``aequus-repro report`` CLI renders one.
+
+The JSONL format is one sample per line
+(``{"series": <name>, "t": <time>, "v": <value>}``): append-friendly,
+greppable, and loss-tolerant — a truncated last line is skipped on load,
+so a report can always be rendered from a file a live daemon is still
+writing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import (IO, Deque, Dict, Iterator, List, Mapping, Optional,
+                    Tuple, Union)
+
+__all__ = ["RingSeries", "SeriesStore"]
+
+#: default per-series capacity: at one sample per 30 s tick this holds
+#: better than a day of history per series
+DEFAULT_CAPACITY = 4096
+
+
+class RingSeries:
+    """A named scalar series in a bounded ring buffer.
+
+    Appends are O(1); once ``capacity`` samples are held, the oldest is
+    evicted.  Times must be non-decreasing (samples come from one clock).
+    """
+
+    __slots__ = ("name", "capacity", "_samples", "appended")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+        #: lifetime append count (evictions don't decrement)
+        self.appended = 0
+
+    def append(self, t: float, value: float) -> None:
+        if self._samples and t < self._samples[-1][0]:
+            raise ValueError(
+                f"{self.name}: time went backwards "
+                f"({t} < {self._samples[-1][0]})")
+        self._samples.append((float(t), float(value)))
+        self.appended += 1
+
+    # -- reads --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(self._samples)
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self._samples]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._samples]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._samples[-1] if self._samples else None
+
+    def first(self) -> Optional[Tuple[float, float]]:
+        return self._samples[0] if self._samples else None
+
+    def since(self, t0: float) -> List[Tuple[float, float]]:
+        """Samples with ``t >= t0`` (still in the buffer)."""
+        return [(t, v) for t, v in self._samples if t >= t0]
+
+    def min(self) -> float:
+        return min(v for _, v in self._samples)
+
+    def max(self) -> float:
+        return max(v for _, v in self._samples)
+
+    def mean(self) -> float:
+        return sum(v for _, v in self._samples) / len(self._samples)
+
+
+class SeriesStore:
+    """Named ring series, created on first sample.
+
+    Not thread-safe by design: samples come from the single thread driving
+    the engine (the sim loop or the daemon's tick thread), like every
+    other service-side mutation.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._series: Dict[str, RingSeries] = {}
+
+    def series(self, name: str) -> RingSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = RingSeries(name, self.capacity)
+            self._series[name] = s
+        return s
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        self.series(name).append(t, value)
+
+    def sample_many(self, prefix: str, t: float,
+                    values: Mapping[str, float]) -> None:
+        for key, value in values.items():
+            self.sample(f"{prefix}/{key}", t, value)
+
+    # -- reads --------------------------------------------------------------
+
+    def names(self, prefix: Optional[str] = None) -> List[str]:
+        names = sorted(self._series)
+        if prefix is not None:
+            names = [n for n in names if n.startswith(prefix)]
+        return names
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> RingSeries:
+        return self._series[name]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # -- export / import -----------------------------------------------------
+
+    def _open(self, target: Union[str, IO[str]], mode: str):
+        if isinstance(target, str):
+            return open(target, mode, encoding="utf-8"), True
+        return target, False
+
+    def to_csv(self, target: Union[str, IO[str]]) -> int:
+        """Write ``series,time,value`` rows (header included); returns the
+        number of samples written."""
+        stream, owned = self._open(target, "w")
+        try:
+            stream.write("series,time,value\n")
+            rows = 0
+            for name in self.names():
+                for t, v in self._series[name]:
+                    stream.write(f"{name},{t!r},{v!r}\n")
+                    rows += 1
+            return rows
+        finally:
+            if owned:
+                stream.close()
+
+    def to_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """One JSON object per sample; returns the number written."""
+        stream, owned = self._open(target, "w")
+        try:
+            rows = 0
+            for name in self.names():
+                for t, v in self._series[name]:
+                    stream.write(json.dumps(
+                        {"series": name, "t": t, "v": v},
+                        separators=(",", ":")) + "\n")
+                    rows += 1
+            return rows
+        finally:
+            if owned:
+                stream.close()
+
+    @classmethod
+    def from_jsonl(cls, source: Union[str, IO[str]],
+                   capacity: int = DEFAULT_CAPACITY) -> "SeriesStore":
+        """Rebuild a store from :meth:`to_jsonl` output.
+
+        Blank and truncated/corrupt lines are skipped (a live writer may
+        be mid-line), so rendering a report never races the recorder.
+        """
+        store = cls(capacity=capacity)
+        stream, owned = store._open(source, "r")
+        try:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    store.sample(str(record["series"]),
+                                 float(record["t"]), float(record["v"]))
+                except (ValueError, KeyError, TypeError):
+                    continue
+            return store
+        finally:
+            if owned:
+                stream.close()

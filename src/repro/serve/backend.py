@@ -51,6 +51,10 @@ class SiteBackend:
         self.refresh_interval = fcs.refresh_interval
         self._clock = lambda: fcs.engine.now
 
+    def now(self) -> float:
+        """The stack's virtual clock (the engine driving the services)."""
+        return self._clock()
+
     @property
     def registry(self) -> MetricsRegistry:
         """The service-side registry (the FCS's, shared site-wide when the
@@ -124,6 +128,13 @@ class SiteBackend:
             payload["snapshot_age"] = self.store.age(now)
             payload["staleness"] = self.store.staleness(
                 now, self.refresh_interval)
+            if snap.horizons:
+                # per-origin freshness: the usage horizon the served values
+                # incorporate, and how far behind "now" that is
+                payload["usage_horizons"] = {
+                    origin: {"horizon": horizon,
+                             "staleness": max(0.0, now - horizon)}
+                    for origin, horizon in sorted(snap.horizons.items())}
         if self.uss is not None:
             payload["usage_ingress"] = {
                 "enqueued": self.uss.records_enqueued,

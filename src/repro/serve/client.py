@@ -250,6 +250,12 @@ class AequusClient:
     async def get_fairshare(self, user: str) -> float:
         return (await self.lookup_fairshare(user))[0]
 
+    async def lookup_fairshare_detail(self, user: str) -> Dict[str, Any]:
+        """Freshness-annotated lookup: the full reply body, including the
+        per-origin ``horizons``/``staleness`` the serving snapshot carries."""
+        return await self._call({"op": "GET_FAIRSHARE", "user": user,
+                                 "horizons": True})
+
     async def get_vector(self, user: str) -> FairshareVector:
         reply = await self._call({"op": "GET_VECTOR", "user": user})
         return FairshareVector(reply["elements"],
@@ -368,6 +374,9 @@ class SyncAequusClient:
 
     def get_fairshare(self, user: str) -> float:
         return self._run(self._client.get_fairshare(user))
+
+    def lookup_fairshare_detail(self, user: str) -> Dict[str, Any]:
+        return self._run(self._client.lookup_fairshare_detail(user))
 
     def get_vector(self, user: str) -> FairshareVector:
         return self._run(self._client.get_vector(user))

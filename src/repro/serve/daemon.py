@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.policy import PolicyTree
 from ..core.usage import UsageRecord
+from ..obs.evaluate import FairnessRecorder
 from ..obs.jsonlog import JsonLogger
 from ..obs.registry import MetricsRegistry
 from ..services.fcs import FairshareCalculationService
@@ -106,6 +107,7 @@ class AequusDaemon:
                  host: str = "127.0.0.1", port: int = 4730,
                  tick_interval: float = 0.5, time_factor: float = 1.0,
                  json_log: Optional[Union[JsonLogger, IO[str]]] = None,
+                 recorder: Optional[FairnessRecorder] = None,
                  **server_kwargs):
         self.engine = engine
         self.site = site
@@ -126,12 +128,22 @@ class AequusDaemon:
             self.log = json_log if isinstance(json_log, JsonLogger) \
                 else JsonLogger(json_log)
             site.fcs.add_refresh_listener(self._log_refresh, fire_now=False)
+        #: optional fairness-quality recorder, sampled on the engine's
+        #: virtual clock (its periodic tick fires inside _tick_loop runs)
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach(engine)
 
     def _log_refresh(self, fcs: FairshareCalculationService) -> None:
+        horizons = fcs.usage_horizons()
+        staleness = [max(0.0, self.engine.now - h) for h in horizons.values()]
         self.log.log("refresh", site=fcs.site, seq=fcs.publishes,
                      duration=round(fcs.last_refresh_seconds, 6),
                      cache="hit" if fcs.last_refresh_hit else "miss",
-                     users=len(fcs.values_view()))
+                     users=len(fcs.values_view()),
+                     origins=len(horizons),
+                     staleness_max=round(max(staleness), 3)
+                     if staleness else 0.0)
 
     @property
     def host(self) -> str:
@@ -180,6 +192,8 @@ class AequusDaemon:
             self._ticker.join(5.0)
             self._ticker = None
         self._thread.stop()
+        if self.recorder is not None:
+            self.recorder.stop()
         self.site.stop()
 
     def stats(self) -> Dict[str, int]:

@@ -14,7 +14,10 @@ ordering (the server does reply in order, but the contract is the id).
 Operations
 ----------
 ``GET_FAIRSHARE``     ``user`` -> ``value`` (projected scalar), ``known``,
-                      ``seq``/``epoch`` of the serving snapshot.
+                      ``seq``/``epoch`` of the serving snapshot.  With
+                      ``"horizons": true`` the reply adds ``horizons``
+                      (per-origin usage watermark the snapshot
+                      incorporates) and ``staleness`` (its age now).
 ``GET_VECTOR``        ``user`` -> ``elements`` + ``resolution``.
 ``RESOLVE_IDENTITY``  ``user`` (system user) -> ``identity``.
 ``REPORT_USAGE``      ``user``/``start``/``end``/``cores`` -> ``accepted``.

@@ -331,6 +331,11 @@ class AequusServer:
             return {"ok": False,
                     "error": {"code": ERR_MALFORMED,
                               "message": f"{op} needs a 'user' string"}}
+        if op == "GET_FAIRSHARE" and request.get("horizons"):
+            # freshness-annotated reads bypass the coalescing map: its key
+            # is (op, user, seq), which cannot distinguish the flag, and
+            # the staleness values depend on "now", not on the snapshot
+            return self._get_fairshare(user, snapshot, with_horizons=True)
         seq = snapshot.seq if snapshot is not None else -1
         key = (op, user, seq)
         cached = self._coalesce.get(key)
@@ -355,14 +360,17 @@ class AequusServer:
     # -- op implementations ----------------------------------------------------
 
     def _get_fairshare(self, user: str,
-                       snapshot: Optional[FairshareSnapshot]
-                       ) -> Dict[str, Any]:
+                       snapshot: Optional[FairshareSnapshot],
+                       with_horizons: bool = False) -> Dict[str, Any]:
         value, known, snap = self.backend.lookup_fairshare(user, snapshot)
         body: Dict[str, Any] = {"ok": True, "value": value, "known": known}
         if snap is not None:
             body["seq"] = snap.seq
             body["epoch"] = list(snap.epoch) if isinstance(snap.epoch, tuple) \
                 else snap.epoch
+            if with_horizons:
+                body["horizons"] = dict(snap.horizons)
+                body["staleness"] = snap.staleness(self.backend.now())
         return body
 
     def _get_vector(self, user: str,

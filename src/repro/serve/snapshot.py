@@ -53,6 +53,9 @@ class FairshareSnapshot:
     identity_map: Mapping[str, str] = field(default_factory=dict)
     #: the array-backed refresh result, for vector queries (leaf paths only)
     result: Optional["FlatFairshare"] = None
+    #: per-origin usage horizons (virtual time) incorporated by ``values``
+    #: — the freshness contract of this snapshot (DESIGN.md §10)
+    horizons: Mapping[str, float] = field(default_factory=dict)
 
     # -- queries ------------------------------------------------------------
 
@@ -87,6 +90,12 @@ class FairshareSnapshot:
     def age(self, now: float) -> float:
         return max(0.0, now - self.computed_at)
 
+    def staleness(self, now: float) -> Dict[str, float]:
+        """Per-origin usage-horizon age: how far behind ``now`` each
+        origin's incorporated usage is (zero-clamped)."""
+        return {origin: max(0.0, now - horizon)
+                for origin, horizon in self.horizons.items()}
+
     def describe(self) -> Dict[str, Any]:
         """JSON-ready summary (INFO replies, `repro probe`)."""
         return {
@@ -97,6 +106,7 @@ class FairshareSnapshot:
             "computed_at": self.computed_at,
             "projection": self.projection,
             "users": len(self.values),
+            "origins": len(self.horizons),
         }
 
 
@@ -114,6 +124,7 @@ def snapshot_from_fcs(fcs: "FairshareCalculationService") -> FairshareSnapshot:
         by_name=fcs.names_view(),
         identity_map=dict(fcs.identity_map),
         result=fcs.flat_result(),
+        horizons=fcs.usage_horizons(),
     )
 
 

@@ -25,13 +25,15 @@ import time
 from types import MappingProxyType
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..core.distance import FairshareParameters
 from ..core.fairshare import FairshareTree
 from ..core.flat import FlatFairshare, FlatPolicy
 from ..core.projection import PercentalProjection, Projection
 from ..core.vector import FairshareVector
 from ..obs import trace
-from ..obs.registry import MetricsRegistry, metric_property
+from ..obs.registry import AGE_BUCKETS, MetricsRegistry, metric_property
 from ..sim.engine import PeriodicTask, SimulationEngine
 from .cache import RegistryCacheStats, usage_digest
 from .pds import PolicyDistributionService
@@ -81,6 +83,13 @@ class FairshareCalculationService:
         self._phase_hist = {
             phase: refresh_seconds.labels(phase=phase)
             for phase in ("compile", "rollup", "project", "total")}
+        self._staleness_family = self.registry.histogram(
+            "aequus_snapshot_staleness_seconds",
+            "Per-origin usage-horizon age (virtual seconds) of each "
+            "published fairshare state — the end-to-end update-delay "
+            "distribution of the paper's Fig. 11", ("origin",),
+            buckets=AGE_BUCKETS)
+        self._staleness_children: Dict[str, object] = {}
         #: unchanged-epoch refreshes skipped vs. full recomputations
         self.refresh_stats = RegistryCacheStats(self.registry, "fcs_refresh")
         #: wall seconds and cache outcome of the most recent refresh — the
@@ -96,8 +105,12 @@ class FairshareCalculationService:
         self._refresh_key: Optional[Tuple[tuple, frozenset]] = None
         self._tree_cache: Optional[FairshareTree] = None
         self._values: Dict[str, float] = {}
+        self._values_vec: Optional["np.ndarray"] = None
         self._by_name: Dict[str, str] = {}
         self._computed_at: float = engine.now
+        #: per-origin usage horizons incorporated by the served values
+        #: (the UMS's refresh-time capture, inherited on every refresh)
+        self._horizons: Dict[str, float] = {}
         #: serve-plane publication hook: called after every refresh (hit or
         #: miss) with this FCS; listeners must not mutate FCS state
         self._refresh_listeners: List[Callable[
@@ -140,6 +153,7 @@ class FairshareCalculationService:
             if sp is not None:
                 sp["cache"] = "hit"
             self._computed_at = self.engine.now
+            self._capture_horizons()
             self._metrics["refreshes"].inc()
             self._notify_listeners()
             return
@@ -168,21 +182,50 @@ class FairshareCalculationService:
                 self._phase_hist["rollup"].observe(time.perf_counter() - t0)
         with trace.span("fcs.project", site=self.site):
             t0 = time.perf_counter() if timed else 0.0
-            self._values = self.projection.project_flat(self._result)
+            self._values_vec = self.projection.project_flat_array(
+                self._result)
+            self._values = dict(zip(self._result.leaf_paths,
+                                    self._values_vec.tolist()))
             if timed:
                 self._phase_hist["project"].observe(time.perf_counter() - t0)
         self._by_name = dict(self._flat.by_name)
         self._tree_cache = None
         self._refresh_key = refresh_key
         self._computed_at = self.engine.now
+        self._capture_horizons()
         self._metrics["refreshes"].inc()
         self._notify_listeners()
+
+    def _capture_horizons(self) -> None:
+        """Inherit the UMS's refresh-time horizon set and observe each
+        origin's age — the continuously exported Fig. 11 distribution.
+
+        On a cached-epoch hit the *values* are unchanged but the horizons
+        still advance (idle origins keep heartbeating), so the capture
+        runs on both refresh paths.  Stub UMSes without horizon support
+        (benchmark isolation harnesses) leave the set empty.
+        """
+        getter = getattr(self.ums, "usage_horizons", None)
+        if getter is None:
+            return
+        horizons = getter()
+        self._horizons = horizons
+        if self.registry.enabled and horizons:
+            now = self.engine.now
+            for origin, h in horizons.items():
+                child = self._staleness_children.get(origin)
+                if child is None:
+                    child = self._staleness_family.labels(origin=origin)
+                    self._staleness_children[origin] = child
+                child.observe(max(0.0, now - h))
 
     def set_projection(self, projection: Projection) -> None:
         """Switch projection algorithm (run-time configurable, Sec. III-C)."""
         self.projection = projection
         if self._result is not None:
-            self._values = projection.project_flat(self._result)
+            self._values_vec = projection.project_flat_array(self._result)
+            self._values = dict(zip(self._result.leaf_paths,
+                                    self._values_vec.tolist()))
             self._notify_listeners()
 
     # -- serve-plane publication hook ---------------------------------------
@@ -211,6 +254,15 @@ class FairshareCalculationService:
     @property
     def computed_at(self) -> float:
         return self._computed_at
+
+    def usage_horizons(self) -> Dict[str, float]:
+        """Per-origin usage horizons incorporated by the served values.
+
+        For each known origin site, the virtual time up to which that
+        site's usage is reflected in the current fairshare state; the gap
+        to ``engine.now`` is the live update delay (Fig. 11).
+        """
+        return dict(self._horizons)
 
     def register_identity(self, identity: str, leaf: str) -> None:
         """Alias an external grid identity (e.g. an X.509 DN, which cannot
@@ -272,6 +324,18 @@ class FairshareCalculationService:
         even after later refreshes land — the basis of snapshot atomicity.
         """
         return MappingProxyType(self._values)
+
+    def values_array(self) -> Optional[np.ndarray]:
+        """Projected values as a float64 array aligned with
+        ``flat_result().leaf_paths``.
+
+        Like :meth:`values_view`, refreshes replace the array wholesale —
+        a reference taken now stays a consistent picture of this refresh.
+        Consumers comparing several sites' values against one shared
+        policy (the fairness recorder's cross-site divergence) read this
+        instead of walking the per-user dict.
+        """
+        return self._values_vec
 
     def names_view(self) -> Mapping[str, str]:
         """Read-only view of the bare-name -> leaf-path index."""

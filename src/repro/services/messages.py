@@ -25,7 +25,7 @@ the array delta comparable by shape, not just by element count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 __all__ = ["UsageExchangeMessage", "UsageDeltaMessage", "UsageResyncRequest",
            "PolicyExportMessage"]
@@ -56,6 +56,14 @@ class UsageExchangeMessage:
     sent_at: float
     interval: float
     snapshot: Dict[str, Dict[int, float]]
+    #: origin usage watermark: all of the sender's local usage up to this
+    #: virtual time is reflected in the payload.  ``None`` (legacy senders,
+    #: hand-built test messages) means "assume sent_at".
+    horizon: Optional[float] = None
+
+    @property
+    def usage_horizon(self) -> float:
+        return self.sent_at if self.horizon is None else self.horizon
 
     def total_charge(self) -> float:
         return sum(sum(bins.values()) for bins in self.snapshot.values())
@@ -64,7 +72,7 @@ class UsageExchangeMessage:
         return sum(len(bins) for bins in self.snapshot.values())
 
     def wire_bytes(self) -> int:
-        return (_ENVELOPE + _str_bytes(self.site) + 2 * _FLOAT
+        return (_ENVELOPE + _str_bytes(self.site) + 3 * _FLOAT
                 + sum(_str_bytes(u) + _MAP_ENTRY
                       + len(bins) * (_INT + _FLOAT + _MAP_ENTRY)
                       for u, bins in self.snapshot.items()))
@@ -85,6 +93,12 @@ class UsageDeltaMessage:
     request a full resync.  ``full=True`` marks a complete-state snapshot
     (first publish, or a resync reply): the receiver drops entries not
     listed and may apply it regardless of gaps.
+
+    ``horizon`` is the origin usage watermark (see DESIGN.md §10): every
+    local usage event at the sender up to that virtual time is reflected
+    in the receiver's copy once this message is applied.  Heartbeats carry
+    it too — an idle sender still advances its peers' freshness horizons,
+    which is what makes a *stalled* horizon a reliable partition signal.
     """
 
     site: str
@@ -96,6 +110,11 @@ class UsageDeltaMessage:
     user_idx: List[int] = field(default_factory=list)
     bin_idx: List[int] = field(default_factory=list)
     charges: List[float] = field(default_factory=list)
+    horizon: Optional[float] = None
+
+    @property
+    def usage_horizon(self) -> float:
+        return self.sent_at if self.horizon is None else self.horizon
 
     def total_charge(self) -> float:
         return sum(self.charges)
@@ -104,7 +123,7 @@ class UsageDeltaMessage:
         return len(self.charges)
 
     def wire_bytes(self) -> int:
-        return (_ENVELOPE + _str_bytes(self.site) + 2 * _FLOAT + _INT + _FLAG
+        return (_ENVELOPE + _str_bytes(self.site) + 3 * _FLOAT + _INT + _FLAG
                 + sum(_str_bytes(u) for u in self.user_table)
                 + len(self.charges) * (2 * _INT + _FLOAT))
 

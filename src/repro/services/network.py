@@ -24,11 +24,16 @@ class NetworkStats:
     """Counters for traffic accounting (the paper's caching argument is all
     about reducing call volume, so tests assert on these).
 
-    ``payload_entries`` / ``payload_bytes`` accumulate each queued message's
+    ``payload_entries`` / ``payload_bytes`` accumulate each *sent* message's
     self-reported ``wire_entries()`` / ``wire_bytes()`` (see
     :mod:`repro.services.messages` for the cost model); the per-type dicts
-    break the same totals down by payload class name.  Messages that do not
-    implement the protocol (raw test payloads) count as zero.
+    break the same totals down by payload class name.  Accounting is
+    sender-side: the sender serializes and transmits whether or not a
+    partition black-holes the message downstream, so dropped sends still
+    cost wire bytes — during a partition/heal window the per-type series
+    therefore show every delta heartbeat and ``UsageResyncRequest`` the
+    protocol actually emitted, not just the survivors.  Messages that do
+    not implement the protocol (raw test payloads) count as zero.
 
     The counters live in a :class:`~repro.obs.registry.MetricsRegistry`
     (``aequus_network_*`` series); the historical attributes are views over
@@ -190,11 +195,12 @@ class Network:
     def send(self, src: str, dst: str, message: Any) -> bool:
         """Queue ``message`` for delivery; returns False if dropped."""
         self.stats.record_send(src, dst)
+        # sender-side accounting: the payload is serialized and put on the
+        # wire before the sender can know about partitions or dead peers
+        self.stats.record_payload(message)
         if self.is_partitioned(src, dst) or dst not in self._endpoints:
             self.stats.dropped += 1
             return False
-        # the message actually goes on the wire: account its payload
-        self.stats.record_payload(message)
         handler = self._endpoints[dst]
 
         def deliver() -> None:

@@ -95,6 +95,11 @@ class UsageMonitoringService:
         self._young: Set[str] = set()
         self._primed = False
         self._computed_at: float = engine.now
+        #: per-origin usage horizons as of the last refresh: the totals
+        #: served by :meth:`usage_totals` incorporate exactly this much of
+        #: each origin's usage (captured from the sources *at* refresh, so
+        #: the FCS inherits a causally consistent horizon set)
+        self._horizons: Dict[str, float] = {}
         self._task: Optional[PeriodicTask] = engine.periodic(
             refresh_interval, self.refresh, start_offset=start_offset)
         self.refresh()
@@ -123,6 +128,7 @@ class UsageMonitoringService:
             else:
                 self._incremental_refresh(now, dirty)
             self._computed_at = now
+            self._capture_horizons()
             self._metrics["refreshes"].inc()
         if timed:
             self._refresh_hist.observe(time.perf_counter() - t0)
@@ -186,6 +192,21 @@ class UsageMonitoringService:
                 # recomputing until the midpoint passes, then shift freely
                 self._young.add(user)
 
+    def _capture_horizons(self) -> None:
+        """Freeze the sources' usage horizons alongside the totals.
+
+        Multiple sources tracking the same origin merge on the *minimum*:
+        the aggregate provably incorporates an origin's usage only up to
+        the least-advanced copy.
+        """
+        horizons: Dict[str, float] = {}
+        for uss in self.sources:
+            for origin, h in uss.usage_horizons(self.consider_remote).items():
+                current = horizons.get(origin)
+                if current is None or h < current:
+                    horizons[origin] = h
+        self._horizons = horizons
+
     # -- queries (served from the pre-computed state) ------------------------
 
     @property
@@ -195,6 +216,10 @@ class UsageMonitoringService:
     def usage_totals(self) -> Dict[str, float]:
         """Decayed per-user usage as of the last refresh."""
         return dict(self._totals)
+
+    def usage_horizons(self) -> Dict[str, float]:
+        """Per-origin usage horizons incorporated by the last refresh."""
+        return dict(self._horizons)
 
     def usage_tree(self, structure: Tree) -> UsageTree:
         """Usage tree mirroring ``structure`` from the pre-computed totals."""

@@ -22,6 +22,17 @@ full-snapshot-every-tick behaviour, retained as the measured reference.
 Participation is asymmetric by design: a site may publish without
 consuming or vice versa — the partial-participation experiment
 (Section IV-A.4) exercises exactly those modes.
+
+Freshness watermarks (DESIGN.md §10).  Every publish — full, delta,
+heartbeat, resync reply — is stamped with the sender's *usage horizon*:
+the virtual time up to which its local usage is reflected in the payload.
+The receiver keeps a per-origin high-watermark, advanced by every applied
+message *and* by heartbeats confirming the current sequence (an idle peer
+still proves freshness), but never across a sequence gap — missing data
+must not look fresh.  :meth:`UsageStatisticsService.usage_horizons` is the
+base of the causal chain UMS → FCS → snapshot that turns the paper's
+Fig. 11 update delay into the continuously exported
+``aequus_usage_staleness_seconds`` histogram.
 """
 
 from __future__ import annotations
@@ -34,7 +45,7 @@ from typing import Deque, Dict, List, Optional, Set
 from ..core.decay import DecayFunction
 from ..core.usage import UsageHistogram, UsageRecord
 from ..obs import trace
-from ..obs.registry import MetricsRegistry, metric_property
+from ..obs.registry import AGE_BUCKETS, MetricsRegistry, metric_property
 from ..sim.engine import PeriodicTask, SimulationEngine
 from .messages import UsageDeltaMessage, UsageExchangeMessage, UsageResyncRequest
 from .network import Network
@@ -96,6 +107,13 @@ class UsageStatisticsService:
             "aequus_uss_exchange_seconds",
             "Wall time of one USS exchange tick (drain, prune, publish)"
         ).labels()
+        self._staleness_family = self.registry.histogram(
+            "aequus_usage_staleness_seconds",
+            "Per-origin usage-horizon age (virtual seconds) observed at "
+            "each exchange tick — the receive-side update-delay "
+            "distribution of the paper's Fig. 11", ("origin",),
+            buckets=AGE_BUCKETS)
+        self._staleness_children: Dict[str, object] = {}
         self.peers: List[str] = []
         #: sender state: consecutive publish sequence number (0 = never)
         self._seq = 0
@@ -105,6 +123,9 @@ class UsageStatisticsService:
         #: receiver state per remote site
         self._recv_seq: Dict[str, int] = {}
         self._recv_sent_at: Dict[str, float] = {}
+        #: per-origin usage high-watermark (virtual time) — advanced by
+        #: applied messages and current-seq heartbeats, never across gaps
+        self._recv_horizon: Dict[str, float] = {}
         #: UMS-facing dirty-user cursors: cursor id -> histogram-cursor map
         #: keyed by histogram owner ("" = local, else remote site name)
         self._usage_cursors: Dict[int, Dict[str, int]] = {}
@@ -186,6 +207,14 @@ class UsageStatisticsService:
                                                    self.prune_horizon)
             for hist in self.remote.values():
                 hist.prune(self.engine.now, self.prune_horizon)
+        if self.registry.enabled and self._recv_horizon:
+            now = self.engine.now
+            for origin, horizon in self._recv_horizon.items():
+                child = self._staleness_children.get(origin)
+                if child is None:
+                    child = self._staleness_family.labels(origin=origin)
+                    self._staleness_children[origin] = child
+                child.observe(max(0.0, now - horizon))
         if not self.publish or not self.peers:
             return
         if not self.delta_exchange:
@@ -194,6 +223,7 @@ class UsageStatisticsService:
                 sent_at=self.engine.now,
                 interval=self.local.interval,
                 snapshot=self.local.snapshot(),
+                horizon=self.engine.now,
             )
         else:
             message = self._build_delta()
@@ -218,7 +248,8 @@ class UsageStatisticsService:
             self._metrics["exchanges_skipped"].inc()
             return UsageDeltaMessage(
                 site=self.site, sent_at=self.engine.now,
-                interval=self.local.interval, seq=self._seq, full=False)
+                interval=self.local.interval, seq=self._seq, full=False,
+                horizon=self.engine.now)
         user_table: List[str] = []
         user_idx: List[int] = []
         bin_idx: List[int] = []
@@ -236,7 +267,7 @@ class UsageStatisticsService:
             site=self.site, sent_at=self.engine.now,
             interval=self.local.interval, seq=self._seq, full=False,
             user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
-            charges=charges)
+            charges=charges, horizon=self.engine.now)
 
     def _full_message(self) -> UsageDeltaMessage:
         user_table, user_idx, bin_idx, charges = self.local.snapshot_arrays()
@@ -244,7 +275,7 @@ class UsageStatisticsService:
             site=self.site, sent_at=self.engine.now,
             interval=self.local.interval, seq=self._seq, full=True,
             user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
-            charges=charges)
+            charges=charges, horizon=self.engine.now)
 
     # -- receiving ---------------------------------------------------------
 
@@ -276,6 +307,11 @@ class UsageStatisticsService:
                     per_hist[site] = hist.register_cursor()
         return hist
 
+    def _note_horizon(self, origin: str, horizon: float) -> None:
+        """Advance (never roll back) an origin's usage high-watermark."""
+        if horizon > self._recv_horizon.get(origin, float("-inf")):
+            self._recv_horizon[origin] = horizon
+
     def _on_full_snapshot(self, message: UsageExchangeMessage) -> None:
         """Legacy dict-of-dict full snapshot (``delta_exchange=False`` peers)."""
         last = self._recv_sent_at.get(message.site)
@@ -284,6 +320,7 @@ class UsageStatisticsService:
             return
         self._recv_sent_at[message.site] = message.sent_at
         self._metrics["exchanges_received"].inc()
+        self._note_horizon(message.site, message.usage_horizon)
         self._remote_histogram(message.site).replace(message.snapshot)
 
     def _on_delta(self, message: UsageDeltaMessage) -> None:
@@ -297,6 +334,12 @@ class UsageStatisticsService:
             if message.seq <= last:
                 if not heartbeat:
                     self._metrics["exchanges_stale"].inc()
+                elif message.seq == last:
+                    # heartbeat confirming our exact state: nothing changed
+                    # at the origin up to its horizon, so our copy is
+                    # complete up to that time — freshness advances even
+                    # though no data moved
+                    self._note_horizon(message.site, message.usage_horizon)
                 return  # heartbeat at (or behind) our state: already current
             if heartbeat or last == 0 or message.seq != last + 1:
                 # missed at least one publish (partition, drop, late join):
@@ -312,6 +355,7 @@ class UsageStatisticsService:
                 return
         self._recv_seq[message.site] = message.seq
         self._recv_sent_at[message.site] = message.sent_at
+        self._note_horizon(message.site, message.usage_horizon)
         self._metrics["exchanges_received"].inc()
         self._remote_histogram(message.site).apply_arrays(
             message.user_table, message.user_idx, message.bin_idx,
@@ -341,6 +385,32 @@ class UsageStatisticsService:
 
     def known_sites(self) -> List[str]:
         return sorted([self.site, *self.remote])
+
+    # -- freshness ---------------------------------------------------------
+
+    def usage_horizons(self, include_remote: bool = True) -> Dict[str, float]:
+        """Per-origin usage high-watermark (virtual time).
+
+        The local origin is always current: every ``record_job`` lands in
+        the histogram immediately, so its horizon is ``engine.now`` (serve
+        -plane records enqueued from other threads become visible at the
+        next drain, which every exchange tick performs).  Remote horizons
+        advance only with applied messages and current-seq heartbeats —
+        during a partition they stall, which is exactly the signal.
+        """
+        horizons = {self.site: self.engine.now}
+        if include_remote:
+            horizons.update(self._recv_horizon)
+        return horizons
+
+    def usage_staleness(self, now: Optional[float] = None,
+                        include_remote: bool = True) -> Dict[str, float]:
+        """Per-origin horizon age: ``now - horizon``, clamped at zero."""
+        if now is None:
+            now = self.engine.now
+        return {origin: max(0.0, now - horizon)
+                for origin, horizon
+                in self.usage_horizons(include_remote).items()}
 
     # -- incremental-UMS support ------------------------------------------
 

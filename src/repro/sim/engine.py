@@ -130,6 +130,10 @@ class SimulationEngine:
             self.step()
         self._now = max(self._now, horizon)
 
+    def run_for(self, duration: float) -> None:
+        """Advance the clock by ``duration`` seconds (run_until now+duration)."""
+        self.run_until(self._now + duration)
+
     def run(self, max_events: Optional[int] = None) -> None:
         """Drain the heap completely (or up to ``max_events``)."""
         count = 0

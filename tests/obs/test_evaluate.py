@@ -1,0 +1,248 @@
+"""Unit tests for the fairness-quality recorder and report renderers."""
+
+import pytest
+
+from repro.core.policy import PolicyTree
+from repro.core.usage import UsageRecord
+from repro.obs.evaluate import (FairnessRecorder, convergence_half_life,
+                                cross_site_divergence, distance_stats,
+                                parse_exposition, render_report,
+                                report_from_daemon)
+from repro.obs.timeseries import RingSeries, SeriesStore
+from repro.services.network import Network
+from repro.services.site import AequusSite, SiteConfig, connect_sites
+from repro.sim.engine import SimulationEngine
+
+
+def make_sites(n=2, latency=0.1, exchange=10.0):
+    engine = SimulationEngine()
+    network = Network(engine, base_latency=latency)
+    policy = PolicyTree.from_dict({"p": {"a": 1, "b": 1, "c": 2}})
+    config = SiteConfig(histogram_interval=60.0,
+                        uss_exchange_interval=exchange,
+                        ums_refresh_interval=exchange,
+                        fcs_refresh_interval=exchange)
+    sites = [AequusSite(f"s{i}", engine, network, policy=policy,
+                        config=config) for i in range(n)]
+    connect_sites(sites)
+    return engine, sites
+
+
+class TestDistanceStats:
+    def test_zero_distance_when_usage_matches_policy(self):
+        engine, (site,) = make_sites(1)
+        # usage proportional to target shares: a=1, b=1, c=2
+        for user, hours in (("a", 1.0), ("b", 1.0), ("c", 2.0)):
+            site.uss.record_job(UsageRecord(user=user, site="s0", start=0.0,
+                                            end=3600.0 * hours))
+        engine.run_until(25.0)
+        stats = distance_stats(site.fcs.flat_result())
+        assert stats["max"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_skew_increases_distance(self):
+        engine, (site,) = make_sites(1)
+        site.uss.record_job(UsageRecord(user="a", site="s0",
+                                        start=0.0, end=3600.0))
+        engine.run_until(25.0)
+        stats = distance_stats(site.fcs.flat_result())
+        assert stats["max"] > 0.2
+        assert 0.0 < stats["mean"] <= stats["max"]
+
+    def test_empty_result(self):
+        assert distance_stats(None) == {"mean": 0.0, "max": 0.0}
+
+
+class TestCrossSiteDivergence:
+    def test_identical_maps_diverge_zero(self):
+        worst, users = cross_site_divergence(
+            [{"a": 0.5, "b": 0.2}, {"a": 0.5, "b": 0.2}])
+        assert worst == 0.0 and users == 2
+
+    def test_aligned_fast_path(self):
+        worst, users = cross_site_divergence(
+            [{"a": 0.5, "b": 0.2}, {"a": 0.1, "b": 0.25}])
+        assert worst == pytest.approx(0.4) and users == 2
+
+    def test_ragged_maps_fall_back(self):
+        worst, users = cross_site_divergence(
+            [{"a": 0.5, "b": 0.2}, {"b": 0.3, "c": 0.9}])
+        assert worst == pytest.approx(0.1)
+        assert users == 1  # only b is shared
+
+    def test_fewer_than_two_sites(self):
+        assert cross_site_divergence([]) == (0.0, 0)
+        assert cross_site_divergence([{"a": 0.5}]) == (0.0, 0)
+        assert cross_site_divergence([{"a": 0.5}, {}]) == (0.0, 0)
+
+
+class TestConvergenceHalfLife:
+    def series(self, samples):
+        s = RingSeries("x")
+        for t, v in samples:
+            s.append(t, v)
+        return s
+
+    def test_exponential_decay_half_life(self):
+        s = self.series([(float(t), 0.8 * 0.5 ** (t / 10.0))
+                         for t in range(0, 60, 2)])
+        hl = convergence_half_life(s, 0.0)
+        # final value ~0 -> halfway point at v=~0.4, reached near t=10
+        assert hl == pytest.approx(10.0, abs=2.0)
+
+    def test_flat_series_has_no_half_life(self):
+        s = self.series([(float(t), 0.5) for t in range(5)])
+        assert convergence_half_life(s, 0.0) is None
+
+    def test_window_after_t0_only(self):
+        s = self.series([(0.0, 9.0), (10.0, 1.0), (20.0, 0.5), (30.0, 0.0)])
+        # the pre-t0 spike at t=0 must be ignored
+        hl = convergence_half_life(s, 5.0)
+        assert hl == pytest.approx(15.0)
+
+    def test_insufficient_samples(self):
+        assert convergence_half_life(self.series([(0.0, 1.0)]), 0.0) is None
+
+
+class TestFairnessRecorder:
+    def test_periodic_sampling_populates_all_series(self):
+        engine, sites = make_sites(2)
+        rec = FairnessRecorder(sites, interval=10.0)
+        rec.attach(engine)
+        sites[0].uss.record_job(UsageRecord(user="a", site="s0",
+                                            start=0.0, end=3600.0))
+        engine.run_for(100.0)
+        assert rec.samples == 10
+        names = set(rec.store.names())
+        for site in ("s0", "s1"):
+            assert f"distance_mean/{site}" in names
+            assert f"distance_max/{site}" in names
+        assert "divergence_max" in names and "divergence_users" in names
+        assert rec.store.names(prefix="staleness/s0/")  # remote horizons
+        assert rec.divergence().last()[1] == pytest.approx(0.0)
+        assert rec.staleness_series("s0", "s1") is not None
+        assert rec.staleness_series("s0", "ghost") is None
+
+    def test_single_site_skips_divergence(self):
+        engine, sites = make_sites(1)
+        rec = FairnessRecorder(sites, interval=10.0)
+        rec.attach(engine)
+        engine.run_for(30.0)
+        assert rec.divergence() is None
+        assert rec.samples == 3
+
+    def test_divergence_spikes_then_converges(self):
+        engine, sites = make_sites(2)
+        rec = FairnessRecorder(sites, interval=5.0)
+        rec.attach(engine)
+        engine.run_for(50.0)
+        # a large one-sided burst: sites disagree until it propagates
+        sites[0].uss.record_job(UsageRecord(user="a", site="s0",
+                                            start=50.0, end=30_000.0))
+        engine.run_for(100.0)
+        div = rec.divergence()
+        assert div.max() > 0.05
+        assert div.last()[1] == pytest.approx(0.0, abs=1e-9)
+        assert convergence_half_life(div, 50.0) is not None
+
+    def test_stop_cancels_sampling(self):
+        engine, sites = make_sites(1)
+        rec = FairnessRecorder(sites, interval=10.0)
+        task = rec.attach(engine)
+        assert rec.attach(engine) is task  # idempotent
+        engine.run_for(20.0)
+        rec.stop()
+        engine.run_for(50.0)
+        assert rec.samples == 2
+
+    def test_needs_at_least_one_site(self):
+        with pytest.raises(ValueError):
+            FairnessRecorder([])
+
+    def test_disabled_recorder_is_quiet(self):
+        engine, sites = make_sites(1)
+        rec = FairnessRecorder(sites, interval=10.0, enabled=False)
+        rec.attach(engine)
+        engine.run_for(50.0)
+        assert rec.samples == 0
+        assert len(rec.store) == 0
+
+    def test_kill_switch_snapshot_at_construction(self):
+        """Like registries, the recorder freezes the global observability
+        flag at construction: built under REPRO_OBS_DISABLED it stays
+        quiet even though it is attached and ticking."""
+        from repro import obs
+
+        engine, sites = make_sites(1)
+        previous = obs.default_enabled()
+        obs.set_enabled(False)
+        try:
+            rec = FairnessRecorder(sites, interval=10.0)
+        finally:
+            obs.set_enabled(previous)
+        rec.attach(engine)
+        engine.run_for(30.0)
+        assert rec.samples == 0
+
+
+class TestRenderReport:
+    def test_empty_store(self):
+        text = render_report(SeriesStore())
+        assert "no samples recorded" in text
+
+    def test_sections_and_rows(self):
+        store = SeriesStore()
+        store.sample("distance_mean/s0", 10.0, 0.25)
+        store.sample("staleness/s0/s1", 10.0, 30.0)
+        store.sample("divergence_max", 10.0, 0.0)
+        store.sample("custom_series", 10.0, 1.0)
+        text = render_report(store, title="T")
+        assert text.startswith("# T")
+        assert "## Policy-vs-usage distance" in text
+        assert "## Usage staleness" in text
+        assert "## Cross-site divergence" in text
+        assert "## Other series" in text
+        assert "| distance_mean/s0 | 0.25 |" in text
+
+
+class TestExpositionParsing:
+    TEXT = """# HELP aequus_snapshot_staleness_seconds x
+# TYPE aequus_snapshot_staleness_seconds histogram
+aequus_snapshot_staleness_seconds_bucket{origin="s1",le="30.0"} 8
+aequus_snapshot_staleness_seconds_bucket{origin="s1",le="60.0"} 10
+aequus_snapshot_staleness_seconds_bucket{origin="s1",le="+Inf"} 10
+aequus_snapshot_staleness_seconds_count{origin="s1"} 10
+aequus_snapshot_staleness_seconds_sum{origin="s1"} 250.0
+plain_counter 42
+"""
+
+    def test_parse_exposition(self):
+        samples = parse_exposition(self.TEXT)
+        assert ("plain_counter", {}, 42.0) in samples
+        buckets = [s for s in samples
+                   if s[0] == "aequus_snapshot_staleness_seconds_bucket"]
+        assert len(buckets) == 3
+        assert buckets[0][1] == {"origin": "s1", "le": "30.0"}
+
+    def test_parse_escaped_label_values(self):
+        samples = parse_exposition(
+            'm{k="a\\"b\\nc"} 1.0\n')
+        assert samples == [("m", {"k": 'a"b\nc'}, 1.0)]
+
+    def test_report_from_daemon(self):
+        info = {
+            "site": "s0", "time": 120.0, "refresh_interval": 30.0,
+            "usage_horizons": {
+                "s1": {"horizon": 90.0, "staleness": 30.0},
+                "s0": {"horizon": 120.0, "staleness": 0.0},
+            },
+        }
+        text = report_from_daemon(info, self.TEXT)
+        assert "site s0" in text
+        assert "| s1 | 90 | 30 |" in text
+        assert "## Snapshot staleness distribution" in text
+        assert "| s1 | 10 | 25 | 60 |" in text  # count / mean / p99 bucket
+
+    def test_report_from_daemon_empty(self):
+        text = report_from_daemon({"site": "x"}, "")
+        assert "no per-origin horizons" in text
+        assert "no staleness observations" in text

@@ -1,0 +1,148 @@
+"""Unit + integration tests for the structured JSON operational log."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.jsonlog import JsonLogger
+
+
+def parse_lines(text):
+    """Every non-empty line must parse as one JSON object."""
+    records = []
+    for line in text.splitlines():
+        assert line.strip(), "blank line in JSONL output"
+        record = json.loads(line)
+        assert isinstance(record, dict)
+        records.append(record)
+    return records
+
+
+class TestJsonLogger:
+    def test_one_line_per_event(self):
+        buf = io.StringIO()
+        log = JsonLogger(buf, clock=lambda: 12.5)
+        log.log("tick", n=1)
+        log.log("refresh", site="a", cache="hit")
+        records = parse_lines(buf.getvalue())
+        assert len(records) == 2 and log.lines == 2
+        assert records[0] == {"ts": 12.5, "event": "tick", "n": 1}
+        assert records[1]["event"] == "refresh"
+        assert records[1]["site"] == "a" and records[1]["cache"] == "hit"
+
+    def test_clock_stamps_every_record(self):
+        now = [0.0]
+        buf = io.StringIO()
+        log = JsonLogger(buf, clock=lambda: now[0])
+        for t in (1.0, 2.0):
+            now[0] = t
+            log.log("tick")
+        records = parse_lines(buf.getvalue())
+        assert [r["ts"] for r in records] == [1.0, 2.0]
+
+    def test_non_serializable_degrades_to_repr(self):
+        buf = io.StringIO()
+        log = JsonLogger(buf, clock=lambda: 0.0)
+        log.log("weird", payload=object())
+        (record,) = parse_lines(buf.getvalue())
+        assert record["event"] == "weird"
+        assert "object object" in record["repr"]
+
+    def test_concurrent_writers_keep_lines_whole(self):
+        """N threads x M events: still valid one-object-per-line JSONL."""
+        buf = io.StringIO()
+        log = JsonLogger(buf, clock=lambda: 0.0)
+        n_threads, per_thread = 8, 50
+
+        def worker(tid):
+            for i in range(per_thread):
+                log.log("tick", thread=tid, i=i, pad="x" * 64)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = parse_lines(buf.getvalue())
+        assert len(records) == n_threads * per_thread == log.lines
+        seen = {(r["thread"], r["i"]) for r in records}
+        assert len(seen) == n_threads * per_thread
+
+
+class TestDaemonLog:
+    """The daemon's operational log under live concurrent server load."""
+
+    @pytest.fixture
+    def daemon_log(self):
+        from repro.serve.daemon import AequusDaemon, build_demo_site
+        from repro.services.site import SiteConfig
+
+        engine, site = build_demo_site(
+            60, seed=3, config=SiteConfig(histogram_interval=60.0,
+                                          uss_exchange_interval=5.0,
+                                          ums_refresh_interval=5.0,
+                                          fcs_refresh_interval=5.0))
+        # no real peers in the demo stack: a ghost peer forces the USS to
+        # publish (dropped on the floor) so exchange lines appear
+        site.uss.add_peer("ghost")
+        buf = io.StringIO()
+        daemon = AequusDaemon(engine, site, port=0, tick_interval=0.02,
+                              time_factor=600.0, json_log=buf)
+        daemon.start()
+        try:
+            yield daemon, buf
+        finally:
+            daemon.stop()
+
+    def test_tick_refresh_exchange_lines_under_load(self, daemon_log):
+        from repro.serve.client import SyncAequusClient
+
+        daemon, buf = daemon_log
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            try:
+                with SyncAequusClient(daemon.host, daemon.port,
+                                      timeout=5.0) as client:
+                    while not stop.is_set():
+                        client.lookup_fairshare("u0")
+                        client.info()
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(3)]
+        for w in workers:
+            w.start()
+        deadline = time.monotonic() + 5.0
+        while daemon.ticks < 10 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        stop.set()
+        for w in workers:
+            w.join(5.0)
+        daemon.stop()
+        assert not errors
+        records = parse_lines(buf.getvalue())
+        by_event = {}
+        for r in records:
+            by_event.setdefault(r["event"], []).append(r)
+        assert len(by_event.get("tick", [])) >= 10
+        for r in by_event["tick"]:
+            assert {"ts", "n", "engine_now", "advanced",
+                    "duration"} <= r.keys()
+        # 600 virtual s/s across >= 10 ticks crosses many 5 s intervals
+        assert by_event.get("refresh"), "no refresh lines logged"
+        for r in by_event["refresh"]:
+            assert {"site", "seq", "duration", "cache", "users",
+                    "origins", "staleness_max"} <= r.keys()
+            assert r["cache"] in ("hit", "miss")
+            assert r["origins"] >= 1  # the local origin is always tracked
+            assert r["staleness_max"] >= 0.0
+        assert by_event.get("exchange"), "no exchange lines logged"
+        for r in by_event["exchange"]:
+            assert {"site", "rounds", "seq", "stale", "skipped"} <= r.keys()
+            assert r["rounds"] >= 1

@@ -161,3 +161,47 @@ class TestTransportResilience:
         client.ping()
         assert client.stats["requests"] >= 2
         assert client.stats["transport_errors"] == 0
+
+
+class TestFreshnessSurface:
+    """GET_FAIRSHARE with horizons, INFO usage_horizons, detail client."""
+
+    def test_plain_lookup_omits_horizons(self, served, client):
+        (reply,) = client.batch([{"op": "GET_FAIRSHARE", "user": "alice"}])
+        assert "horizons" not in reply and "staleness" not in reply
+
+    def test_detail_lookup_reports_horizons(self, served, client):
+        _, site, _ = served
+        reply = client.lookup_fairshare_detail("alice")
+        assert reply["known"] is True
+        assert reply["value"] == site.fcs.fairshare_value("alice")
+        assert reply["horizons"] == site.fcs.usage_horizons()
+        assert set(reply["staleness"]) == set(reply["horizons"])
+        assert all(v >= 0.0 for v in reply["staleness"].values())
+
+    def test_detail_bypasses_coalescing(self, served, client):
+        """The horizons flag changes the reply shape, so it must not be
+        answered from a plain request's coalesced cache entry."""
+        (plain,) = client.batch([{"op": "GET_FAIRSHARE", "user": "alice"}])
+        detail = client.lookup_fairshare_detail("alice")
+        assert "horizons" not in plain
+        assert "horizons" in detail and detail["value"] == plain["value"]
+
+    def test_info_reports_usage_horizons(self, served, client):
+        _, site, _ = served
+        info = client.info()["info"]
+        horizons = info["usage_horizons"]
+        assert set(horizons) == set(site.fcs.usage_horizons())
+        for entry in horizons.values():
+            assert entry["staleness"] >= 0.0
+            assert entry["horizon"] <= info["time"]
+
+    def test_async_detail_lookup(self, served):
+        _, site, thread = served
+
+        async def go():
+            async with AequusClient(thread.host, thread.port) as c:
+                return await c.lookup_fairshare_detail("alice")
+
+        reply = asyncio.run(go())
+        assert reply["horizons"] == site.fcs.usage_horizons()

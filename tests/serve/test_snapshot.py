@@ -153,3 +153,29 @@ class TestStoreConcurrency:
         assert new.seq > old.seq
         assert dict(old.values) == old_values  # held reference never moved
         assert new.values["/hpc/bob"] != old.values["/hpc/bob"]
+
+
+class TestSnapshotHorizons:
+    def test_snapshot_carries_fcs_horizons(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        assert snap.horizons == site.fcs.usage_horizons()
+        assert snap.horizons["a"] > 0.0
+        assert snap.describe()["origins"] == len(snap.horizons)
+
+    def test_staleness_clamps_to_zero(self, small_site):
+        _, site = small_site
+        snap = snapshot_from_fcs(site.fcs)
+        horizon = snap.horizons["a"]
+        assert snap.staleness(horizon + 7.5)["a"] == pytest.approx(7.5)
+        assert snap.staleness(horizon - 5.0)["a"] == 0.0
+
+    def test_horizons_are_point_in_time(self, small_site):
+        engine, site = small_site
+        store = SnapshotStore.for_fcs(site.fcs)
+        old = store.current()
+        old_horizon = old.horizons["a"]
+        engine.run_until(engine.now + 15.0)
+        new = store.current()
+        assert new.horizons["a"] > old_horizon
+        assert old.horizons["a"] == old_horizon  # held snapshot unchanged

@@ -250,3 +250,82 @@ class TestDuplicateLeafNames:
     def test_no_collisions_on_unique_names(self, stack):
         _, _, _, _, fcs = stack
         assert fcs.name_collisions == 0
+
+
+class TestFreshnessHorizons:
+    """The FCS inherits the UMS's refresh-time horizon set on every
+    refresh — cached-epoch hits included — and exports the per-origin
+    staleness distribution (the paper's Fig. 11, live)."""
+
+    def remote_stack(self):
+        engine = SimulationEngine()
+        network = Network(engine, base_latency=0.1)
+        local = UsageStatisticsService("a", engine, network,
+                                       histogram_interval=60.0,
+                                       exchange_interval=5.0)
+        remote = UsageStatisticsService("b", engine, network,
+                                        histogram_interval=60.0,
+                                        exchange_interval=5.0)
+        remote.add_peer("a")
+        ums = UsageMonitoringService("a", engine, sources=[local],
+                                     decay=NoDecay(), refresh_interval=5.0)
+        policy = PolicyTree.from_dict({"alice": 3, "bob": 1})
+        pds = PolicyDistributionService("a", engine, policy=policy,
+                                        refresh_interval=100.0)
+        fcs = FairshareCalculationService("a", engine, pds=pds, ums=ums,
+                                          refresh_interval=5.0)
+        return engine, remote, fcs
+
+    def test_horizons_present_after_refresh(self, stack):
+        engine, _, _, _, fcs = stack
+        engine.run_until(11.0)
+        assert fcs.usage_horizons()["a"] == pytest.approx(10.0)
+
+    def test_cached_hit_still_advances_horizons(self, stack):
+        """An idle site's refresh is a cache hit, but its horizon set must
+        keep moving — freshness is about time, not about changed values."""
+        engine, _, _, _, fcs = stack
+        engine.run_until(26.0)
+        assert fcs.refresh_stats.hits > 0
+        assert fcs.usage_horizons()["a"] == pytest.approx(25.0)
+
+    def test_remote_origin_tracked_through_chain(self):
+        engine, remote, fcs = self.remote_stack()
+        remote.record_job(UsageRecord(user="alice", site="b",
+                                      start=0.0, end=700.0))
+        engine.run_until(16.0)
+        horizons = fcs.usage_horizons()
+        assert "b" in horizons
+        # USS received b's t=10 publish at 10.1; UMS captured it at 15;
+        # FCS inherited that capture at its own t=15 refresh
+        assert horizons["b"] == pytest.approx(10.0)
+        # and the usage actually reached the served values
+        assert fcs.fairshare_value("alice") < fcs.fairshare_value("bob")
+
+    def test_staleness_histogram_exported(self):
+        from repro.obs.export import render
+
+        engine, remote, fcs = self.remote_stack()
+        remote.record_job(UsageRecord(user="alice", site="b",
+                                      start=0.0, end=700.0))
+        engine.run_until(30.0)
+        text = render(fcs.registry)
+        assert "aequus_snapshot_staleness_seconds" in text
+        assert 'origin="b"' in text
+
+    def test_stub_ums_without_horizons_is_tolerated(self):
+        """Benchmark harnesses drive the FCS with minimal UMS stubs; the
+        horizon capture must degrade to an empty set, not crash."""
+        engine = SimulationEngine()
+
+        class StubUMS:
+            def usage_totals(self):
+                return {"alice": 10.0}
+
+        policy = PolicyTree.from_dict({"alice": 1})
+        pds = PolicyDistributionService("a", engine, policy=policy,
+                                        refresh_interval=100.0)
+        fcs = FairshareCalculationService("a", engine, pds=pds,
+                                          ums=StubUMS(),
+                                          refresh_interval=5.0)
+        assert fcs.usage_horizons() == {}

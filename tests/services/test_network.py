@@ -93,17 +93,23 @@ class TestPayloadAccounting:
         assert network.stats.payload_entries == 0
         assert network.stats.payload_bytes == 0
 
-    def test_dropped_at_send_not_counted(self, network):
+    def test_dropped_at_send_still_counted(self, network):
+        # sender-side accounting: the sender pays the wire cost before it
+        # can learn the link is partitioned
         network.connect("b", lambda m: None)
         network.partition("a", "b")
-        network.send("a", "b", self.delta())
+        msg = self.delta()
+        network.send("a", "b", msg)
         assert network.stats.dropped == 1
-        assert network.stats.payload_bytes == 0
-        assert network.stats.payload_entries == 0
+        assert network.stats.payload_bytes == msg.wire_bytes()
+        assert network.stats.payload_entries == msg.wire_entries()
+        assert network.stats.messages_by_type["UsageDeltaMessage"] == 1
 
-    def test_unknown_endpoint_not_counted(self, network):
-        network.send("a", "nowhere", self.delta())
-        assert network.stats.payload_bytes == 0
+    def test_unknown_endpoint_still_counted(self, network):
+        msg = self.delta()
+        network.send("a", "nowhere", msg)
+        assert network.stats.dropped == 1
+        assert network.stats.payload_bytes == msg.wire_bytes()
 
     def test_reset_clears_everything(self, engine, network):
         network.connect("b", lambda m: None)
@@ -116,6 +122,59 @@ class TestPayloadAccounting:
         assert s.payload_entries == 0 and s.payload_bytes == 0
         assert s.per_link == {} and s.messages_by_type == {}
         assert s.bytes_by_type == {}
+
+
+class TestPartitionWindowAccounting:
+    """Per-type traffic over a partition/heal window, pinned exactly.
+
+    Sender-side accounting means the window's by-type series show every
+    message the delta protocol emitted — the dropped delta, the dropped
+    heartbeats, and (after heal) the gap-repair resync round."""
+
+    @staticmethod
+    def _diff(after, before, key):
+        a, b = after[key], before[key]
+        return {k: v - b.get(k, 0) for k, v in a.items() if v - b.get(k, 0)}
+
+    def test_partition_heal_window_per_type_counts(self, engine, network):
+        from repro.core.usage import UsageRecord
+        from repro.services.uss import UsageStatisticsService
+
+        def uss(name):
+            return UsageStatisticsService(name, engine, network,
+                                          histogram_interval=60.0,
+                                          exchange_interval=10.0)
+
+        a, b = uss("a"), uss("b")
+        a.add_peer("b")
+        b.add_peer("a")
+        engine.run_until(2.0)  # t=0 tick: both send full snapshots (seq=1)
+        a.record_job(UsageRecord(user="alice", site="a", start=0.0, end=100.0))
+        engine.run_until(15.0)  # t=10 tick: a's delta seq=2 delivered
+        network.partition("uss:a", "uss:b")
+        before = network.stats.snapshot()
+        # only site a churns during the partition, so exactly one delta
+        # (seq=3, t=20) is lost; a then goes idle and heartbeats
+        a.record_job(UsageRecord(user="alice", site="a",
+                                 start=100.0, end=400.0))
+        engine.run_until(35.0)  # ticks at 20 and 30, all four sends dropped
+        healed = network.stats.snapshot()
+        window = self._diff(healed, before, "messages_by_type")
+        # a: delta(t=20) + heartbeat(t=30); b: heartbeats at 20 and 30
+        assert window == {"UsageDeltaMessage": 4}
+        assert healed["dropped"] - before["dropped"] == 4
+        # the dropped traffic still cost wire bytes (sender-side accounting)
+        assert self._diff(healed, before, "bytes_by_type")[
+            "UsageDeltaMessage"] > 0
+        network.heal("uss:a", "uss:b")
+        engine.run_until(45.0)  # t=40 tick: heartbeats expose the gap
+        after = network.stats.snapshot()
+        repair = self._diff(after, healed, "messages_by_type")
+        # two heartbeats, one resync request (b->a), one full reply (a->b)
+        assert repair == {"UsageDeltaMessage": 3, "UsageResyncRequest": 1}
+        assert after["delivered"] - healed["delivered"] == 4
+        assert b.resyncs_requested == 1 and a.resyncs_served == 1
+        assert b.remote["a"].total("alice") == pytest.approx(400.0)
 
 
 class TestPartitions:

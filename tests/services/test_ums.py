@@ -223,3 +223,48 @@ class TestIncrementalRefresh:
         b.record_job(UsageRecord(user="u", site="b", start=20.0, end=30.0))
         engine.run_until(40.0)
         assert ums.usage_totals().get("u", 0.0) == pytest.approx(90.0)
+
+
+class TestFreshnessHorizons:
+    """The UMS freezes its sources' usage horizons at refresh time, so the
+    FCS inherits a horizon set consistent with the totals it serves."""
+
+    def test_horizons_frozen_at_refresh(self, engine, uss):
+        ums = make_ums(engine, uss)
+        engine.run_until(25.0)
+        # last refresh at t=20: the local horizon is the refresh time,
+        # not the live clock
+        assert ums.usage_horizons() == {"a": pytest.approx(20.0)}
+        assert ums.computed_at == pytest.approx(20.0)
+
+    def test_remote_horizons_flow_through(self, engine):
+        network = Network(engine, base_latency=0.1)
+        a = UsageStatisticsService("a", engine, network,
+                                   histogram_interval=60.0,
+                                   exchange_interval=10.0)
+        b = UsageStatisticsService("b", engine, network,
+                                   histogram_interval=60.0,
+                                   exchange_interval=10.0)
+        b.add_peer("a")
+        ums = make_ums(engine, a)
+        b.record_job(UsageRecord(user="u", site="b", start=0.0, end=80.0))
+        engine.run_until(25.0)
+        horizons = ums.usage_horizons()
+        # b's t=20 publish lands at 20.1 — after the UMS refresh at t=20 —
+        # so the captured horizon is from b's t=10 publish
+        assert horizons["b"] == pytest.approx(10.0)
+        assert horizons["a"] == pytest.approx(20.0)
+
+    def test_local_only_ums_ignores_remote_horizons(self, engine):
+        network = Network(engine, base_latency=0.1)
+        a = UsageStatisticsService("a", engine, network,
+                                   histogram_interval=60.0,
+                                   exchange_interval=10.0)
+        b = UsageStatisticsService("b", engine, network,
+                                   histogram_interval=60.0,
+                                   exchange_interval=10.0)
+        b.add_peer("a")
+        ums = make_ums(engine, a, consider_remote=False)
+        b.record_job(UsageRecord(user="u", site="b", start=0.0, end=80.0))
+        engine.run_until(25.0)
+        assert set(ums.usage_horizons()) == {"a"}

@@ -271,3 +271,96 @@ class TestDeltaProtocol:
         a.record_job(record(user="alice", end=100.0))
         engine.run_until(25.0)
         assert b.remote["a"].total("alice") == pytest.approx(100.0)
+
+
+class TestFreshnessWatermarks:
+    """Per-origin usage horizons (DESIGN.md §10): advance with applied
+    deltas and current-seq heartbeats, stall across partitions."""
+
+    def pair(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        b.add_peer("a")
+        return a, b
+
+    def test_local_horizon_is_now(self, engine, network):
+        a = make_uss("a", engine, network)
+        engine.run_until(42.0)
+        assert a.usage_horizons() == {"a": 42.0}
+        assert a.usage_staleness() == {"a": 0.0}
+
+    def test_delta_advances_remote_horizon(self, engine, network):
+        a, b = self.pair(engine, network)
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(11.0)
+        # a's t=10 delta (stamped horizon=10.0) arrived at 10.1
+        assert b.usage_horizons()["a"] == pytest.approx(10.0)
+        assert b.usage_staleness()["a"] == pytest.approx(1.0)
+
+    def test_heartbeats_keep_idle_horizon_advancing(self, engine, network):
+        a, b = self.pair(engine, network)
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(51.0)
+        # a went idle after t=10, but its heartbeats carry fresh horizons:
+        # b's watermark follows the t=50 heartbeat, not the last delta
+        assert b.usage_horizons()["a"] == pytest.approx(50.0)
+
+    def test_horizon_stalls_across_partition(self, engine, network):
+        a, b = self.pair(engine, network)
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(15.0)
+        network.partition("uss:a", "uss:b")
+        a.record_job(record(user="alice", start=100.0, end=200.0))
+        engine.run_until(45.0)
+        # nothing got through: the horizon is frozen at the last delivery
+        assert b.usage_horizons()["a"] == pytest.approx(10.0)
+        assert b.usage_staleness()["a"] == pytest.approx(35.0)
+
+    def test_resync_restores_horizon_after_heal(self, engine, network):
+        a, b = self.pair(engine, network)
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(15.0)
+        network.partition("uss:a", "uss:b")
+        a.record_job(record(user="alice", start=100.0, end=200.0))
+        engine.run_until(35.0)  # the seq=3 delta is lost
+        network.heal("uss:a", "uss:b")
+        engine.run_until(55.0)  # heartbeat exposes the gap -> full resync
+        assert b.resyncs_requested >= 1
+        # the resync reply is a fresh full snapshot: horizon jumps forward
+        assert b.usage_horizons()["a"] >= 40.0
+        assert b.remote["a"].total("alice") == pytest.approx(200.0)
+
+    def test_gap_does_not_advance_horizon(self, engine, network):
+        """A message that is *not applied* must not move the watermark."""
+        b = make_uss("b", engine, network)
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=0.0, interval=60.0, seq=1, full=True,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[10.0],
+            horizon=5.0))
+        assert b.usage_horizons()["a"] == pytest.approx(5.0)
+        # seq jumps 1 -> 5: gap detected, delta rejected, resync requested
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=20.0, interval=60.0, seq=5, full=False,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[99.0],
+            horizon=20.0))
+        assert b.usage_horizons()["a"] == pytest.approx(5.0)
+        assert b.resyncs_requested == 1
+
+    def test_legacy_full_snapshots_carry_horizons(self, engine, network):
+        a = make_uss("a", engine, network, delta_exchange=False)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(11.0)
+        assert b.usage_horizons()["a"] == pytest.approx(10.0)
+
+    def test_staleness_histogram_exported(self, engine, network):
+        from repro.obs.export import render
+
+        a, b = self.pair(engine, network)
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(25.0)
+        text = render(b.registry)
+        assert "aequus_usage_staleness_seconds" in text
+        assert 'origin="a"' in text

@@ -58,3 +58,76 @@ class TestCommands:
                      "--sites", "2", "--hosts", "10"]) == 0
         text = capsys.readouterr().out
         assert "read-only site" in text
+
+
+class TestFreshnessCli:
+    """probe --max-staleness and the report command (live + offline)."""
+
+    @pytest.fixture
+    def served(self):
+        from repro.serve.daemon import build_demo_site, serve_site
+
+        engine, site = build_demo_site(40, seed=1)
+        thread = serve_site(site)
+        yield engine, site, thread
+        thread.stop()
+        site.stop()
+
+    def test_parser_accepts_new_flags(self):
+        args = build_parser().parse_args(
+            ["probe", "--max-staleness", "120"])
+        assert args.max_staleness == 120.0
+        args = build_parser().parse_args(
+            ["report", "--from", "x.jsonl", "--out", "r.md"])
+        assert args.from_file == "x.jsonl" and args.out == "r.md"
+        args = build_parser().parse_args(
+            ["serve", "--record", "f.jsonl", "--record-interval", "5"])
+        assert args.record == "f.jsonl" and args.record_interval == 5.0
+
+    def test_probe_ok_within_staleness_budget(self, served, capsys):
+        _, _, thread = served
+        rc = main(["probe", "--port", str(thread.port),
+                   "--max-staleness", "1000"])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "origin" in text and "probe: ok" in text
+
+    def test_probe_fails_on_stalled_horizon(self, served, capsys):
+        engine, site, thread = served
+        # freeze the stack, then let virtual time run away: every origin's
+        # horizon stalls while "now" advances
+        site.stop()
+        engine.run_until(engine.now + 500.0)
+        rc = main(["probe", "--port", str(thread.port),
+                   "--stale-factor", "1e9", "--max-staleness", "120"])
+        text = capsys.readouterr().out
+        assert rc == 1
+        assert "worst origin usage horizon lags" in text
+
+    def test_report_live_daemon(self, served, capsys):
+        _, _, thread = served
+        rc = main(["report", "--port", str(thread.port)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "# Aequus fairness report" in text
+        assert "Usage horizons" in text
+
+    def test_report_from_jsonl(self, tmp_path, capsys):
+        from repro.obs.timeseries import SeriesStore
+
+        store = SeriesStore()
+        for t in range(5):
+            store.sample("divergence_max", float(t) * 10.0, 0.01 * t)
+        src = tmp_path / "fairness.jsonl"
+        store.to_jsonl(str(src))
+        out = tmp_path / "report.md"
+        rc = main(["report", "--from", str(src), "--out", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "# Aequus fairness report" in text
+        assert "Cross-site divergence" in text
+        assert "| divergence_max |" in text
+
+    def test_report_unreachable_daemon(self, capsys):
+        rc = main(["report", "--port", "1", "--timeout", "0.2"])
+        assert rc == 2

@@ -12,10 +12,11 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
-FAST = ["quickstart.py", "vector_factors.py", "observability.py"]
+FAST = ["quickstart.py", "vector_factors.py", "observability.py",
+        "evaluation.py"]
 ALL = ["quickstart.py", "vector_factors.py", "national_grid.py",
        "workload_modeling.py", "partial_participation.py", "slurm_vs_maui.py",
-       "serving.py", "observability.py"]
+       "serving.py", "observability.py", "evaluation.py"]
 
 
 class TestExamples:
@@ -48,6 +49,16 @@ class TestExamples:
             capture_output=True, text=True, timeout=120)
         out = proc.stdout
         assert "suffix" in out and "blend" in out
+
+    def test_evaluation_output_shape(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "evaluation.py")],
+            capture_output=True, text=True, timeout=120)
+        out = proc.stdout
+        assert "usage horizons" in out
+        assert "divergence_max" in out
+        assert "convergence half-life" in out
+        assert "Cross-site divergence" in out
 
     def test_observability_output_shape(self):
         proc = subprocess.run(
