@@ -1,30 +1,51 @@
 """Query throughput and tail latency of the aequusd serve plane.
 
-Boots a real aequusd (site stack + snapshot store + TCP server thread)
-at 1k / 10k / 100k users and drives it with the asyncio client over
-loopback: pipelined single-key ``GET_FAIRSHARE`` throughput, sequential
-request latency (p50/p99), and batched reads (``BATCH`` of
-``GET_FAIRSHARE`` items, one snapshot per batch).
+Two measurement planes, one artifact:
+
+* **Client tiers** — boots a real aequusd (site stack + snapshot store +
+  TCP server thread) at 1k / 10k / 100k users and drives it with the
+  asyncio client over loopback, pinned to the JSON protocol so the rows
+  stay comparable with the pre-sharding artifact: pipelined single-key
+  ``GET_FAIRSHARE`` throughput, sequential latency (p50/p99/p999), and
+  batched reads.
+* **Worker × protocol matrix** — the same site served in-process
+  (``n_workers=0``) and by forked SO_REUSEPORT worker pools over the
+  shared-memory snapshot plane (``n_workers`` 1, 2), each driven in both
+  wire protocols by raw-socket pipelined drivers with pre-encoded frames
+  (the asyncio client's per-future overhead would mask server capacity
+  on one core).  A final row publishes a synthetic 1M-user snapshot via
+  ``publish_arrays`` and probes its tail latency.
 
 Results are printed, appended to ``benchmarks/results.txt``, and written
-to ``benchmarks/BENCH_serve.json`` so CI can track the serving perf per
-PR.  Set ``REPRO_BENCH_SCALE=small`` for a smoke pass (drops the 100k
-tier); the QPS and batch-gain gates at the 10k tier run in both modes.
-``REPRO_SERVE_MIN_QPS`` lowers the single-key QPS floor for constrained
-CI runners (default 20000).
+to ``benchmarks/BENCH_serve.json`` so CI can track serving perf per PR.
+Set ``REPRO_BENCH_SCALE=small`` for a smoke pass (drops the 100k client
+tier and shrinks the big-snapshot row).  Gates scale for constrained CI
+runners via ``REPRO_SERVE_MIN_QPS`` (single-loop client floor, default
+20000) and ``REPRO_SERVE_MIN_AGG_QPS`` (sharded aggregate floor, default
+100000); the relative gates (batch gain, aggregate-vs-single-loop gain,
+binary-vs-JSON gain, big-snapshot p99 budget) are scale-free.
 """
 
 import asyncio
 import json
 import os
+import socket
 import statistics
+import struct
+import threading
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
-from repro.serve.client import AequusClient
+from repro.serve.backend import SiteBackend
+from repro.serve.client import AequusClient, SyncAequusClient
 from repro.serve.daemon import build_demo_site, serve_site
+from repro.serve.protocol import (bin_get_fairshare_by_id, encode_frame)
+from repro.serve.server import AequusServer, ServerThread
+from repro.serve.shm import ShmSnapshotWriter
+from repro.serve.workers import WorkerPool
 
 JSON_PATH = Path(__file__).parent / "BENCH_serve.json"
 
@@ -36,18 +57,38 @@ GATE_USERS = 10_000
 GATE_SINGLE_QPS = float(os.environ.get("REPRO_SERVE_MIN_QPS", 20_000))
 GATE_BATCH_GAIN = 5.0
 
+#: sharded-plane gates: some worker count must push aggregate single-key
+#: throughput past the floor and past AGG_GAIN x the single-loop client
+#: row; binary must beat JSON at every worker count; the 1M-user snapshot
+#: must serve within the p99 envelope the client tiers established
+GATE_AGG_QPS = float(os.environ.get("REPRO_SERVE_MIN_AGG_QPS", 100_000))
+GATE_AGG_GAIN = 4.0
+GATE_BIN_GAIN = 1.5
+GATE_P99_BUDGET_US = float(os.environ.get("REPRO_SERVE_P99_BUDGET_US", 310.0))
+
 SINGLE_REQUESTS = 20_000      #: pipelined single-key requests per tier
 WORKERS = 128                 #: concurrent requesters (pipelining depth)
 BATCH_SIZE = 512              #: keys per BATCH request
 BATCH_COUNT = 40              #: batches per measurement pass
-LATENCY_SAMPLES = 300         #: sequential requests for the p50/p99 probe
+LATENCY_SAMPLES = 2_000       #: sequential requests for the tail probe
 DISTINCT_USERS = 512          #: distinct keys cycled through per tier
 REPEATS = 3                   #: best-of passes (OS scheduling jitter between
                               #: the client and server threads is large)
 
+MATRIX_WORKER_COUNTS = (0, 1, 2)   #: 0 = in-process single loop
+MATRIX_REQUESTS = 40_000           #: pipelined requests per matrix cell
+MATRIX_REPEATS = 2
+BIG_SNAPSHOT_USERS = {"paper": 1_000_000, "small": 150_000}
+
+_LEN = struct.Struct(">I")
+
 
 def scale_tiers():
     return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "paper")]
+
+
+def bench_scale_name():
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
 
 
 def query_users(n_users):
@@ -56,7 +97,10 @@ def query_users(n_users):
 
 
 async def _measure(host, port, users):
-    async with AequusClient(host, port, pool_size=1, timeout=30.0) as client:
+    # pinned to JSON: this row is the single-loop baseline the sharded
+    # matrix is gated against, measured exactly as it was pre-sharding
+    async with AequusClient(host, port, pool_size=1, timeout=30.0,
+                            binary=False) as client:
         # warm up: connection, snapshot, coalescing cache
         await asyncio.gather(*[client.get_fairshare(u) for u in users[:64]])
 
@@ -84,9 +128,7 @@ async def _measure(host, port, users):
             t0 = time.perf_counter()
             await client.get_fairshare(users[i % n])
             lat.append(time.perf_counter() - t0)
-        lat.sort()
-        p50 = statistics.median(lat)
-        p99 = lat[min(len(lat) - 1, int(len(lat) * 0.99))]
+        p50, p99, p999 = _percentiles_us(lat)
 
         # batched reads: same keys, BATCH_SIZE per round trip.  Per-batch
         # timing with a min estimator: on a shared core, whole-pass timing
@@ -103,14 +145,196 @@ async def _measure(host, port, users):
         batch_kps = BATCH_SIZE / best_batch_s
 
         return dict(single_qps=single_qps,
-                    latency_p50_us=p50 * 1e6,
-                    latency_p99_us=p99 * 1e6,
+                    latency_p50_us=p50,
+                    latency_p99_us=p99,
+                    latency_p999_us=p999,
                     batch_keys_per_s=batch_kps,
                     batch_gain=batch_kps / single_qps)
 
 
+def _percentiles_us(samples):
+    samples = sorted(samples)
+    k = len(samples)
+
+    def at(q):
+        return samples[min(k - 1, int(k * q))] * 1e6
+
+    return statistics.median(samples) * 1e6, at(0.99), at(0.999)
+
+
+# -- raw-socket drivers ------------------------------------------------------
+#
+# Pre-encoded frame blobs, one sender thread + one receiver loop per
+# connection, replies counted by scanning frame boundaries.  This times
+# the server, not a client implementation.
+
+def _scan_binary(buf, limit):
+    pos = count = 0
+    while limit - pos >= 12:
+        body = _LEN.unpack_from(buf, pos + 8)[0]
+        if limit - pos < 12 + body:
+            break
+        pos += 12 + body
+        count += 1
+    return pos, count
+
+
+def _scan_json(buf, limit):
+    pos = count = 0
+    while limit - pos >= 4:
+        body = _LEN.unpack_from(buf, pos)[0]
+        if limit - pos < 4 + body:
+            break
+        pos += 4 + body
+        count += 1
+    return pos, count
+
+
+def _connect(port):
+    sock = socket.create_connection(("127.0.0.1", port))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _drive_one(port, blob, expect, scan, counts):
+    sock = _connect(port)
+    sender = threading.Thread(target=lambda: sock.sendall(blob))
+    sender.start()
+    got, buf = 0, b""
+    try:
+        while got < expect:
+            chunk = sock.recv(1 << 18)
+            if not chunk:
+                break
+            buf += chunk
+            used, n = scan(buf, len(buf))
+            buf = buf[used:]
+            got += n
+    finally:
+        sender.join()
+        sock.close()
+    counts.append(got)
+
+
+def _pipelined_qps(port, blobs, scan):
+    """Aggregate replies/s across one pipelined connection per blob."""
+    best = 0.0
+    for _ in range(MATRIX_REPEATS):
+        counts = []
+        threads = [threading.Thread(target=_drive_one,
+                                    args=(port, blob, expect, scan, counts))
+                   for blob, expect in blobs]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        best = max(best, sum(counts) / elapsed)
+    return best
+
+
+def _sequential_latencies(port, frames, binary):
+    """One request at a time: full round trips, no pipelining."""
+    sock = _connect(port)
+    head = 12 if binary else 4
+    lat = []
+    try:
+        for frame in frames:
+            t0 = time.perf_counter()
+            sock.sendall(frame)
+            buf = b""
+            need = head
+            while len(buf) < need:
+                buf += sock.recv(4096)
+                if len(buf) >= head:
+                    at = 8 if binary else 0
+                    need = head + _LEN.unpack_from(buf, at)[0]
+            lat.append(time.perf_counter() - t0)
+    finally:
+        sock.close()
+    return lat
+
+
+def _resolve_leaf_ids(port, users):
+    """Warm a real client against the server to harvest (gen, leaf_id)s."""
+    with SyncAequusClient(port=port, timeout=30.0) as client:
+        for user in users:
+            client.lookup_fairshare(user)
+        cached = dict(client._client._leaf_ids)
+    return [cached[u] for u in users if u in cached]
+
+
+def _measure_matrix_cell(port, users, protocol):
+    if protocol == "binary":
+        # steady-state wire traffic: by-id frames, like a warmed client
+        ids = _resolve_leaf_ids(port, users)
+        frames = [bin_get_fairshare_by_id(i + 1, *ids[i % len(ids)])
+                  for i in range(MATRIX_REQUESTS)]
+        scan, binary = _scan_binary, True
+    else:
+        frames = [encode_frame({"op": "GET_FAIRSHARE", "v": 1, "id": i + 1,
+                                "user": users[i % len(users)]})
+                  for i in range(MATRIX_REQUESTS)]
+        scan, binary = _scan_json, False
+    blob = b"".join(frames)
+    qps = _pipelined_qps(port, [(blob, MATRIX_REQUESTS)], scan)
+    p50, p99, p999 = _percentiles_us(
+        _sequential_latencies(port, frames[:LATENCY_SAMPLES], binary))
+    return dict(single_qps=qps, latency_p50_us=p50,
+                latency_p99_us=p99, latency_p999_us=p999)
+
+
+def _measure_worker_count(site, n_workers, users):
+    cells = []
+    if n_workers == 0:
+        thread = ServerThread(AequusServer(SiteBackend.for_site(site))).start()
+        try:
+            for protocol in ("binary", "json"):
+                cell = _measure_matrix_cell(thread.port, users, protocol)
+                cell.update(n_workers=0, protocol=protocol)
+                cells.append(cell)
+        finally:
+            thread.stop()
+        return cells
+    writer = ShmSnapshotWriter(site.name, token=f"bw{n_workers}")
+    writer.attach_fcs(site.fcs, irs=site.irs)
+    try:
+        with WorkerPool(writer.name, n_workers, site=site.name) as pool:
+            assert pool.wait_ready(30.0)
+            for protocol in ("binary", "json"):
+                cell = _measure_matrix_cell(pool.port, users, protocol)
+                cell.update(n_workers=n_workers, protocol=protocol)
+                cells.append(cell)
+    finally:
+        writer.close()
+    return cells
+
+
+def _measure_big_snapshot():
+    """Publish a synthetic big snapshot straight into shm and probe it."""
+    n_users = BIG_SNAPSHOT_USERS[bench_scale_name()]
+    writer = ShmSnapshotWriter("bigbench", token="bigb")
+    rng = np.random.default_rng(0)
+    try:
+        writer.publish_arrays(
+            seq=1, leaf_gen=1, computed_at=0.0, unknown_user_value=0.5,
+            resolution=9999, values=rng.random(n_users),
+            keys={f"user{i:07d}": i for i in range(n_users)})
+        step = n_users // DISTINCT_USERS
+        users = [f"user{i * step:07d}" for i in range(DISTINCT_USERS)]
+        with WorkerPool(writer.name, 1, site="bigbench") as pool:
+            assert pool.wait_ready(30.0)
+            row = _measure_matrix_cell(pool.port, users, "binary")
+    finally:
+        writer.close()
+    row.update(n_users=n_users, n_workers=1, protocol="binary")
+    return row
+
+
 @pytest.fixture(scope="module")
-def serve_rows(report):
+def serve_bench(report):
+    # client tiers: the pre-sharding rows, measured the pre-sharding way
     rows = []
     for n_users in scale_tiers():
         _, site = build_demo_site(n_users, seed=0)
@@ -121,25 +345,66 @@ def serve_rows(report):
         finally:
             thread.stop()
             site.stop()
-        row["n_users"] = n_users
+        row.update(n_users=n_users, n_workers=0, protocol="json",
+                   driver="client")
         rows.append(row)
+
+    # worker x protocol matrix at the gate tier, raw drivers
+    matrix = []
+    _, site = build_demo_site(GATE_USERS, seed=0)
+    users = query_users(GATE_USERS)
+    try:
+        for n_workers in MATRIX_WORKER_COUNTS:
+            matrix.extend(_measure_worker_count(site, n_workers, users))
+    finally:
+        site.stop()
+    for cell in matrix:
+        cell.update(n_users=GATE_USERS, driver="raw")
+
+    big = _measure_big_snapshot()
+    big["driver"] = "raw"
+
     block = ["\n== serve scaling (aequusd over loopback TCP) =="] + [
         f"{r['n_users']:>7} users: single {r['single_qps']:9.0f} qps  "
         f"p50 {r['latency_p50_us']:6.0f} us  p99 {r['latency_p99_us']:6.0f} us  "
         f"batch {r['batch_keys_per_s']:9.0f} keys/s  "
         f"gain {r['batch_gain']:5.1f}x"
         for r in rows]
+    block.append("-- worker x protocol matrix "
+                 f"({GATE_USERS} users, raw pipelined) --")
+    for r in matrix + [big]:
+        block.append(
+            f"workers={r['n_workers']} {r['protocol']:>6} "
+            f"({r['n_users']:>7} users): {r['single_qps']:9.0f} qps  "
+            f"p50 {r['latency_p50_us']:5.0f} us  "
+            f"p99 {r['latency_p99_us']:5.0f} us  "
+            f"p999 {r['latency_p999_us']:6.0f} us")
     for line in block:
         print(line)
     report.extend(block)
+
     JSON_PATH.write_text(json.dumps(
         dict(benchmark="serve_scaling",
-             scale=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+             scale=bench_scale_name(),
              gate=dict(users=GATE_USERS, min_single_qps=GATE_SINGLE_QPS,
-                       min_batch_gain=GATE_BATCH_GAIN),
-             rows=rows),
+                       min_batch_gain=GATE_BATCH_GAIN,
+                       min_aggregate_qps=GATE_AGG_QPS,
+                       min_aggregate_gain=GATE_AGG_GAIN,
+                       min_binary_gain=GATE_BIN_GAIN,
+                       p99_budget_us=GATE_P99_BUDGET_US),
+             rows=rows, matrix=matrix, big_snapshot=big),
         indent=2) + "\n")
-    return rows
+    return dict(rows=rows, matrix=matrix, big=big)
+
+
+@pytest.fixture(scope="module")
+def serve_rows(serve_bench):
+    return serve_bench["rows"]
+
+
+@pytest.fixture(scope="module")
+def matrix_rows(serve_bench):
+    return serve_bench["matrix"]
 
 
 class TestServeScaling:
@@ -160,9 +425,46 @@ class TestServeScaling:
         # tier must stay within 4x of the smallest tier's throughput
         assert serve_rows[-1]["single_qps"] >= serve_rows[0]["single_qps"] / 4
 
-    def test_json_artifact_written(self, serve_rows):
+    def test_json_artifact_written(self, serve_bench):
         data = json.loads(JSON_PATH.read_text())
         assert data["benchmark"] == "serve_scaling"
         assert len(data["rows"]) == len(scale_tiers())
-        for row in data["rows"]:
+        for row in (data["rows"] + data["matrix"]
+                    + [data["big_snapshot"]]):
             assert row["latency_p99_us"] >= row["latency_p50_us"]
+            assert row["latency_p999_us"] >= row["latency_p99_us"]
+            assert {"n_workers", "protocol", "driver"} <= set(row)
+
+
+class TestShardedServeGates:
+    def test_aggregate_qps_gate(self, serve_rows, matrix_rows):
+        """Some sharded worker count must clear the aggregate floor and
+        beat the single-loop client row by the required multiple."""
+        single_loop = next(r for r in serve_rows
+                           if r["n_users"] == GATE_USERS)["single_qps"]
+        sharded = [r for r in matrix_rows
+                   if r["n_workers"] >= 1 and r["protocol"] == "binary"]
+        best = max(r["single_qps"] for r in sharded)
+        assert best >= GATE_AGG_QPS, (
+            f"best sharded aggregate {best:.0f} qps "
+            f"(need >= {GATE_AGG_QPS:.0f})")
+        assert best >= GATE_AGG_GAIN * single_loop, (
+            f"best sharded aggregate {best:.0f} qps is only "
+            f"{best / single_loop:.1f}x the single-loop row "
+            f"({single_loop:.0f} qps; need >= {GATE_AGG_GAIN}x)")
+
+    def test_binary_beats_json_at_equal_worker_count(self, matrix_rows):
+        for n_workers in MATRIX_WORKER_COUNTS:
+            cells = {r["protocol"]: r["single_qps"] for r in matrix_rows
+                     if r["n_workers"] == n_workers}
+            gain = cells["binary"] / cells["json"]
+            assert gain >= GATE_BIN_GAIN, (
+                f"binary only {gain:.2f}x JSON at workers={n_workers} "
+                f"(need >= {GATE_BIN_GAIN}x)")
+
+    def test_big_snapshot_serves_within_p99_budget(self, serve_bench):
+        big = serve_bench["big"]
+        assert big["latency_p99_us"] <= GATE_P99_BUDGET_US, (
+            f"{big['n_users']}-user snapshot p99 "
+            f"{big['latency_p99_us']:.0f} us exceeds the "
+            f"{GATE_P99_BUDGET_US:.0f} us budget")

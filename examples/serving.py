@@ -6,16 +6,28 @@ puts the aequusd TCP server in front of it, and exercises the serve plane
 end to end: single-key reads, atomic batches, identity resolution, usage
 reporting that lands at the next exchange tick, snapshot sequence numbers
 advancing across an FCS refresh — and finally the unmodified RMS plugin
-seams running over the socket through ``LibAequus.over_socket``.
+seams running over the socket through ``LibAequus.over_socket``, plus the
+sharded mode: snapshots published into shared memory and served by forked
+SO_REUSEPORT workers speaking the binary protocol.
 
-Run:  python examples/serving.py
+Run:  python examples/serving.py [--workers N]
 """
+
+import argparse
+import time
 
 from repro.client.libaequus import LibAequus
 from repro.rms.job import Job
 from repro.rms.plugins import AequusJobCompletionPlugin, AequusPriorityPlugin
 from repro.serve.client import SyncAequusClient
 from repro.serve.daemon import build_demo_site, serve_site
+from repro.serve.shm import ShmSnapshotWriter
+from repro.serve.workers import WorkerPool
+
+args = argparse.ArgumentParser(description=__doc__)
+args.add_argument("--workers", type=int, default=2,
+                  help="worker processes for the sharded section (default 2)")
+args = args.parse_args()
 
 # ---------------------------------------------------------------------------
 # 1. A site with 2000 users under a VO -> project -> user hierarchy, usage
@@ -78,5 +90,36 @@ print(f"completion plugin reported {job.charge:.0f} core-seconds; "
 
 client.close()
 thread.stop()
+
+# ---------------------------------------------------------------------------
+# 5. Serving at scale: the same site, sharded.  Every snapshot epoch is
+#    published into double-buffered shared memory; N forked workers accept
+#    on one SO_REUSEPORT port and answer from the mapped arrays — no parent
+#    heap.  Clients negotiate the binary protocol per connection and fall
+#    back to JSON transparently.
+# ---------------------------------------------------------------------------
+print(f"\n== sharded: {args.workers} workers over shared memory ==")
+writer = ShmSnapshotWriter(site.name)
+writer.attach_fcs(site.fcs, irs=site.irs)
+with WorkerPool(writer.name, args.workers, site=site.name) as pool:
+    assert pool.wait_ready(30.0)
+    with SyncAequusClient(port=pool.port) as shard:
+        server = shard.info()["server"]
+        print(f"answered by worker {server['worker']}/{server['workers']} "
+              f"(pid {server['pid']}, mode {server['mode']}, "
+              f"binary v{server['binary']})")
+        value, known = shard.lookup_fairshare("u0")
+        print(f"fairshare(u0) = {value:.6f} (known={known}) "
+              f"over binary protocol "
+              f"(upgrades={shard.stats['binary_upgrades']})")
+        batch = shard.batch_lookup_fairshare([f"u{i}" for i in range(5)])
+        print(f"binary batch of 5: "
+              f"{[round(v, 4) for v, _ in batch.values()]}")
+    time.sleep(0.6)  # let the workers' stats heartbeat flush their rows
+    totals = pool.aggregate()
+    print(f"fleet totals: {totals['requests']} requests across "
+          f"{totals['workers']} workers "
+          f"({totals['binary_requests']} binary)")
+writer.close()
 site.stop()
 print("\nstopped cleanly")

@@ -103,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--refresh-interval", type=float, default=30.0,
                        help="FCS refresh (= snapshot publish) interval")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="sharded mode: fork N per-core worker processes "
+                            "serving shared-memory snapshots over "
+                            "SO_REUSEPORT sockets (0 = in-process server)")
     serve.add_argument("--time-factor", type=float, default=1.0,
                        help="virtual seconds advanced per wall second")
     serve.add_argument("--json-log", default=None, metavar="PATH",
@@ -266,11 +270,12 @@ def _cmd_serve(args) -> int:
         recorder = FairnessRecorder([site], interval=interval)
     daemon = AequusDaemon(engine, site, host=args.host, port=args.port,
                           time_factor=args.time_factor, json_log=json_log,
-                          recorder=recorder)
+                          recorder=recorder, workers=args.workers)
     daemon.start()
+    sharding = f", {args.workers} workers (shm)" if args.workers else ""
     print(f"aequusd: site {site.name!r} ({args.users} users) on "
           f"{daemon.host}:{daemon.port}, refresh every "
-          f"{args.refresh_interval:.0f}s (Ctrl-C to stop)")
+          f"{args.refresh_interval:.0f}s{sharding} (Ctrl-C to stop)")
     try:
         import signal
         import time as _time
@@ -362,6 +367,21 @@ def _cmd_probe_daemon(args) -> int:
     info = reply.get("info", {})
     snapshot = info.get("snapshot")
     print(f"probe: protocol v{reply.get('protocol')}")
+    # worker identity (sharded servers say which process answered and how
+    # many siblings it aggregates for); older servers omit "server"
+    server = reply.get("server") or {}
+    if server:
+        line = (f"probe: server pid {server.get('pid')} "
+                f"binary v{server.get('binary', 0)}")
+        if "worker" in server:
+            line += (f" worker {server['worker']}/{server.get('workers')}"
+                     f" mode {server.get('mode', '?')}")
+        print(line)
+    stats = reply.get("stats") or {}
+    if "workers" in stats:
+        print(f"probe: workers {stats['workers']} "
+              f"connections_active {stats.get('connections_active', 0)} "
+              f"requests {stats.get('requests', 0)}")
     if not snapshot:
         print("probe: no snapshot published yet")
         return 2

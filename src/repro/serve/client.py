@@ -8,6 +8,17 @@ event-loop thread for synchronous callers — including ``libaequus``'s
 socket transport mode, whose duck-type (``lookup_fairshare`` /
 ``resolve_identity`` / ``report_usage``) it implements.
 
+Protocol upgrade: each new connection sends a JSON ``HELLO``; servers
+that advertise ``binary: 2`` get the hot key-addressed ops
+(GET_FAIRSHARE, GET_VECTOR, REPORT_USAGE, batch lookups) as struct-packed
+v2 frames on the same socket — JSON and binary interleave freely, so
+INFO/METRICS/RESOLVE_IDENTITY stay JSON.  Servers predating HELLO answer
+``UNSUPPORTED_OP`` and the client stays on JSON, transparently.  The
+client caches the integer leaf id a name-addressed binary reply returns
+and switches that user to id-addressed requests; when the server's leaf
+table is recompiled (``EPOCH_CHANGED``), the stale id is dropped and the
+name path re-resolves it.
+
 Retry semantics: a request that failed before its frame was written is
 always safe to retry.  A request whose reply never arrived is ambiguous —
 the server may or may not have executed it.  Reads are idempotent and
@@ -15,23 +26,41 @@ retried unconditionally; ``REPORT_USAGE`` is retried too (at-least-once:
 a rare duplicate usage record decays away, a silently dropped one is a
 permanent under-charge), but the ambiguity window is counted in
 ``stats["ambiguous_retries"]`` so operators can see it.
+
+Reconnect backoff uses *full jitter*: attempt ``k`` sleeps a uniform
+random duration in ``[0, min(backoff_max, backoff_base * 2**k)]``.  After
+a worker restart every client re-dials; without jitter they would all
+wake in lockstep at identical exponential marks and hammer the fresh
+listener together (thundering herd) — the uniform draw spreads them over
+the whole window.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import random
+import struct
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..core.vector import FairshareVector
 from ..obs.registry import MetricsRegistry, StatsView
 from ..services.irs import IdentityResolutionError
-from .protocol import (ERR_UNKNOWN_USER, MAX_FRAME_BYTES, PROTOCOL_VERSION,
-                       ConnectionClosed, encode_frame, read_frame)
+from .protocol import (BIN_ACCEPTED, BIN_FS_REPLY, BIN_HEADER, BIN_REP_MAGIC,
+                       BIN_VEC_HEAD, BST_EPOCH_CHANGED, BST_OK,
+                       BST_UNKNOWN_USER, ERR_UNKNOWN_USER, HEADER,
+                       MAX_FRAME_BYTES, NO_LEAF_ID, PROTOCOL_VERSION,
+                       bin_batch_fairshare, bin_get_fairshare_by_id,
+                       bin_get_fairshare_by_name, bin_get_vector_by_name,
+                       bin_report_usage, decode_bin_error, decode_payload,
+                       encode_frame)
 
 __all__ = ["AequusClient", "SyncAequusClient", "AequusServerError",
            "AequusTransportError"]
+
+_READ_CHUNK = 256 * 1024
 
 
 class AequusTransportError(ConnectionError):
@@ -62,7 +91,13 @@ class _RequestFailed(Exception):
 
 
 class _Connection:
-    """One pooled connection: id-correlated pipelining over a single socket."""
+    """One pooled connection: id-correlated pipelining over a single socket.
+
+    JSON and binary replies share the correlation-id space (the id
+    counter is per connection), so one buffered read loop demultiplexes
+    both framings: a JSON future resolves to the reply dict, a binary
+    future to ``(status, body)``.
+    """
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, max_frame: int):
@@ -73,19 +108,55 @@ class _Connection:
         self._pending: Dict[int, asyncio.Future] = {}
         self._reader_task = asyncio.ensure_future(self._read_loop())
         self.broken = False
+        #: negotiated per connection via HELLO (see AequusClient._connection)
+        self.binary = False
 
     async def _read_loop(self) -> None:
+        buf = bytearray()
         try:
             while True:
-                reply = await read_frame(self.reader, self.max_frame)
-                future = self._pending.pop(reply.get("id"), None)
-                if future is not None and not future.done():
-                    future.set_result(reply)
-        except (ConnectionClosed, ConnectionError, OSError) as exc:
-            self._fail_pending(exc)
+                chunk = await self.reader.read(_READ_CHUNK)
+                if not chunk:
+                    raise ConnectionError("connection closed by server")
+                buf += chunk
+                pos = 0
+                end = len(buf)
+                while pos < end:
+                    if buf[pos] == BIN_REP_MAGIC:
+                        if end - pos < BIN_HEADER.size:
+                            break
+                        (_, status, _flags, rid,
+                         body_len) = BIN_HEADER.unpack_from(buf, pos)
+                        if body_len > self.max_frame:
+                            raise ConnectionError("oversized binary reply")
+                        if end - pos < BIN_HEADER.size + body_len:
+                            break
+                        at = pos + BIN_HEADER.size
+                        body = bytes(buf[at:at + body_len])
+                        pos = at + body_len
+                        future = self._pending.pop(rid, None)
+                        if future is not None and not future.done():
+                            future.set_result((status, body))
+                    else:
+                        if end - pos < HEADER.size:
+                            break
+                        (length,) = HEADER.unpack_from(buf, pos)
+                        if length > self.max_frame:
+                            raise ConnectionError("oversized reply frame")
+                        if end - pos < HEADER.size + length:
+                            break
+                        at = pos + HEADER.size
+                        reply = decode_payload(bytes(buf[at:at + length]))
+                        pos = at + length
+                        future = self._pending.pop(reply.get("id"), None)
+                        if future is not None and not future.done():
+                            future.set_result(reply)
+                del buf[:pos]
         except asyncio.CancelledError:
             self._fail_pending(ConnectionError("connection closed"))
             raise
+        except Exception as exc:
+            self._fail_pending(exc)
 
     def _fail_pending(self, exc: BaseException) -> None:
         self.broken = True
@@ -102,23 +173,9 @@ class _Connection:
             future.set_exception(_RequestFailed(
                 sent=True, cause=asyncio.TimeoutError()))
 
-    async def request(self, payload: Dict[str, Any],
-                      timeout: float) -> Dict[str, Any]:
-        rid = next(self._ids)
-        payload = dict(payload, v=PROTOCOL_VERSION, id=rid)
-        loop = asyncio.get_running_loop()
-        future: asyncio.Future = loop.create_future()
-        self._pending[rid] = future
-        try:
-            self.writer.write(encode_frame(payload))
-            # only pay for drain() when the transport actually buffered up
-            # (the hot path writes straight through to the socket)
-            if self.writer.transport.get_write_buffer_size() > 65536:
-                await self.writer.drain()
-        except (ConnectionError, OSError) as exc:
-            self._pending.pop(rid, None)
-            self.broken = True
-            raise _RequestFailed(sent=False, cause=exc) from exc
+    async def _await_reply(self, rid: int, future: asyncio.Future,
+                           loop: asyncio.AbstractEventLoop,
+                           timeout: float) -> Any:
         # a plain timer handle is far cheaper than asyncio.wait_for on a
         # hot path: pipelined reads pay it tens of thousands of times/s
         handle = loop.call_later(timeout, self._timeout_one, rid)
@@ -126,6 +183,41 @@ class _Connection:
             return await future
         finally:
             handle.cancel()
+
+    def _send(self, rid: int, frame: bytes,
+              future: asyncio.Future) -> None:
+        try:
+            self.writer.write(frame)
+            # only pay for drain() when the transport actually buffered up
+            # (the hot path writes straight through to the socket)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(rid, None)
+            self.broken = True
+            raise _RequestFailed(sent=False, cause=exc) from exc
+
+    async def request(self, payload: Dict[str, Any],
+                      timeout: float) -> Dict[str, Any]:
+        rid = next(self._ids)
+        payload = dict(payload, v=PROTOCOL_VERSION, id=rid)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[rid] = future
+        self._send(rid, encode_frame(payload), future)
+        if self.writer.transport.get_write_buffer_size() > 65536:
+            await self.writer.drain()
+        return await self._await_reply(rid, future, loop, timeout)
+
+    async def request_bin(self, build: Callable[[int], bytes],
+                          timeout: float) -> Tuple[int, bytes]:
+        """Send one binary frame (built with a fresh rid); (status, body)."""
+        rid = next(self._ids)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[rid] = future
+        self._send(rid, build(rid), future)
+        if self.writer.transport.get_write_buffer_size() > 65536:
+            await self.writer.drain()
+        return await self._await_reply(rid, future, loop, timeout)
 
     async def close(self) -> None:
         self.broken = True
@@ -144,6 +236,9 @@ class _Connection:
 class AequusClient:
     """Pooled, pipelining, retrying asyncio client for aequusd."""
 
+    #: bound on the user -> (gen, leaf id) cache
+    LEAF_CACHE_SIZE = 1 << 20
+
     def __init__(self, host: str = "127.0.0.1", port: int = 4730,
                  pool_size: int = 2,
                  timeout: float = 5.0,
@@ -151,7 +246,9 @@ class AequusClient:
                  backoff_base: float = 0.05,
                  backoff_max: float = 1.0,
                  max_frame: int = MAX_FRAME_BYTES,
-                 registry: Optional[MetricsRegistry] = None):
+                 binary: bool = True,
+                 registry: Optional[MetricsRegistry] = None,
+                 rng: Optional[random.Random] = None):
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         self.host = host
@@ -162,9 +259,14 @@ class AequusClient:
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self.max_frame = max_frame
+        #: attempt the v2 upgrade on new connections (HELLO negotiation)
+        self.binary = binary
+        self._rng = rng if rng is not None else random.Random()
         self._pool: List[Optional[_Connection]] = [None] * pool_size
         self._pool_locks = [asyncio.Lock() for _ in range(pool_size)]
         self._next_slot = itertools.count()
+        #: user -> (leaf generation, leaf id), learned from binary replies
+        self._leaf_ids: Dict[str, Tuple[int, int]] = {}
         self.registry = registry if registry is not None else MetricsRegistry(
             constant_labels={"component": "client"})
         events = self.registry.counter(
@@ -174,7 +276,8 @@ class AequusClient:
         self.stats = StatsView({
             key: events.labels(event=key)
             for key in ("requests", "retries", "reconnects",
-                        "transport_errors", "ambiguous_retries", "batches")})
+                        "transport_errors", "ambiguous_retries", "batches",
+                        "binary_upgrades", "epoch_changes")})
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -206,14 +309,33 @@ class AequusClient:
                     asyncio.open_connection(self.host, self.port),
                     self.timeout)
                 conn = _Connection(reader, writer, self.max_frame)
+                if self.binary:
+                    await self._negotiate(conn)
                 self._pool[slot] = conn
             return conn
 
+    async def _negotiate(self, conn: _Connection) -> None:
+        """HELLO once per connection; old servers answer UNSUPPORTED_OP."""
+        try:
+            reply = await conn.request({"op": "HELLO"}, self.timeout)
+        except _RequestFailed as exc:
+            await conn.close()
+            cause = exc.cause
+            if isinstance(cause, (ConnectionError, OSError,
+                                  asyncio.TimeoutError)):
+                raise cause
+            raise ConnectionError(str(cause)) from cause
+        if reply.get("ok") and int(reply.get("binary", 0)) >= 2:
+            conn.binary = True
+            self.stats["binary_upgrades"] += 1
+
     def _backoff(self, attempt: int) -> float:
-        return min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        """Full jitter: uniform in [0, min(max, base * 2^attempt)]."""
+        cap = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        return self._rng.uniform(0.0, cap)
 
     async def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request, reconnecting and retrying with backoff."""
+        """Send one JSON request, reconnecting and retrying with backoff."""
         self.stats["requests"] += 1
         slot = next(self._next_slot) % self.pool_size
         last: Optional[BaseException] = None
@@ -241,9 +363,87 @@ class AequusClient:
             f"aequusd at {self.host}:{self.port} unreachable after "
             f"{self.retries + 1} attempts: {last}")
 
+    async def _call_bin(self, build: Callable[[int], bytes]
+                        ) -> Optional[Tuple[int, bytes]]:
+        """Binary twin of :meth:`_call`.
+
+        Returns None when the negotiated connection turned out JSON-only
+        (the caller then falls back to the JSON op), else (status, body).
+        """
+        self.stats["requests"] += 1
+        slot = next(self._next_slot) % self.pool_size
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.stats["retries"] += 1
+                await asyncio.sleep(self._backoff(attempt - 1))
+            try:
+                conn = await self._connection(slot)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                last = exc
+                continue
+            if not conn.binary:
+                return None
+            try:
+                return await conn.request_bin(build, self.timeout)
+            except _RequestFailed as exc:
+                if exc.sent:
+                    self.stats["ambiguous_retries"] += 1
+                last = exc.cause
+                continue
+        self.stats["transport_errors"] += 1
+        raise AequusTransportError(
+            f"aequusd at {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempts: {last}")
+
+    def _raise_bin(self, status: int, body: bytes) -> None:
+        err = decode_bin_error(status, body)
+        raise AequusServerError(err["code"], err["message"])
+
+    def _remember_leaf(self, user: str, gen: int, leaf_id: int) -> None:
+        if leaf_id == NO_LEAF_ID:
+            return
+        if len(self._leaf_ids) >= self.LEAF_CACHE_SIZE:
+            self._leaf_ids.clear()
+        self._leaf_ids[user] = (gen, leaf_id)
+
     # -- single-key API --------------------------------------------------------
 
+    async def _bin_lookup_fairshare(self, user: str
+                                    ) -> Optional[Tuple[float, bool]]:
+        cached = self._leaf_ids.get(user)
+        if cached is not None:
+            gen, leaf_id = cached
+            res = await self._call_bin(
+                lambda rid: bin_get_fairshare_by_id(rid, gen, leaf_id))
+            if res is None:
+                return None
+            status, body = res
+            if status == BST_OK:
+                value, known, _seq, _gen, _leaf = BIN_FS_REPLY.unpack(body)
+                return float(value), bool(known)
+            if status not in (BST_EPOCH_CHANGED, BST_UNKNOWN_USER):
+                self._raise_bin(status, body)
+            # the leaf table moved under the cached id: re-resolve by name
+            self.stats["epoch_changes"] += 1
+            self._leaf_ids.pop(user, None)
+        res = await self._call_bin(
+            lambda rid: bin_get_fairshare_by_name(rid, user))
+        if res is None:
+            return None
+        status, body = res
+        if status != BST_OK:
+            self._raise_bin(status, body)
+        value, known, _seq, gen, leaf_id = BIN_FS_REPLY.unpack(body)
+        if known:
+            self._remember_leaf(user, gen, leaf_id)
+        return float(value), bool(known)
+
     async def lookup_fairshare(self, user: str) -> Tuple[float, bool]:
+        if self.binary:
+            result = await self._bin_lookup_fairshare(user)
+            if result is not None:
+                return result
         reply = await self._call({"op": "GET_FAIRSHARE", "user": user})
         return float(reply["value"]), bool(reply["known"])
 
@@ -257,6 +457,17 @@ class AequusClient:
                                  "horizons": True})
 
     async def get_vector(self, user: str) -> FairshareVector:
+        if self.binary:
+            res = await self._call_bin(
+                lambda rid: bin_get_vector_by_name(rid, user))
+            if res is not None:
+                status, body = res
+                if status != BST_OK:
+                    self._raise_bin(status, body)
+                _seq, resolution, n = BIN_VEC_HEAD.unpack_from(body)
+                elems = struct.unpack_from(">%dd" % n, body,
+                                           BIN_VEC_HEAD.size)
+                return FairshareVector(list(elems), resolution=resolution)
         reply = await self._call({"op": "GET_VECTOR", "user": user})
         return FairshareVector(reply["elements"],
                                resolution=int(reply["resolution"]))
@@ -273,6 +484,15 @@ class AequusClient:
 
     async def report_usage(self, user: str, start: float, end: float,
                            cores: int = 1) -> bool:
+        if self.binary:
+            res = await self._call_bin(
+                lambda rid: bin_report_usage(rid, user, float(start),
+                                             float(end), int(cores)))
+            if res is not None:
+                status, body = res
+                if status != BST_OK:
+                    self._raise_bin(status, body)
+                return bool(BIN_ACCEPTED.unpack(body)[0])
         reply = await self._call({"op": "REPORT_USAGE", "user": user,
                                   "start": start, "end": end, "cores": cores})
         return bool(reply["accepted"])
@@ -282,6 +502,10 @@ class AequusClient:
         if payload is not None:
             request["payload"] = payload
         return await self._call(request)
+
+    async def hello(self) -> Dict[str, Any]:
+        """Capability discovery (sent automatically on connect)."""
+        return await self._call({"op": "HELLO"})
 
     async def info(self) -> Dict[str, Any]:
         return await self._call({"op": "INFO"})
@@ -305,13 +529,78 @@ class AequusClient:
         reply = await self._call({"op": "BATCH", "requests": list(requests)})
         return reply["replies"]
 
+    async def _bin_batch_lookup(self, users: List[str]
+                                ) -> Optional[Dict[str, Tuple[float, bool]]]:
+        out: Dict[str, Tuple[float, bool]] = {}
+        # resolve (and cache) ids for users we have not seen; a user whose
+        # id cannot stabilize (unknown, no row) is answered inline
+        gens = set()
+        for user in users:
+            cached = self._leaf_ids.get(user)
+            if cached is None:
+                single = await self._bin_lookup_fairshare(user)
+                if single is None:
+                    return None  # connection degraded to JSON mid-way
+                cached = self._leaf_ids.get(user)
+                if cached is None:
+                    out[user] = single
+                    continue
+            gens.add(cached[0])
+        todo = [u for u in users if u not in out]
+        if not todo:
+            return out
+        if len(gens) > 1:
+            # ids span a recompile: drop and let the name path re-mint them
+            self.stats["epoch_changes"] += 1
+            for user in todo:
+                self._leaf_ids.pop(user, None)
+            for user in todo:
+                single = await self._bin_lookup_fairshare(user)
+                if single is None:
+                    return None
+                out[user] = single
+            return out
+        gen = gens.pop()
+        ids = [self._leaf_ids[u][1] for u in todo]
+        res = await self._call_bin(
+            lambda rid: bin_batch_fairshare(rid, gen, ids))
+        if res is None:
+            return None
+        status, body = res
+        if status == BST_EPOCH_CHANGED:
+            self.stats["epoch_changes"] += 1
+            for user in todo:
+                self._leaf_ids.pop(user, None)
+            for user in todo:
+                single = await self._bin_lookup_fairshare(user)
+                if single is None:
+                    return None
+                out[user] = single
+            return out
+        if status != BST_OK:
+            self._raise_bin(status, body)
+        from .protocol import BIN_BATCH_REPLY_HEAD
+        _seq, _gen, count = BIN_BATCH_REPLY_HEAD.unpack_from(body)
+        values = struct.unpack_from(">%dd" % count, body,
+                                    BIN_BATCH_REPLY_HEAD.size)
+        flags_at = BIN_BATCH_REPLY_HEAD.size + 8 * count
+        knowns = body[flags_at:flags_at + count]
+        for user, value, known in zip(todo, values, knowns):
+            out[user] = (float(value), bool(known))
+        return out
+
     async def batch_lookup_fairshare(self, users: Iterable[str]
                                      ) -> Dict[str, Tuple[float, bool]]:
         """One round trip, one snapshot: users -> (value, known)."""
         users = list(users)
+        if self.binary and users:
+            self.stats["batches"] += 1
+            out = await self._bin_batch_lookup(users)
+            if out is not None:
+                return out
         replies = await self.batch(
             [{"op": "GET_FAIRSHARE", "user": u} for u in users])
-        out: Dict[str, Tuple[float, bool]] = {}
+        out = {}
         for user, body in zip(users, replies):
             if body.get("ok"):
                 out[user] = (float(body["value"]), bool(body["known"]))
@@ -390,6 +679,9 @@ class SyncAequusClient:
 
     def ping(self, payload: Any = None) -> Dict[str, Any]:
         return self._run(self._client.ping(payload))
+
+    def hello(self) -> Dict[str, Any]:
+        return self._run(self._client.hello())
 
     def info(self) -> Dict[str, Any]:
         return self._run(self._client.info())

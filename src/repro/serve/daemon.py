@@ -101,22 +101,50 @@ def serve_site(site: AequusSite, host: str = "127.0.0.1", port: int = 0,
 
 
 class AequusDaemon:
-    """aequusd: one site stack, wall-clock ticked, served over TCP."""
+    """aequusd: one site stack, wall-clock ticked, served over TCP.
+
+    With ``workers=N`` the daemon runs in sharded mode: instead of an
+    in-process server thread it publishes every FCS refresh into shared
+    memory and forks N per-core worker processes
+    (:class:`~repro.serve.workers.WorkerPool`), each serving its own
+    ``SO_REUSEPORT`` socket straight from the mapped snapshot.  The
+    parent keeps the engine, the tick thread, and usage ingress.
+    """
 
     def __init__(self, engine: SimulationEngine, site: AequusSite,
                  host: str = "127.0.0.1", port: int = 4730,
                  tick_interval: float = 0.5, time_factor: float = 1.0,
                  json_log: Optional[Union[JsonLogger, IO[str]]] = None,
                  recorder: Optional[FairnessRecorder] = None,
+                 workers: int = 0,
                  **server_kwargs):
         self.engine = engine
         self.site = site
         self.tick_interval = tick_interval
         self.time_factor = time_factor
         self.backend = SiteBackend.for_site(site)
-        server_kwargs.setdefault("registry", site.registry)
-        self.server = AequusServer(self.backend, host, port, **server_kwargs)
-        self._thread = ServerThread(self.server)
+        self.workers = workers
+        self.shm_writer = None
+        self.pool = None
+        self.server: Optional[AequusServer] = None
+        self._thread: Optional[ServerThread] = None
+        if workers > 0:
+            from .shm import ShmSnapshotWriter
+            from .workers import WorkerPool
+            self.shm_writer = ShmSnapshotWriter(site.name)
+            self.shm_writer.attach_fcs(site.fcs, irs=site.irs)
+            self.pool = WorkerPool(
+                self.shm_writer.name, workers, host=host, port=port,
+                site=site.name, usage_sink=self.backend.report_usage,
+                registry=site.registry,
+                refresh_interval=site.config.fcs_refresh_interval,
+                **server_kwargs)
+        else:
+            server_kwargs.setdefault("registry", site.registry)
+            self.server = AequusServer(self.backend, host, port,
+                                       **server_kwargs)
+            self._thread = ServerThread(self.server)
+        self._host = host
         self._ticker: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self.ticks = 0
@@ -147,14 +175,20 @@ class AequusDaemon:
 
     @property
     def host(self) -> str:
-        return self.server.host
+        return self._host
 
     @property
     def port(self) -> int:
-        return self.server.port
+        return self.pool.port if self.pool is not None else self.server.port
 
     def start(self) -> "AequusDaemon":
-        self._thread.start()
+        if self.pool is not None:
+            # fork before any daemon thread exists: a child must never
+            # inherit a copy of a running thread's locks
+            self.pool.start()
+            self.pool.wait_ready()
+        else:
+            self._thread.start()
         self._stopping.clear()
         self._ticker = threading.Thread(target=self._tick_loop,
                                         name="aequusd-tick", daemon=True)
@@ -191,10 +225,16 @@ class AequusDaemon:
         if self._ticker is not None:
             self._ticker.join(5.0)
             self._ticker = None
-        self._thread.stop()
+        if self.pool is not None:
+            self.pool.stop()
+            self.shm_writer.close()
+        else:
+            self._thread.stop()
         if self.recorder is not None:
             self.recorder.stop()
         self.site.stop()
 
     def stats(self) -> Dict[str, int]:
+        if self.pool is not None:
+            return dict(self.pool.aggregate(), ticks=self.ticks)
         return dict(self.server.stats, ticks=self.ticks)

@@ -1,8 +1,8 @@
-"""aequusd wire protocol: versioned, length-prefixed JSON frames.
+"""aequusd wire protocol: JSON frames (v1) and compact binary frames (v2).
 
-A frame is a 4-byte big-endian payload length followed by that many bytes
-of UTF-8 JSON.  Both directions use the same framing; the JSON payload is
-always a single object.
+A JSON frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing; the JSON
+payload is always a single object.
 
 Requests carry ``{"v": <protocol version>, "id": <correlation id>,
 "op": "<OP>", ...operands}``.  Replies echo ``id`` and carry either
@@ -33,6 +33,32 @@ Operations
 The frame length prefix is validated against a configurable cap before the
 payload is read, so an adversarial or broken peer cannot make the server
 buffer an arbitrarily large frame.
+
+Binary protocol (v2)
+--------------------
+The hot read path pays for JSON twice per request: serialize on one side,
+parse on the other.  Protocol v2 replaces both with fixed ``struct`` packs.
+A binary frame is a 12-byte header followed by ``body_len`` body bytes::
+
+    request:  magic 0xA3 | opcode u8 | flags u16 | rid u32 | body_len u32
+    reply:    magic 0xA4 | status u8 | flags u16 | rid u32 | body_len u32
+
+Because a JSON frame's first byte is the high byte of its length prefix —
+always zero below a 16 MiB cap — the two framings are distinguishable on
+the first byte, and one connection can interleave them freely: binary for
+the hot key-addressed ops, JSON for everything else (INFO, METRICS, ...).
+A client discovers binary support with the JSON ``HELLO`` op (old servers
+answer ``UNSUPPORTED_OP``, new ones advertise ``binary: 2``) and upgrades
+only after a positive answer, so existing JSON clients and servers
+interoperate unmodified.
+
+Key-addressed binary requests carry either a UTF-8 identity (flags bit 0
+clear) or an integer *leaf id* plus the leaf-table generation it belongs
+to (flags bit 0 set).  Leaf ids are row numbers into the snapshot's leaf
+array — the server returns them on name lookups so clients cache the
+mapping and skip string resolution entirely; a generation mismatch (the
+policy was recompiled) answers ``EPOCH_CHANGED`` and the client
+re-resolves by name.
 """
 
 from __future__ import annotations
@@ -44,6 +70,7 @@ from typing import Any, Dict, Optional
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "BIN_PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "HEADER",
     "OPS",
@@ -54,6 +81,7 @@ __all__ = [
     "ERR_NOT_A_LEAF",
     "ERR_OVERSIZED",
     "ERR_BAD_BATCH",
+    "ERR_EPOCH_CHANGED",
     "ERR_INTERNAL",
     "ProtocolError",
     "MalformedFrame",
@@ -64,10 +92,31 @@ __all__ = [
     "read_frame",
     "error_reply",
     "ok_reply",
+    "BIN_REQ_MAGIC",
+    "BIN_REP_MAGIC",
+    "BIN_HEADER",
+    "BF_BY_ID",
+    "BOP_GET_FAIRSHARE",
+    "BOP_GET_VECTOR",
+    "BOP_REPORT_USAGE",
+    "BOP_BATCH_FAIRSHARE",
+    "BOP_PING",
+    "BST_OK",
+    "BIN_STATUS_CODES",
+    "NO_LEAF_ID",
+    "bin_request",
+    "bin_error",
+    "bin_get_fairshare_by_name",
+    "bin_get_fairshare_by_id",
+    "bin_batch_fairshare",
+    "decode_bin_error",
 ]
 
 #: bump on any incompatible frame or payload change
 PROTOCOL_VERSION = 1
+
+#: the struct-packed wire format (negotiated via the JSON ``HELLO`` op)
+BIN_PROTOCOL_VERSION = 2
 
 #: default cap on a single frame's payload size (1 MiB)
 MAX_FRAME_BYTES = 1 << 20
@@ -76,7 +125,60 @@ MAX_FRAME_BYTES = 1 << 20
 HEADER = struct.Struct(">I")
 
 OPS = frozenset({"GET_FAIRSHARE", "GET_VECTOR", "RESOLVE_IDENTITY",
-                 "REPORT_USAGE", "BATCH", "PING", "INFO", "METRICS"})
+                 "REPORT_USAGE", "BATCH", "PING", "INFO", "METRICS",
+                 "HELLO"})
+
+# -- binary framing -----------------------------------------------------------
+
+#: first byte of every binary request / reply frame.  A JSON frame's first
+#: byte is the top byte of its u32 length prefix — zero for any frame below
+#: 16 MiB — so the two framings never collide below that cap.
+BIN_REQ_MAGIC = 0xA3
+BIN_REP_MAGIC = 0xA4
+
+#: magic, opcode (request) / status (reply), flags, rid, body_len
+BIN_HEADER = struct.Struct(">BBHII")
+
+#: request flag: the body addresses a leaf by ``(gen u32, leaf id u32)``
+#: instead of a UTF-8 identity string
+BF_BY_ID = 0x0001
+
+BOP_GET_FAIRSHARE = 1
+BOP_GET_VECTOR = 2
+BOP_REPORT_USAGE = 3
+BOP_BATCH_FAIRSHARE = 4
+BOP_PING = 5
+
+BIN_OPS = frozenset({BOP_GET_FAIRSHARE, BOP_GET_VECTOR, BOP_REPORT_USAGE,
+                     BOP_BATCH_FAIRSHARE, BOP_PING})
+
+#: reply statuses; non-zero statuses carry a UTF-8 message as the body
+BST_OK = 0
+BST_MALFORMED = 1
+BST_UNSUPPORTED_OP = 2
+BST_UNKNOWN_USER = 3
+BST_NOT_A_LEAF = 4
+BST_EPOCH_CHANGED = 5
+BST_INTERNAL = 6
+BST_OVERSIZED = 7
+BST_BAD_BATCH = 8
+
+#: sentinel leaf id in replies for identities with no stable row
+NO_LEAF_ID = 0xFFFFFFFF
+
+# binary request body layouts
+BIN_BY_ID = struct.Struct(">II")             # gen, leaf id
+BIN_REPORT = struct.Struct(">ddI")           # start, end, cores (+ name)
+BIN_BATCH_HEAD = struct.Struct(">II")        # gen, count (+ count * u32 ids)
+
+# binary reply body layouts
+BIN_FS_REPLY = struct.Struct(">dB3xIII")     # value, known, seq, gen, leaf id
+BIN_VEC_HEAD = struct.Struct(">IIH2x")       # seq, resolution, count (+ f64s)
+BIN_BATCH_REPLY_HEAD = struct.Struct(">III")  # seq, gen, count
+BIN_ACCEPTED = struct.Struct(">B")           # accepted
+
+# precombined header+body structs for the server's hottest replies
+BIN_FS_FULL = struct.Struct(">BBHII" + "dB3xIII")
 
 # -- structured error codes ---------------------------------------------------
 
@@ -87,7 +189,20 @@ ERR_UNKNOWN_USER = "UNKNOWN_USER"    # identity cannot be resolved
 ERR_NOT_A_LEAF = "NOT_A_LEAF"        # vector requested for a non-leaf node
 ERR_OVERSIZED = "OVERSIZED"          # frame exceeded the size cap
 ERR_BAD_BATCH = "BAD_BATCH"          # malformed or nested batch
+ERR_EPOCH_CHANGED = "EPOCH_CHANGED"  # leaf-id generation no longer current
 ERR_INTERNAL = "INTERNAL"
+
+#: binary status byte -> structured error code (shared vocabulary with JSON)
+BIN_STATUS_CODES = {
+    BST_MALFORMED: ERR_MALFORMED,
+    BST_UNSUPPORTED_OP: ERR_UNSUPPORTED_OP,
+    BST_UNKNOWN_USER: ERR_UNKNOWN_USER,
+    BST_NOT_A_LEAF: ERR_NOT_A_LEAF,
+    BST_EPOCH_CHANGED: ERR_EPOCH_CHANGED,
+    BST_INTERNAL: ERR_INTERNAL,
+    BST_OVERSIZED: ERR_OVERSIZED,
+    BST_BAD_BATCH: ERR_BAD_BATCH,
+}
 
 
 class ProtocolError(Exception):
@@ -166,3 +281,89 @@ def error_reply(request_id: Optional[int], code: str,
                 message: str) -> Dict[str, Any]:
     return {"id": request_id, "ok": False,
             "error": {"code": code, "message": message}}
+
+
+# -- binary frame builders ----------------------------------------------------
+
+def bin_request(opcode: int, rid: int, body: bytes = b"",
+                flags: int = 0) -> bytes:
+    """Pack one binary request frame."""
+    return BIN_HEADER.pack(BIN_REQ_MAGIC, opcode, flags, rid,
+                           len(body)) + body
+
+
+def bin_reply(status: int, rid: int, body: bytes = b"",
+              flags: int = 0) -> bytes:
+    """Pack one binary reply frame."""
+    return BIN_HEADER.pack(BIN_REP_MAGIC, status, flags, rid,
+                           len(body)) + body
+
+
+def bin_error(status: int, rid: int, message: str = "") -> bytes:
+    """Pack an error reply; the body is the UTF-8 message."""
+    return bin_reply(status, rid, message.encode("utf-8"))
+
+
+def decode_bin_error(status: int, body: bytes) -> Dict[str, Any]:
+    """Lift a binary error reply into the JSON error shape."""
+    code = BIN_STATUS_CODES.get(status, ERR_INTERNAL)
+    return {"code": code, "message": body.decode("utf-8", "replace")}
+
+
+def bin_get_fairshare_by_name(rid: int, user: str) -> bytes:
+    return bin_request(BOP_GET_FAIRSHARE, rid, user.encode("utf-8"))
+
+
+def bin_get_fairshare_by_id(rid: int, gen: int, leaf_id: int) -> bytes:
+    return bin_request(BOP_GET_FAIRSHARE, rid, BIN_BY_ID.pack(gen, leaf_id),
+                       flags=BF_BY_ID)
+
+
+def bin_get_vector_by_name(rid: int, user: str) -> bytes:
+    return bin_request(BOP_GET_VECTOR, rid, user.encode("utf-8"))
+
+
+def bin_get_vector_by_id(rid: int, gen: int, leaf_id: int) -> bytes:
+    return bin_request(BOP_GET_VECTOR, rid, BIN_BY_ID.pack(gen, leaf_id),
+                       flags=BF_BY_ID)
+
+
+def bin_report_usage(rid: int, user: str, start: float, end: float,
+                     cores: int) -> bytes:
+    return bin_request(BOP_REPORT_USAGE, rid,
+                       BIN_REPORT.pack(start, end, cores)
+                       + user.encode("utf-8"))
+
+
+def bin_batch_fairshare(rid: int, gen: int, leaf_ids: list) -> bytes:
+    """Batch lookup by id; every id must be from the same generation."""
+    body = BIN_BATCH_HEAD.pack(gen, len(leaf_ids)) + \
+        struct.pack(">%dI" % len(leaf_ids), *leaf_ids)
+    return bin_request(BOP_BATCH_FAIRSHARE, rid, body, flags=BF_BY_ID)
+
+
+def bin_ping(rid: int) -> bytes:
+    return bin_request(BOP_PING, rid)
+
+
+async def read_bin_reply(reader: asyncio.StreamReader,
+                         max_frame: int = MAX_FRAME_BYTES):
+    """Read one binary reply frame: ``(status, flags, rid, body)``.
+
+    Test/diagnostic helper — the production client parses replies out of
+    its buffered read loop instead.
+    """
+    try:
+        header = await reader.readexactly(BIN_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("eof") from exc
+    magic, status, flags, rid, body_len = BIN_HEADER.unpack(header)
+    if magic != BIN_REP_MAGIC:
+        raise MalformedFrame(f"bad reply magic 0x{magic:02x}")
+    if body_len > max_frame:
+        raise FrameTooLarge(body_len, max_frame)
+    try:
+        body = await reader.readexactly(body_len)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("truncated frame") from exc
+    return status, flags, rid, body

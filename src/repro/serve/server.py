@@ -2,56 +2,84 @@
 
 Concurrency model
 -----------------
-One event loop serves every connection.  Per connection, a *reader* loop
-parses frames and executes requests (backend reads are sub-microsecond
-snapshot lookups, so execution is synchronous), and a *writer* task drains
-an ordered reply queue to the socket.  The queue is bounded by
-``max_inflight``: when a client stops reading, ``drain()`` blocks the
-writer, the queue fills, the reader stalls on ``put`` and stops consuming
-bytes — TCP backpressure then bounds the client's send side too.  Server
-memory per connection is therefore capped at roughly ``max_inflight``
-replies plus the socket buffers, no matter how fast the client writes.
+One event loop serves every connection.  Per connection a single buffered
+loop reads socket chunks, parses every complete frame in the buffer —
+JSON (length-prefixed) and binary (0xA3 magic) frames interleave freely,
+discriminated on the first byte — executes each request inline (backend
+reads are sub-microsecond snapshot lookups), and appends replies to an
+output buffer that is flushed with one ``write`` + ``drain`` per burst.
+
+Backpressure: the loop awaits ``drain()`` after every ``max_inflight``
+executed requests and whenever the output buffer passes
+``write_buffer_limit``.  When a client stops reading, ``drain()`` blocks,
+the loop stops consuming bytes, and TCP backpressure bounds the client's
+send side too — server memory per connection stays capped at roughly the
+output buffer plus the socket buffers, no matter how fast the client
+writes.
 
 Request coalescing
 ------------------
-Pipelined and batched workloads repeat keys (many jobs per user submitted
-together).  Identical single-key reads against the *same snapshot* produce
-identical reply bodies, so the server memoizes bodies keyed by
-``(op, user, snapshot seq)`` in a small bounded map and only recomputes on
-a snapshot change.  Coalesced hits are counted in the stats.
+Pipelined and batched JSON workloads repeat keys (many jobs per user
+submitted together).  Identical single-key reads against the *same
+snapshot* produce identical reply bodies, so the server memoizes bodies
+keyed by ``(op, user, snapshot seq)`` in a small bounded map and only
+recomputes on a snapshot change.  Coalesced hits are counted in the
+stats.  The binary protocol needs no server-side coalescing: clients
+cache integer leaf ids, which makes every repeat lookup two array reads.
 
-Batches resolve the current snapshot ONCE and serve every sub-request from
-it, so a batch can never straddle an FCS refresh (no torn batches).
+Batches resolve the current snapshot ONCE and serve every sub-request
+from it, so a batch can never straddle an FCS refresh (no torn batches).
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import socket
+import struct
 import threading
 import time
 from bisect import bisect_left
 from collections import OrderedDict
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
 
 from ..obs.export import render_many
 from ..obs.registry import MetricsRegistry, StatsView
 from .backend import SiteBackend
-from .protocol import (ERR_BAD_BATCH, ERR_BAD_VERSION, ERR_INTERNAL,
-                       ERR_MALFORMED, ERR_NOT_A_LEAF, ERR_OVERSIZED,
-                       ERR_UNKNOWN_USER, ERR_UNSUPPORTED_OP, MAX_FRAME_BYTES,
-                       OPS, PROTOCOL_VERSION, ConnectionClosed, FrameTooLarge,
-                       MalformedFrame, encode_frame, error_reply, ok_reply,
-                       read_frame)
+from .protocol import (BF_BY_ID, BIN_ACCEPTED, BIN_BATCH_HEAD,
+                       BIN_BATCH_REPLY_HEAD, BIN_BY_ID, BIN_FS_FULL,
+                       BIN_HEADER, BIN_PROTOCOL_VERSION, BIN_REP_MAGIC,
+                       BIN_REPORT, BIN_REQ_MAGIC, BIN_VEC_HEAD,
+                       BOP_BATCH_FAIRSHARE, BOP_GET_FAIRSHARE,
+                       BOP_GET_VECTOR, BOP_PING, BOP_REPORT_USAGE,
+                       BST_BAD_BATCH, BST_EPOCH_CHANGED, BST_MALFORMED,
+                       BST_NOT_A_LEAF, BST_OK, BST_OVERSIZED, BST_UNKNOWN_USER,
+                       BST_UNSUPPORTED_OP, ERR_BAD_BATCH, ERR_BAD_VERSION,
+                       ERR_INTERNAL, ERR_MALFORMED, ERR_NOT_A_LEAF,
+                       ERR_OVERSIZED, ERR_UNKNOWN_USER, ERR_UNSUPPORTED_OP,
+                       HEADER, MAX_FRAME_BYTES, NO_LEAF_ID, OPS,
+                       PROTOCOL_VERSION, MalformedFrame, bin_error,
+                       decode_payload, encode_frame, error_reply, ok_reply)
 from .snapshot import FairshareSnapshot
 
 __all__ = ["AequusServer", "ServerThread"]
 
-#: sentinel closing a connection's reply queue
-_CLOSE = object()
+#: binary opcode -> the op label used for latency histograms and errors
+_BIN_OP_NAMES = {
+    BOP_GET_FAIRSHARE: "GET_FAIRSHARE",
+    BOP_GET_VECTOR: "GET_VECTOR",
+    BOP_REPORT_USAGE: "REPORT_USAGE",
+    BOP_BATCH_FAIRSHARE: "BATCH",
+    BOP_PING: "PING",
+}
+
+_READ_CHUNK = 256 * 1024
 
 
 class AequusServer:
-    """Versioned JSON-over-TCP front end for a :class:`SiteBackend`."""
+    """Dual-protocol (JSON v1 + binary v2) TCP front end for a backend."""
 
     def __init__(self, backend: SiteBackend,
                  host: str = "127.0.0.1", port: int = 0,
@@ -60,7 +88,13 @@ class AequusServer:
                  max_batch: int = 4096,
                  coalesce_size: int = 4096,
                  write_buffer_limit: int = 256 * 1024,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 binary: bool = True,
+                 identity: Optional[Dict[str, Any]] = None,
+                 stats_aggregator: Optional[Callable[[], Dict[str, int]]]
+                 = None,
+                 extra_metrics: Optional[Callable[[], str]] = None,
+                 sock: Optional[socket.socket] = None):
         self.backend = backend
         self.host = host
         self.port = port
@@ -68,6 +102,18 @@ class AequusServer:
         self.max_inflight = max_inflight
         self.max_batch = max_batch
         self.write_buffer_limit = write_buffer_limit
+        #: serve the struct-packed v2 protocol (negotiated via HELLO); off,
+        #: the server behaves exactly like a JSON-only v1 daemon
+        self.binary = binary
+        #: worker identity advertised in HELLO and INFO (pid is implied)
+        self.identity = dict(identity or {})
+        #: cross-worker stats for INFO (a sharded worker aggregates its
+        #: siblings' shared-memory rows here); None means local stats
+        self.stats_aggregator = stats_aggregator
+        #: extra Prometheus exposition text appended to METRICS scrapes
+        #: (per-worker aggregation lines in sharded mode)
+        self.extra_metrics = extra_metrics
+        self._sock = sock
         self._server: Optional[asyncio.AbstractServer] = None
         #: (op, user, snapshot seq) -> reply body, LRU-bounded
         self._coalesce: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
@@ -89,6 +135,9 @@ class AequusServer:
             "requests": self.registry.counter(
                 "aequus_requests_total",
                 "Requests executed (any op, batches count once)").labels(),
+            "binary_requests": self.registry.counter(
+                "aequus_binary_requests_total",
+                "Requests that arrived as binary (v2) frames").labels(),
             "batches": self.registry.counter(
                 "aequus_batches_total", "BATCH requests executed").labels(),
             "batch_items": self.registry.counter(
@@ -114,8 +163,12 @@ class AequusServer:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self.port)
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=self._sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
@@ -130,7 +183,7 @@ class AequusServer:
             self._server.close()
             self._server = None
 
-    # -- per-connection loops -------------------------------------------------
+    # -- the per-connection loop ----------------------------------------------
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
@@ -140,86 +193,340 @@ class AequusServer:
             await self._connection_loop(reader, writer)
         finally:
             # the one decrement, on the outermost exit: no disconnect path
-            # (reader exception, writer death, cancellation mid-teardown)
-            # can leak the gauge or drive it negative
+            # (read error, drain death, cancellation mid-teardown) can leak
+            # the gauge or drive it negative
             self._metrics["connections_active"].dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     async def _connection_loop(self, reader: asyncio.StreamReader,
                                writer: asyncio.StreamWriter) -> None:
         writer.transport.set_write_buffer_limits(high=self.write_buffer_limit)
-        replies: asyncio.Queue = asyncio.Queue(maxsize=self.max_inflight)
-        writer_task = asyncio.ensure_future(self._writer_loop(replies, writer))
-        try:
-            while True:
-                try:
-                    request = await read_frame(reader, self.max_frame)
-                except ConnectionClosed:
-                    break
-                except FrameTooLarge as exc:
-                    # the oversized payload was never read; the stream is no
-                    # longer aligned to frame boundaries, so reply and close
-                    self.stats["oversized_frames"] += 1
-                    self.stats["errors"] += 1
-                    await replies.put(error_reply(None, ERR_OVERSIZED,
-                                                  str(exc)))
-                    break
-                except MalformedFrame as exc:
-                    # framing was intact (declared length matched), only the
-                    # payload was garbage — the connection stays usable
-                    self.stats["malformed_frames"] += 1
-                    self.stats["errors"] += 1
-                    await replies.put(error_reply(None, ERR_MALFORMED,
-                                                  str(exc)))
-                    continue
-                await replies.put(self._execute(request))
-        finally:
+        buf = bytearray()
+        out = bytearray()
+        binary = self.binary
+        max_frame = self.max_frame
+        unpack_bin = BIN_HEADER.unpack_from
+        unpack_len = HEADER.unpack_from
+        since_flush = 0
+        closing = False
+        while not closing:
             try:
-                await replies.put(_CLOSE)
-                await writer_task
-            finally:
-                # cancellation during the puts above must not strand the task
-                if not writer_task.done():
-                    writer_task.cancel()
-                writer.close()
-                try:
-                    await writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
-
-    async def _writer_loop(self, replies: asyncio.Queue,
-                           writer: asyncio.StreamWriter) -> None:
-        # Keeps consuming until it sees _CLOSE even after the socket dies:
-        # returning early would leave the reader blocked forever on a full
-        # bounded queue (and the connection gauge leaked).  After a write
-        # error, replies are drained and discarded.
-        alive = True
-        while True:
-            reply = await replies.get()
-            if reply is _CLOSE:
+                chunk = await reader.read(_READ_CHUNK)
+            except (ConnectionResetError, OSError):
                 return
-            if not alive:
-                continue
-            saw_close = False
-            try:
-                writer.write(encode_frame(reply))
-                # greedily fold already-queued replies into one syscall
-                while True:
+            if not chunk:
+                return
+            buf += chunk
+            pos = 0
+            end = len(buf)
+            while pos < end:
+                first = buf[pos]
+                if binary and first == BIN_REQ_MAGIC:
+                    if end - pos < BIN_HEADER.size:
+                        break
+                    _, opcode, flags, rid, body_len = unpack_bin(buf, pos)
+                    if body_len > max_frame:
+                        self.stats["oversized_frames"] += 1
+                        self.stats["errors"] += 1
+                        out += bin_error(BST_OVERSIZED, rid,
+                                         f"body of {body_len} bytes exceeds "
+                                         f"cap {max_frame}")
+                        closing = True
+                        break
+                    if end - pos < BIN_HEADER.size + body_len:
+                        break
+                    body_at = pos + BIN_HEADER.size
+                    body = bytes(buf[body_at:body_at + body_len])
+                    pos = body_at + body_len
+                    self._execute_bin(opcode, flags, rid, body, out)
+                else:
+                    if end - pos < HEADER.size:
+                        break
+                    (length,) = unpack_len(buf, pos)
+                    if length > max_frame:
+                        # the stream is no longer aligned to frame
+                        # boundaries: reply and close (the payload bytes,
+                        # if they ever come, are never buffered)
+                        self.stats["oversized_frames"] += 1
+                        self.stats["errors"] += 1
+                        out += encode_frame(error_reply(
+                            None, ERR_OVERSIZED,
+                            f"frame of {length} bytes exceeds cap "
+                            f"{max_frame}"))
+                        closing = True
+                        break
+                    if end - pos < HEADER.size + length:
+                        break
+                    body_at = pos + HEADER.size
+                    body = bytes(buf[body_at:body_at + length])
+                    pos = body_at + length
                     try:
-                        reply = replies.get_nowait()
-                    except asyncio.QueueEmpty:
-                        break
-                    if reply is _CLOSE:
-                        saw_close = True
-                        break
-                    writer.write(encode_frame(reply))
-                await writer.drain()
-            except (ConnectionError, OSError):
-                # client went away mid-write; the reader loop will see EOF
-                alive = False
-            if saw_close:
-                return
+                        request = decode_payload(body)
+                    except MalformedFrame as exc:
+                        # framing was intact (declared length matched),
+                        # only the payload was garbage — the connection
+                        # stays usable
+                        self.stats["malformed_frames"] += 1
+                        self.stats["errors"] += 1
+                        out += encode_frame(error_reply(
+                            None, ERR_MALFORMED, str(exc)))
+                    else:
+                        out += encode_frame(self._execute(request))
+                since_flush += 1
+                if since_flush >= self.max_inflight \
+                        or len(out) >= self.write_buffer_limit:
+                    since_flush = 0
+                    if out:
+                        writer.write(bytes(out))
+                        out.clear()
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        return
+            del buf[:pos]
+            if out:
+                writer.write(bytes(out))
+                out.clear()
+                since_flush = 0
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
 
-    # -- request execution -----------------------------------------------------
+    # -- binary (v2) execution -------------------------------------------------
+
+    def _execute_bin(self, opcode: int, flags: int, rid: int, body: bytes,
+                     out: bytearray) -> None:
+        self._metrics["requests"].inc()
+        self._metrics["binary_requests"].inc()
+        timed = self.registry.enabled
+        t0 = time.perf_counter() if timed else 0.0
+        try:
+            if opcode == BOP_GET_FAIRSHARE:
+                self._bin_get_fairshare(flags, rid, body, out)
+            elif opcode == BOP_GET_VECTOR:
+                self._bin_get_vector(flags, rid, body, out)
+            elif opcode == BOP_BATCH_FAIRSHARE:
+                self._bin_batch(flags, rid, body, out)
+            elif opcode == BOP_REPORT_USAGE:
+                self._bin_report_usage(rid, body, out)
+            elif opcode == BOP_PING:
+                out += BIN_HEADER.pack(BIN_REP_MAGIC, BST_OK, 0, rid,
+                                       len(body)) + body
+            else:
+                self.stats["errors"] += 1
+                out += bin_error(BST_UNSUPPORTED_OP, rid,
+                                 f"unknown opcode {opcode}")
+        except Exception as exc:  # defensive: a bug must not kill the loop
+            self.stats["errors"] += 1
+            from .protocol import BST_INTERNAL
+            out += bin_error(BST_INTERNAL, rid,
+                             f"{type(exc).__name__}: {exc}")
+        if timed:
+            # inline observe, same fast path as the JSON side
+            hist = self._op_latency[_BIN_OP_NAMES.get(opcode, "PING")]
+            elapsed = time.perf_counter() - t0
+            hist.counts[bisect_left(hist.buckets, elapsed)] += 1
+            hist.sum += elapsed
+            hist.count += 1
+
+    def _stable_snapshot(self):
+        """(snapshot, stamp) with the seqlock sampled for shm views."""
+        snap = self.backend.snapshot()
+        if snap is None:
+            return None, 0
+        stamp = snap.stamp()
+        if stamp is None:  # republish in flight: refetch
+            for _ in range(64):
+                snap = self.backend.snapshot()
+                stamp = snap.stamp() if snap is not None else 0
+                if stamp is not None:
+                    break
+        return snap, stamp
+
+    def _bin_get_fairshare(self, flags: int, rid: int, body: bytes,
+                           out: bytearray) -> None:
+        for _ in range(64):
+            snap, stamp = self._stable_snapshot()
+            if snap is None:
+                self.stats["errors"] += 1
+                out += bin_error(BST_UNKNOWN_USER, rid, "no snapshot yet")
+                return
+            gen = snap.leaf_gen
+            if flags & BF_BY_ID:
+                if len(body) != BIN_BY_ID.size:
+                    self.stats["errors"] += 1
+                    out += bin_error(BST_MALFORMED, rid,
+                                     "BY_ID body must be gen u32 + id u32")
+                    return
+                req_gen, leaf_id = BIN_BY_ID.unpack(body)
+                if req_gen != gen:
+                    self.stats["errors"] += 1
+                    out += bin_error(BST_EPOCH_CHANGED, rid,
+                                     f"leaf table is generation {gen}, "
+                                     f"id was minted under {req_gen}")
+                    return
+                value = snap.lookup_id(leaf_id)
+                if value is None:
+                    self.stats["errors"] += 1
+                    out += bin_error(BST_UNKNOWN_USER, rid,
+                                     f"leaf id {leaf_id} out of range")
+                    return
+                known = 1
+            else:
+                try:
+                    user = body.decode("utf-8")
+                except UnicodeDecodeError:
+                    self.stats["errors"] += 1
+                    out += bin_error(BST_MALFORMED, rid,
+                                     "identity is not valid UTF-8")
+                    return
+                value, is_known, leaf_id = snap.resolve_leaf(user)
+                known = 1 if is_known else 0
+            if snap.still(stamp):
+                out += BIN_FS_FULL.pack(
+                    BIN_REP_MAGIC, BST_OK, 0, rid, 24,
+                    value, known, snap.seq & 0xFFFFFFFF, gen, leaf_id)
+                return
+        raise RuntimeError("snapshot would not stabilize")
+
+    def _bin_get_vector(self, flags: int, rid: int, body: bytes,
+                        out: bytearray) -> None:
+        for _ in range(64):
+            snap, stamp = self._stable_snapshot()
+            if snap is None:
+                self.stats["errors"] += 1
+                out += bin_error(BST_UNKNOWN_USER, rid, "no snapshot yet")
+                return
+            if flags & BF_BY_ID:
+                if len(body) != BIN_BY_ID.size:
+                    self.stats["errors"] += 1
+                    out += bin_error(BST_MALFORMED, rid,
+                                     "BY_ID body must be gen u32 + id u32")
+                    return
+                req_gen, leaf_id = BIN_BY_ID.unpack(body)
+                if req_gen != snap.leaf_gen:
+                    self.stats["errors"] += 1
+                    out += bin_error(BST_EPOCH_CHANGED, rid,
+                                     "leaf id from an old generation")
+                    return
+                elems = snap.vector_elements(leaf_id)
+                resolution = snap.resolution
+            else:
+                try:
+                    user = body.decode("utf-8")
+                except UnicodeDecodeError:
+                    self.stats["errors"] += 1
+                    out += bin_error(BST_MALFORMED, rid,
+                                     "identity is not valid UTF-8")
+                    return
+                vector = self.backend.vector(user, snap)
+                elems = list(vector.elements) if vector is not None else None
+                resolution = vector.resolution if vector is not None \
+                    else snap.resolution
+                if elems is None:
+                    self.stats["errors"] += 1
+                    code = snap.vector_error_code(user)
+                    out += bin_error(
+                        BST_NOT_A_LEAF if code == ERR_NOT_A_LEAF
+                        else BST_UNKNOWN_USER, rid,
+                        f"{user!r} has no leaf vector")
+                    return
+            if elems is None:
+                self.stats["errors"] += 1
+                out += bin_error(BST_UNKNOWN_USER, rid, "no vector")
+                return
+            if snap.still(stamp):
+                n = len(elems)
+                out += BIN_HEADER.pack(BIN_REP_MAGIC, BST_OK, 0, rid,
+                                       BIN_VEC_HEAD.size + 8 * n)
+                out += BIN_VEC_HEAD.pack(snap.seq & 0xFFFFFFFF,
+                                         resolution, n)
+                out += struct.pack(">%dd" % n, *elems)
+                return
+        raise RuntimeError("snapshot would not stabilize")
+
+    def _bin_batch(self, flags: int, rid: int, body: bytes,
+                   out: bytearray) -> None:
+        if not flags & BF_BY_ID:
+            self.stats["errors"] += 1
+            out += bin_error(BST_BAD_BATCH, rid,
+                             "binary batches are id-addressed (BF_BY_ID)")
+            return
+        if len(body) < BIN_BATCH_HEAD.size:
+            self.stats["errors"] += 1
+            out += bin_error(BST_MALFORMED, rid, "truncated batch head")
+            return
+        req_gen, count = BIN_BATCH_HEAD.unpack_from(body)
+        if count > self.max_batch:
+            self.stats["errors"] += 1
+            out += bin_error(BST_BAD_BATCH, rid,
+                             f"batch of {count} exceeds cap "
+                             f"{self.max_batch}")
+            return
+        if len(body) != BIN_BATCH_HEAD.size + 4 * count:
+            self.stats["errors"] += 1
+            out += bin_error(BST_MALFORMED, rid,
+                             "batch body length mismatch")
+            return
+        ids = np.frombuffer(body, dtype=">u4", count=count,
+                            offset=BIN_BATCH_HEAD.size).astype(np.int64)
+        for _ in range(64):
+            # one snapshot for the whole batch: items can never straddle
+            # a refresh
+            snap, stamp = self._stable_snapshot()
+            if snap is None:
+                self.stats["errors"] += 1
+                out += bin_error(BST_UNKNOWN_USER, rid, "no snapshot yet")
+                return
+            if req_gen != snap.leaf_gen:
+                self.stats["errors"] += 1
+                out += bin_error(BST_EPOCH_CHANGED, rid,
+                                 "leaf ids from an old generation")
+                return
+            values, known = snap.values_for_ids(ids)
+            if snap.still(stamp):
+                self.stats["batches"] += 1
+                self.stats["batch_items"] += count
+                payload_len = BIN_BATCH_REPLY_HEAD.size + 9 * count
+                out += BIN_HEADER.pack(BIN_REP_MAGIC, BST_OK, 0, rid,
+                                       payload_len)
+                out += BIN_BATCH_REPLY_HEAD.pack(snap.seq & 0xFFFFFFFF,
+                                                 snap.leaf_gen, count)
+                out += values.astype(">f8").tobytes()
+                out += known.astype(np.uint8).tobytes()
+                return
+        raise RuntimeError("snapshot would not stabilize")
+
+    def _bin_report_usage(self, rid: int, body: bytes,
+                          out: bytearray) -> None:
+        if len(body) <= BIN_REPORT.size:
+            self.stats["errors"] += 1
+            out += bin_error(BST_MALFORMED, rid,
+                             "REPORT_USAGE body is start f64 + end f64 + "
+                             "cores u32 + user utf-8")
+            return
+        start, end, cores = BIN_REPORT.unpack_from(body)
+        try:
+            user = body[BIN_REPORT.size:].decode("utf-8")
+        except UnicodeDecodeError:
+            self.stats["errors"] += 1
+            out += bin_error(BST_MALFORMED, rid, "user is not valid UTF-8")
+            return
+        if not user or end < start or cores < 1:
+            self.stats["errors"] += 1
+            out += bin_error(BST_MALFORMED, rid,
+                             "end >= start and cores >= 1 required")
+            return
+        accepted = self.backend.report_usage(user, start, end, cores)
+        out += BIN_HEADER.pack(BIN_REP_MAGIC, BST_OK, 0, rid, 1)
+        out += BIN_ACCEPTED.pack(1 if accepted else 0)
+
+    # -- JSON (v1) execution ---------------------------------------------------
 
     def _execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
         rid = request.get("id")
@@ -235,7 +542,10 @@ class AequusServer:
         if op not in OPS:
             self.stats["errors"] += 1
             return error_reply(rid, ERR_UNSUPPORTED_OP, f"unknown op {op!r}")
-        self._metrics["requests"].inc()
+        if op != "HELLO":
+            # HELLO is connection negotiation, not a serving request — it
+            # would skew request counters by one per pooled connection
+            self._metrics["requests"].inc()
         # a METRICS scrape is never timed: observing its own latency would
         # mutate the histogram after rendering, breaking the guarantee that
         # the reply matches a direct render of the same registries
@@ -303,6 +613,15 @@ class AequusServer:
                            else body)
         return ok_reply(rid, replies=replies)
 
+    def _server_identity(self) -> Dict[str, Any]:
+        ident: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "binary": BIN_PROTOCOL_VERSION if self.binary else 0,
+        }
+        ident.update(self.identity)
+        return ident
+
     def _execute_single(self, op: str, request: Dict[str, Any],
                         snapshot: Optional[FairshareSnapshot]
                         ) -> Dict[str, Any]:
@@ -312,17 +631,29 @@ class AequusServer:
             if "payload" in request:
                 body["payload"] = request["payload"]
             return body
-        if op == "INFO":
+        if op == "HELLO":
+            # capability discovery: a binary-capable client upgrades only
+            # after this answers with a non-zero "binary" (servers predating
+            # the op answer UNSUPPORTED_OP, which clients treat as JSON-only)
             return {"ok": True, "protocol": PROTOCOL_VERSION,
-                    "info": self.backend.info(), "stats": dict(self.stats)}
+                    "binary": BIN_PROTOCOL_VERSION if self.binary else 0,
+                    "server": self._server_identity()}
+        if op == "INFO":
+            stats = self.stats_aggregator() if self.stats_aggregator \
+                is not None else dict(self.stats)
+            return {"ok": True, "protocol": PROTOCOL_VERSION,
+                    "server": self._server_identity(),
+                    "info": self.backend.info(), "stats": stats}
         if op == "METRICS":
             # requests_total was already incremented for this request, so
             # the scrape observes itself exactly once — and byte-for-byte
             # matches a direct render of the same registries afterwards
+            text = render_many([self.registry, self.backend.registry])
+            if self.extra_metrics is not None:
+                text += self.extra_metrics()
             return {"ok": True,
                     "content_type": "text/plain; version=0.0.4",
-                    "text": render_many([self.registry,
-                                         self.backend.registry])}
+                    "text": text}
         if op == "REPORT_USAGE":
             return self._report_usage(request)
         # key-addressed reads: coalesce identical keys per snapshot
@@ -378,13 +709,8 @@ class AequusServer:
         vector = self.backend.vector(user, snapshot)
         if vector is None:
             code = ERR_UNKNOWN_USER
-            if snapshot is not None and snapshot.result is not None:
-                path = snapshot.identity_map.get(user, user)
-                flat = snapshot.result.flat
-                if snapshot.resolve_path(user) or (
-                        path in flat.path_index
-                        and path not in flat.leaf_slot):
-                    code = ERR_NOT_A_LEAF
+            if snapshot is not None:
+                code = snapshot.vector_error_code(user)
             return {"ok": False,
                     "error": {"code": code,
                               "message": f"no vector for {user!r}"}}

@@ -17,7 +17,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .protocol import ERR_NOT_A_LEAF, ERR_UNKNOWN_USER, NO_LEAF_ID
 
 if TYPE_CHECKING:
     from ..core.flat import FlatFairshare
@@ -56,6 +60,12 @@ class FairshareSnapshot:
     #: per-origin usage horizons (virtual time) incorporated by ``values``
     #: — the freshness contract of this snapshot (DESIGN.md §10)
     horizons: Mapping[str, float] = field(default_factory=dict)
+    #: projected values as a float64 array aligned with
+    #: ``result.leaf_paths`` (the shared-memory publisher's payload)
+    values_vec: Optional[Any] = None
+    #: leaf-table generation — bumps when the policy recompiles and leaf
+    #: row numbers may change; tags binary-protocol leaf ids
+    leaf_gen: int = 0
 
     # -- queries ------------------------------------------------------------
 
@@ -86,6 +96,74 @@ class FairshareSnapshot:
         if path is None or path not in self.result.flat.leaf_slot:
             return None
         return self.result.vector(path)
+
+    # -- binary-protocol surface (shared with ShmEpochView) -----------------
+
+    def stamp(self) -> int:
+        """Seqlock stamp: immutable snapshots are trivially stable (the
+        shared-memory epoch views give this method real teeth)."""
+        return 0
+
+    def still(self, stamp: int) -> bool:
+        return True
+
+    def resolve_leaf(self, identity: str) -> Tuple[float, bool, int]:
+        """(value, known, leaf id) — the binary GET_FAIRSHARE triple.
+
+        The leaf id is the identity's row in ``result.leaf_paths`` (valid
+        for this snapshot's ``leaf_gen``), or :data:`NO_LEAF_ID` when the
+        identity is unknown or has no stable row.
+        """
+        path = self.resolve_path(identity)
+        if path is None:
+            return self.unknown_user_value, False, NO_LEAF_ID
+        value = self.values.get(path)
+        if value is None:
+            return self.unknown_user_value, False, NO_LEAF_ID
+        row = self.result.flat.leaf_slot.get(path) \
+            if self.result is not None else None
+        return value, True, row if row is not None else NO_LEAF_ID
+
+    def lookup_id(self, leaf_id: int) -> Optional[float]:
+        """Projected value by leaf row (binary by-id fast path)."""
+        vec = self.values_vec
+        if vec is None or not (0 <= leaf_id < len(vec)):
+            return None
+        return float(vec[leaf_id])
+
+    def vector_elements(self, leaf_id: int) -> Optional[List[float]]:
+        if self.result is None:
+            return None
+        depths = self.result.leaf_depths
+        if not (0 <= leaf_id < len(depths)):
+            return None
+        matrix = self.result.element_matrix()
+        return matrix[leaf_id, :int(depths[leaf_id])].tolist()
+
+    def values_for_ids(self, ids: "np.ndarray"
+                       ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """(values, known) arrays for a batch of leaf rows."""
+        vec = self.values_vec
+        if vec is None or len(vec) == 0:
+            n = len(ids)
+            return (np.full(n, self.unknown_user_value),
+                    np.zeros(n, dtype=bool))
+        known = (ids >= 0) & (ids < len(vec))
+        values = np.where(known, vec[np.clip(ids, 0, len(vec) - 1)],
+                          self.unknown_user_value)
+        return values, known
+
+    def vector_error_code(self, identity: str) -> str:
+        """Why :meth:`vector` answered None: NOT_A_LEAF for resolvable
+        internal nodes, UNKNOWN_USER otherwise."""
+        if self.result is not None:
+            path = self.identity_map.get(identity, identity)
+            flat = self.result.flat
+            if self.resolve_path(identity) or (
+                    path in flat.path_index
+                    and path not in flat.leaf_slot):
+                return ERR_NOT_A_LEAF
+        return ERR_UNKNOWN_USER
 
     def age(self, now: float) -> float:
         return max(0.0, now - self.computed_at)
@@ -125,6 +203,8 @@ def snapshot_from_fcs(fcs: "FairshareCalculationService") -> FairshareSnapshot:
         identity_map=dict(fcs.identity_map),
         result=fcs.flat_result(),
         horizons=fcs.usage_horizons(),
+        values_vec=fcs.values_array(),
+        leaf_gen=fcs.leaf_generation,
     )
 
 

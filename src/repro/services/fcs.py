@@ -99,6 +99,12 @@ class FairshareCalculationService:
         #: distinct bare leaf names shadowed by an earlier same-named leaf
         #: in the current policy (resolvable only via their full path)
         self.name_collisions = 0
+        #: leaf-table generation: bumps whenever the policy is recompiled,
+        #: i.e. whenever leaf row numbers may change.  The serve plane's
+        #: binary protocol tags integer leaf ids with this so a client
+        #: holding ids from an old layout gets EPOCH_CHANGED, not a wrong
+        #: user's value.
+        self.leaf_generation = 0
         self._flat: Optional[FlatPolicy] = None
         self._flat_epoch: Optional[tuple] = None
         self._result: Optional[FlatFairshare] = None
@@ -169,6 +175,7 @@ class FairshareCalculationService:
                     self._phase_hist["compile"].observe(
                         time.perf_counter() - t0)
             self._flat_epoch = epoch
+            self.leaf_generation += 1
             self.name_collisions = self._flat.name_collisions
             if self._flat.name_collisions:
                 logger.warning(

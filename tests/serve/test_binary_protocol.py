@@ -1,0 +1,222 @@
+"""Binary (v2) wire protocol: negotiation matrix, frames, recovery.
+
+The upgrade contract: clients send a JSON HELLO on every new connection
+and only speak binary when the server advertises ``binary: 2``.  Every
+other cell of the matrix — binary client against a JSON-only server,
+JSON client against a binary server, a server predating HELLO — must
+degrade to plain JSON without the caller noticing.  Malformed binary
+frames get structured error statuses, and a leaf-table recompile
+invalidates cached ids via EPOCH_CHANGED, which clients recover from by
+re-resolving names.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.serve import server as server_module
+from repro.serve.client import AequusServerError, SyncAequusClient
+from repro.serve.protocol import (BF_BY_ID, BIN_HEADER, BIN_REQ_MAGIC,
+                                  BOP_BATCH_FAIRSHARE, BOP_GET_FAIRSHARE,
+                                  BOP_PING, BST_BAD_BATCH, BST_MALFORMED,
+                                  BST_OK, BST_OVERSIZED, BST_UNSUPPORTED_OP,
+                                  bin_request, read_bin_reply)
+from repro.serve.server import AequusServer, ServerThread
+
+
+def _bin_exchange(host, port, frames, expect_replies):
+    """Open a raw connection, send frames, read binary replies."""
+
+    async def _run():
+        reader, writer = await asyncio.open_connection(host, port)
+        for frame in frames:
+            writer.write(frame)
+        await writer.drain()
+        replies = []
+        try:
+            for _ in range(expect_replies):
+                replies.append(await asyncio.wait_for(
+                    read_bin_reply(reader), 5.0))
+        finally:
+            writer.close()
+        return replies
+
+    return asyncio.run(_run())
+
+
+class TestNegotiationMatrix:
+    def test_binary_client_binary_server_upgrades(self, served, client):
+        _, _, thread = served
+        value, known = client.lookup_fairshare("alice")
+        assert known is True
+        client.lookup_fairshare("alice")  # second hit goes by leaf id
+        assert client.stats["binary_upgrades"] >= 1
+        assert thread.server.stats["binary_requests"] >= 2
+
+    def test_binary_client_json_only_server_falls_back(self, small_site):
+        from repro.serve.backend import SiteBackend
+        _, site = small_site
+        thread = ServerThread(AequusServer(SiteBackend.for_site(site),
+                                           binary=False)).start()
+        try:
+            with SyncAequusClient(thread.host, thread.port,
+                                  timeout=5.0) as client:
+                hello = client.hello()
+                assert hello["binary"] == 0
+                value, known = client.lookup_fairshare("alice")
+                assert known is True
+                assert client.get_vector("alice").elements
+                assert client.report_usage("alice", 0.0, 10.0) is True
+                assert client.batch_lookup_fairshare(
+                    ["alice", "bob"])["bob"][1] is True
+                assert client.stats["binary_upgrades"] == 0
+                assert thread.server.stats["binary_requests"] == 0
+        finally:
+            thread.stop()
+
+    def test_binary_client_pre_hello_server_falls_back(self, served,
+                                                       monkeypatch):
+        """A server from before the HELLO op answers UNSUPPORTED_OP; the
+        client must treat that as JSON-only, not an error."""
+        _, _, thread = served
+        monkeypatch.setattr(
+            server_module, "OPS",
+            frozenset(op for op in server_module.OPS if op != "HELLO"))
+        with SyncAequusClient(thread.host, thread.port,
+                              timeout=5.0) as client:
+            value, known = client.lookup_fairshare("alice")
+            assert known is True
+            assert client.stats["binary_upgrades"] == 0
+
+    def test_json_client_binary_server_unmodified(self, served):
+        """binary=False reproduces the pre-upgrade client byte for byte —
+        the compatibility guarantee for deployed JSON clients."""
+        _, _, thread = served
+        with SyncAequusClient(thread.host, thread.port, binary=False,
+                              timeout=5.0) as client:
+            value, known = client.lookup_fairshare("alice")
+            assert known is True
+            assert client.get_vector("alice").elements
+            assert client.resolve_identity("sys_alice") == "alice"
+            info = client.info()
+            assert info["server"]["binary"] == 2  # offered, just unused
+        assert thread.server.stats["binary_requests"] == 0
+
+
+class TestMalformedBinaryFrames:
+    def test_unknown_opcode_is_structured_error(self, served):
+        _, _, thread = served
+        replies = _bin_exchange(
+            thread.host, thread.port,
+            [bin_request(99, 1, b""), bin_request(BOP_PING, 2, b"hi")],
+            expect_replies=2)
+        status, _, rid, _ = replies[0]
+        assert (status, rid) == (BST_UNSUPPORTED_OP, 1)
+        # the connection survived: the PING after it still answered
+        status, _, rid, body = replies[1]
+        assert (status, rid, body) == (BST_OK, 2, b"hi")
+
+    def test_bad_by_id_body_is_malformed(self, served):
+        _, _, thread = served
+        replies = _bin_exchange(
+            thread.host, thread.port,
+            [bin_request(BOP_GET_FAIRSHARE, 7, b"\x01\x02", flags=BF_BY_ID)],
+            expect_replies=1)
+        assert replies[0][0] == BST_MALFORMED
+
+    def test_non_utf8_name_is_malformed(self, served):
+        _, _, thread = served
+        replies = _bin_exchange(
+            thread.host, thread.port,
+            [bin_request(BOP_GET_FAIRSHARE, 8, b"\xff\xfe\xfd")],
+            expect_replies=1)
+        assert replies[0][0] == BST_MALFORMED
+
+    def test_batch_without_by_id_flag_rejected(self, served):
+        _, _, thread = served
+        replies = _bin_exchange(
+            thread.host, thread.port,
+            [bin_request(BOP_BATCH_FAIRSHARE, 9, b"\x00" * 8, flags=0)],
+            expect_replies=1)
+        assert replies[0][0] == BST_BAD_BATCH
+
+    def test_oversized_binary_frame_errors_and_closes(self, small_site):
+        from repro.serve.backend import SiteBackend
+        _, site = small_site
+        thread = ServerThread(AequusServer(SiteBackend.for_site(site),
+                                           max_frame=1024)).start()
+        try:
+            header = BIN_HEADER.pack(BIN_REQ_MAGIC, BOP_GET_FAIRSHARE, 0,
+                                     3, 1 << 20)
+
+            async def _run():
+                reader, writer = await asyncio.open_connection(
+                    thread.host, thread.port)
+                writer.write(header)
+                await writer.drain()
+                status, _, rid, _ = await asyncio.wait_for(
+                    read_bin_reply(reader), 5.0)
+                # ...and the server hangs up rather than buffering 1MiB
+                eof = await asyncio.wait_for(reader.read(), 5.0)
+                writer.close()
+                return status, rid, eof
+
+            status, rid, eof = asyncio.run(_run())
+            assert (status, rid, eof) == (BST_OVERSIZED, 3, b"")
+        finally:
+            thread.stop()
+
+
+class TestEpochChangedRecovery:
+    def test_cached_leaf_id_survives_policy_recompile(self, served, client):
+        engine, site, thread = served
+        before = client.lookup_fairshare("alice")
+        assert before[1] is True
+        assert client.lookup_fairshare("alice") == before  # id-cached now
+        # grow the policy tree: the FCS recompiles its flat table on the
+        # next refresh and every old leaf id is invalidated
+        site.pds.set_share("/hpc/eve", 5)
+        engine.run_until(engine.now
+                         + site.config.fcs_refresh_interval + 1.0)
+        value, known = client.lookup_fairshare("alice")
+        assert known is True
+        assert client.stats["epoch_changes"] >= 1
+        # the re-minted id works and subsequent lookups stay binary
+        assert client.lookup_fairshare("alice") == (value, known)
+        assert client.lookup_fairshare("eve")[1] is True
+
+    def test_batch_recovers_from_recompile(self, served, client):
+        engine, site, _ = served
+        users = ["alice", "bob", "carol", "dave"]
+        first = client.batch_lookup_fairshare(users)
+        assert all(first[u][1] for u in users)
+        site.pds.set_share("/astro/fred", 2)
+        engine.run_until(engine.now
+                         + site.config.fcs_refresh_interval + 1.0)
+        second = client.batch_lookup_fairshare(users)
+        assert all(second[u][1] for u in users)
+
+
+class TestFullJitterBackoff:
+    def test_backoff_is_full_jitter_within_cap(self):
+        from repro.serve.client import AequusClient
+        client = AequusClient(backoff_base=0.05, backoff_max=1.0,
+                              rng=random.Random(7))
+        for attempt in range(8):
+            cap = min(1.0, 0.05 * 2 ** attempt)
+            samples = [client._backoff(attempt) for _ in range(300)]
+            assert all(0.0 <= s <= cap for s in samples)
+            # uniform over [0, cap]: actually spread out, not clustered
+            # at the exponential mark the way pre-jitter backoff was
+            assert len(set(samples)) > 100
+            assert max(samples) > 0.7 * cap
+            assert min(samples) < 0.3 * cap
+
+    def test_backoff_cap_never_exceeds_max(self):
+        from repro.serve.client import AequusClient
+        client = AequusClient(backoff_base=0.5, backoff_max=2.0,
+                              rng=random.Random(3))
+        samples = [client._backoff(30) for _ in range(100)]
+        assert all(0.0 <= s <= 2.0 for s in samples)
+        assert max(samples) > 1.0  # the cap (not the base) is in force

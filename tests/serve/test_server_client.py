@@ -104,11 +104,16 @@ class TestBatch:
 
 
 class TestServerBehaviour:
-    def test_coalescing_counts_repeated_keys(self, served, client):
+    def test_coalescing_counts_repeated_keys(self, served):
+        # the reply cache is a JSON-path feature (binary by-id replies are
+        # already minimal), so pin it with a JSON-only client
         _, _, thread = served
+        from repro.serve.client import SyncAequusClient
         before = thread.server.stats["coalesced"]
-        for _ in range(10):
-            client.get_fairshare("alice")
+        with SyncAequusClient(thread.host, port=thread.port,
+                              binary=False, timeout=5.0) as json_client:
+            for _ in range(10):
+                json_client.get_fairshare("alice")
         assert thread.server.stats["coalesced"] >= before + 9
 
     def test_bad_version_rejected(self, served):
