@@ -35,6 +35,10 @@ _SCALES = {"paper": (1_000, 10_000, 100_000), "small": (1_000, 10_000)}
 GATE_USERS = 10_000
 GATE_SPEEDUP = 5.0
 
+#: the incremental journal splice must beat a from-scratch compile by this
+#: much at the top tier (100k users at paper scale) — the PR 7 gate
+RECOMPILE_GATE = 10.0
+
 
 def scale_tiers():
     return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "paper")]
@@ -99,37 +103,91 @@ def _best_of(fn, repeats):
     return best
 
 
+def measure_tier(n_users: int, projection, repeats: int) -> dict:
+    """One scale tier: full refresh, incremental refresh, recompiles."""
+    policy = grid_policy(n_users)
+    usage = random_usage(policy)
+    flat = FlatPolicy(policy)
+    t0 = time.perf_counter()
+    FlatPolicy(policy)
+    compile_s = time.perf_counter() - t0
+    # the object-tree reference is impractical beyond 100k users (the 1M
+    # row exists to characterize the kernel, not to wait on the baseline)
+    ref_s = _best_of(lambda: reference_refresh(policy, usage, projection),
+                     repeats) if n_users <= 100_000 else None
+    flat_s = _best_of(lambda: flat_refresh(flat, usage, projection), repeats)
+
+    # incremental policy recompile: a realistic weight-edit batch (one VO,
+    # one user) spliced through the edit journal vs compiled from scratch
+    revision = policy.revision
+    some_leaf = flat.leaf_paths[len(flat.leaf_paths) // 2]
+    policy.set_share("/vo0", 17.0)
+    policy.set_share(some_leaf, 3.0)
+    edits = policy.edits_since(revision)
+    recompile_s = _best_of(lambda: FlatPolicy(policy), repeats)
+    incremental_recompile_s = _best_of(
+        lambda: flat.recompile(policy, edits), max(repeats, 3))
+    spliced = flat.recompile(policy, edits)
+    assert spliced is not None and spliced[1]["layout_changed"] is False
+    new_flat, info = spliced
+
+    # dirty-subtree delta refresh: ~1% of the users changed usage
+    result = new_flat.compute(usage)
+    rng = np.random.default_rng(2)
+    n_dirty = max(1, new_flat.n_leaves // 100)
+    dirty_rows = rng.choice(new_flat.n_leaves, size=n_dirty, replace=False)
+    dirty_rows.sort()
+    new_vals = rng.integers(1, 1_000_000, size=n_dirty).astype(float)
+    delta_s = _best_of(
+        lambda: new_flat.compute_delta(result, dirty_rows, new_vals,
+                                       extra_dirty_nodes=info["target_dirty"]),
+        max(repeats, 3))
+
+    # steady-state memory footprint of the compiled layout + one result
+    bytes_total = new_flat.memory_bytes() + result.memory_bytes()
+    return dict(n_users=n_users, reference_s=ref_s, flat_s=flat_s,
+                compile_s=compile_s,
+                speedup=None if ref_s is None else ref_s / flat_s,
+                recompile_s=recompile_s,
+                incremental_recompile_s=incremental_recompile_s,
+                recompile_speedup=recompile_s / incremental_recompile_s,
+                delta_s=delta_s,
+                bytes_per_user=bytes_total / n_users)
+
+
+def format_rows(rows):
+    lines = []
+    for r in rows:
+        ref = "      n/a" if r["reference_s"] is None \
+            else f"{r['reference_s'] * 1e3:7.1f} ms"
+        lines.append(
+            f"{r['n_users']:>9} users: reference {ref}  "
+            f"kernel {r['flat_s'] * 1e3:7.1f} ms  "
+            f"delta {r['delta_s'] * 1e6:7.1f} us  "
+            f"compile {r['compile_s'] * 1e3:7.1f} ms  "
+            f"splice {r['incremental_recompile_s'] * 1e6:8.1f} us "
+            f"({r['recompile_speedup']:7.1f}x)  "
+            f"{r['bytes_per_user']:5.1f} B/user")
+    return lines
+
+
 @pytest.fixture(scope="module")
 def refresh_rows(report):
     projection = PercentalProjection()
     rows = []
     for n_users in scale_tiers():
-        policy = grid_policy(n_users)
-        usage = random_usage(policy)
-        flat = FlatPolicy(policy)
         repeats = 3 if n_users <= GATE_USERS else 1
-        t0 = time.perf_counter()
-        FlatPolicy(policy)
-        compile_s = time.perf_counter() - t0
-        ref_s = _best_of(lambda: reference_refresh(policy, usage, projection),
-                         repeats)
-        flat_s = _best_of(lambda: flat_refresh(flat, usage, projection),
-                          repeats)
-        rows.append(dict(n_users=n_users, reference_s=ref_s, flat_s=flat_s,
-                         compile_s=compile_s, speedup=ref_s / flat_s))
-    block = ["\n== refresh scaling (reference vs array kernel) =="] + [
-        f"{r['n_users']:>7} users: reference {r['reference_s'] * 1e3:9.1f} ms  "
-        f"kernel {r['flat_s'] * 1e3:7.1f} ms  "
-        f"(compile {r['compile_s'] * 1e3:7.1f} ms)  "
-        f"speedup {r['speedup']:6.1f}x"
-        for r in rows]
+        rows.append(measure_tier(n_users, projection, repeats))
+    block = ["\n== refresh scaling (reference vs array kernel) =="] \
+        + format_rows(rows)
     for line in block:
         print(line)
     report.extend(block)
     JSON_PATH.write_text(json.dumps(
         dict(benchmark="refresh_scaling",
              scale=os.environ.get("REPRO_BENCH_SCALE", "paper"),
-             gate=dict(users=GATE_USERS, min_speedup=GATE_SPEEDUP),
+             gate=dict(users=GATE_USERS, min_speedup=GATE_SPEEDUP,
+                       min_recompile_speedup=RECOMPILE_GATE),
              rows=rows),
         indent=2) + "\n")
     return rows
@@ -146,10 +204,60 @@ class TestRefreshScaling:
         # the kernel's advantage must not collapse as scale grows
         assert refresh_rows[-1]["speedup"] >= GATE_SPEEDUP
 
+    def test_incremental_recompile_gate_at_top_tier(self, refresh_rows):
+        """PR 7 gate: the journal splice must beat a from-scratch compile
+        by >= 10x at the top tier (100k users at paper scale)."""
+        gate = refresh_rows[-1]
+        assert gate["recompile_speedup"] >= RECOMPILE_GATE, (
+            f"incremental recompile only {gate['recompile_speedup']:.1f}x "
+            f"faster than full at {gate['n_users']} users "
+            f"(need >= {RECOMPILE_GATE}x)")
+
+    def test_delta_refresh_beats_full_pass(self, refresh_rows):
+        """A 1%-dirty delta refresh must be well under a full kernel pass."""
+        top = refresh_rows[-1]
+        assert top["delta_s"] < top["flat_s"]
+
     def test_json_artifact_written(self, refresh_rows):
         data = json.loads(JSON_PATH.read_text())
         assert data["benchmark"] == "refresh_scaling"
         assert len(data["rows"]) == len(scale_tiers())
+        for row in data["rows"]:
+            for column in ("recompile_s", "incremental_recompile_s",
+                           "delta_s", "bytes_per_user"):
+                assert column in row
+
+
+@pytest.mark.million
+class TestMillionUsers:
+    """The million-user kernel pass (run with ``-m million``).
+
+    Appends an ``n_users=1_000_000`` row — kernel refresh, delta refresh,
+    journal-splice recompile, bytes/user — to ``BENCH_refresh.json``.
+    """
+
+    def test_million_user_row(self, report):
+        row = measure_tier(1_000_000, PercentalProjection(), repeats=1)
+        block = ["\n== refresh scaling: the million-user row =="] \
+            + format_rows([row])
+        for line in block:
+            print(line)
+        report.extend(block)
+        try:
+            data = json.loads(JSON_PATH.read_text())
+        except (OSError, ValueError):
+            data = dict(benchmark="refresh_scaling", scale="million",
+                        gate=dict(users=GATE_USERS,
+                                  min_speedup=GATE_SPEEDUP,
+                                  min_recompile_speedup=RECOMPILE_GATE),
+                        rows=[])
+        data["rows"] = [r for r in data["rows"]
+                        if r["n_users"] != row["n_users"]] + [row]
+        JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        assert row["recompile_speedup"] >= RECOMPILE_GATE
+        assert row["delta_s"] < row["flat_s"]
+        # the layout + one result must stay lean at the million-user scale
+        assert row["bytes_per_user"] < 512.0
 
 
 class TestKernelAgreesWithReference:

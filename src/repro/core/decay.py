@@ -35,8 +35,14 @@ class DecayFunction:
         raise NotImplementedError
 
     def weights(self, ages: np.ndarray) -> np.ndarray:
-        """Vectorized weights; subclasses override with closed forms."""
-        return np.array([self.weight(a) for a in np.asarray(ages, dtype=float)])
+        """Vectorized weights; subclasses override with closed forms.
+
+        Accepts any array shape (the batched decay path hands in 2-D
+        user × bin age matrices) and preserves it.
+        """
+        ages = np.asarray(ages, dtype=float)
+        flat = np.array([self.weight(a) for a in ages.ravel()])
+        return flat.reshape(ages.shape)
 
     def __call__(self, age: float) -> float:
         return self.weight(age)

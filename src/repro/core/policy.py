@@ -16,15 +16,47 @@ top of the tree while delegating the subdivision.
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from .tree import Tree, TreeNode, split_path
 
-__all__ = ["PolicyNode", "PolicyTree", "parse_policy", "PolicyError"]
+__all__ = ["PolicyNode", "PolicyTree", "PolicyEdit", "parse_policy",
+           "PolicyError"]
 
 
 class PolicyError(ValueError):
     """Raised for malformed policy definitions."""
+
+
+@dataclass(frozen=True)
+class PolicyEdit:
+    """One journaled policy mutation (DESIGN.md §12).
+
+    ``kind``
+        ``"weight"`` — the node at ``path`` changed its weight;
+        ``"add"`` — a new node appeared at ``path`` (``weight`` holds the
+        creation weight, in case the node is later removed again);
+        ``"remove"`` — the subtree at ``path`` disappeared;
+        ``"replace"`` — the node at ``path`` replaced its entire child set
+        (mount / refresh_mount / unmount).
+
+    Replaying an edit always reconciles ``path`` against the *current* live
+    tree, so applying a journal suffix is idempotent and insensitive to
+    intermediate states the consumer never saw (add-then-remove collapses
+    to a tombstoned row, stale weights resolve to the live value).
+    """
+
+    kind: str
+    path: str
+    weight: float = 1.0
+
+
+#: distinguishes journals of different PolicyTree instances: a consumer
+#: that cached edits-position state for one tree must full-compile when
+#: handed another (same-revision numbers mean nothing across trees)
+_journal_tokens = itertools.count(1)
 
 
 class PolicyNode(TreeNode):
@@ -79,12 +111,62 @@ class PolicyTree(Tree):
     node_class = PolicyNode
     root: PolicyNode
 
+    #: journal entries kept; consumers further behind fall back to a full
+    #: recompile (bounds journal memory regardless of edit rate)
+    JOURNAL_LIMIT = 1024
+
     def __init__(self, root: Optional[PolicyNode] = None):
         super().__init__(root if root is not None else PolicyNode(""))
         #: bumped by every mutating method; consumers (the FCS) use it to
         #: detect policy epochs without re-walking the tree.  Direct node
         #: attribute writes bypass it — mutate via the tree methods.
         self.revision = 0
+        #: identifies this tree's journal; revision numbers only line up
+        #: within one token (``PDS.set_policy`` swaps the whole tree)
+        self.journal_token = next(_journal_tokens)
+        #: ``(revision, edit)`` records, oldest first; every mutating tree
+        #: method appends here so :meth:`edits_since` can hand an
+        #: incremental compiler exactly what changed
+        self._journal: List[Tuple[int, PolicyEdit]] = []
+        #: highest revision whose edits have been dropped from the journal
+        self._journal_floor = 0
+
+    # -- edit journal ------------------------------------------------------
+
+    def _record(self, *edits: PolicyEdit) -> None:
+        """Commit one mutation: bump the revision, journal its edits."""
+        self.revision += 1
+        for edit in edits:
+            self._journal.append((self.revision, edit))
+        overflow = len(self._journal) - self.JOURNAL_LIMIT
+        if overflow > 0:
+            self._journal_floor = self._journal[overflow - 1][0]
+            del self._journal[:overflow]
+
+    def edits_since(self, revision: int) -> Optional[List[PolicyEdit]]:
+        """Edits recorded after ``revision``, oldest first.
+
+        Returns ``None`` when the journal cannot answer exactly — the
+        consumer is behind the retention floor (or ahead of this tree,
+        i.e. holding state from a different tree) and must recompile from
+        scratch.
+        """
+        if revision < self._journal_floor or revision > self.revision:
+            return None
+        return [edit for rev, edit in self._journal if rev > revision]
+
+    def _ensure_recorded(self, path: str) -> Tuple[PolicyNode, List[PolicyEdit]]:
+        """``ensure_path`` that collects an ``add`` edit per created node."""
+        node = self.root
+        created: List[PolicyEdit] = []
+        for part in split_path(path):
+            nxt = node.children.get(part)
+            if nxt is None:
+                nxt = node.add_child(PolicyNode(part))
+                created.append(PolicyEdit("add", nxt.path,
+                                          nxt.weight))  # type: ignore[attr-defined]
+            node = nxt
+        return node, created  # type: ignore[return-value]
 
     # -- construction --------------------------------------------------
 
@@ -121,9 +203,23 @@ class PolicyTree(Tree):
         """Create or update the node at ``path`` with the given weight."""
         if weight <= 0:
             raise PolicyError(f"share weight must be positive, got {weight}")
-        node = self.ensure_path(path)
-        node.weight = float(weight)  # type: ignore[attr-defined]
-        self.revision += 1
+        node, created = self._ensure_recorded(path)
+        node.weight = float(weight)
+        if created:
+            # the final add edit carries the effective weight
+            created[-1] = PolicyEdit("add", node.path, node.weight)
+            self._record(*created)
+        else:
+            self._record(PolicyEdit("weight", node.path, node.weight))
+        return node
+
+    def remove_path(self, path: str) -> PolicyNode:
+        """Remove the subtree at ``path`` (run-time policy change)."""
+        node = self.find(path)
+        if node is None or node.parent is None:
+            raise PolicyError(f"cannot remove {path!r}")
+        node.parent.remove_child(node.name)
+        self._record(PolicyEdit("remove", path))
         return node  # type: ignore[return-value]
 
     # -- queries ---------------------------------------------------------
@@ -153,15 +249,21 @@ class PolicyTree(Tree):
         updated (the local administrator decides how much of the local
         resources the mounted policy receives).
         """
-        node = self.ensure_path(mount_point)
-        if weight is not None:
-            node.weight = float(weight)  # type: ignore[attr-defined]
+        node, created = self._ensure_recorded(mount_point)
         if node.children:
+            if created:
+                self._record(*created)
             raise PolicyError(f"mount point {mount_point!r} already has children")
-        node.mounted_from = source  # type: ignore[attr-defined]
+        if weight is not None:
+            node.weight = float(weight)
+        if created:
+            created[-1] = PolicyEdit("add", node.path, node.weight)
+        node.mounted_from = source
         self._graft(node, subtree.root, source)  # type: ignore[arg-type]
-        self.revision += 1
-        return node  # type: ignore[return-value]
+        # a single replace edit covers the grafted children and the mount
+        # point's own (possibly updated) weight: replay reads the live tree
+        self._record(*created, PolicyEdit("replace", node.path, node.weight))
+        return node
 
     def _graft(self, target: PolicyNode, source_root: PolicyNode, source: str) -> None:
         for child in source_root.children.values():
@@ -169,21 +271,42 @@ class PolicyTree(Tree):
             target.add_child(copy)
             self._graft(copy, child, source)  # type: ignore[arg-type]
 
-    def refresh_mount(self, mount_point: str, subtree: "PolicyTree") -> None:
+    @staticmethod
+    def _same_structure(node: PolicyNode, other: PolicyNode) -> bool:
+        """Structural identity: same child names (in order) and weights."""
+        if list(node.children) != list(other.children):
+            return False
+        for mine, theirs in zip(node.children.values(),
+                                other.children.values()):
+            if mine.weight != theirs.weight:  # type: ignore[attr-defined]
+                return False
+            if not PolicyTree._same_structure(mine, theirs):  # type: ignore[arg-type]
+                return False
+        return True
+
+    def refresh_mount(self, mount_point: str, subtree: "PolicyTree") -> bool:
         """Replace a previously mounted subtree with a fresh copy.
 
         Models the PDS periodically re-fetching remote sub-policies; policy
         changes at the remote administration propagate without touching the
-        locally managed part of the tree.
+        locally managed part of the tree.  A re-fetch that is structurally
+        identical to what is already mounted is a no-op: the revision does
+        not move, so downstream caches (the FCS compile, the serve plane's
+        leaf-id generation) survive idle mount refreshes.  Returns whether
+        the tree actually changed.
         """
         node = self.find(mount_point)
         if node is None or node.mounted_from is None:  # type: ignore[attr-defined]
             raise PolicyError(f"{mount_point!r} is not a mount point")
+        if self._same_structure(node, subtree.root):  # type: ignore[arg-type]
+            return False
         source = node.mounted_from  # type: ignore[attr-defined]
         for name in list(node.children):
             node.remove_child(name)
         self._graft(node, subtree.root, source)  # type: ignore[arg-type]
-        self.revision += 1
+        self._record(PolicyEdit("replace", node.path,
+                                node.weight))  # type: ignore[attr-defined]
+        return True
 
     def unmount(self, mount_point: str) -> None:
         node = self.find(mount_point)
@@ -192,7 +315,8 @@ class PolicyTree(Tree):
         for name in list(node.children):
             node.remove_child(name)
         node.mounted_from = None  # type: ignore[attr-defined]
-        self.revision += 1
+        self._record(PolicyEdit("replace", node.path,
+                                node.weight))  # type: ignore[attr-defined]
 
     def mount_points(self) -> List[str]:
         return [n.path for n in self.walk()

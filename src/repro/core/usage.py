@@ -236,7 +236,65 @@ class UsageHistogram:
         sums = np.bincount(user_ids, weights=weighted, minlength=len(users))
         return dict(zip(users, sums.tolist()))
 
+    def decayed_totals_batch(self, users: Sequence[str], now: float,
+                             decay: Optional[DecayFunction] = None
+                             ) -> Dict[str, float]:
+        """Decayed totals for a *subset* of users in one 2-D array pass.
+
+        The incremental UMS refresh recomputes only dirty users; calling
+        :meth:`decayed_total` per user pays NumPy dispatch overhead per
+        call, which dominates once thousands of users churn per tick.
+        Here every requested user's bins are scattered into one padded
+        ``(present_users, max_bins)`` matrix, the decay weights for the
+        whole batch are a single vectorized call, and the per-user sums
+        are one row reduction.  Padding cells carry age ``-1`` — every
+        decay family weighs negative ages zero — and amount 0.
+
+        Only users present in this histogram appear in the result (the
+        caller treats absence as "pruned everywhere", like
+        :meth:`decayed_total` returning 0 for unknown users would not).
+        """
+        decay = decay or NoDecay()
+        present = [u for u in users if u in self._bins]
+        if not present:
+            return {}
+        counts = np.fromiter((len(self._bins[u]) for u in present),
+                             dtype=np.int64, count=len(present))
+        total = int(counts.sum())
+        if total == 0:
+            return {u: 0.0 for u in present}
+        idx = np.fromiter((b for u in present for b in self._bins[u]),
+                          dtype=np.float64, count=total)
+        amounts = np.fromiter(
+            (c for u in present for c in self._bins[u].values()),
+            dtype=np.float64, count=total)
+        width = int(counts.max())
+        rows = np.repeat(np.arange(len(present)), counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        cols = np.arange(total) - offsets[rows]
+        ages = np.full((len(present), width), -1.0)
+        ages[rows, cols] = np.maximum(now - (idx + 0.5) * self.interval, 0.0)
+        amount_m = np.zeros((len(present), width))
+        amount_m[rows, cols] = amounts
+        sums = (amount_m * decay.weights(ages)).sum(axis=1)
+        return dict(zip(present, sums.tolist()))
+
     # -- maintenance -------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of the histogram state.
+
+        Python dict-of-dict storage: container sizes plus per-entry
+        key/value boxes (ints and floats are 28/24 bytes boxed).  Feeds
+        the benchmark's bytes/user accounting; O(users), so call it from
+        measurement code, not hot paths.
+        """
+        import sys
+        total = sys.getsizeof(self._bins)
+        for user, bins in self._bins.items():
+            total += sys.getsizeof(user) + sys.getsizeof(bins)
+            total += len(bins) * (28 + 24)  # boxed bin index + charge
+        return int(total)
 
     def n_bins(self, user: Optional[str] = None) -> int:
         """Number of stored (user, bin) entries — the USS memory footprint."""

@@ -12,15 +12,75 @@ II and III in the update-delay analysis (Section IV-A.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import (Callable, Dict, Generic, Hashable, Mapping, Optional,
-                    Tuple, TypeVar)
+from typing import (Callable, Dict, Generic, Hashable, Iterator, List,
+                    Mapping, Optional, Sequence, Tuple, TypeVar)
 
 from ..obs.registry import MetricsRegistry
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
-__all__ = ["TTLCache", "CacheStats", "RegistryCacheStats", "usage_digest"]
+__all__ = ["TTLCache", "CacheStats", "RegistryCacheStats", "usage_digest",
+           "LeafValueMap"]
+
+
+class LeafValueMap(Mapping):
+    """Immutable ``leaf path -> value`` mapping over a values array.
+
+    The FCS used to materialize a ``dict(zip(leaf_paths, values))`` on
+    every refresh — an O(leaves) Python pass that dominates the refresh
+    once the kernel itself is incremental.  This view serves the same
+    mapping straight from the projection array and the compiled leaf
+    tables: construction is O(1), lookups are one dict probe plus one
+    array read, and iteration order is exactly ``leaf_paths`` order (which
+    consumers like the fairness recorder's ``np.fromiter`` rely on).
+
+    Instances are snapshots by construction: refreshes build a *new* map
+    over the new arrays, never mutate an existing one, so serve-plane
+    snapshots holding a map stay internally consistent forever.
+    """
+
+    __slots__ = ("_paths", "_slot", "_vec", "_values_list")
+
+    def __init__(self, paths: Sequence[str], slot: Mapping[str, int],
+                 vec) -> None:
+        self._paths = paths
+        self._slot = slot
+        self._vec = vec
+        self._values_list: Optional[List[float]] = None
+
+    def __getitem__(self, key: str) -> float:
+        return float(self._vec[self._slot[key]])
+
+    def get(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        row = self._slot.get(key)
+        if row is None:
+            return default
+        return float(self._vec[row])
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._slot
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._paths)
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def keys(self):
+        return self._paths
+
+    def values(self):
+        if self._values_list is None:
+            self._values_list = self._vec.tolist() \
+                if hasattr(self._vec, "tolist") else list(self._vec)
+        return self._values_list
+
+    def items(self):
+        return zip(self._paths, self.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeafValueMap({len(self._paths)} leaves)"
 
 
 def usage_digest(totals: Mapping[str, float]) -> frozenset:

@@ -88,12 +88,20 @@ class PolicyDistributionService:
         self.version += 1
 
     def refresh_mounts(self) -> None:
-        """Re-fetch every mounted sub-policy (periodic task)."""
+        """Re-fetch every mounted sub-policy (periodic task).
+
+        ``refresh_mount`` detects identical subtrees and leaves the tree
+        (and its revision) untouched; the PDS version only bumps when a
+        mount actually changed, so steady-state mount refreshes no longer
+        force every downstream FCS into a policy-epoch miss.
+        """
         self.refreshes += 1
+        changed = False
         for sub in self._mounts:
             subtree = parse_policy(sub.remote.export().text())
-            self._policy.refresh_mount(sub.mount_point, subtree)
-        if self._mounts:
+            if self._policy.refresh_mount(sub.mount_point, subtree):
+                changed = True
+        if changed:
             self.version += 1
 
     def mounts(self) -> List[str]:

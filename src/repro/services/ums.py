@@ -19,6 +19,20 @@ midpoint has passed, keeping the shift exact.  Decay families whose
 weights are not multiplicative in age (linear, window, step) fall back to
 the full per-user recompute every refresh, as does the priming refresh.
 
+The analytic shift is applied as one *global scale scalar* (DESIGN.md
+§12), not a per-user multiply: cached totals are stored as
+scale-invariant bases with ``served = base * scale``, and an idle refresh
+advances every user at once by ``scale *= factor`` — O(1) instead of
+O(users).  Dirty users are recomputed in a single vectorized 2-D pass
+per histogram (:meth:`~repro.core.usage.UsageHistogram.
+decayed_totals_batch`).  Downstream consumers that want to avoid their
+own O(users) pass read the base totals directly (:meth:`usage_totals_
+base` + :meth:`usage_scale`) and subscribe to a **totals cursor**
+(:meth:`register_totals_cursor`) that reports exactly which users' base
+totals changed each refresh — pure decay aging changes no base, so an
+idle site's cursor drains empty and the FCS can skip its refresh
+entirely.
+
 A site in LOCAL_ONLY participation mode points its UMS at local usage only
 (``consider_remote=False``): it still publishes data to the grid but
 prioritizes on local history — the second scenario of the
@@ -27,8 +41,10 @@ partial-participation test.
 
 from __future__ import annotations
 
+import itertools
 import time
-from typing import Dict, List, Optional, Set
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Set
 
 from ..core.decay import DecayFunction, ExponentialDecay, NoDecay
 from ..core.tree import Tree
@@ -43,6 +59,10 @@ __all__ = ["UsageMonitoringService"]
 
 class UsageMonitoringService:
     """Periodic pre-computation of decayed usage totals."""
+
+    #: fold the global scale back into the bases before it underflows the
+    #: precision budget of ``base * scale`` round-trips
+    SCALE_FLOOR = 2.0 ** -40
 
     def __init__(self, site: str, engine: SimulationEngine,
                  sources: List[UsageStatisticsService],
@@ -88,7 +108,14 @@ class UsageMonitoringService:
             self._cursors = [
                 uss.register_usage_cursor(include_remote=consider_remote)
                 for uss in self.sources]
+        #: scale-invariant base totals; served total = base * ``_scale``
         self._totals: Dict[str, float] = {}
+        #: global decay scale applied to every base (DESIGN.md §12): an
+        #: idle refresh advances all users with ``_scale *= factor``
+        self._scale: float = 1.0
+        #: downstream totals cursors: id -> (full-resync flag, dirty users)
+        self._totals_cursors: Dict[int, List] = {}
+        self._totals_cursor_ids = itertools.count(1)
         #: newest bin midpoint per cached user (staleness of the age shift)
         self._max_mid: Dict[str, float] = {}
         #: users recomputed while their newest midpoint was still ahead
@@ -141,6 +168,10 @@ class UsageMonitoringService:
             for user, value in merged.decayed_totals(now, self.decay).items():
                 totals[user] = totals.get(user, 0.0) + value
         self._totals = totals
+        self._scale = 1.0
+        for state in self._totals_cursors.values():
+            state[0] = True
+            state[1].clear()
         self._metrics["full_refreshes"].inc()
         if self.incremental:
             # seed the age-shift bookkeeping for subsequent delta refreshes
@@ -155,10 +186,11 @@ class UsageMonitoringService:
             self._primed = True
 
     def _incremental_refresh(self, now: float, dirty: Set[str]) -> None:
-        factor = self.decay.weight(now - self._computed_at)
-        if factor != 1.0:
-            for user in self._totals:
-                self._totals[user] *= factor
+        # the analytic age shift: one scalar multiply advances every clean
+        # user's served total (base * scale) at once — the bases don't move
+        self._scale *= self.decay.weight(now - self._computed_at)
+        if self._scale < self.SCALE_FLOOR:
+            self._renormalize_scale()
         recompute = dirty | self._young
         self._metrics["users_shifted"].inc(
             len(self._totals) - len(recompute & self._totals.keys()))
@@ -166,31 +198,54 @@ class UsageMonitoringService:
             return
         self._young = set()
         self._metrics["users_recomputed"].inc(len(recompute))
-        for user in recompute:
-            total = 0.0
-            max_mid = float("-inf")
-            found = False
-            for uss in self.sources:
-                t = uss.decayed_user_total(user, now, self.decay,
-                                           self.consider_remote)
-                if t is None:
-                    continue
-                found = True
-                total += t
-                m = uss.newest_user_midpoint(user, self.consider_remote)
-                if m is not None and m > max_mid:
-                    max_mid = m
-            if not found:
+        users = list(recompute)
+        totals: Dict[str, float] = {}
+        mids: Dict[str, float] = {}
+        for uss in self.sources:
+            for user, t in uss.decayed_user_totals(
+                    users, now, self.decay, self.consider_remote).items():
+                totals[user] = totals.get(user, 0.0) + t
+            for user, m in uss.newest_user_midpoints_for(
+                    users, self.consider_remote).items():
+                if m > mids.get(user, float("-inf")):
+                    mids[user] = m
+        for user in users:
+            total = totals.get(user)
+            if total is None:
                 # pruned/deleted everywhere: drop, as a full merge would
-                self._totals.pop(user, None)
+                if self._totals.pop(user, None) is not None:
+                    self._mark_totals_dirty(user)
                 self._max_mid.pop(user, None)
                 continue
-            self._totals[user] = total
+            base = total / self._scale
+            if self._totals.get(user) != base:
+                self._totals[user] = base
+                self._mark_totals_dirty(user)
+            max_mid = mids.get(user, float("-inf"))
             self._max_mid[user] = max_mid
             if max_mid > now:
                 # the newest bin's age is still clamped at zero; keep
                 # recomputing until the midpoint passes, then shift freely
                 self._young.add(user)
+
+    def _renormalize_scale(self) -> None:
+        """Fold the scale back into the bases (rare: ~every 2**40 of decay).
+
+        Every base changes, so downstream totals cursors are flagged for a
+        full resync.
+        """
+        scale = self._scale
+        for user in self._totals:
+            self._totals[user] *= scale
+        self._scale = 1.0
+        for state in self._totals_cursors.values():
+            state[0] = True
+            state[1].clear()
+
+    def _mark_totals_dirty(self, user: str) -> None:
+        for state in self._totals_cursors.values():
+            if not state[0]:
+                state[1].add(user)
 
     def _capture_horizons(self) -> None:
         """Freeze the sources' usage horizons alongside the totals.
@@ -215,7 +270,54 @@ class UsageMonitoringService:
 
     def usage_totals(self) -> Dict[str, float]:
         """Decayed per-user usage as of the last refresh."""
-        return dict(self._totals)
+        scale = self._scale
+        if scale == 1.0:
+            return dict(self._totals)
+        return {user: base * scale for user, base in self._totals.items()}
+
+    def usage_totals_base(self) -> Mapping[str, float]:
+        """Scale-invariant base totals (``served = base * usage_scale()``).
+
+        A read-only view of the live cache — no O(users) copy.  Bases only
+        move when a user's histogram bins change, so consumers holding a
+        totals cursor can fold just the drained users and multiply their
+        aggregate by the scale.
+        """
+        return MappingProxyType(self._totals)
+
+    def usage_scale(self) -> float:
+        """Global decay scale applied to every base total."""
+        return self._scale
+
+    def register_totals_cursor(self) -> int:
+        """Subscribe to base-total changes; returns a cursor id.
+
+        A fresh cursor starts with the full-resync flag set so the first
+        drain tells the consumer to fold everything once.
+        """
+        cursor = next(self._totals_cursor_ids)
+        self._totals_cursors[cursor] = [True, set()]
+        return cursor
+
+    def drain_totals_changes(self, cursor: int):
+        """Changes to the base totals since the last drain.
+
+        Returns ``(full, changed)``: when ``full`` is True the consumer
+        must resync against :meth:`usage_totals_base` from scratch (priming,
+        a full refresh, or a scale renormalization) and ``changed`` is
+        empty.  Otherwise ``changed`` maps each dirty user to their new
+        base total, with ``None`` for users dropped from the cache.
+        """
+        state = self._totals_cursors[cursor]
+        full, dirty = state[0], state[1]
+        if full:
+            self._totals_cursors[cursor] = [False, set()]
+            return True, {}
+        state[1] = set()
+        return False, {user: self._totals.get(user) for user in dirty}
+
+    def release_totals_cursor(self, cursor: int) -> None:
+        self._totals_cursors.pop(cursor, None)
 
     def usage_horizons(self) -> Dict[str, float]:
         """Per-origin usage horizons incorporated by the last refresh."""
@@ -223,7 +325,7 @@ class UsageMonitoringService:
 
     def usage_tree(self, structure: Tree) -> UsageTree:
         """Usage tree mirroring ``structure`` from the pre-computed totals."""
-        return build_usage_tree(structure, self._totals)
+        return build_usage_tree(structure, self.usage_totals())
 
     def stop(self) -> None:
         if self._task is not None:

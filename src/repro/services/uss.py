@@ -40,7 +40,7 @@ from __future__ import annotations
 import itertools
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from ..core.decay import DecayFunction
 from ..core.usage import UsageHistogram, UsageRecord
@@ -462,6 +462,40 @@ class UsageStatisticsService:
                     total += hist.decayed_total(user, now, decay)
                     found = True
         return total if found else None
+
+    def decayed_user_totals(self, users: Sequence[str], now: float,
+                            decay: DecayFunction,
+                            include_remote: bool = True) -> Dict[str, float]:
+        """Batched :meth:`decayed_user_total` (one 2-D pass per histogram).
+
+        Users absent from every tracked histogram are absent from the
+        result — the caller drops them, matching the per-user API's
+        ``None``.
+        """
+        totals: Dict[str, float] = {}
+        histograms = [self.local]
+        if include_remote:
+            histograms.extend(self.remote.values())
+        for hist in histograms:
+            for user, value in hist.decayed_totals_batch(
+                    users, now, decay).items():
+                totals[user] = totals.get(user, 0.0) + value
+        return totals
+
+    def newest_user_midpoints_for(self, users: Sequence[str],
+                                  include_remote: bool = True
+                                  ) -> Dict[str, float]:
+        """Newest bin midpoints for a subset of users (batched)."""
+        mids: Dict[str, float] = {}
+        histograms = [self.local]
+        if include_remote:
+            histograms.extend(self.remote.values())
+        for hist in histograms:
+            for user in users:
+                m = hist.newest_midpoint(user)
+                if m is not None and m > mids.get(user, float("-inf")):
+                    mids[user] = m
+        return mids
 
     def newest_user_midpoint(self, user: str,
                              include_remote: bool = True) -> Optional[float]:
