@@ -1,0 +1,149 @@
+"""Fig. 11 on a real wire: cross-site staleness across grid sizes.
+
+The simulation benches derive the paper's update-delay model
+(``test_fig11_update_delay``) on the virtual clock; this bench re-derives
+the observable half of it on *actual sockets*: for each grid size it
+boots N ``aequus-repro grid-node`` subprocesses on loopback through the
+:class:`~repro.grid.harness.GridHarness`, lets the fleet converge, then
+samples every site's worst remote-origin staleness through the serve
+plane for a measurement window — the real-wire analogue of the paper's
+update delay, with process scheduling, TCP, serialization, and tick
+granularity all included.
+
+Per grid size the JSON artifact (``benchmarks/BENCH_grid.json``) records
+sites x users x staleness p50/p99 x wire bytes (both the modeled
+exchange payload cost and the real framed bytes the transport moved).
+CI gates: the fleet must converge, and staleness percentiles must stay
+within small multiples of the exchange interval — on a healthy loopback
+wire the update delay is protocol tempo, not transport overhead.
+
+Scale tiers: ``paper`` (default) samples a longer window with more
+users; ``REPRO_BENCH_SCALE=small`` is the CI smoke tier.  Both cover
+the {2, 4, 8}-site ladder the acceptance bar asks for.
+"""
+
+import json
+import os
+import statistics
+from pathlib import Path
+
+import pytest
+
+from repro.grid.harness import GridHarness, GridSpec
+
+JSON_PATH = Path(__file__).parent / "BENCH_grid.json"
+
+SITE_LADDER = (2, 4, 8)
+EXCHANGE_INTERVAL = 0.5
+REFRESH_INTERVAL = 0.5
+
+#: (users, seconds of staleness sampling) per scale tier
+_SCALES = {"paper": (48, 8.0), "small": (24, 4.0)}
+
+#: staleness gates in exchange intervals (generous: CI machines stall)
+GATE_P50_INTERVALS = 4.0
+GATE_P99_INTERVALS = 10.0
+
+
+def scale_tier():
+    return _SCALES[os.environ.get("REPRO_BENCH_SCALE", "paper")]
+
+
+def percentile(samples, q):
+    samples = sorted(samples)
+    return samples[min(len(samples) - 1, int(q * (len(samples) - 1)))]
+
+
+def run_grid(n_sites: int, n_users: int, window: float) -> dict:
+    spec = GridSpec(sites=n_sites, users=n_users, usage_jobs=4,
+                    exchange_interval=EXCHANGE_INTERVAL,
+                    refresh_interval=REFRESH_INTERVAL,
+                    histogram_interval=5.0)
+    with GridHarness(spec) as grid:
+        converge_s = grid.wait_converged(
+            max_staleness=10 * EXCHANGE_INTERVAL, timeout=60.0)
+        names = spec.site_names()
+        payload0 = sum(grid.wire_bytes(n) for n in names)
+        frames0 = sum(grid.metric_sum(n, "aequus_grid_peer_bytes_total")
+                      for n in names)
+        samples = grid.staleness_samples(window)
+        payload1 = sum(grid.wire_bytes(n) for n in names)
+        frames1 = sum(grid.metric_sum(n, "aequus_grid_peer_bytes_total")
+                      for n in names)
+        reconnects = sum(grid.metric_sum(n, "aequus_grid_reconnects_total")
+                         for n in names)
+    assert samples, "no staleness samples collected"
+    return dict(
+        sites=n_sites, users=n_users,
+        converge_s=round(converge_s, 3),
+        samples=len(samples),
+        staleness_p50=round(statistics.median(samples), 4),
+        staleness_p99=round(percentile(samples, 0.99), 4),
+        staleness_max=round(max(samples), 4),
+        payload_bytes_per_s=round((payload1 - payload0) / window, 1),
+        frame_bytes_per_s=round((frames1 - frames0) / window, 1),
+        steady_reconnects=reconnects,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_rows(report):
+    users, window = scale_tier()
+    rows = [run_grid(sites, users, window) for sites in SITE_LADDER]
+    block = [f"\n== grid staleness on real wire ({users} users, "
+             f"{window:.0f}s window, exchange {EXCHANGE_INTERVAL}s) =="] + [
+        f"{r['sites']} sites: p50 {r['staleness_p50']:6.2f}s  "
+        f"p99 {r['staleness_p99']:6.2f}s  "
+        f"payload {r['payload_bytes_per_s'] / 1e3:8.2f} KB/s  "
+        f"wire {r['frame_bytes_per_s'] / 1e3:8.2f} KB/s  "
+        f"converged in {r['converge_s']:.1f}s"
+        for r in rows]
+    for line in block:
+        print(line)
+    report.extend(block)
+    JSON_PATH.write_text(json.dumps(
+        dict(benchmark="grid_scaling", figure="11 (real wire)",
+             scale=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+             exchange_interval=EXCHANGE_INTERVAL,
+             refresh_interval=REFRESH_INTERVAL,
+             gate=dict(p50_intervals=GATE_P50_INTERVALS,
+                       p99_intervals=GATE_P99_INTERVALS),
+             rows=rows),
+        indent=2) + "\n")
+    return rows
+
+
+class TestGridScaling:
+    def test_ladder_covers_acceptance_sizes(self, grid_rows):
+        assert {r["sites"] for r in grid_rows} >= {2, 4, 8}
+
+    def test_staleness_p50_within_protocol_tempo(self, grid_rows):
+        bound = GATE_P50_INTERVALS * EXCHANGE_INTERVAL
+        for row in grid_rows:
+            assert row["staleness_p50"] <= bound, (
+                f"{row['sites']} sites: p50 staleness "
+                f"{row['staleness_p50']:.2f}s exceeds {bound:.2f}s")
+
+    def test_staleness_p99_within_protocol_tempo(self, grid_rows):
+        bound = GATE_P99_INTERVALS * EXCHANGE_INTERVAL
+        for row in grid_rows:
+            assert row["staleness_p99"] <= bound, (
+                f"{row['sites']} sites: p99 staleness "
+                f"{row['staleness_p99']:.2f}s exceeds {bound:.2f}s")
+
+    def test_wire_traffic_flows_and_scales(self, grid_rows):
+        for row in grid_rows:
+            assert row["payload_bytes_per_s"] > 0
+            assert row["frame_bytes_per_s"] > 0
+        # more sites, more links: total traffic must not shrink
+        assert grid_rows[-1]["frame_bytes_per_s"] \
+            > grid_rows[0]["frame_bytes_per_s"]
+
+    def test_json_artifact_written(self, grid_rows):
+        data = json.loads(JSON_PATH.read_text())
+        assert data["benchmark"] == "grid_scaling"
+        assert {r["sites"] for r in data["rows"]} >= {2, 4, 8}
+        for row in data["rows"]:
+            for key in ("staleness_p50", "staleness_p99",
+                        "payload_bytes_per_s", "frame_bytes_per_s"):
+                assert key in row

@@ -16,6 +16,14 @@ Subcommands
 ``serve``
     Boot aequusd: a demo site stack ticked in wall-clock time behind the
     TCP serve plane.
+``grid``
+    Boot a real multi-daemon grid on loopback (N aequusd subprocesses
+    exchanging usage over TCP through fault proxies), converge it, run an
+    optional fault demo, and print a staleness/wire summary.
+``grid-node``
+    One grid daemon (normally spawned by ``grid`` or the
+    :class:`~repro.grid.harness.GridHarness`): a site stack whose USS
+    speaks TCP to its peers, fronted by the serve plane.
 ``query``
     One-shot client operations against a running aequusd
     (fairshare / vector / resolve / report / ping / info / batch).
@@ -38,6 +46,7 @@ Examples::
     python -m repro.cli fit trace.tsv
     python -m repro.cli run baseline --jobs 6000 --span 3600 --sites 2
     python -m repro.cli serve --users 1000 --port 4730
+    python -m repro.cli grid --sites 3 --users 30 --duration 10
     python -m repro.cli query fairshare u17 --port 4730
     python -m repro.cli probe --port 4730 --max-staleness 120
     python -m repro.cli metrics --port 4730
@@ -119,6 +128,55 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--record-interval", type=float, default=None,
                        help="recorder sampling interval in virtual seconds "
                             "(default: the FCS refresh interval)")
+
+    grid = sub.add_parser(
+        "grid", help="boot a real multi-daemon grid on loopback")
+    grid.add_argument("--sites", type=int, default=3)
+    grid.add_argument("--users", type=int, default=30)
+    grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--duration", type=float, default=10.0,
+                      help="seconds to sample staleness once converged")
+    grid.add_argument("--exchange-interval", type=float, default=0.5)
+    grid.add_argument("--refresh-interval", type=float, default=0.5)
+    grid.add_argument("--latency", type=float, default=0.0,
+                      help="injected one-way link latency (seconds)")
+    grid.add_argument("--jitter", type=float, default=0.0)
+    grid.add_argument("--no-proxies", action="store_true",
+                      help="wire daemons directly (no fault plane)")
+    grid.add_argument("--demo-faults", action="store_true",
+                      help="also partition a link and kill/restart a "
+                           "daemon, asserting the grid recovers")
+    grid.add_argument("--workdir", default=None,
+                      help="keep policy + per-node logs here "
+                           "(default: a temp dir)")
+
+    node = sub.add_parser(
+        "grid-node", help="run one grid daemon (spawned by 'grid')")
+    node.add_argument("--site", required=True)
+    node.add_argument("--policy", required=True,
+                      help="shared policy file ('path = weight' lines)")
+    node.add_argument("--listen-host", default="127.0.0.1",
+                      help="USS exchange listener address")
+    node.add_argument("--listen-port", type=int, default=0)
+    node.add_argument("--host", default="127.0.0.1",
+                      help="serve-plane address")
+    node.add_argument("--port", type=int, default=0)
+    node.add_argument("--peer", action="append", default=[],
+                      metavar="SITE=HOST:PORT",
+                      help="peer USS address (repeatable)")
+    node.add_argument("--site-index", type=int, default=0)
+    node.add_argument("--site-count", type=int, default=1)
+    node.add_argument("--usage-jobs", type=int, default=0,
+                      help="seeded local jobs for this node's user slice")
+    node.add_argument("--seed", type=int, default=0)
+    node.add_argument("--exchange-interval", type=float, default=0.5)
+    node.add_argument("--histogram-interval", type=float, default=5.0)
+    node.add_argument("--refresh-interval", type=float, default=0.5)
+    node.add_argument("--tick-interval", type=float, default=0.05)
+    node.add_argument("--time-factor", type=float, default=1.0)
+    node.add_argument("--virtual-epoch", type=float, default=None,
+                      help="shared wall-clock epoch aligning the fleet's "
+                           "virtual clocks")
 
     query = sub.add_parser("query", help="query a running aequusd")
     query.add_argument("action",
@@ -302,6 +360,62 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_grid(args) -> int:
+    """Boot a loopback grid, converge, optionally break it, summarize."""
+    import statistics
+
+    from .grid.harness import GridHarness, GridSpec
+
+    spec = GridSpec(sites=args.sites, users=args.users, seed=args.seed,
+                    exchange_interval=args.exchange_interval,
+                    refresh_interval=args.refresh_interval,
+                    latency=args.latency, jitter=args.jitter,
+                    proxies=not args.no_proxies)
+    bound = max(5.0, 6 * spec.exchange_interval + 2 * spec.latency)
+    with GridHarness(spec, workdir=args.workdir) as grid:
+        names = spec.site_names()
+        print(f"grid: {spec.sites} daemons up "
+              f"(serve ports {[grid.serve_ports[n] for n in names]})")
+        waited = grid.wait_converged(max_staleness=bound, timeout=60.0)
+        print(f"grid: converged below {bound:.1f}s staleness "
+              f"in {waited:.1f}s")
+        if args.demo_faults:
+            if args.no_proxies:
+                print("grid: --demo-faults needs proxies")
+                return 2
+            a, b = names[0], names[1]
+            print(f"grid: partitioning {a}<->{b}")
+            grid.partition(a, b)
+            import time as _time
+            _time.sleep(4 * spec.exchange_interval)
+            lag = grid.remote_staleness(a).get(b, 0.0)
+            print(f"grid: {a} sees {b} staleness {lag:.1f}s while split")
+            grid.heal(a, b)
+            victim = names[-1]
+            print(f"grid: killing and restarting {victim}")
+            grid.restart(victim)
+            waited = grid.wait_converged(max_staleness=bound, timeout=60.0)
+            print(f"grid: recovered (converged again in {waited:.1f}s)")
+        samples = grid.staleness_samples(args.duration)
+        if samples:
+            samples.sort()
+            p50 = statistics.median(samples)
+            p99 = samples[min(len(samples) - 1,
+                              int(0.99 * (len(samples) - 1)))]
+            print(f"grid: staleness over {args.duration:.0f}s — "
+                  f"p50 {p50:.2f}s p99 {p99:.2f}s ({len(samples)} samples)")
+        total_wire = sum(grid.wire_bytes(n) for n in names)
+        print(f"grid: exchange payload total {total_wire:,.0f} modeled "
+              f"bytes across {spec.sites} sites")
+    return 0
+
+
+def _cmd_grid_node(args) -> int:
+    from .grid.node import run_node
+
+    return run_node(args)
+
+
 def _cmd_query(args) -> int:
     from .serve.client import AequusServerError, AequusTransportError, \
         SyncAequusClient
@@ -474,6 +588,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "probe-projections": _cmd_probe,
         "serve": _cmd_serve,
+        "grid": _cmd_grid,
+        "grid-node": _cmd_grid_node,
         "query": _cmd_query,
         "probe": _cmd_probe_daemon,
         "metrics": _cmd_metrics,

@@ -1,0 +1,36 @@
+"""repro.grid — real multi-daemon grid: TCP usage exchange + testbed-in-a-box.
+
+The paper's core claim is that decentralized fairshare converges across
+*independent* installations exchanging usage summaries.  This package
+promotes the USS↔USS exchange from the in-process simulation bus to an
+actual network transport and provides the harness that proves it:
+
+``wire``
+    Length-prefixed JSON framing for the USS exchange payloads
+    (:class:`~repro.services.messages.UsageDeltaMessage` and friends).
+``transport``
+    :class:`~repro.grid.transport.TcpUssTransport` — the asyncio TCP peer
+    transport implementing :class:`~repro.services.transport.UssTransport`:
+    one listener per daemon, one auto-reconnecting outbound connection per
+    peer, full traffic accounting.
+``proxy``
+    :class:`~repro.grid.proxy.LinkProxy` — a userspace TCP proxy injected
+    per link by the harness to add latency/jitter, drop connections, and
+    partition sites, CraneSched-testbed style but pure subprocess +
+    loopback so it runs in CI.
+``node``
+    Build and run one grid daemon (``aequus-repro grid-node``): a full
+    site stack whose USS speaks TCP to its peers, fronted by the serve
+    plane for queries/probes/metrics.
+``harness``
+    :class:`~repro.grid.harness.GridHarness` — boot N ``aequusd``
+    subprocesses on loopback ports from a shared policy spec, wire every
+    link through a fault proxy, kill/restart daemons, and measure
+    staleness/convergence across the fleet.
+"""
+
+from .harness import GridHarness, GridSpec  # noqa: F401
+from .proxy import LinkProxy  # noqa: F401
+from .transport import TcpUssTransport  # noqa: F401
+
+__all__ = ["GridHarness", "GridSpec", "LinkProxy", "TcpUssTransport"]

@@ -1,0 +1,177 @@
+"""One grid daemon: a full site stack whose USS speaks TCP to its peers.
+
+``aequus-repro grid-node`` is what the harness boots N times: it builds
+the standard :class:`~repro.services.site.AequusSite` stack, but with a
+:class:`~repro.grid.transport.TcpUssTransport` where the in-process sim
+bus would be, and puts the usual serve plane in front of it — so the
+harness (and any operator) observes a grid node exactly like a
+single-site aequusd: INFO for usage horizons and staleness, METRICS for
+the whole stack including the grid transport counters.
+
+Clock alignment: every daemon runs its own discrete-event engine, ticked
+from wall time.  Staleness is ``engine.now - horizon`` with the horizon
+stamped by the *sending* site, so cross-daemon readings are only
+meaningful if all engines agree on "now".  The harness passes one shared
+``--virtual-epoch`` (a wall-clock timestamp); each node starts its engine
+at ``(wall_now - epoch) * time_factor``, aligning the fleet's virtual
+clocks to within process-spawn skew.
+
+Seeded usage is sliced by node: with ``--site-index i`` of
+``--site-count n``, the node records jobs for leaf users whose position
+is congruent to *i* mod *n*.  Every node then holds usage no other node
+has, so globally converged priorities are achievable only by actually
+exchanging over the wire — the property the grid tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.policy import PolicyTree, parse_policy
+from ..core.usage import UsageRecord
+from ..obs.registry import MetricsRegistry
+from ..serve.daemon import AequusDaemon
+from ..services.site import AequusSite, SiteConfig
+from ..sim.engine import SimulationEngine
+from .transport import TcpUssTransport
+
+__all__ = ["GridNode", "build_node", "run_node", "parse_peer"]
+
+
+def parse_peer(spec: str) -> Tuple[str, str, int]:
+    """Parse one ``--peer site=host:port`` argument."""
+    try:
+        site, addr = spec.split("=", 1)
+        host, port = addr.rsplit(":", 1)
+        return site.strip(), host.strip(), int(port)
+    except ValueError as exc:
+        raise ValueError(f"bad peer spec {spec!r} "
+                         "(expected site=host:port)") from exc
+
+
+class GridNode:
+    """One wired grid daemon: engine + TCP USS transport + serve plane."""
+
+    def __init__(self, engine: SimulationEngine, site: AequusSite,
+                 transport: TcpUssTransport, daemon: AequusDaemon):
+        self.engine = engine
+        self.site = site
+        self.transport = transport
+        self.daemon = daemon
+        self._stopped = False
+
+    def start(self) -> "GridNode":
+        self.daemon.start()
+        return self
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.daemon.stop()
+        self.transport.close()
+
+    @property
+    def serve_port(self) -> int:
+        return self.daemon.port
+
+    @property
+    def uss_port(self) -> int:
+        return self.transport.port
+
+
+def build_node(site_name: str, policy: PolicyTree,
+               peers: List[Tuple[str, str, int]],
+               listen_host: str = "127.0.0.1", listen_port: int = 0,
+               serve_host: str = "127.0.0.1", serve_port: int = 0,
+               config: Optional[SiteConfig] = None,
+               virtual_epoch: Optional[float] = None,
+               time_factor: float = 1.0,
+               tick_interval: float = 0.1,
+               site_index: int = 0, site_count: int = 1,
+               usage_jobs: int = 0, seed: int = 0) -> GridNode:
+    """Assemble one grid daemon (not yet started)."""
+    start = 0.0
+    if virtual_epoch is not None:
+        start = max(0.0, (time.time() - virtual_epoch) * time_factor)
+    engine = SimulationEngine(start_time=start)
+    registry = MetricsRegistry(constant_labels={"site": site_name},
+                               clock=lambda: engine.now)
+    transport = TcpUssTransport(site_name, host=listen_host,
+                                port=listen_port, registry=registry)
+    transport.start()
+    for peer_site, host, port in peers:
+        transport.add_peer(f"uss:{peer_site}", host, port)
+    site = AequusSite(site_name, engine, transport, policy=policy,
+                      config=config or SiteConfig(), registry=registry)
+    for peer_site, _host, _port in peers:
+        site.uss.add_peer(peer_site)
+    if usage_jobs:
+        _seed_usage(site, policy, site_index=site_index,
+                    site_count=site_count, jobs=usage_jobs, seed=seed)
+    daemon = AequusDaemon(engine, site, host=serve_host, port=serve_port,
+                          tick_interval=tick_interval,
+                          time_factor=time_factor)
+    return GridNode(engine, site, transport, daemon)
+
+
+def _seed_usage(site: AequusSite, policy: PolicyTree, site_index: int,
+                site_count: int, jobs: int, seed: int) -> None:
+    """Record seeded jobs for this node's slice of the user population."""
+    rng = np.random.default_rng(seed + site_index)
+    mine = [path for i, path in enumerate(sorted(policy.leaf_paths()))
+            if i % max(1, site_count) == site_index]
+    now = site.engine.now
+    for n in range(jobs):
+        if not mine:
+            break
+        path = mine[int(rng.integers(0, len(mine)))]
+        duration = float(rng.integers(60, 36_000))
+        site.uss.record_job(UsageRecord(
+            user=path.rsplit("/", 1)[-1], site=site.name,
+            start=max(0.0, now - duration), end=now))
+
+
+def run_node(args) -> int:
+    """CLI handler for ``grid-node`` (one daemon, runs until signalled)."""
+    with open(args.policy, "r", encoding="utf-8") as fh:
+        policy = parse_policy(fh.read())
+    peers = [parse_peer(spec) for spec in (args.peer or [])]
+    config = SiteConfig(
+        histogram_interval=args.histogram_interval,
+        uss_exchange_interval=args.exchange_interval,
+        ums_refresh_interval=args.refresh_interval,
+        fcs_refresh_interval=args.refresh_interval,
+    )
+    node = build_node(
+        args.site, policy, peers,
+        listen_host=args.listen_host, listen_port=args.listen_port,
+        serve_host=args.host, serve_port=args.port,
+        config=config,
+        virtual_epoch=args.virtual_epoch,
+        time_factor=args.time_factor,
+        tick_interval=args.tick_interval,
+        site_index=args.site_index, site_count=args.site_count,
+        usage_jobs=args.usage_jobs, seed=args.seed)
+    node.start()
+    print(f"grid-node: site {args.site!r} uss on "
+          f"{args.listen_host}:{node.uss_port} serving on "
+          f"{args.host}:{node.serve_port} peers={len(peers)}", flush=True)
+    try:
+        import signal
+
+        def _terminate(signum, frame):
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _terminate)
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("grid-node: stopping", flush=True)
+    finally:
+        node.stop()
+    return 0

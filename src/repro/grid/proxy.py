@@ -1,0 +1,190 @@
+"""Userspace TCP fault proxy: one impaired link of the grid testbed.
+
+A :class:`LinkProxy` sits between one grid daemon's outbound USS
+connection and its peer's listener: the harness points site *a*'s
+transport at the proxy's port instead of *b*'s real one, and every byte
+of the a→b exchange flows through two forwarding threads the proxy owns.
+That position lets it misbehave on command, the way a WAN does:
+
+* ``set_latency(base, jitter)`` — sleep before relaying each chunk
+  (half-duplex per direction, so ordering within the stream holds);
+* ``set_drop_rate(p)`` — with probability *p* per relayed chunk, cut the
+  connection instead of forwarding.  TCP gives the transport a clean
+  stream-or-nothing abstraction, so "packet loss" at this layer means
+  *connection loss*: the in-flight publish disappears, the dialer
+  reconnects with backoff, and the receiver's next sequence number shows
+  a gap — precisely the path the resync protocol exists for;
+* ``partition()`` / ``heal()`` — kill every live connection and refuse
+  (accept-then-close) new ones until healed, i.e. a hard network split.
+
+Everything is plain ``socket`` + ``threading`` on loopback: no root, no
+tc/netem, no containers, so the full fault matrix runs in CI.  Counters
+(``connections_total``, ``connections_killed``, ``bytes_forwarded``) are
+plain ints read by the harness for BENCH reporting.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import List, Optional, Tuple
+
+__all__ = ["LinkProxy"]
+
+_CHUNK = 64 * 1024
+
+
+class LinkProxy:
+    """A controllable TCP forwarder for one directed grid link."""
+
+    def __init__(self, target_host: str, target_port: int,
+                 listen_host: str = "127.0.0.1", listen_port: int = 0,
+                 latency: float = 0.0, jitter: float = 0.0,
+                 drop_rate: float = 0.0,
+                 rng: Optional[random.Random] = None):
+        self.target_host = target_host
+        self.target_port = target_port
+        self.listen_host = listen_host
+        self._rng = rng if rng is not None else random.Random()
+        self._latency = latency
+        self._jitter = jitter
+        self._drop_rate = drop_rate
+        self._partitioned = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self._conns: List[Tuple[socket.socket, socket.socket]] = []
+        self.connections_total = 0
+        self.connections_killed = 0
+        self.bytes_forwarded = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((listen_host, listen_port))
+        self._listener.listen(64)
+        self.listen_port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"link-proxy:{self.listen_port}->{target_port}", daemon=True)
+        self._accept_thread.start()
+
+    # -- fault controls ------------------------------------------------------
+
+    def set_latency(self, base: float, jitter: float = 0.0) -> None:
+        """Added one-way delay per relayed chunk: ``base`` ± ``jitter``."""
+        with self._lock:
+            self._latency = max(0.0, base)
+            self._jitter = max(0.0, jitter)
+
+    def set_drop_rate(self, rate: float) -> None:
+        """Per-chunk probability of cutting the connection mid-stream."""
+        with self._lock:
+            self._drop_rate = min(1.0, max(0.0, rate))
+
+    def partition(self) -> None:
+        """Split the link: kill live connections, refuse new ones."""
+        with self._lock:
+            self._partitioned = True
+        self.kill_connections()
+
+    def heal(self) -> None:
+        """Restore the link; the dialing transport reconnects on its own."""
+        with self._lock:
+            self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    def kill_connections(self) -> None:
+        """Drop every live connection once (transient blip, not a split)."""
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for pair in conns:
+            self.connections_killed += 1
+            for sock in pair:
+                _close(sock)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _close(self._listener)
+        self.kill_connections()
+        self._accept_thread.join(5.0)
+
+    # -- forwarding ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            if self._partitioned or self._closed:
+                _close(client)
+                continue
+            try:
+                upstream = socket.create_connection(
+                    (self.target_host, self.target_port), timeout=5.0)
+            except OSError:
+                _close(client)
+                continue
+            self.connections_total += 1
+            pair = (client, upstream)
+            with self._lock:
+                self._conns.append(pair)
+            for src, dst in ((client, upstream), (upstream, client)):
+                threading.Thread(target=self._pump, args=(pair, src, dst),
+                                 name="link-proxy-pump", daemon=True).start()
+
+    def _pump(self, pair: Tuple[socket.socket, socket.socket],
+              src: socket.socket, dst: socket.socket) -> None:
+        try:
+            while True:
+                data = src.recv(_CHUNK)
+                if not data:
+                    break
+                with self._lock:
+                    latency = self._latency
+                    jitter = self._jitter
+                    drop = self._drop_rate
+                if drop and self._rng.random() < drop:
+                    self.connections_killed += 1
+                    break
+                if latency or jitter:
+                    delay = latency
+                    if jitter:
+                        delay += self._rng.uniform(-jitter, jitter)
+                    if delay > 0:
+                        time.sleep(delay)
+                # count before the write: an observer woken by the bytes
+                # arriving must already see them in the counter
+                self.bytes_forwarded += len(data)
+                dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            # either direction dying takes the whole pair down, so the
+            # dialer sees a clean connection loss and re-dials
+            with self._lock:
+                if pair in self._conns:
+                    self._conns.remove(pair)
+            for sock in pair:
+                _close(sock)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "partitioned" if self._partitioned else "up"
+        return (f"<LinkProxy :{self.listen_port} -> "
+                f"{self.target_host}:{self.target_port} {state}>")
+
+
+def _close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

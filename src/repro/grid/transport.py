@@ -1,0 +1,404 @@
+"""TCP peer transport: the USS exchange over real sockets.
+
+One :class:`TcpUssTransport` per daemon: it binds a listener for inbound
+exchange traffic and keeps one persistent outbound connection per peer,
+re-dialled with capped exponential backoff (full jitter, like the serve
+client) whenever it breaks.  The asyncio machinery runs on a private loop
+thread; the two thread boundaries are explicit and narrow:
+
+* :meth:`send` (engine thread) encodes the frame, accounts it, and hands
+  the bytes to the peer's bounded outbound queue via
+  ``call_soon_threadsafe`` — when the backlog is full (peer down longer
+  than the queue absorbs) the frame is *dropped and counted*, which is
+  exactly the loss the USS protocol's sequence numbers and resync
+  requests repair;
+* inbound frames are decoded on the loop thread and buffered; the engine
+  thread delivers them to the registered USS handler via :meth:`pump`
+  (the daemon tick loop pumps before advancing the engine), so every
+  histogram mutation stays on the thread that owns it.
+
+Accounting is two-layered.  ``stats`` is a standard
+:class:`~repro.services.network.NetworkStats` fed with the *modeled*
+wire cost (``wire_entries()``/``wire_bytes()``), keeping BENCH numbers
+comparable with the sim plane; the ``aequus_grid_*`` series add the
+transport truth — real frame bytes per peer and direction, reconnects,
+dropped frames by reason, link up/down — all in the site registry so the
+serve plane's METRICS op exposes the whole grid plane to Prometheus.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..obs.registry import MetricsRegistry
+from ..services.network import NetworkStats
+from ..services.transport import UssTransport
+from .wire import WireError, decode_frame, encode_frame, frame_length
+
+__all__ = ["TcpUssTransport"]
+
+
+class _Peer:
+    """Per-peer outbound state (owned by the loop thread after start)."""
+
+    __slots__ = ("endpoint", "host", "port", "queue", "task", "connected",
+                 "ever_connected")
+
+    def __init__(self, endpoint: str, host: str, port: int):
+        self.endpoint = endpoint
+        self.host = host
+        self.port = port
+        self.queue: Optional[asyncio.Queue] = None
+        self.task: Optional[asyncio.Task] = None
+        self.connected = threading.Event()
+        self.ever_connected = False
+
+
+class TcpUssTransport(UssTransport):
+    """Length-prefixed TCP implementation of the USS transport seam."""
+
+    def __init__(self, site: str, host: str = "127.0.0.1", port: int = 0,
+                 registry: Optional[MetricsRegistry] = None,
+                 max_backlog: int = 512,
+                 reconnect_base: float = 0.05,
+                 reconnect_cap: float = 2.0,
+                 rng: Optional[random.Random] = None):
+        self.site = site
+        self.host = host
+        self._port = port
+        self.max_backlog = max_backlog
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self._rng = rng if rng is not None else random.Random()
+        self.registry = registry if registry is not None else MetricsRegistry(
+            constant_labels={"site": site, "component": "grid"})
+        self.stats = NetworkStats(registry=self.registry)
+        self._peers: Dict[str, _Peer] = {}
+        self._handlers: Dict[str, Callable[[Any], None]] = {}
+        #: inbound (dst, message) pairs awaiting pump; deque ops are atomic
+        self._inbound: Deque[Tuple[str, Any]] = deque()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._closed = False
+        # -- grid-plane series (satellite: visible through METRICS) --------
+        self._reconnects = self.registry.counter(
+            "aequus_grid_reconnects_total",
+            "Outbound connections re-established per peer (first connect "
+            "not counted)", ("peer",))
+        self._connect_failures = self.registry.counter(
+            "aequus_grid_connect_failures_total",
+            "Failed outbound connection attempts per peer", ("peer",))
+        self._frames = self.registry.counter(
+            "aequus_grid_frames_total",
+            "Exchange frames by direction", ("direction",))
+        self._frames_dropped = self.registry.counter(
+            "aequus_grid_frames_dropped_total",
+            "Frames lost at the transport layer by cause", ("reason",))
+        self._peer_bytes = self.registry.counter(
+            "aequus_grid_peer_bytes_total",
+            "Real framed bytes on the wire per peer and direction",
+            ("peer", "direction"))
+        self._link_up = self.registry.gauge(
+            "aequus_grid_link_up",
+            "1 while the outbound connection to a peer is established",
+            ("peer",))
+        # materialize the enumerable children now so a scrape shows every
+        # series from the first METRICS call, zeros included — dashboards
+        # and the harness's convergence checks key off their presence
+        for direction in ("in", "out", "loopback"):
+            self._frames.labels(direction=direction)
+        for reason in ("backlog", "send_error", "decode_error",
+                       "unknown_dst", "encode_error", "closed",
+                       "not_started"):
+            self._frames_dropped.labels(reason=reason)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    def start(self, timeout: float = 10.0) -> "TcpUssTransport":
+        """Bind the listener and start the loop thread (resolves port 0)."""
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name=f"grid-uss:{self.site}", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("grid transport thread failed to start")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"grid transport failed to bind {self.host}:{self._port}"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._server = self._loop.run_until_complete(
+                asyncio.start_server(self._handle_inbound, self.host,
+                                     self._port))
+            self._port = self._server.sockets[0].getsockname()[1]
+        except BaseException as exc:  # bind failure
+            self._startup_error = exc
+            self._started.set()
+            return
+        # peers added before start get their sender tasks here
+        for peer in self._peers.values():
+            self._spawn_sender(peer)
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            for peer in self._peers.values():
+                if peer.task is not None:
+                    peer.task.cancel()
+            if self._server is not None:
+                self._server.close()
+            pending = [t for t in asyncio.all_tasks(self._loop)
+                       if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    def close(self) -> None:
+        """Stop the loop thread and drop every connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(10.0)
+        self._thread = None
+        self._loop = None
+        for peer in self._peers.values():
+            peer.connected.clear()
+
+    # -- topology -----------------------------------------------------------
+
+    def add_peer(self, endpoint: str, host: str, port: int) -> None:
+        """Declare a peer endpoint (``uss:<site>``) and its address."""
+        if endpoint in self._peers:
+            raise ValueError(f"peer {endpoint!r} already added")
+        peer = _Peer(endpoint, host, port)
+        self._peers[endpoint] = peer
+        # pre-create this peer's series (visible at zero; see __init__)
+        self._reconnects.labels(peer=endpoint)
+        self._connect_failures.labels(peer=endpoint)
+        self._link_up.labels(peer=endpoint).set(0)
+        for direction in ("in", "out"):
+            self._peer_bytes.labels(peer=endpoint, direction=direction)
+        if self._loop is not None and self._started.is_set() \
+                and self._startup_error is None:
+            self._loop.call_soon_threadsafe(self._spawn_sender, peer)
+
+    def peers(self) -> Dict[str, Tuple[str, int]]:
+        return {name: (p.host, p.port) for name, p in self._peers.items()}
+
+    def connect(self, name: str, handler: Callable[[Any], None]) -> None:
+        if name in self._handlers:
+            raise ValueError(f"endpoint {name!r} already connected")
+        self._handlers[name] = handler
+
+    def disconnect(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def wait_connected(self, timeout: float = 10.0) -> bool:
+        """Block until every declared peer link is up (tests, boot sync)."""
+        deadline = time.monotonic() + timeout
+        for peer in self._peers.values():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not peer.connected.wait(remaining):
+                return False
+        return True
+
+    # -- sending (engine thread) -------------------------------------------
+
+    def send(self, src: str, dst: str, message: Any) -> bool:
+        self.stats.record_send(src, dst)
+        self.stats.record_payload(message)
+        if self._closed:
+            self.stats.dropped += 1
+            self._frames_dropped.labels(reason="closed").inc()
+            return False
+        if dst in self._handlers:
+            # loopback delivery (a daemon talking to itself in tests):
+            # same buffered path as remote traffic, delivered at pump
+            self._inbound.append((dst, message))
+            self._frames.labels(direction="loopback").inc()
+            return True
+        peer = self._peers.get(dst)
+        if peer is None:
+            self.stats.dropped += 1
+            self._frames_dropped.labels(reason="unknown_dst").inc()
+            return False
+        try:
+            frame = encode_frame(src, dst, message)
+        except WireError:
+            self.stats.dropped += 1
+            self._frames_dropped.labels(reason="encode_error").inc()
+            return False
+        loop = self._loop
+        if loop is None or not self._started.is_set():
+            self.stats.dropped += 1
+            self._frames_dropped.labels(reason="not_started").inc()
+            return False
+        loop.call_soon_threadsafe(self._enqueue_frame, peer, frame)
+        self._frames.labels(direction="out").inc()
+        return True
+
+    def _enqueue_frame(self, peer: _Peer, frame: bytes) -> None:
+        # loop thread: the queue exists once the sender task was spawned
+        if peer.queue is None or self._closed:
+            self.stats.dropped += 1
+            self._frames_dropped.labels(reason="closed").inc()
+            return
+        try:
+            peer.queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            # peer has been unreachable longer than the backlog absorbs;
+            # drop-and-count — seq gaps at the receiver trigger resync
+            self.stats.dropped += 1
+            self._frames_dropped.labels(reason="backlog").inc()
+
+    # -- loop-thread internals ----------------------------------------------
+
+    def _spawn_sender(self, peer: _Peer) -> None:
+        if peer.queue is None:
+            peer.queue = asyncio.Queue(self.max_backlog)
+        if peer.task is None or peer.task.done():
+            peer.task = self._loop.create_task(self._peer_sender(peer))
+
+    async def _peer_sender(self, peer: _Peer) -> None:
+        """Own the outbound connection to one peer, forever."""
+        attempt = 0
+        bytes_out = self._peer_bytes.labels(peer=peer.endpoint,
+                                            direction="out")
+        up = self._link_up.labels(peer=peer.endpoint)
+        frame: Optional[bytes] = None  # in-flight frame, kept across dials
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    peer.host, peer.port)
+            except OSError:
+                self._connect_failures.labels(peer=peer.endpoint).inc()
+                attempt += 1
+                # full jitter, capped: uniform(0, min(cap, base * 2^k))
+                span = min(self.reconnect_cap,
+                           self.reconnect_base * (2 ** min(attempt, 16)))
+                await asyncio.sleep(self._rng.uniform(0.0, span))
+                continue
+            if peer.ever_connected:
+                self._reconnects.labels(peer=peer.endpoint).inc()
+            peer.ever_connected = True
+            attempt = 0
+            peer.connected.set()
+            up.set(1)
+            # Watch the (otherwise unused) read side: the peer never sends
+            # on this connection, so any read completion means FIN/RST.
+            # Without it, a write after the peer died lands in the kernel
+            # buffer of a half-closed socket and vanishes without an error
+            # until the returning RST fails the write *after next*.
+            eof = self._loop.create_task(reader.read(1))
+            try:
+                while True:
+                    if frame is None:
+                        getter = self._loop.create_task(peer.queue.get())
+                        await asyncio.wait({getter, eof},
+                                           return_when=asyncio.FIRST_COMPLETED)
+                        getter.cancel()
+                        try:
+                            # a completed getter keeps its frame even if
+                            # the connection just died (retried next dial)
+                            frame = await getter
+                        except asyncio.CancelledError:
+                            pass
+                    if eof.done():
+                        raise ConnectionResetError("peer closed connection")
+                    writer.write(frame)
+                    await writer.drain()
+                    bytes_out.inc(len(frame))
+                    frame = None
+            except (ConnectionError, OSError, asyncio.CancelledError) as exc:
+                peer.connected.clear()
+                up.set(0)
+                eof.cancel()
+                writer.close()
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+                # a frame the failing socket may or may not have carried is
+                # retried on the next connection (the USS protocol is
+                # idempotent — absolute values, seq-numbered — so a
+                # duplicate is harmless and a true loss resyncs)
+                self._frames_dropped.labels(reason="send_error").inc()
+        peer.connected.clear()
+
+    async def _handle_inbound(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        """One inbound connection: read frames until EOF, buffer for pump."""
+        frames_in = self._frames.labels(direction="in")
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = frame_length(header)
+                payload = await reader.readexactly(length)
+                try:
+                    src, dst, message = decode_frame(payload)
+                except WireError:
+                    self._frames_dropped.labels(reason="decode_error").inc()
+                    continue
+                frames_in.inc()
+                self._peer_bytes.labels(peer=src or "?",
+                                        direction="in").inc(4 + length)
+                self._inbound.append((dst, message))
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                WireError):
+            pass  # peer went away or spoke garbage framing: drop the conn
+        except asyncio.CancelledError:
+            return  # transport shutdown: end the handler quietly
+        finally:
+            writer.close()
+
+    # -- delivery (engine thread) -------------------------------------------
+
+    def pump(self, limit: int = 0) -> int:
+        """Dispatch buffered inbound messages to their endpoint handlers."""
+        dispatched = 0
+        while not limit or dispatched < limit:
+            try:
+                dst, message = self._inbound.popleft()
+            except IndexError:
+                break
+            handler = self._handlers.get(dst)
+            if handler is None:
+                self.stats.dropped += 1
+                self._frames_dropped.labels(reason="unknown_dst").inc()
+                continue
+            self.stats.delivered += 1
+            handler(message)
+            dispatched += 1
+        return dispatched
+
+    def pending(self) -> int:
+        """Inbound messages waiting for a pump (engine-thread visible)."""
+        return len(self._inbound)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else (
+            "up" if self._started.is_set() else "new")
+        return (f"<TcpUssTransport {self.site} {self.host}:{self._port} "
+                f"{state} peers={len(self._peers)}>")

@@ -147,6 +147,7 @@ class AequusDaemon:
         self._host = host
         self._ticker: Optional[threading.Thread] = None
         self._stopping = threading.Event()
+        self._stopped = False
         self.ticks = 0
         #: structured operational log: one JSON line per tick, per FCS
         #: refresh (seq, duration, cache hit/miss) and per exchange round;
@@ -189,6 +190,7 @@ class AequusDaemon:
             self.pool.wait_ready()
         else:
             self._thread.start()
+        self._stopped = False
         self._stopping.clear()
         self._ticker = threading.Thread(target=self._tick_loop,
                                         name="aequusd-tick", daemon=True)
@@ -204,8 +206,15 @@ class AequusDaemon:
             sent_before = self.site.uss.exchanges_sent if self.log else 0
             t0 = time.perf_counter()
             # the engine is only ever advanced from this thread; server
-            # threads reach the stack through snapshots and ingress queues
+            # threads reach the stack through snapshots and ingress queues.
+            # Pump the USS transport on both sides of the advance: inbound
+            # exchanges buffered by a socket transport (repro.grid) are
+            # applied on this thread, before the services tick and again
+            # right after, so a freshly arrived delta never waits a full
+            # tick to land (the sim transport's pump is a no-op).
+            self.site.network.pump()
             self.engine.run_until(self.engine.now + elapsed)
+            self.site.network.pump()
             self.ticks += 1
             if self.log is not None:
                 self.log.log("tick", n=self.ticks,
@@ -221,6 +230,17 @@ class AequusDaemon:
                                  skipped=self.site.uss.exchanges_skipped)
 
     def stop(self) -> None:
+        """Shut the daemon down; idempotent and safe before :meth:`start`.
+
+        Supervisors double-signal (SIGTERM then SIGKILL-escalation paths
+        call stop again) and test teardowns race construction failures, so
+        stopping twice — or stopping a daemon that never started — must be
+        a no-op, and a wedged tick thread must not hang shutdown (the join
+        is bounded; the thread is a daemon thread either way).
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         self._stopping.set()
         if self._ticker is not None:
             self._ticker.join(5.0)
@@ -228,7 +248,7 @@ class AequusDaemon:
         if self.pool is not None:
             self.pool.stop()
             self.shm_writer.close()
-        else:
+        elif self._thread is not None:
             self._thread.stop()
         if self.recorder is not None:
             self.recorder.stop()

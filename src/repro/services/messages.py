@@ -60,6 +60,8 @@ class UsageExchangeMessage:
     #: virtual time is reflected in the payload.  ``None`` (legacy senders,
     #: hand-built test messages) means "assume sent_at".
     horizon: Optional[float] = None
+    #: sender incarnation id (see :class:`UsageDeltaMessage`)
+    boot: Optional[str] = None
 
     @property
     def usage_horizon(self) -> float:
@@ -73,6 +75,7 @@ class UsageExchangeMessage:
 
     def wire_bytes(self) -> int:
         return (_ENVELOPE + _str_bytes(self.site) + 3 * _FLOAT
+                + (_str_bytes(self.boot) if self.boot else 0)
                 + sum(_str_bytes(u) + _MAP_ENTRY
                       + len(bins) * (_INT + _FLOAT + _MAP_ENTRY)
                       for u, bins in self.snapshot.items()))
@@ -111,6 +114,14 @@ class UsageDeltaMessage:
     bin_idx: List[int] = field(default_factory=list)
     charges: List[float] = field(default_factory=list)
     horizon: Optional[float] = None
+    #: sender *incarnation* id, fixed for one USS lifetime.  A receiver
+    #: that sees the id change knows the peer restarted and its sequence
+    #: space reset — without it, a restarted sender's publishes (seq back
+    #: at 1, sent_at back near 0 on a fresh engine) are indistinguishable
+    #: from stale reordered traffic and would be silently dropped forever.
+    #: ``None`` (legacy senders, hand-built test messages) disables the
+    #: check, preserving the original semantics.
+    boot: Optional[str] = None
 
     @property
     def usage_horizon(self) -> float:
@@ -124,6 +135,7 @@ class UsageDeltaMessage:
 
     def wire_bytes(self) -> int:
         return (_ENVELOPE + _str_bytes(self.site) + 3 * _FLOAT + _INT + _FLAG
+                + (_str_bytes(self.boot) if self.boot else 0)
                 + sum(_str_bytes(u) for u in self.user_table)
                 + len(self.charges) * (2 * _INT + _FLOAT))
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..obs.registry import MetricsRegistry, metric_property
 from ..sim.engine import SimulationEngine
+from .transport import UssTransport
 
 __all__ = ["Network", "NetworkStats"]
 
@@ -145,8 +146,14 @@ class NetworkStats:
         self._link_messages.clear()
 
 
-class Network:
-    """Point-to-point message delivery with latency over the sim engine."""
+class Network(UssTransport):
+    """Point-to-point message delivery with latency over the sim engine.
+
+    The in-process implementation of the
+    :class:`~repro.services.transport.UssTransport` seam: delivery is an
+    engine event, so a single virtual clock orders everything and
+    :meth:`~repro.services.transport.UssTransport.pump` has nothing to do.
+    """
 
     def __init__(self, engine: SimulationEngine, base_latency: float = 0.05,
                  jitter: float = 0.0, rng: Optional[np.random.Generator] = None,
@@ -187,10 +194,20 @@ class Network:
     # -- delivery ----------------------------------------------------------
 
     def latency(self) -> float:
+        """One delivery delay: ``base_latency`` ± symmetric jitter, >= 0.
+
+        Jitter is symmetric around the base (real links are early as well
+        as late, and reordering under jitter is what the USS stale-drop
+        path exists for).  With ``jitter > base_latency`` the raw sample
+        can go negative; it is clamped at zero — a negative delay would
+        either blow up the engine (``schedule`` rejects it) or, worse,
+        deliver into the past and silently reorder against already-queued
+        events.
+        """
         lat = self.base_latency
         if self.jitter > 0:
-            lat += float(self.rng.uniform(0.0, self.jitter))
-        return lat
+            lat += float(self.rng.uniform(-self.jitter, self.jitter))
+        return max(0.0, lat)
 
     def send(self, src: str, dst: str, message: Any) -> bool:
         """Queue ``message`` for delivery; returns False if dropped."""

@@ -1,0 +1,81 @@
+"""The USS↔USS transport seam.
+
+Sites communicate *only* by exchanging usage data through their USS
+services (paper Figure 2); everything the USS protocol needs from the
+medium underneath is captured here as :class:`UssTransport`:
+
+* named endpoints (``uss:<site>``) registered with a receive handler;
+* fire-and-forget :meth:`send` of a message payload to a named endpoint
+  (delivery is asynchronous and may silently fail — the USS protocol's
+  sequence numbers and resync requests recover from loss);
+* :class:`~repro.services.network.NetworkStats`-compatible traffic
+  accounting on ``.stats``;
+* :meth:`pump`, which delivers queued inbound messages *on the calling
+  thread*.  Every USS mutation must happen on the thread driving its
+  engine, so transports that receive on other threads (the TCP peer
+  transport's asyncio loop) buffer inbound messages until the engine
+  thread pumps them.
+
+Two implementations exist:
+
+:class:`~repro.services.network.Network`
+    The in-process simulation bus: delivery is an engine event scheduled
+    ``latency()`` seconds out, so a single virtual clock orders sends and
+    receipts deterministically.  ``pump()`` is a no-op — the engine *is*
+    the pump.
+
+:class:`~repro.grid.transport.TcpUssTransport`
+    Real length-prefixed TCP over loopback or LAN: each daemon listens on
+    its own port, keeps one outbound connection per peer with automatic
+    reconnect/backoff, and queues inbound messages for the engine thread.
+    This is what turns N ``aequusd`` processes into an actual grid
+    (DESIGN.md §13).
+
+The USS itself is transport-blind: sequence-gap resync, heartbeats,
+stale-message drops and restart detection behave identically over both,
+which the lockstep equivalence test (``tests/grid/test_equivalence.py``)
+pins to 1e-6.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+__all__ = ["UssTransport"]
+
+
+class UssTransport(abc.ABC):
+    """Endpoint-addressed, loss-tolerant message transport between sites."""
+
+    #: traffic accounting (``NetworkStats`` or a compatible object)
+    stats: Any
+
+    @abc.abstractmethod
+    def connect(self, name: str, handler: Callable[[Any], None]) -> None:
+        """Register a local endpoint; inbound messages go to ``handler``."""
+
+    @abc.abstractmethod
+    def disconnect(self, name: str) -> None:
+        """Remove a local endpoint (unknown names are ignored)."""
+
+    @abc.abstractmethod
+    def send(self, src: str, dst: str, message: Any) -> bool:
+        """Queue ``message`` from ``src`` to ``dst``.
+
+        Returns False when the transport already knows delivery failed
+        (unknown destination, active partition, dead connection with a
+        full backlog); True means *queued*, not delivered.
+        """
+
+    def pump(self, limit: int = 0) -> int:
+        """Deliver buffered inbound messages on the calling thread.
+
+        Returns the number of messages dispatched.  Transports whose
+        delivery is driven elsewhere (the sim bus delivers via engine
+        events) return 0.  ``limit`` caps one pump (0 = drain).
+        """
+        return 0
+
+    def close(self) -> None:
+        """Release sockets/threads; the sim bus has nothing to release."""

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import itertools
 import time
+import uuid
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
@@ -63,7 +64,8 @@ class UsageStatisticsService:
                  delta_exchange: bool = True,
                  prune_horizon: Optional[float] = None,
                  start_offset: float = 0.0,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 boot_id: Optional[str] = None):
         self.site = site
         self.engine = engine
         self.network = network
@@ -102,6 +104,10 @@ class UsageStatisticsService:
             "exchanges_skipped": exchanges.labels(event="skipped"),
             "resyncs_requested": resyncs.labels(event="requested"),
             "resyncs_served": resyncs.labels(event="served"),
+            "peer_restarts": self.registry.counter(
+                "aequus_uss_peer_restarts_total",
+                "Peer incarnation changes observed (their sequence space "
+                "reset; repaired via full resync)").labels(),
         }
         self._exchange_hist = self.registry.histogram(
             "aequus_uss_exchange_seconds",
@@ -115,6 +121,11 @@ class UsageStatisticsService:
             buckets=AGE_BUCKETS)
         self._staleness_children: Dict[str, object] = {}
         self.peers: List[str] = []
+        #: incarnation id stamped on every publish: a fresh one per USS
+        #: instance lets peers tell a *restarted* site (sequence space
+        #: reset) from stale reordered traffic.  Only compared for
+        #: equality, so the draw does not perturb seeded sim streams.
+        self.boot_id = boot_id if boot_id is not None else uuid.uuid4().hex[:12]
         #: sender state: consecutive publish sequence number (0 = never)
         self._seq = 0
         self._exchange_cursor: Optional[int] = None
@@ -123,6 +134,7 @@ class UsageStatisticsService:
         #: receiver state per remote site
         self._recv_seq: Dict[str, int] = {}
         self._recv_sent_at: Dict[str, float] = {}
+        self._recv_boot: Dict[str, str] = {}
         #: per-origin usage high-watermark (virtual time) — advanced by
         #: applied messages and current-seq heartbeats, never across gaps
         self._recv_horizon: Dict[str, float] = {}
@@ -149,6 +161,8 @@ class UsageStatisticsService:
     exchanges_skipped = metric_property("exchanges_skipped")
     resyncs_requested = metric_property("resyncs_requested")
     resyncs_served = metric_property("resyncs_served")
+    #: peer incarnation changes detected (daemon restarts with reset seq)
+    peer_restarts = metric_property("peer_restarts")
 
     # -- local recording -------------------------------------------------
 
@@ -224,6 +238,7 @@ class UsageStatisticsService:
                 interval=self.local.interval,
                 snapshot=self.local.snapshot(),
                 horizon=self.engine.now,
+                boot=self.boot_id,
             )
         else:
             message = self._build_delta()
@@ -249,7 +264,7 @@ class UsageStatisticsService:
             return UsageDeltaMessage(
                 site=self.site, sent_at=self.engine.now,
                 interval=self.local.interval, seq=self._seq, full=False,
-                horizon=self.engine.now)
+                horizon=self.engine.now, boot=self.boot_id)
         user_table: List[str] = []
         user_idx: List[int] = []
         bin_idx: List[int] = []
@@ -267,7 +282,7 @@ class UsageStatisticsService:
             site=self.site, sent_at=self.engine.now,
             interval=self.local.interval, seq=self._seq, full=False,
             user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
-            charges=charges, horizon=self.engine.now)
+            charges=charges, horizon=self.engine.now, boot=self.boot_id)
 
     def _full_message(self) -> UsageDeltaMessage:
         user_table, user_idx, bin_idx, charges = self.local.snapshot_arrays()
@@ -275,7 +290,7 @@ class UsageStatisticsService:
             site=self.site, sent_at=self.engine.now,
             interval=self.local.interval, seq=self._seq, full=True,
             user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
-            charges=charges, horizon=self.engine.now)
+            charges=charges, horizon=self.engine.now, boot=self.boot_id)
 
     # -- receiving ---------------------------------------------------------
 
@@ -312,8 +327,31 @@ class UsageStatisticsService:
         if horizon > self._recv_horizon.get(origin, float("-inf")):
             self._recv_horizon[origin] = horizon
 
+    def _note_boot(self, site: str, boot: Optional[str]) -> bool:
+        """Track a peer's incarnation; True when it changed (restart).
+
+        A restarted peer's sequence numbers and ``sent_at`` clock start
+        over, so every receiver-side ordering cursor for it is reset —
+        otherwise its publishes would compare as stale against the dead
+        incarnation's high-watermarks and be dropped forever.  The normal
+        gap logic then repairs state: a non-full first contact triggers a
+        :class:`~repro.services.messages.UsageResyncRequest`, a full
+        snapshot applies directly.
+        """
+        if boot is None:
+            return False
+        known = self._recv_boot.get(site)
+        self._recv_boot[site] = boot
+        if known is None or known == boot:
+            return False
+        self._metrics["peer_restarts"].inc()
+        self._recv_seq[site] = 0
+        self._recv_sent_at.pop(site, None)
+        return True
+
     def _on_full_snapshot(self, message: UsageExchangeMessage) -> None:
         """Legacy dict-of-dict full snapshot (``delta_exchange=False`` peers)."""
+        self._note_boot(message.site, message.boot)
         last = self._recv_sent_at.get(message.site)
         if last is not None and message.sent_at < last:
             self._metrics["exchanges_stale"].inc()
@@ -324,6 +362,7 @@ class UsageStatisticsService:
         self._remote_histogram(message.site).replace(message.snapshot)
 
     def _on_delta(self, message: UsageDeltaMessage) -> None:
+        self._note_boot(message.site, message.boot)
         last = self._recv_seq.get(message.site, 0)
         heartbeat = not message.full and not message.charges
         if message.full:
@@ -525,3 +564,6 @@ class UsageStatisticsService:
         if self._task is not None:
             self._task.cancel()
             self._task = None
+        # leave the wire: a stopped USS must not keep receiving (and a
+        # restarted instance must be able to claim the endpoint name)
+        self.network.disconnect(self._endpoint)

@@ -1,0 +1,151 @@
+"""The acceptance pin: the TCP delta plane equals the in-process sim plane.
+
+Both planes run the same N-site grid on identical schedules — same
+policy, same seeded usage, same service intervals — differing only in
+the transport under the USS: the reference uses the single-engine sim
+bus (:class:`~repro.services.network.Network`), the subject uses one
+:class:`~repro.grid.transport.TcpUssTransport` per site over real
+loopback sockets, with each site on its own engine advanced in lockstep.
+
+Timing discipline that makes the comparison exact: every service
+interval is a multiple of 5 virtual seconds while the lockstep step is
+1 second, and the sim bus latency (1 ms) is smaller than a step.  A
+publish fired at virtual time *t* is therefore applied on the receiver
+strictly after all of the receiver's own time-*t* events and strictly
+before its next service tick — in both planes — so every UMS merge and
+FCS refresh reads identical state.  The converged per-user priorities
+must then agree to 1e-6 (in practice they are often bit-identical; the
+tolerance absorbs float summation order).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.usage import UsageRecord
+from repro.grid.transport import TcpUssTransport
+from repro.serve.daemon import build_grid_policy
+from repro.services.network import Network
+from repro.services.site import AequusSite, SiteConfig, connect_sites
+from repro.sim.engine import SimulationEngine
+
+N_SITES = 3
+N_USERS = 18
+HORIZON = 41.0  # several exchange + refresh rounds past the seeds
+CONFIG = dict(histogram_interval=10.0, uss_exchange_interval=5.0,
+              ums_refresh_interval=5.0, fcs_refresh_interval=5.0)
+
+
+def seed_usage(site: AequusSite, index: int, policy) -> None:
+    """Deterministic per-site slice of users with seeded jobs."""
+    rng = np.random.default_rng(100 + index)
+    mine = [path for i, path in enumerate(sorted(policy.leaf_paths()))
+            if i % N_SITES == index]
+    for path in mine:
+        duration = float(rng.integers(600, 18_000))
+        site.uss.record_job(UsageRecord(user=path.rsplit("/", 1)[-1],
+                                        site=site.name, start=0.0,
+                                        end=duration))
+
+
+def build_sim_plane(policy):
+    engine = SimulationEngine()
+    network = Network(engine, base_latency=0.001)
+    sites = [AequusSite(f"s{i}", engine, network, policy=policy,
+                        config=SiteConfig(**CONFIG))
+             for i in range(N_SITES)]
+    connect_sites(sites)
+    for index, site in enumerate(sites):
+        seed_usage(site, index, policy)
+    engine.run_until(HORIZON)
+    return sites
+
+
+def build_tcp_plane(policy):
+    engines = [SimulationEngine() for _ in range(N_SITES)]
+    transports = [TcpUssTransport(f"s{i}").start() for i in range(N_SITES)]
+    for i, transport in enumerate(transports):
+        for j, other in enumerate(transports):
+            if i != j:
+                transport.add_peer(f"uss:s{j}", "127.0.0.1", other.port)
+    sites = [AequusSite(f"s{i}", engines[i], transports[i], policy=policy,
+                        config=SiteConfig(**CONFIG))
+             for i in range(N_SITES)]
+    for site in sites:
+        for other in sites:
+            if other is not site:
+                site.uss.add_peer(other.name)
+    for index, site in enumerate(sites):
+        seed_usage(site, index, policy)
+    return engines, transports, sites
+
+
+def quiesce(transports, timeout=15.0):
+    """Pump until every frame put on the wire has come off it."""
+    deadline = time.monotonic() + timeout
+    while True:
+        for transport in transports:
+            transport.pump()
+        sent = sum(t.stats.sent for t in transports)
+        done = sum(t.stats.delivered + t.stats.dropped for t in transports)
+        if done >= sent and all(t.pending() == 0 for t in transports):
+            return
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"wire never quiesced: sent={sent} done={done}")
+        time.sleep(0.002)
+
+
+@pytest.fixture(scope="module")
+def planes():
+    policy = build_grid_policy(N_USERS, seed=7)
+    sim_sites = build_sim_plane(policy)
+    engines, transports, tcp_sites = build_tcp_plane(policy)
+    try:
+        # lockstep: all engines advance together; in-flight wire traffic
+        # fully lands between steps, mirroring the sim bus's 1 ms latency
+        step = 1.0
+        t = 0.0
+        while t < HORIZON:
+            t = min(t + step, HORIZON)
+            for engine in engines:
+                engine.run_until(t)
+            quiesce(transports)
+        yield sim_sites, tcp_sites, transports
+    finally:
+        for site in tcp_sites:
+            site.stop()
+        for transport in transports:
+            transport.close()
+
+
+class TestLockstepEquivalence:
+    def test_converged_priorities_match_1e6(self, planes):
+        sim_sites, tcp_sites, _ = planes
+        for sim_site, tcp_site in zip(sim_sites, tcp_sites):
+            sim_values = dict(sim_site.fcs.values_view())
+            tcp_values = dict(tcp_site.fcs.values_view())
+            assert sim_values.keys() == tcp_values.keys()
+            assert sim_values, "reference plane computed no priorities"
+            for user, value in sim_values.items():
+                assert tcp_values[user] == pytest.approx(value, abs=1e-6), \
+                    f"{tcp_site.name}:{user} diverged"
+
+    def test_remote_usage_actually_travelled(self, planes):
+        _, tcp_sites, _ = planes
+        for site in tcp_sites:
+            origins = set(site.ums.usage_horizons())
+            assert {f"s{i}" for i in range(N_SITES)} - {site.name} \
+                <= origins | {""}, \
+                f"{site.name} never saw a peer's usage: {origins}"
+
+    def test_exchange_sequences_advanced(self, planes):
+        _, tcp_sites, _ = planes
+        for site in tcp_sites:
+            assert site.uss.exchanges_sent >= HORIZON // 5 - 1
+
+    def test_no_frames_lost_on_healthy_wire(self, planes):
+        _, _, transports = planes
+        for transport in transports:
+            assert transport.stats.dropped == 0

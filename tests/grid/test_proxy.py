@@ -1,0 +1,169 @@
+"""LinkProxy: forwarding, injected latency, drops, partitions."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.grid.proxy import LinkProxy
+
+
+class EchoServer:
+    """Minimal upstream: echoes every byte back, counts connections."""
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(16)
+        self.port = self.sock.getsockname()[1]
+        self.connections = 0
+        self._closed = False
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        while not self._closed:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            threading.Thread(target=self._echo, args=(conn,),
+                             daemon=True).start()
+
+    def _echo(self, conn):
+        try:
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    return
+                conn.sendall(data)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self._closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def upstream():
+    server = EchoServer()
+    yield server
+    server.close()
+
+
+@pytest.fixture
+def proxy(upstream):
+    link = LinkProxy("127.0.0.1", upstream.port)
+    yield link
+    link.close()
+
+
+def connect(proxy, timeout=5.0):
+    return socket.create_connection(("127.0.0.1", proxy.listen_port),
+                                    timeout=timeout)
+
+
+class TestForwarding:
+    def test_bytes_flow_both_ways(self, proxy):
+        with connect(proxy) as sock:
+            sock.sendall(b"hello grid")
+            assert sock.recv(64) == b"hello grid"
+        assert proxy.connections_total == 1
+        assert proxy.bytes_forwarded >= 2 * len(b"hello grid")
+
+    def test_injected_latency_delays_echo(self, proxy):
+        proxy.set_latency(0.15)
+        with connect(proxy) as sock:
+            start = time.monotonic()
+            sock.sendall(b"x")
+            assert sock.recv(8) == b"x"
+            elapsed = time.monotonic() - start
+        # one-way latency each direction: at least ~2 * 0.15
+        assert elapsed >= 0.2
+
+    def test_latency_can_be_cleared(self, proxy):
+        proxy.set_latency(0.5)
+        proxy.set_latency(0.0)
+        with connect(proxy) as sock:
+            start = time.monotonic()
+            sock.sendall(b"x")
+            sock.recv(8)
+            assert time.monotonic() - start < 0.4
+
+
+class TestFaults:
+    def test_partition_refuses_and_kills(self, proxy):
+        with connect(proxy) as sock:
+            sock.sendall(b"x")
+            assert sock.recv(8) == b"x"
+            proxy.partition()
+            # the established connection dies...
+            sock.settimeout(5.0)
+            deadline = time.monotonic() + 5.0
+            dead = False
+            while time.monotonic() < deadline:
+                try:
+                    sock.sendall(b"y")
+                    if sock.recv(8) == b"":
+                        dead = True
+                        break
+                    time.sleep(0.05)
+                except OSError:
+                    dead = True
+                    break
+            assert dead
+        # ...and a new one is accepted but immediately closed
+        with connect(proxy) as fresh:
+            fresh.settimeout(5.0)
+            assert fresh.recv(8) == b""
+
+    def test_heal_restores_forwarding(self, proxy):
+        proxy.partition()
+        proxy.heal()
+        with connect(proxy) as sock:
+            sock.sendall(b"back")
+            assert sock.recv(16) == b"back"
+
+    def test_drop_rate_one_kills_every_connection(self, proxy):
+        proxy.set_drop_rate(1.0)
+        with connect(proxy) as sock:
+            sock.settimeout(5.0)
+            sock.sendall(b"doomed")
+            assert sock.recv(16) == b""
+        assert proxy.connections_killed >= 1
+
+    def test_kill_connections_forces_redial(self, proxy, upstream):
+        with connect(proxy) as sock:
+            sock.sendall(b"x")
+            assert sock.recv(8) == b"x"
+            proxy.kill_connections()
+            sock.settimeout(5.0)
+            deadline = time.monotonic() + 5.0
+            dead = False
+            while time.monotonic() < deadline:
+                try:
+                    sock.sendall(b"y")
+                    if sock.recv(8) == b"":
+                        dead = True
+                        break
+                except OSError:
+                    dead = True
+                    break
+        assert dead
+        with connect(proxy) as again:
+            again.sendall(b"z")
+            assert again.recv(8) == b"z"
+        assert upstream.connections == 2
+
+    def test_close_idempotent(self, upstream):
+        link = LinkProxy("127.0.0.1", upstream.port)
+        link.close()
+        link.close()

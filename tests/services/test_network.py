@@ -59,10 +59,30 @@ class TestDelivery:
         assert network.send("a", "b", "x") is False
 
     def test_jitter_bounds_latency(self, engine):
+        # jitter is symmetric around the base latency
         net = Network(engine, base_latency=1.0, jitter=0.5)
         for _ in range(50):
             lat = net.latency()
-            assert 1.0 <= lat <= 1.5
+            assert 0.5 <= lat <= 1.5
+
+    def test_jitter_larger_than_base_clamps_at_zero(self, engine):
+        # regression: base 0.01 with jitter 1.0 used to be able to produce
+        # a negative delay, which SimulationEngine.schedule rejects —
+        # every exchange tick on a high-jitter link would crash
+        net = Network(engine, base_latency=0.01, jitter=1.0)
+        lats = [net.latency() for _ in range(500)]
+        assert all(0.0 <= lat <= 1.01 for lat in lats)
+        assert any(lat == 0.0 for lat in lats)  # the clamp actually fires
+
+    def test_send_survives_high_jitter(self, engine):
+        # end-to-end: sends with jitter > base must schedule, not raise
+        net = Network(engine, base_latency=0.01, jitter=1.0)
+        inbox = []
+        net.connect("b", inbox.append)
+        for i in range(100):
+            assert net.send("a", "b", i) is True
+        engine.run_until(5.0)
+        assert sorted(inbox) == list(range(100))
 
     def test_negative_latency_rejected(self, engine):
         with pytest.raises(ValueError):

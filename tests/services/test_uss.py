@@ -364,3 +364,101 @@ class TestFreshnessWatermarks:
         text = render(b.registry)
         assert "aequus_usage_staleness_seconds" in text
         assert 'origin="a"' in text
+
+
+class TestDaemonRestartResync:
+    """A USS that restarts loses its sequence space; peers must repair via
+    resync instead of silently stale-dropping every post-restart exchange."""
+
+    def test_restarted_peer_full_snapshot_accepted(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(2.0)   # t=0 tick: full seq=1 delivered
+        a.record_job(record(user="alice", start=100.0, end=400.0))
+        engine.run_until(12.0)  # t=10 tick: delta seq=2 delivered
+        assert b._recv_seq["a"] == 2
+        # "a" restarts: new instance, fresh seq space, reset clock histogram
+        a.stop()
+        a2 = make_uss("a", engine, network)
+        a2.add_peer("b")
+        a2.record_job(record(user="alice", end=50.0))
+        engine.run_until(22.0)  # restarted a's first publish: full seq=1
+        # without boot-id detection this full (seq=1 < last=2) was dropped
+        assert b.peer_restarts == 1
+        assert b._recv_seq["a"] == 1
+        assert b.remote["a"].total("alice") == pytest.approx(50.0)
+        assert b.exchanges_stale == 0
+
+    def test_restarted_peer_delta_triggers_resync(self, engine, network):
+        b = make_uss("b", engine, network)
+        # first incarnation: full seq=1 then delta seq=2, both applied
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=5.0, interval=60.0, seq=1, full=True,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[10.0],
+            boot="boot-1"))
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=15.0, interval=60.0, seq=2, full=False,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[20.0],
+            boot="boot-1"))
+        assert b._recv_seq["a"] == 2
+        # second incarnation announces itself with a non-full delta whose
+        # seq would read as stale against the dead incarnation's cursor
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=1.0, interval=60.0, seq=2, full=False,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[7.0],
+            boot="boot-2"))
+        assert b.peer_restarts == 1
+        # not applied (gap from the fresh cursor), resync requested instead
+        assert b.remote["a"].total("u") == pytest.approx(20.0)
+        assert b.resyncs_requested == 1
+        assert b.exchanges_stale == 0
+
+    def test_restart_resync_round_trip_repairs_state(self, engine, network):
+        a = make_uss("a", engine, network)
+        b = make_uss("b", engine, network)
+        a.add_peer("b")
+        b.add_peer("a")
+        a.record_job(record(user="alice", end=100.0))
+        engine.run_until(12.0)
+        assert b.remote["a"].total("alice") == pytest.approx(100.0)
+        a.stop()
+        a2 = make_uss("a", engine, network)
+        a2.add_peer("b")
+        # advance past the first tick (full seq=1, applied via boot change),
+        # then let a2 churn and heartbeat so the protocol keeps flowing
+        a2.record_job(record(user="bob", end=30.0))
+        engine.run_until(42.0)
+        # b's copy of "a" is exactly the new incarnation's state: the old
+        # alice usage is gone (full snapshots drop unlisted entries)
+        assert b.remote["a"].total("bob") == pytest.approx(30.0)
+        assert b.remote["a"].total("alice") == pytest.approx(0.0)
+        # and the restarted site pulled b's state the normal late-join way
+        assert a2.known_sites() == ["a", "b"]
+
+    def test_same_incarnation_stale_drops_still_work(self, engine, network):
+        b = make_uss("b", engine, network)
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=5.0, interval=60.0, seq=1, full=True,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[10.0],
+            boot="boot-1"))
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=15.0, interval=60.0, seq=2, full=False,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[20.0],
+            boot="boot-1"))
+        # reordered duplicate from the SAME incarnation: still stale-dropped
+        b._on_message(UsageDeltaMessage(
+            site="a", sent_at=10.0, interval=60.0, seq=2, full=False,
+            user_table=["u"], user_idx=[0], bin_idx=[0], charges=[15.0],
+            boot="boot-1"))
+        assert b.exchanges_stale == 1
+        assert b.peer_restarts == 0
+        assert b.remote["a"].total("u") == pytest.approx(20.0)
+
+    def test_stop_disconnects_endpoint(self, engine, network):
+        a = make_uss("a", engine, network)
+        assert "uss:a" in network.endpoints()
+        a.stop()
+        assert "uss:a" not in network.endpoints()
+        a.stop()  # idempotent
