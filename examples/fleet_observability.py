@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fleet telemetry: cross-daemon traces, the grid collector, and `top`.
+
+Boots the testbed-in-a-box (three real ``aequus-repro grid-node``
+processes exchanging usage over loopback TCP) with the fleet collector
+attached, then walks the telemetry plane (DESIGN.md §14) end to end:
+
+* the collector scraping METRICS + INFO + TRACE_EXPORT from every
+  daemon each second, merging the Prometheus families under a ``site``
+  label and deriving fleet gauges (max cross-site staleness, aggregate
+  QPS, per-link frame backlog);
+* the **merged Chrome trace**: every daemon's spans drained exactly
+  once, shifted onto the shared virtual-epoch timeline, so one
+  ``chrome://tracing`` view shows an origin's ``uss.publish`` flowing
+  over the framed wire into a remote daemon's ``uss.apply`` →
+  ``fcs.refresh`` → ``snapshot.publish`` — a cross-process causal
+  chain reconstructed purely from trace-context on the wire;
+* a **partition fault** injected through the harness proxies, stamped
+  into the same trace as an instant event, with the staleness gauge
+  ramping next to it;
+* the per-site table behind ``aequus-repro top``, and the JSONL/CSV/
+  trace artifacts ``report --grid`` and CI consume.
+
+Run:  python examples/fleet_observability.py
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.grid.harness import GridHarness, GridSpec
+
+OUT = Path(tempfile.mkdtemp(prefix="aequus-fleet-"))
+
+spec = GridSpec(sites=3, users=18, usage_jobs=4,
+                exchange_interval=0.5, refresh_interval=0.5,
+                histogram_interval=5.0)
+
+print(f"booting {spec.sites} grid-node daemons with a fleet collector...")
+with GridHarness(spec, collector=True, collector_interval=0.5) as grid:
+    grid.wait_converged(max_staleness=5.0, timeout=30.0)
+    collector = grid.collector
+
+    # -----------------------------------------------------------------
+    # 1. Let the collector watch a healthy fleet for a few beats.
+    # -----------------------------------------------------------------
+    time.sleep(3.0)
+    print("\n== healthy fleet (aequus-repro top view) ==")
+    for row in collector.table():
+        print(f"  {row['site']}: up={row['up']} "
+              f"qps={row['qps']:.1f} frames/s={row['frames_out']:.1f} "
+              f"staleness now {row['staleness_now']:.2f}s "
+              f"p99 {row['staleness_p99']:.2f}s")
+    worst = collector.store["fleet/max_staleness"].last()
+    print(f"  fleet max cross-site staleness: {worst[1]:.2f}s")
+
+    # -----------------------------------------------------------------
+    # 2. Cut one link; the gauge ramps and the cut lands in the trace.
+    # -----------------------------------------------------------------
+    print("\npartitioning s0 <-> s1 for a few seconds...")
+    grid.partition("s0", "s1")
+    time.sleep(3.0)
+    ramped = collector.store["fleet/max_staleness"].last()
+    grid.heal("s0", "s1")
+    print(f"  staleness under partition: {ramped[1]:.2f}s "
+          f"(was {worst[1]:.2f}s)")
+    grid.wait_converged(max_staleness=5.0, timeout=30.0)
+    time.sleep(1.0)
+
+    # -----------------------------------------------------------------
+    # 3. The merged trace: one timeline, many processes, causal chains.
+    # -----------------------------------------------------------------
+    events = collector.events()
+    pids = {e["pid"] for e in events if e.get("ph") == "X"}
+    faults = [e["name"] for e in events if e.get("ph") == "i"]
+    print(f"\n== merged trace: {len(events)} events from "
+          f"{len(pids)} processes ==")
+    print(f"  fault instants recorded: {faults}")
+
+    # find one complete cross-daemon causal chain by its trace id
+    published = {}
+    for e in events:
+        args = e.get("args") or {}
+        if e.get("name") == "uss.publish" and args.get("trace"):
+            published[args["trace"]] = e
+    for e in events:
+        args = e.get("args") or {}
+        trace_id = args.get("trace")
+        if e.get("name") == "uss.apply" and trace_id in published \
+                and e["pid"] != published[trace_id]["pid"]:
+            origin = published[trace_id]
+            print(f"  causal chain {trace_id}:")
+            print(f"    uss.publish   on {origin['args']['site']} "
+                  f"(pid {origin['pid']}) at t={origin['ts'] / 1e6:.2f}s")
+            print(f"    uss.apply     on {args['site']} "
+                  f"(pid {e['pid']}) at t={e['ts'] / 1e6:.2f}s")
+            hops = [x for x in events
+                    if trace_id in ((x.get("args") or {}).get("traces")
+                                    or []) and x["pid"] == e["pid"]]
+            for hop in hops[:2]:
+                print(f"    {hop['name']:<13} on {hop['args']['site']} "
+                      f"(pid {hop['pid']}) at t={hop['ts'] / 1e6:.2f}s")
+            break
+
+    # -----------------------------------------------------------------
+    # 4. Snapshot the artifacts report --grid and CI upload.
+    # -----------------------------------------------------------------
+    paths = collector.snapshot(str(OUT / "fleet"))
+    print("\n== artifacts ==")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind}: {path}")
+    doc = json.loads(Path(paths["trace"]).read_text())
+    print(f"  trace events on the shared timeline: "
+          f"{len(doc['traceEvents'])}")
+    print(f"\nopen {paths['trace']} in chrome://tracing (or Perfetto) "
+          f"to see the fleet flame view.")

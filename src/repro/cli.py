@@ -31,14 +31,20 @@ Subcommands
     Health probe: protocol version, snapshot epoch and age; exits
     non-zero when the snapshot is stale (older than ``--stale-factor``
     times the server's refresh interval).
+``top``
+    Live per-site fleet table (QPS, staleness percentiles, exchange
+    frames/s, reconnects, compile kinds) rendered from a
+    :class:`~repro.obs.collector.FleetCollector` scraping every
+    ``--target`` daemon.
 ``metrics``
     Scrape a running aequusd's Prometheus text exposition (the METRICS
     op) to stdout — pipe into a textfile collector or curl-style checks.
 ``report``
     Render a markdown fairness report, either live from a running aequusd
     (INFO + METRICS: current usage horizons, lifetime staleness
-    distribution) or offline from a recorder JSONL file written by
-    ``serve --record`` or :meth:`repro.obs.SeriesStore.to_jsonl`.
+    distribution), fleet-wide with ``--grid --target site=host:port``
+    (collector-derived series), or offline from a recorder JSONL file
+    written by ``serve --record`` or :meth:`repro.obs.SeriesStore.to_jsonl`.
 
 Examples::
 
@@ -49,7 +55,10 @@ Examples::
     python -m repro.cli grid --sites 3 --users 30 --duration 10
     python -m repro.cli query fairshare u17 --port 4730
     python -m repro.cli probe --port 4730 --max-staleness 120
+    python -m repro.cli probe --port 4730 --json
+    python -m repro.cli top --target s0=127.0.0.1:4730 --once
     python -m repro.cli metrics --port 4730
+    python -m repro.cli report --grid --target s0=127.0.0.1:4730
     python -m repro.cli report --port 4730
     python -m repro.cli report --from fairness.jsonl --out report.md
 """
@@ -201,6 +210,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also fail (exit 1) when any remote origin's "
                             "usage horizon lags further than SECONDS")
     probe.add_argument("--timeout", type=float, default=5.0)
+    probe.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON document "
+                            "(snapshot seq, per-origin horizons, worker "
+                            "identity) instead of human text; exit codes "
+                            "are unchanged")
+
+    top = sub.add_parser(
+        "top", help="live per-site fleet table from a FleetCollector")
+    top.add_argument("--target", action="append", default=[],
+                     metavar="SITE=HOST:PORT", required=True,
+                     help="one daemon's serve address (repeatable)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="scrape/render interval in seconds")
+    top.add_argument("--duration", type=float, default=0.0,
+                     help="stop after this many seconds (0 = until Ctrl-C)")
+    top.add_argument("--once", action="store_true",
+                     help="two scrapes, one table, exit (for scripts/CI)")
+    top.add_argument("--virtual-epoch", type=float, default=None,
+                     help="fleet clock anchor (defaults to collector start)")
+    top.add_argument("--timeout", type=float, default=5.0)
 
     metrics = sub.add_parser("metrics",
                              help="scrape Prometheus metrics from aequusd")
@@ -219,6 +248,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "of querying a live daemon")
     report.add_argument("--out", default=None, metavar="PATH",
                         help="write the report to PATH instead of stdout")
+    report.add_argument("--grid", action="store_true",
+                        help="fleet mode: scrape every --target daemon "
+                             "through a FleetCollector and render the "
+                             "merged fleet series")
+    report.add_argument("--target", action="append", default=[],
+                        metavar="SITE=HOST:PORT",
+                        help="daemon serve address for --grid (repeatable)")
+    report.add_argument("--samples", type=int, default=3,
+                        help="collector scrapes to take for --grid")
+    report.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between --grid scrapes")
+    report.add_argument("--virtual-epoch", type=float, default=None,
+                        help="fleet clock anchor for --grid")
     return parser
 
 
@@ -468,19 +510,33 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_probe_daemon(args) -> int:
-    """Health probe; exit 1 on a stale snapshot, 2 when unreachable/empty."""
+    """Health probe; exit 1 on a stale snapshot, 2 when unreachable/empty.
+
+    With ``--json`` the same facts (and the same exit code) come back as
+    one machine-readable document, so the grid harness and CI parse a
+    stable schema instead of the human text lines.
+    """
+    import json as _json
+
     from .serve.client import AequusTransportError, SyncAequusClient
 
+    emit = (lambda *a, **k: None) if args.json else print
     try:
         with SyncAequusClient(args.host, args.port, timeout=args.timeout,
                               retries=1) as client:
             reply = client.info()
     except (AequusTransportError, ConnectionError) as exc:
-        print(f"probe: aequusd at {args.host}:{args.port} unreachable: {exc}")
+        if args.json:
+            print(_json.dumps({"ok": False, "verdict": "unreachable",
+                               "error": str(exc), "host": args.host,
+                               "port": args.port}))
+        else:
+            print(f"probe: aequusd at {args.host}:{args.port} "
+                  f"unreachable: {exc}")
         return 2
     info = reply.get("info", {})
     snapshot = info.get("snapshot")
-    print(f"probe: protocol v{reply.get('protocol')}")
+    emit(f"probe: protocol v{reply.get('protocol')}")
     # worker identity (sharded servers say which process answered and how
     # many siblings it aggregates for); older servers omit "server"
     server = reply.get("server") or {}
@@ -490,45 +546,143 @@ def _cmd_probe_daemon(args) -> int:
         if "worker" in server:
             line += (f" worker {server['worker']}/{server.get('workers')}"
                      f" mode {server.get('mode', '?')}")
-        print(line)
+        emit(line)
     stats = reply.get("stats") or {}
     if "workers" in stats:
-        print(f"probe: workers {stats['workers']} "
-              f"connections_active {stats.get('connections_active', 0)} "
-              f"requests {stats.get('requests', 0)}")
+        emit(f"probe: workers {stats['workers']} "
+             f"connections_active {stats.get('connections_active', 0)} "
+             f"requests {stats.get('requests', 0)}")
+    doc = {"ok": False, "verdict": "no_snapshot",
+           "protocol": reply.get("protocol"), "server": server,
+           "stats": stats, "snapshot": snapshot}
+
+    def finish(code: int) -> int:
+        if args.json:
+            print(_json.dumps(doc, indent=2, sort_keys=True))
+        return code
+
     if not snapshot:
-        print("probe: no snapshot published yet")
-        return 2
+        emit("probe: no snapshot published yet")
+        return finish(2)
     age = float(info.get("snapshot_age", 0.0))
     interval = float(info.get("refresh_interval", 0.0))
     limit = args.stale_factor * interval
-    print(f"probe: site {snapshot['site']!r} epoch {snapshot['epoch']} "
-          f"seq {snapshot['seq']} users {snapshot['users']}")
+    emit(f"probe: site {snapshot['site']!r} epoch {snapshot['epoch']} "
+         f"seq {snapshot['seq']} users {snapshot['users']}")
     # age, seq and the coarse verdict all come from the server's
     # SnapshotStore (one source of truth); older servers omit "staleness"
     verdict = info.get("staleness")
-    print(f"probe: snapshot age {age:.1f}s "
-          f"(refresh interval {interval:.1f}s, stale limit {limit:.1f}s"
-          + (f", {verdict}" if verdict else "") + ")")
+    emit(f"probe: snapshot age {age:.1f}s "
+         f"(refresh interval {interval:.1f}s, stale limit {limit:.1f}s"
+         + (f", {verdict}" if verdict else "") + ")")
     horizons = info.get("usage_horizons") or {}
     worst: float = 0.0
     for origin in sorted(horizons):
         entry = horizons[origin]
         staleness = float(entry.get("staleness", 0.0))
         worst = max(worst, staleness)
-        print(f"probe: origin {origin!r} horizon "
-              f"{float(entry.get('horizon', 0.0)):.1f} "
-              f"staleness {staleness:.1f}s")
+        emit(f"probe: origin {origin!r} horizon "
+             f"{float(entry.get('horizon', 0.0)):.1f} "
+             f"staleness {staleness:.1f}s")
+    doc.update(snapshot_age=age, refresh_interval=interval,
+               stale_limit=limit, staleness=verdict,
+               usage_horizons=horizons, worst_origin_staleness=worst)
     if interval > 0 and age > limit:
-        print(f"probe: STALE — snapshot is {age / interval:.1f} refresh "
-              "intervals old")
-        return 1
+        emit(f"probe: STALE — snapshot is {age / interval:.1f} refresh "
+             "intervals old")
+        doc["verdict"] = "stale_snapshot"
+        return finish(1)
     if args.max_staleness is not None and horizons \
             and worst > args.max_staleness:
-        print(f"probe: STALE — worst origin usage horizon lags "
-              f"{worst:.1f}s (> {args.max_staleness:.1f}s)")
-        return 1
-    print("probe: ok")
+        emit(f"probe: STALE — worst origin usage horizon lags "
+             f"{worst:.1f}s (> {args.max_staleness:.1f}s)")
+        doc["verdict"] = "stale_origin"
+        return finish(1)
+    emit("probe: ok")
+    doc.update(ok=True, verdict="ok")
+    return finish(0)
+
+
+def _parse_targets(specs: List[str]) -> dict:
+    """``SITE=HOST:PORT`` args -> ``{site: (host, port)}``."""
+    from .grid.node import parse_peer
+
+    targets = {}
+    for spec in specs:
+        site, host, port = parse_peer(spec)
+        targets[site] = (host, port)
+    return targets
+
+
+def _render_top(collector) -> str:
+    """One frame of the ``top`` display: per-site rows + a fleet footer."""
+    head = (f"{'SITE':<8} {'UP':<4} {'QPS':>8} {'STALE':>7} {'P50':>7} "
+            f"{'P99':>7} {'FRM/S':>7} {'RECON':>6} {'DROP':>5}  COMPILES")
+    lines = [head, "-" * len(head)]
+    fleet_qps = 0.0
+    worst = 0.0
+    for row in collector.table():
+        fleet_qps += row["qps"]
+        worst = max(worst, row["staleness_now"])
+        compiles = row["compiles"]
+        kinds = "/".join(f"{kind[0]}:{int(count)}"
+                         for kind, count in sorted(compiles.items())
+                         if count) or "-"
+        p99 = row["staleness_p99"]
+        lines.append(
+            f"{row['site']:<8} {'up' if row['up'] else 'DOWN':<4} "
+            f"{row['qps']:>8.1f} {row['staleness_now']:>7.2f} "
+            f"{row['staleness_p50']:>7.2f} "
+            f"{'inf' if p99 == float('inf') else format(p99, '.2f'):>7} "
+            f"{row['frames_out']:>7.1f} {int(row['reconnects']):>6} "
+            f"{int(row['trace_dropped']):>5}  {kinds}")
+    lines.append("")
+    lines.append(f"fleet: qps {fleet_qps:.1f}  max staleness {worst:.2f}s  "
+                 f"scrapes {collector.scrapes}  "
+                 f"errors {collector.scrape_errors}  "
+                 f"t={collector.now():.1f}s")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    """Live fleet table: scrape every target daemon, render, repeat."""
+    import time as _time
+
+    from .obs.collector import FleetCollector
+
+    try:
+        targets = _parse_targets(args.target)
+    except ValueError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 2
+    epoch = args.virtual_epoch
+    if epoch is None:
+        epoch = _time.time()
+    collector = FleetCollector(targets, interval=args.interval,
+                               virtual_epoch=epoch, timeout=args.timeout)
+    try:
+        if args.once:
+            # two scrapes so the rate columns (qps, frames/s) are real
+            collector.scrape_once()
+            _time.sleep(max(0.1, args.interval))
+            collector.scrape_once()
+            print(_render_top(collector))
+            return 0
+        deadline = None if args.duration <= 0 \
+            else _time.monotonic() + args.duration
+        while deadline is None or _time.monotonic() < deadline:
+            started = _time.monotonic()
+            collector.scrape_once()
+            frame = _render_top(collector)
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(frame, flush=True)
+            _time.sleep(max(0.0, args.interval
+                            - (_time.monotonic() - started)))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        collector.stop()
     return 0
 
 
@@ -549,8 +703,39 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    """Render a fairness report (live daemon or recorder JSONL export)."""
-    if args.from_file:
+    """Render a fairness report (live daemon, fleet, or JSONL export)."""
+    if args.grid:
+        import time as _time
+
+        from .obs.collector import FleetCollector
+        from .obs.evaluate import render_report
+
+        try:
+            targets = _parse_targets(args.target)
+        except ValueError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        if not targets:
+            print("report: --grid needs at least one --target",
+                  file=sys.stderr)
+            return 2
+        epoch = args.virtual_epoch
+        if epoch is None:
+            epoch = _time.time()
+        collector = FleetCollector(targets, interval=args.interval,
+                                   virtual_epoch=epoch,
+                                   timeout=args.timeout)
+        try:
+            for n in range(max(1, args.samples)):
+                if n:
+                    _time.sleep(args.interval)
+                collector.scrape_once()
+        finally:
+            collector.stop()
+        text = render_report(
+            collector.store,
+            title=f"Aequus fleet report — {len(targets)} sites")
+    elif args.from_file:
         from .obs.evaluate import render_report
         from .obs.timeseries import SeriesStore
 
@@ -592,6 +777,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "grid-node": _cmd_grid_node,
         "query": _cmd_query,
         "probe": _cmd_probe_daemon,
+        "top": _cmd_top,
         "metrics": _cmd_metrics,
         "report": _cmd_report,
     }

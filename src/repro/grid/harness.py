@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.collector import FleetCollector
 from ..serve.client import SyncAequusClient
 from ..serve.daemon import build_grid_policy
 from .proxy import LinkProxy
@@ -120,7 +121,9 @@ class GridSpec:
 class GridHarness:
     """Boot N grid daemons on loopback, with a fault plane per link."""
 
-    def __init__(self, spec: GridSpec, workdir: Optional[str] = None):
+    def __init__(self, spec: GridSpec, workdir: Optional[str] = None,
+                 collector: Optional[bool] = None,
+                 collector_interval: float = 1.0):
         self.spec = spec
         self._own_workdir = workdir is None
         self.workdir = Path(workdir) if workdir else Path(
@@ -135,6 +138,12 @@ class GridHarness:
         self._logs: Dict[str, object] = {}
         self._epoch: float = 0.0
         self._started = False
+        #: fleet telemetry: collector=True boots a FleetCollector against
+        #: every node's serve port once the grid is up, and the fault
+        #: plane annotates partitions/heals/kills into its merged trace
+        self._want_collector = bool(collector)
+        self._collector_interval = collector_interval
+        self.collector: Optional[FleetCollector] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -169,6 +178,12 @@ class GridHarness:
         for name in names:
             self._spawn(name)
         self.wait_ready()
+        if self._want_collector:
+            self.collector = FleetCollector(
+                {name: (spec.host, self.serve_ports[name])
+                 for name in names},
+                interval=self._collector_interval,
+                virtual_epoch=self._epoch).start()
         return self
 
     def _peer_addr(self, src: str, dst: str) -> Tuple[str, int]:
@@ -236,6 +251,9 @@ class GridHarness:
         if not self._started:
             return
         self._started = False
+        if self.collector is not None:
+            self.collector.stop()
+            self.collector = None
         for name in list(self._clients):
             self._drop_client(name)
         for name, proc in self.procs.items():
@@ -275,14 +293,20 @@ class GridHarness:
 
     # -- fault plane ---------------------------------------------------------
 
+    def _note_fault(self, name: str, **args) -> None:
+        if self.collector is not None:
+            self.collector.note_event(name, **args)
+
     def partition(self, a: str, b: str) -> None:
         """Cut both directions of the a<->b link (requires proxies)."""
         self._link(a, b).partition()
         self._link(b, a).partition()
+        self._note_fault("fault.partition", a=a, b=b)
 
     def heal(self, a: str, b: str) -> None:
         self._link(a, b).heal()
         self._link(b, a).heal()
+        self._note_fault("fault.heal", a=a, b=b)
 
     def _link(self, src: str, dst: str) -> LinkProxy:
         try:
@@ -300,6 +324,7 @@ class GridHarness:
         proc = self.procs[site]
         self._drop_client(site)
         if proc.poll() is None:
+            self._note_fault("fault.kill", site=site)
             proc.terminate()
             try:
                 proc.wait(grace if grace > 0 else 5.0)
@@ -317,6 +342,7 @@ class GridHarness:
         self.kill(site)
         self._spawn(site)
         self.wait_ready()
+        self._note_fault("fault.restart", site=site)
 
     # -- measurement ---------------------------------------------------------
 

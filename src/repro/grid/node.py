@@ -114,7 +114,8 @@ def build_node(site_name: str, policy: PolicyTree,
                     site_count=site_count, jobs=usage_jobs, seed=seed)
     daemon = AequusDaemon(engine, site, host=serve_host, port=serve_port,
                           tick_interval=tick_interval,
-                          time_factor=time_factor)
+                          time_factor=time_factor,
+                          virtual_epoch=virtual_epoch)
     return GridNode(engine, site, transport, daemon)
 
 

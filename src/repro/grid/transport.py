@@ -35,6 +35,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
+from ..obs import trace
 from ..obs.registry import MetricsRegistry
 from ..services.network import NetworkStats
 from ..services.transport import UssTransport
@@ -229,6 +230,19 @@ class TcpUssTransport(UssTransport):
     # -- sending (engine thread) -------------------------------------------
 
     def send(self, src: str, dst: str, message: Any) -> bool:
+        tctx = getattr(message, "tctx", None)
+        if tctx is None:
+            return self._send(src, dst, message)
+        # the wire hop of the causal chain: same trace id as the origin's
+        # uss.publish, recording the frame leaving this process
+        with trace.span("grid.frame", trace=tctx.get("id"),
+                        origin=tctx.get("origin"), src=src, dst=dst) as sp:
+            ok = self._send(src, dst, message)
+            if sp is not None:
+                sp["sent"] = ok
+            return ok
+
+    def _send(self, src: str, dst: str, message: Any) -> bool:
         self.stats.record_send(src, dst)
         self.stats.record_payload(message)
         if self._closed:

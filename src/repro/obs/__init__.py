@@ -12,7 +12,11 @@ Three pieces (DESIGN.md §9):
 Plus the evaluation plane (DESIGN.md §10): :mod:`~repro.obs.timeseries`
 (bounded ring series with CSV/JSONL export) and :mod:`~repro.obs.evaluate`
 (fairness-quality recorder — distance, divergence, staleness — and the
-markdown report renderers behind ``aequus-repro report``).
+markdown report renderers behind ``aequus-repro report``), and the fleet
+plane (DESIGN.md §14): :mod:`~repro.obs.collector` scrapes METRICS +
+INFO + TRACE_EXPORT from every daemon of a grid, merges them under a
+``site`` label, and aligns cross-process traces on the shared virtual
+epoch (``aequus-repro top`` / ``report --grid``).
 
 :func:`set_enabled` flips the process default for both metrics-only
 instruments (histograms/timers) and tracing — the switch the overhead
@@ -30,10 +34,12 @@ from .timeseries import RingSeries, SeriesStore
 from .evaluate import (FairnessRecorder, convergence_half_life,
                        cross_site_divergence, distance_stats,
                        parse_exposition, render_report, report_from_daemon)
+from .collector import FleetCollector
 
 __all__ = [
     "AGE_BUCKETS",
     "FairnessRecorder",
+    "FleetCollector",
     "JsonLogger",
     "LATENCY_BUCKETS",
     "MetricsRegistry",

@@ -1,0 +1,421 @@
+"""Fleet telemetry collector for multi-daemon grids (DESIGN.md §14).
+
+Every observability surface below this module is per-process: a daemon's
+METRICS scrape, INFO reply, and tracer ring describe one site.  The
+:class:`FleetCollector` is the fleet-level view the grid harness and the
+``aequus-repro top`` / ``report --grid`` CLIs are built on.  It dials
+every daemon with the ordinary serve-plane client (front door only — it
+observes exactly what an operator could) and on each scrape interval:
+
+* scrapes **METRICS**, parsing the Prometheus exposition and re-rendering
+  the merged families under a ``site`` label (:meth:`render_merged`);
+* reads **INFO** for the per-origin usage horizons the snapshot serves;
+* drains **TRACE_EXPORT** — each daemon's span ring, exactly once — and
+  merges the events into one fleet-wide Chrome trace, aligning each
+  process's wall-clock span timestamps onto the shared ``virtual_epoch``
+  timeline the grid booted with (daemon replies carry their own epoch, so
+  a fleet of mixed boots still lines up);
+* derives fleet gauges into a :class:`~repro.obs.timeseries.SeriesStore`
+  stamped by the collector's virtual-epoch clock: max cross-site snapshot
+  staleness, per-link frame backlog (bytes sent by the origin minus bytes
+  the destination has received), fleet aggregate QPS, and the cross-site
+  spread of the incremental-refresh dirty fraction.
+
+Harness fault events (partition/heal/kill/restart) are injected into the
+merged trace as Chrome instant events via :meth:`note_event`, so a
+staleness ramp in the series lines up with the cut that caused it in the
+flame view.  Everything snapshots to JSONL/CSV (:meth:`snapshot`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import (Any, Callable, Dict, IO, List, Mapping, Optional,
+                    Tuple, Union)
+
+from .evaluate import parse_exposition
+from .timeseries import SeriesStore
+
+__all__ = ["FleetCollector", "bucket_quantile", "merge_exposition"]
+
+#: histogram family the staleness percentiles in ``top`` come from
+_STALENESS_FAMILY = "aequus_snapshot_staleness_seconds"
+
+
+def bucket_quantile(buckets: List[Tuple[float, float]], count: float,
+                    q: float) -> float:
+    """Upper-bound quantile from cumulative histogram buckets.
+
+    Returns the smallest bucket bound whose cumulative count covers the
+    ``q`` quantile (the standard Prometheus approximation, biased up to
+    one bucket wide), ``inf`` when only the +Inf bucket covers it, and
+    0.0 with no observations.
+    """
+    if not count or not buckets:
+        return 0.0
+    target = q * count
+    for bound, cumulative in sorted(buckets):
+        if cumulative >= target:
+            return bound
+    return math.inf
+
+
+def merge_exposition(per_site: Mapping[str, List[Tuple[str, Dict[str, str],
+                                                       float]]]) -> str:
+    """Re-render parsed per-site samples as one exposition with a
+    ``site`` label forced onto every sample (overriding the daemon's own
+    constant label of the same name, which it equals anyway)."""
+    lines: List[str] = []
+    for site in sorted(per_site):
+        for name, labels, value in per_site[site]:
+            labels = dict(labels, site=site)
+            body = ",".join(
+                '%s="%s"' % (key, str(val).replace("\\", "\\\\")
+                             .replace('"', '\\"').replace("\n", "\\n"))
+                for key, val in sorted(labels.items()))
+            lines.append(f"{name}{{{body}}} {value!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class FleetCollector:
+    """Periodic fleet scraper: metrics + horizons + traces from N daemons.
+
+    ``targets`` maps site name to ``(host, port)`` of that daemon's serve
+    plane.  Scraping runs on a background thread (:meth:`start` /
+    :meth:`stop`) or under test control via :meth:`scrape_once`.  All
+    read surfaces (:meth:`table`, :meth:`chrome_trace`,
+    :meth:`render_merged`, the series store) are safe to call from other
+    threads: scrape results are swapped in wholesale.
+    """
+
+    def __init__(self, targets: Mapping[str, Tuple[str, int]],
+                 interval: float = 1.0,
+                 virtual_epoch: Optional[float] = None,
+                 store: Optional[SeriesStore] = None,
+                 timeout: float = 5.0,
+                 max_events: int = 200_000,
+                 client_factory: Optional[Callable[[str, int], Any]] = None):
+        self.targets = dict(targets)
+        self.interval = interval
+        self.virtual_epoch = virtual_epoch
+        self.timeout = timeout
+        self.max_events = max_events
+        if client_factory is None:
+            from ..serve.client import SyncAequusClient
+
+            def client_factory(host: str, port: int) -> Any:
+                return SyncAequusClient(host, port, timeout=self.timeout,
+                                        retries=1)
+        self._client_factory = client_factory
+        #: fleet series, stamped by the virtual-epoch clock (monotone by
+        #: construction even across daemons booted at different times)
+        self.store = store if store is not None else SeriesStore(
+            clock=self.now)
+        self.scrapes = 0
+        self.scrape_errors = 0
+        #: merged Chrome trace events (bounded; oldest dropped first)
+        self._events: List[Dict[str, Any]] = []
+        self._events_dropped = 0
+        self._fault_events: List[Dict[str, Any]] = []
+        self._meta_emitted: set = set()
+        self._clients: Dict[str, Any] = {}
+        self._metrics: Dict[str, List[Tuple[str, Dict[str, str], float]]] = {}
+        self._info: Dict[str, Dict[str, Any]] = {}
+        self._up: Dict[str, bool] = {}
+        #: (site, family) -> (cumulative value, fleet time) for rates
+        self._last_counter: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self._rates: Dict[str, Dict[str, float]] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- clocks ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """The fleet timeline: seconds since the shared virtual epoch
+        (plain wall time when no epoch is configured)."""
+        if self.virtual_epoch is not None:
+            return time.time() - self.virtual_epoch
+        return time.time()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "FleetCollector":
+        if self._thread is not None:
+            return self
+        self._stopping.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="aequus-collector", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(self.timeout + 5.0)
+            self._thread = None
+        for site in list(self._clients):
+            self._drop_client(site)
+
+    def __enter__(self) -> "FleetCollector":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stopping.is_set():
+            started = time.monotonic()
+            self.scrape_once()
+            elapsed = time.monotonic() - started
+            self._stopping.wait(max(0.0, self.interval - elapsed))
+
+    # -- clients --------------------------------------------------------------
+
+    def _client(self, site: str) -> Any:
+        client = self._clients.get(site)
+        if client is None:
+            host, port = self.targets[site]
+            client = self._client_factory(host, port)
+            self._clients[site] = client
+        return client
+
+    def _drop_client(self, site: str) -> None:
+        client = self._clients.pop(site, None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    # -- scraping -------------------------------------------------------------
+
+    def scrape_once(self) -> None:
+        """One synchronous pass over every target daemon."""
+        t = self.now()
+        for site in self.targets:
+            try:
+                client = self._client(site)
+                samples = parse_exposition(client.metrics())
+                info = client.info().get("info", {})
+                export = client.trace_export()
+            except Exception:
+                self.scrape_errors += 1
+                self._up[site] = False
+                self._drop_client(site)
+                self.store.sample(f"up/{site}", t, 0.0)
+                continue
+            self._up[site] = True
+            self._metrics[site] = samples
+            self._info[site] = info
+            self.store.sample(f"up/{site}", t, 1.0)
+            self._merge_events(site, export)
+            self._site_series(site, samples, info, t)
+        self._fleet_series(t)
+        self.scrapes += 1
+
+    def _merge_events(self, site: str, export: Mapping[str, Any]) -> None:
+        """Align one daemon's drained spans onto the fleet timeline."""
+        events = export.get("events") or []
+        if not events:
+            return
+        epoch = export.get("virtual_epoch")
+        if epoch is None:
+            epoch = self.virtual_epoch
+        shift = (epoch or 0.0) * 1e6  # span ts are wall-clock µs
+        with self._lock:
+            for event in events:
+                event["ts"] = event.get("ts", 0.0) - shift
+                args = event.setdefault("args", {})
+                args.setdefault("site", site)
+                pid = event.get("pid", 0)
+                if (site, pid) not in self._meta_emitted:
+                    self._meta_emitted.add((site, pid))
+                    self._events.append({
+                        "name": "process_name", "ph": "M", "pid": pid,
+                        "tid": 0,
+                        "args": {"name": f"aequusd {site} [{pid}]"}})
+                self._events.append(event)
+            overflow = len(self._events) - self.max_events
+            if overflow > 0:
+                del self._events[:overflow]
+                self._events_dropped += overflow
+
+    def _family_sum(self, samples: List[Tuple[str, Dict[str, str], float]],
+                    family: str,
+                    match: Optional[Dict[str, str]] = None) -> float:
+        total = 0.0
+        for name, labels, value in samples:
+            if name != family:
+                continue
+            if match and any(labels.get(k) != v for k, v in match.items()):
+                continue
+            total += value
+        return total
+
+    def _rate(self, site: str, family: str, value: float,
+              t: float) -> float:
+        """Per-second rate of one cumulative counter, clamped at zero
+        (a daemon restart resets its counters)."""
+        key = (site, family)
+        last = self._last_counter.get(key)
+        self._last_counter[key] = (value, t)
+        if last is None:
+            return 0.0
+        last_value, last_t = last
+        dt = t - last_t
+        if dt <= 0.0 or value < last_value:
+            return 0.0
+        return (value - last_value) / dt
+
+    def _site_series(self, site: str,
+                     samples: List[Tuple[str, Dict[str, str], float]],
+                     info: Mapping[str, Any], t: float) -> None:
+        qps = self._rate(site, "aequus_requests_total",
+                         self._family_sum(samples, "aequus_requests_total"),
+                         t)
+        frames = self._rate(
+            site, "aequus_grid_frames_total",
+            self._family_sum(samples, "aequus_grid_frames_total",
+                             {"direction": "out"}), t)
+        self._rates[site] = {"qps": qps, "frames_out": frames}
+        self.store.sample(f"qps/{site}", t, qps)
+        if frames or f"frames_out/{site}" in self.store:
+            self.store.sample(f"frames_out/{site}", t, frames)
+        horizons = info.get("usage_horizons") or {}
+        remote = [float(entry.get("staleness", 0.0))
+                  for origin, entry in horizons.items() if origin != site]
+        if remote:
+            self.store.sample(f"staleness_max/{site}", t, max(remote))
+
+    def _fleet_series(self, t: float) -> None:
+        worst = 0.0
+        qps = 0.0
+        dirty: List[float] = []
+        for site, up in self._up.items():
+            if not up:
+                continue
+            rates = self._rates.get(site) or {}
+            qps += rates.get("qps", 0.0)
+            series_name = f"staleness_max/{site}"
+            if series_name in self.store:
+                last = self.store[series_name].last()
+                if last is not None:
+                    worst = max(worst, last[1])
+            samples = self._metrics.get(site) or []
+            for name, _labels, value in samples:
+                if name == "aequus_refresh_dirty_fraction":
+                    dirty.append(value)
+        self.store.sample("fleet/max_staleness", t, worst)
+        self.store.sample("fleet/qps", t, qps)
+        if dirty:
+            self.store.sample("fleet/dirty_fraction_spread", t,
+                              max(dirty) - min(dirty))
+        self._backlog_series(t)
+
+    def _backlog_series(self, t: float) -> None:
+        """Per-directed-link frame backlog: bytes the origin has framed
+        toward a peer minus bytes that peer has received from it."""
+        for src in self.targets:
+            if not self._up.get(src):
+                continue
+            out = self._metrics.get(src) or []
+            for dst in self.targets:
+                if dst == src or not self._up.get(dst):
+                    continue
+                sent = self._family_sum(
+                    out, "aequus_grid_peer_bytes_total",
+                    {"peer": f"uss:{dst}", "direction": "out"})
+                received = self._family_sum(
+                    self._metrics.get(dst) or [],
+                    "aequus_grid_peer_bytes_total",
+                    {"peer": f"uss:{src}", "direction": "in"})
+                if sent or received:
+                    self.store.sample(f"frame_backlog/{src}->{dst}", t,
+                                      max(0.0, sent - received))
+
+    # -- fault-event annotation ----------------------------------------------
+
+    def note_event(self, name: str, **args: Any) -> None:
+        """Inject a harness fault event as a Chrome instant event (global
+        scope) at the current fleet time."""
+        event = {"name": name, "ph": "i", "s": "g",
+                 "ts": self.now() * 1e6, "pid": 0, "tid": 0,
+                 "args": dict(args)}
+        with self._lock:
+            self._fault_events.append(event)
+
+    # -- read surfaces --------------------------------------------------------
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events) + list(self._fault_events)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The merged fleet trace in Chrome trace-viewer object form."""
+        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+
+    def export_chrome(self, target: Union[str, IO[str]]) -> int:
+        doc = self.chrome_trace()
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+        else:
+            json.dump(doc, target)
+        return len(doc["traceEvents"])
+
+    def render_merged(self) -> str:
+        """Last-scrape Prometheus exposition of every site, site-labeled."""
+        return merge_exposition(self._metrics)
+
+    def snapshot(self, basename: str) -> Dict[str, str]:
+        """Write ``<basename>.jsonl``/``.csv`` (series) and
+        ``<basename>.trace.json`` (merged Chrome trace)."""
+        paths = {"jsonl": basename + ".jsonl", "csv": basename + ".csv",
+                 "trace": basename + ".trace.json"}
+        self.store.to_jsonl(paths["jsonl"])
+        self.store.to_csv(paths["csv"])
+        self.export_chrome(paths["trace"])
+        return paths
+
+    def table(self) -> List[Dict[str, Any]]:
+        """One row per site for ``aequus-repro top``."""
+        rows: List[Dict[str, Any]] = []
+        for site in sorted(self.targets):
+            row: Dict[str, Any] = {"site": site,
+                                   "up": bool(self._up.get(site))}
+            rates = self._rates.get(site) or {}
+            row["qps"] = rates.get("qps", 0.0)
+            row["frames_out"] = rates.get("frames_out", 0.0)
+            samples = self._metrics.get(site) or []
+            row["reconnects"] = self._family_sum(
+                samples, "aequus_grid_reconnects_total")
+            row["trace_dropped"] = self._family_sum(
+                samples, "aequus_trace_dropped_total")
+            compiles: Dict[str, float] = {}
+            by_bound: Dict[float, float] = {}
+            count = 0.0
+            for name, labels, value in samples:
+                if name == "aequus_compile_total":
+                    kind = labels.get("kind", "?")
+                    compiles[kind] = compiles.get(kind, 0.0) + value
+                elif name == _STALENESS_FAMILY + "_bucket":
+                    le = labels.get("le", "+Inf")
+                    bound = math.inf if le == "+Inf" else float(le)
+                    # the histogram is per-origin: fold every origin's
+                    # cumulative count into one bucket set per bound
+                    by_bound[bound] = by_bound.get(bound, 0.0) + value
+                elif name == _STALENESS_FAMILY + "_count":
+                    count += value
+            row["compiles"] = compiles
+            buckets = sorted(by_bound.items())
+            row["staleness_p50"] = bucket_quantile(buckets, count, 0.50)
+            row["staleness_p99"] = bucket_quantile(buckets, count, 0.99)
+            name = f"staleness_max/{site}"
+            last = self.store[name].last() if name in self.store else None
+            row["staleness_now"] = last[1] if last else 0.0
+            rows.append(row)
+        return rows

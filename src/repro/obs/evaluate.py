@@ -267,6 +267,12 @@ _REPORT_SECTIONS: Tuple[Tuple[str, str], ...] = (
     ("distance_", "Policy-vs-usage distance"),
     ("staleness/", "Usage staleness (seconds behind origin)"),
     ("divergence", "Cross-site divergence"),
+    # fleet-collector series (repro.obs.collector / report --grid)
+    ("fleet/", "Fleet gauges"),
+    ("staleness_max/", "Worst remote staleness per site"),
+    ("qps/", "Serve throughput per site"),
+    ("frame_backlog/", "Exchange frame backlog per link (bytes)"),
+    ("up/", "Daemon liveness"),
 )
 
 
@@ -348,23 +354,35 @@ def parse_exposition(text: str) -> List[Tuple[str, Dict[str, str], float]]:
             if head.endswith("}") and "{" in head:
                 name, _, label_text = head.partition("{")
                 body = label_text[:-1]
-                while body:
-                    key, _, rest = body.partition('="')
-                    out: List[str] = []
-                    i = 0
-                    while i < len(rest):
-                        ch = rest[i]
-                        if ch == "\\" and i + 1 < len(rest):
-                            out.append({"n": "\n"}.get(rest[i + 1],
-                                                       rest[i + 1]))
-                            i += 2
+                if "\\" not in body:
+                    # fast path: no escapes means no quotes inside values,
+                    # so '",' can only separate labels (the hot case — a
+                    # fleet scrape parses thousands of lines per second)
+                    for part in body.split('",'):
+                        if not part:
                             continue
-                        if ch == '"':
-                            break
-                        out.append(ch)
-                        i += 1
-                    labels[key] = "".join(out)
-                    body = rest[i + 1:].lstrip(",")
+                        key, _, val = part.partition('="')
+                        if val.endswith('"'):
+                            val = val[:-1]
+                        labels[key] = val
+                else:
+                    while body:
+                        key, _, rest = body.partition('="')
+                        out: List[str] = []
+                        i = 0
+                        while i < len(rest):
+                            ch = rest[i]
+                            if ch == "\\" and i + 1 < len(rest):
+                                out.append({"n": "\n"}.get(rest[i + 1],
+                                                           rest[i + 1]))
+                                i += 2
+                                continue
+                            if ch == '"':
+                                break
+                            out.append(ch)
+                            i += 1
+                        labels[key] = "".join(out)
+                        body = rest[i + 1:].lstrip(",")
             else:
                 name = head
             samples.append((name, labels, value))

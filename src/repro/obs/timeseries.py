@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import (IO, Deque, Dict, Iterator, List, Mapping, Optional,
-                    Tuple, Union)
+from typing import (IO, Callable, Deque, Dict, Iterator, List, Mapping,
+                    Optional, Tuple, Union)
 
 __all__ = ["RingSeries", "SeriesStore"]
 
@@ -34,22 +34,39 @@ class RingSeries:
     """A named scalar series in a bounded ring buffer.
 
     Appends are O(1); once ``capacity`` samples are held, the oldest is
-    evicted.  Times must be non-decreasing (samples come from one clock).
+    evicted.  Times must be non-decreasing (samples come from one clock);
+    a series configured with its own ``clock`` (the fleet collector's
+    virtual-epoch clock) stamps every sample from that clock instead —
+    per-daemon timestamps from processes booted at different wall times
+    would otherwise interleave non-monotonically when merged.
     """
 
-    __slots__ = ("name", "capacity", "_samples", "appended")
+    __slots__ = ("name", "capacity", "clock", "clamped", "_samples",
+                 "appended")
 
-    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY,
+                 clock: Optional[Callable[[], float]] = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.name = name
         self.capacity = capacity
+        #: authoritative timestamp source; when set, the ``t`` passed to
+        #: :meth:`append` is ignored in favour of this clock
+        self.clock = clock
+        #: samples whose clock read stepped backwards (NTP slew) and were
+        #: clamped to the previous timestamp instead of raising
+        self.clamped = 0
         self._samples: Deque[Tuple[float, float]] = deque(maxlen=capacity)
         #: lifetime append count (evictions don't decrement)
         self.appended = 0
 
     def append(self, t: float, value: float) -> None:
-        if self._samples and t < self._samples[-1][0]:
+        if self.clock is not None:
+            t = self.clock()
+            if self._samples and t < self._samples[-1][0]:
+                t = self._samples[-1][0]
+                self.clamped += 1
+        elif self._samples and t < self._samples[-1][0]:
             raise ValueError(
                 f"{self.name}: time went backwards "
                 f"({t} < {self._samples[-1][0]})")
@@ -98,14 +115,19 @@ class SeriesStore:
     other service-side mutation.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock: Optional[Callable[[], float]] = None):
         self.capacity = capacity
+        #: passed to every created series (see :class:`RingSeries`); the
+        #: fleet collector sets this to its virtual-epoch clock so merged
+        #: cross-daemon series share one monotone timeline
+        self.clock = clock
         self._series: Dict[str, RingSeries] = {}
 
     def series(self, name: str) -> RingSeries:
         s = self._series.get(name)
         if s is None:
-            s = RingSeries(name, self.capacity)
+            s = RingSeries(name, self.capacity, clock=self.clock)
             self._series[name] = s
         return s
 

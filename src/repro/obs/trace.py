@@ -26,11 +26,16 @@ virtual timestamps collapse onto one instant.
 
 A disabled tracer's :meth:`Tracer.span` costs one attribute check and
 yields ``None``; the ring buffer bounds memory no matter how long a
-simulation runs (``dropped`` counts what fell off the front).
+simulation runs (``dropped`` counts what fell off the front).  Collectors
+pull events with :meth:`Tracer.drain` — an exactly-once handoff that
+empties the ring without counting the drained events as dropped — and a
+tracer bound to a metrics registry (:meth:`Tracer.bind_registry`) exports
+the drop count as ``aequus_trace_dropped_total``.
 """
 
 from __future__ import annotations
 
+import fcntl
 import itertools
 import json
 import os
@@ -42,7 +47,8 @@ from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Union
 
 from .registry import default_enabled
 
-__all__ = ["Tracer", "span", "default_tracer", "set_default_tracer"]
+__all__ = ["Tracer", "TraceSpool", "span", "default_tracer",
+           "set_default_tracer"]
 
 
 class Tracer:
@@ -61,6 +67,8 @@ class Tracer:
         self._local = threading.local()
         self.started = 0
         self.recorded = 0
+        self._evicted = 0
+        self._dropped_counter = None  # optional registry-bound counter
 
     # -- recording ----------------------------------------------------------
 
@@ -97,6 +105,10 @@ class Tracer:
                 "tid": threading.get_ident(),
                 "args": args,
             }
+            if len(self._events) == self.capacity:
+                self._evicted += 1
+                if self._dropped_counter is not None:
+                    self._dropped_counter.inc()
             self._events.append(event)
             self.recorded += 1
 
@@ -104,15 +116,51 @@ class Tracer:
 
     @property
     def dropped(self) -> int:
-        """Spans pushed off the ring buffer's front by newer ones."""
-        return self.recorded - len(self._events)
+        """Spans pushed off the ring buffer's front by newer ones.
+
+        Counts only ring evictions — events handed out via :meth:`drain`
+        (or discarded with :meth:`clear`) were not *lost* and do not
+        count.
+        """
+        return self._evicted
 
     def events(self) -> List[Dict[str, Any]]:
         """The buffered events, oldest first (a copy; safe to mutate)."""
         return list(self._events)
 
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pop and return all buffered events, oldest first.
+
+        The exactly-once handoff the TRACE_EXPORT op is built on: each
+        recorded event appears in exactly one drain, and drained events
+        are not counted as ``dropped``.
+        """
+        events = []
+        while True:
+            try:
+                events.append(self._events.popleft())
+            except IndexError:
+                return events
+
     def clear(self) -> None:
         self._events.clear()
+
+    def bind_registry(self, registry) -> None:
+        """Export the drop count as ``aequus_trace_dropped_total``.
+
+        Pre-creates the (unlabeled) family so the zero-valued counter
+        renders in METRICS scrapes before any span is ever evicted, and
+        folds in evictions that happened before binding.  Idempotent per
+        registry (``_family`` is get-or-create); rebinding to another
+        registry simply redirects future increments.
+        """
+        counter = registry.counter(
+            "aequus_trace_dropped_total",
+            "Spans evicted from the tracer ring buffer before export",
+        ).labels()
+        if self._evicted:
+            counter.set(self._evicted)
+        self._dropped_counter = counter
 
     # -- export -------------------------------------------------------------
 
@@ -144,6 +192,61 @@ class Tracer:
         else:
             json.dump(doc, target)
         return len(doc["traceEvents"])
+
+
+class TraceSpool:
+    """Flock-guarded JSONL handoff of drained spans between processes.
+
+    The sharded serve plane's TRACE_EXPORT path: the daemon parent (whose
+    tracer the services record into) periodically drains its ring into the
+    spool file from the tick loop; whichever worker process happens to
+    receive a TRACE_EXPORT request drains the spool under the same lock.
+    ``flock`` serializes appenders and drainers, so every event reaches
+    exactly one export reply no matter which worker answers — and workers
+    never export their forked (pre-fork, stale) tracer copies.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def append(self, events: List[Dict[str, Any]]) -> int:
+        """Append events as JSON lines (one exclusive lock per batch)."""
+        if not events:
+            return 0
+        lines = "".join(json.dumps(event, separators=(",", ":")) + "\n"
+                        for event in events)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            fh.write(lines)
+            fh.flush()
+        return len(events)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Read all spooled events and truncate, atomically vs. appenders."""
+        try:
+            fh = open(self.path, "r+", encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        with fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            events = []
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except ValueError:
+                    continue  # a torn line must not poison the export
+            fh.seek(0)
+            fh.truncate()
+        return events
+
+    def unlink(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
 
 
 _default_tracer = Tracer()

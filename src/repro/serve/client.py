@@ -515,6 +515,15 @@ class AequusClient:
         reply = await self._call({"op": "METRICS"})
         return str(reply["text"])
 
+    async def trace_export(self) -> Dict[str, Any]:
+        """Drain the daemon's tracer ring: events plus clock metadata.
+
+        Destructive read — each recorded span is returned exactly once
+        across all exports, fleet-wide even under a worker pool (any
+        worker answers from the shared spool).
+        """
+        return await self._call({"op": "TRACE_EXPORT"})
+
     # -- batch API -------------------------------------------------------------
 
     async def batch(self, requests: Sequence[Dict[str, Any]]
@@ -688,6 +697,9 @@ class SyncAequusClient:
 
     def metrics(self) -> str:
         return self._run(self._client.metrics())
+
+    def trace_export(self) -> Dict[str, Any]:
+        return self._run(self._client.trace_export())
 
     def batch(self, requests: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
         return self._run(self._client.batch(requests))

@@ -14,14 +14,17 @@ seeded random shares and usage).
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
 import time
-from typing import IO, Dict, Optional, Tuple, Union
+from typing import IO, Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.policy import PolicyTree
 from ..core.usage import UsageRecord
+from ..obs import trace
 from ..obs.evaluate import FairnessRecorder
 from ..obs.jsonlog import JsonLogger
 from ..obs.registry import MetricsRegistry
@@ -117,30 +120,48 @@ class AequusDaemon:
                  json_log: Optional[Union[JsonLogger, IO[str]]] = None,
                  recorder: Optional[FairnessRecorder] = None,
                  workers: int = 0,
+                 virtual_epoch: Optional[float] = None,
                  **server_kwargs):
         self.engine = engine
         self.site = site
         self.tick_interval = tick_interval
         self.time_factor = time_factor
+        #: fleet clock anchor (shared wall-clock timestamp; see repro.grid):
+        #: exported in TRACE_EXPORT replies so a collector can align this
+        #: process's span timestamps with its peers'
+        self.virtual_epoch = virtual_epoch
         self.backend = SiteBackend.for_site(site)
         self.workers = workers
         self.shm_writer = None
         self.pool = None
         self.server: Optional[AequusServer] = None
         self._thread: Optional[ServerThread] = None
+        # the service spans (uss/ums/fcs) land in the process-default
+        # tracer; surface its eviction counter in this site's scrapes
+        trace.default_tracer().bind_registry(site.registry)
+        self._trace_spool: Optional[trace.TraceSpool] = None
         if workers > 0:
             from .shm import ShmSnapshotWriter
             from .workers import WorkerPool
             self.shm_writer = ShmSnapshotWriter(site.name)
             self.shm_writer.attach_fcs(site.fcs, irs=site.irs)
+            # workers serve from shm and must not export their forked
+            # tracer copies; the tick loop drains the parent tracer into a
+            # flock-guarded spool any worker can answer TRACE_EXPORT from
+            self._trace_spool = trace.TraceSpool(os.path.join(
+                tempfile.gettempdir(),
+                f"aequus-trace-{site.name}-{os.getpid()}.jsonl"))
             self.pool = WorkerPool(
                 self.shm_writer.name, workers, host=host, port=port,
                 site=site.name, usage_sink=self.backend.report_usage,
                 registry=site.registry,
                 refresh_interval=site.config.fcs_refresh_interval,
+                trace_spool=self._trace_spool.path,
+                trace_meta=self._trace_meta(),
                 **server_kwargs)
         else:
             server_kwargs.setdefault("registry", site.registry)
+            server_kwargs.setdefault("trace_export", self._trace_export)
             self.server = AequusServer(self.backend, host, port,
                                        **server_kwargs)
             self._thread = ServerThread(self.server)
@@ -162,6 +183,27 @@ class AequusDaemon:
         self.recorder = recorder
         if recorder is not None:
             recorder.attach(engine)
+
+    def _trace_meta(self) -> Dict[str, Any]:
+        """Clock-alignment metadata stamped onto TRACE_EXPORT replies."""
+        return {"site": self.site.name,
+                "virtual_epoch": self.virtual_epoch,
+                "time_factor": self.time_factor}
+
+    def _trace_export(self) -> Dict[str, Any]:
+        """TRACE_EXPORT hook (single-server mode): drain the live tracer."""
+        tracer = trace.default_tracer()
+        body = self._trace_meta()
+        body["events"] = tracer.drain()
+        body["dropped"] = tracer.dropped
+        body["engine_now"] = self.engine.now
+        return body
+
+    def _pump_trace_spool(self) -> None:
+        """Move freshly recorded spans from the tracer ring to the spool."""
+        tracer = trace.default_tracer()
+        if tracer.enabled:
+            self._trace_spool.append(tracer.drain())
 
     def _log_refresh(self, fcs: FairshareCalculationService) -> None:
         horizons = fcs.usage_horizons()
@@ -215,6 +257,8 @@ class AequusDaemon:
             self.site.network.pump()
             self.engine.run_until(self.engine.now + elapsed)
             self.site.network.pump()
+            if self._trace_spool is not None:
+                self._pump_trace_spool()
             self.ticks += 1
             if self.log is not None:
                 self.log.log("tick", n=self.ticks,
@@ -248,6 +292,7 @@ class AequusDaemon:
         if self.pool is not None:
             self.pool.stop()
             self.shm_writer.close()
+            self._trace_spool.unlink()
         elif self._thread is not None:
             self._thread.stop()
         if self.recorder is not None:

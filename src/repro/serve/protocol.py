@@ -29,6 +29,11 @@ Operations
 ``METRICS``           Prometheus text exposition of every registry wired
                       into the server (server, FCS, USS/UMS, network) as
                       ``text``; scrape with ``aequus-repro metrics``.
+``TRACE_EXPORT``      drain the daemon's tracer ring: ``events`` (Chrome
+                      ``trace_event`` objects, exactly-once per event)
+                      plus clock metadata (``pid``, ``site``,
+                      ``virtual_epoch``, ``time_factor``, ``dropped``)
+                      so a fleet collector can align per-process clocks.
 
 The frame length prefix is validated against a configurable cap before the
 payload is read, so an adversarial or broken peer cannot make the server
@@ -126,7 +131,7 @@ HEADER = struct.Struct(">I")
 
 OPS = frozenset({"GET_FAIRSHARE", "GET_VECTOR", "RESOLVE_IDENTITY",
                  "REPORT_USAGE", "BATCH", "PING", "INFO", "METRICS",
-                 "HELLO"})
+                 "HELLO", "TRACE_EXPORT"})
 
 # -- binary framing -----------------------------------------------------------
 

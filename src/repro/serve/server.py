@@ -45,6 +45,7 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from ..obs import trace
 from ..obs.export import render_many
 from ..obs.registry import MetricsRegistry, StatsView
 from .backend import SiteBackend
@@ -94,6 +95,7 @@ class AequusServer:
                  stats_aggregator: Optional[Callable[[], Dict[str, int]]]
                  = None,
                  extra_metrics: Optional[Callable[[], str]] = None,
+                 trace_export: Optional[Callable[[], Dict[str, Any]]] = None,
                  sock: Optional[socket.socket] = None):
         self.backend = backend
         self.host = host
@@ -113,6 +115,12 @@ class AequusServer:
         #: extra Prometheus exposition text appended to METRICS scrapes
         #: (per-worker aggregation lines in sharded mode)
         self.extra_metrics = extra_metrics
+        #: TRACE_EXPORT hook: returns the reply body (events + clock
+        #: metadata).  The daemon installs one carrying its virtual-epoch
+        #: alignment; workers install a spool drain so any worker can
+        #: answer for the parent exactly once.  ``None`` drains the
+        #: process-default tracer.
+        self.trace_export = trace_export
         self._sock = sock
         self._server: Optional[asyncio.AbstractServer] = None
         #: (op, user, snapshot seq) -> reply body, LRU-bounded
@@ -654,6 +662,17 @@ class AequusServer:
             return {"ok": True,
                     "content_type": "text/plain; version=0.0.4",
                     "text": text}
+        if op == "TRACE_EXPORT":
+            if self.trace_export is not None:
+                body = dict(self.trace_export())
+            else:
+                tracer = trace.default_tracer()
+                body = {"events": tracer.drain(),
+                        "dropped": tracer.dropped}
+            body.setdefault("ok", True)
+            body.setdefault("pid", os.getpid())
+            body.setdefault("site", self.backend.site)
+            return body
         if op == "REPORT_USAGE":
             return self._report_usage(request)
         # key-addressed reads: coalesce identical keys per snapshot

@@ -44,6 +44,7 @@ import time
 from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import trace
 from .server import AequusServer
 from .shm import ShmBackend, ShmSnapshotReader, _attach
 
@@ -222,6 +223,8 @@ def _worker_main(worker_id: int, n_workers: int, shm_name: str,
                  stats_name: str, socks: List[socket.socket],
                  usage_wfd: int, site: str, refresh_interval: float,
                  binary: bool, heartbeat: float,
+                 trace_spool: Optional[str],
+                 trace_meta: Optional[Dict[str, Any]],
                  server_kwargs: Dict[str, Any]) -> None:
     """Forked worker entry point: serve the shm plane on socks[worker_id].
 
@@ -234,6 +237,24 @@ def _worker_main(worker_id: int, n_workers: int, shm_name: str,
     for i, sock in enumerate(socks):
         if i != worker_id:
             sock.close()
+    # the fork copied the parent tracer's ring: discard the stale events
+    # now so nothing in this process can ever export them a second time
+    # (the parent still owns the originals and spools them itself)
+    trace.default_tracer().clear()
+    if trace_spool is not None:
+        spool = trace.TraceSpool(trace_spool)
+        meta = dict(trace_meta or {})
+
+        def trace_export() -> Dict[str, Any]:
+            # exactly-once fleet-wide: the flock-guarded drain empties the
+            # parent's spool no matter which worker the client dialed
+            body = dict(meta)
+            body["events"] = spool.drain()
+            body["dropped"] = 0
+            body["worker"] = worker_id
+            return body
+
+        server_kwargs = dict(server_kwargs, trace_export=trace_export)
     stats = WorkerStatsBlock.attach(stats_name, n_workers)
     reader = ShmSnapshotReader(shm_name)
 
@@ -282,6 +303,8 @@ class WorkerPool:
                  binary: bool = True,
                  refresh_interval: float = 30.0,
                  heartbeat: float = 0.25,
+                 trace_spool: Optional[str] = None,
+                 trace_meta: Optional[Dict[str, Any]] = None,
                  **server_kwargs: Any):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -294,6 +317,8 @@ class WorkerPool:
         self.binary = binary
         self.refresh_interval = refresh_interval
         self.heartbeat = heartbeat
+        self.trace_spool = trace_spool
+        self.trace_meta = trace_meta
         self.server_kwargs = server_kwargs
         self.restarts = 0
         self._ctx = multiprocessing.get_context("fork")
@@ -358,7 +383,8 @@ class WorkerPool:
             args=(worker_id, self.n_workers, self.shm_name,
                   self._stats.name, self._socks, self._usage_wfd,
                   self.site, self.refresh_interval, self.binary,
-                  self.heartbeat, self.server_kwargs),
+                  self.heartbeat, self.trace_spool, self.trace_meta,
+                  self.server_kwargs),
             name=f"aequus-worker-{worker_id}", daemon=True)
         proc.start()
         return proc

@@ -181,6 +181,8 @@ class FairshareCalculationService:
         #: miss) with this FCS; listeners must not mutate FCS state
         self._refresh_listeners: List[Callable[
             ["FairshareCalculationService"], None]] = []
+        #: wire trace ids awaiting their snapshot.publish span
+        self._pending_traces: List[str] = []
         self._task: Optional[PeriodicTask] = engine.periodic(
             refresh_interval, self.refresh, start_offset=start_offset)
         self.refresh()
@@ -197,6 +199,16 @@ class FairshareCalculationService:
         timed = self.registry.enabled
         t_start = time.perf_counter() if timed else 0.0
         with trace.span("fcs.refresh", site=self.site) as sp:
+            # claim the wire trace ids the UMS folded in since our last
+            # refresh: they annotate this span and the snapshot.publish
+            # child, completing the cross-daemon causal chain
+            drain = getattr(self.ums, "drain_applied_traces", None)
+            if drain is not None:
+                traces = drain()
+                if traces:
+                    self._pending_traces.extend(traces)
+                    if sp is not None:
+                        sp["traces"] = traces
             self._refresh(timed, sp)
         if timed:
             self.last_refresh_seconds = time.perf_counter() - t_start
@@ -501,9 +513,15 @@ class FairshareCalculationService:
     # -- serve-plane publication hook ---------------------------------------
 
     def _notify_listeners(self) -> None:
-        self._metrics["publishes"].inc()
-        for listener in self._refresh_listeners:
-            listener(self)
+        traces, self._pending_traces = self._pending_traces, []
+        # the end of the causal chain: the refreshed state becomes the
+        # served snapshot, still carrying the wire deltas' trace ids
+        with trace.span("snapshot.publish", site=self.site) as sp:
+            if sp is not None and traces:
+                sp["traces"] = traces
+            self._metrics["publishes"].inc()
+            for listener in self._refresh_listeners:
+                listener(self)
 
     def add_refresh_listener(self, listener: Callable[
             ["FairshareCalculationService"], None],

@@ -25,7 +25,7 @@ the array delta comparable by shape, not just by element count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = ["UsageExchangeMessage", "UsageDeltaMessage", "UsageResyncRequest",
            "PolicyExportMessage"]
@@ -39,6 +39,21 @@ _MAP_ENTRY = 8
 
 def _str_bytes(s: str) -> int:
     return 2 + len(s.encode("utf-8"))
+
+
+def _tctx_bytes(tctx: Optional[Dict[str, Any]]) -> int:
+    """Wire cost of the optional trace context (a small flat map).
+
+    Priced like any other map payload: per-entry structure plus the key
+    string and a value (strings by length, numbers as floats).  ``None``
+    — tracing disabled — costs nothing, keeping the observability-off
+    wire footprint identical to pre-trace senders.
+    """
+    if not tctx:
+        return 0
+    return sum(_MAP_ENTRY + _str_bytes(k)
+               + (_str_bytes(v) if isinstance(v, str) else _FLOAT)
+               for k, v in tctx.items())
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,8 @@ class UsageExchangeMessage:
     horizon: Optional[float] = None
     #: sender incarnation id (see :class:`UsageDeltaMessage`)
     boot: Optional[str] = None
+    #: compact trace context (see :class:`UsageDeltaMessage`)
+    tctx: Optional[Dict[str, Any]] = None
 
     @property
     def usage_horizon(self) -> float:
@@ -76,6 +93,7 @@ class UsageExchangeMessage:
     def wire_bytes(self) -> int:
         return (_ENVELOPE + _str_bytes(self.site) + 3 * _FLOAT
                 + (_str_bytes(self.boot) if self.boot else 0)
+                + _tctx_bytes(self.tctx)
                 + sum(_str_bytes(u) + _MAP_ENTRY
                       + len(bins) * (_INT + _FLOAT + _MAP_ENTRY)
                       for u, bins in self.snapshot.items()))
@@ -122,6 +140,13 @@ class UsageDeltaMessage:
     #: ``None`` (legacy senders, hand-built test messages) disables the
     #: check, preserving the original semantics.
     boot: Optional[str] = None
+    #: compact trace context stamped at publish (DESIGN.md §14): origin
+    #: site, a fleet-unique trace id (``site-boot-seq``), the publish
+    #: seq, and the origin's monotonic + virtual-epoch timestamps, so a
+    #: collector can reconstruct the delta's causal path across daemons
+    #: and align the clocks.  ``None`` (legacy senders, hand-built test
+    #: messages, tracing disabled) carries — and costs — nothing.
+    tctx: Optional[Dict[str, Any]] = None
 
     @property
     def usage_horizon(self) -> float:
@@ -136,6 +161,7 @@ class UsageDeltaMessage:
     def wire_bytes(self) -> int:
         return (_ENVELOPE + _str_bytes(self.site) + 3 * _FLOAT + _INT + _FLAG
                 + (_str_bytes(self.boot) if self.boot else 0)
+                + _tctx_bytes(self.tctx)
                 + sum(_str_bytes(u) for u in self.user_table)
                 + len(self.charges) * (2 * _INT + _FLOAT))
 

@@ -43,8 +43,9 @@ from __future__ import annotations
 
 import itertools
 import time
+from collections import deque
 from types import MappingProxyType
-from typing import Dict, List, Mapping, Optional, Set
+from typing import Deque, Dict, List, Mapping, Optional, Set
 
 from ..core.decay import DecayFunction, ExponentialDecay, NoDecay
 from ..core.tree import Tree
@@ -127,6 +128,9 @@ class UsageMonitoringService:
         #: each origin's usage (captured from the sources *at* refresh, so
         #: the FCS inherits a causally consistent horizon set)
         self._horizons: Dict[str, float] = {}
+        #: wire trace ids folded in by refreshes since the last FCS drain
+        #: (DESIGN.md §14); bounded so an undrained chain cannot leak
+        self._applied_traces: Deque[str] = deque(maxlen=256)
         self._task: Optional[PeriodicTask] = engine.periodic(
             refresh_interval, self.refresh, start_offset=start_offset)
         self.refresh()
@@ -143,8 +147,20 @@ class UsageMonitoringService:
         """Advance the cached decayed per-user totals to ``engine.now``."""
         timed = self.registry.enabled
         t0 = time.perf_counter() if timed else 0.0
-        with trace.span("ums.refresh", site=self.site):
+        with trace.span("ums.refresh", site=self.site) as sp:
             now = self.engine.now
+            # hand the wire deltas' causal identity down the chain: trace
+            # ids the USSs applied since our last refresh ride in this
+            # span's args and queue up for the FCS to claim
+            traces: List[str] = []
+            for uss in self.sources:
+                drain = getattr(uss, "drain_applied_traces", None)
+                if drain is not None:
+                    traces.extend(drain())
+            if traces:
+                self._applied_traces.extend(traces)
+                if sp is not None:
+                    sp["traces"] = traces
             dirty: Set[str] = set()
             if self.incremental:
                 for uss, cursor in zip(self.sources, self._cursors):
@@ -322,6 +338,19 @@ class UsageMonitoringService:
     def usage_horizons(self) -> Dict[str, float]:
         """Per-origin usage horizons incorporated by the last refresh."""
         return dict(self._horizons)
+
+    def drain_applied_traces(self) -> List[str]:
+        """Wire trace ids folded into the totals since the last drain.
+
+        Exactly-once, like the USS method of the same name: the FCS pulls
+        these at refresh time so the ids reach the snapshot-publish span.
+        """
+        out: List[str] = []
+        while True:
+            try:
+                out.append(self._applied_traces.popleft())
+            except IndexError:
+                return out
 
     def usage_tree(self, structure: Tree) -> UsageTree:
         """Usage tree mirroring ``structure`` from the pre-computed totals."""

@@ -38,10 +38,11 @@ Fig. 11 update delay into the continuously exported
 from __future__ import annotations
 
 import itertools
+import os
 import time
 import uuid
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set
 
 from ..core.decay import DecayFunction
 from ..core.usage import UsageHistogram, UsageRecord
@@ -128,6 +129,16 @@ class UsageStatisticsService:
         self.boot_id = boot_id if boot_id is not None else uuid.uuid4().hex[:12]
         #: sender state: consecutive publish sequence number (0 = never)
         self._seq = 0
+        #: publish event counter, distinct from ``_seq`` (heartbeats reuse
+        #: the sequence number but are separate publish *events* and get
+        #: their own trace id)
+        self._pub_count = 0
+        #: trace ids of messages applied to remote histograms since the
+        #: last :meth:`drain_applied_traces` — the hop that hands a wire
+        #: delta's causal identity on to the UMS→FCS→snapshot chain.
+        #: Bounded: if nobody drains (no daemon/collector), ids just age
+        #: out instead of leaking.
+        self._applied_traces: Deque[str] = deque(maxlen=256)
         self._exchange_cursor: Optional[int] = None
         if delta_exchange and publish:
             self._exchange_cursor = self.local.register_cursor()
@@ -239,12 +250,45 @@ class UsageStatisticsService:
                 snapshot=self.local.snapshot(),
                 horizon=self.engine.now,
                 boot=self.boot_id,
+                tctx=self._make_tctx(),
             )
         else:
             message = self._build_delta()
+        tctx = message.tctx
+        if tctx is None:
+            self._send_to_peers(message)
+        else:
+            # the origin end of the cross-daemon causal chain: collectors
+            # match this span's trace id against the remote uss.apply
+            with trace.span("uss.publish", trace=tctx["id"],
+                            origin=self.site, seq=tctx["seq"],
+                            peers=len(self.peers)):
+                self._send_to_peers(message)
+        self._metrics["exchanges_sent"].inc()
+
+    def _send_to_peers(self, message) -> None:
         for peer in self.peers:
             self.network.send(self._endpoint, f"uss:{peer}", message)
-        self._metrics["exchanges_sent"].inc()
+
+    def _make_tctx(self) -> Optional[Dict[str, Any]]:
+        """The compact per-publish trace context (DESIGN.md §14).
+
+        ``None`` when tracing is off — the message then carries (and
+        costs) exactly what a pre-trace sender's did.  ``mono`` is the
+        origin's monotonic clock (duration alignment), ``vts`` its
+        virtual timestamp (fleet alignment via the shared epoch).
+        """
+        if not trace.default_tracer().enabled:
+            return None
+        self._pub_count += 1
+        return {
+            "id": f"{self.site}-{self.boot_id[:6]}-{self._pub_count}",
+            "origin": self.site,
+            "seq": self._seq,
+            "pid": os.getpid(),
+            "mono": time.monotonic(),
+            "vts": self.engine.now,
+        }
 
     def _build_delta(self) -> UsageDeltaMessage:
         """Next publish: a full snapshot first, then changed entries only.
@@ -264,7 +308,8 @@ class UsageStatisticsService:
             return UsageDeltaMessage(
                 site=self.site, sent_at=self.engine.now,
                 interval=self.local.interval, seq=self._seq, full=False,
-                horizon=self.engine.now, boot=self.boot_id)
+                horizon=self.engine.now, boot=self.boot_id,
+                tctx=self._make_tctx())
         user_table: List[str] = []
         user_idx: List[int] = []
         bin_idx: List[int] = []
@@ -282,7 +327,8 @@ class UsageStatisticsService:
             site=self.site, sent_at=self.engine.now,
             interval=self.local.interval, seq=self._seq, full=False,
             user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
-            charges=charges, horizon=self.engine.now, boot=self.boot_id)
+            charges=charges, horizon=self.engine.now, boot=self.boot_id,
+            tctx=self._make_tctx())
 
     def _full_message(self) -> UsageDeltaMessage:
         user_table, user_idx, bin_idx, charges = self.local.snapshot_arrays()
@@ -290,7 +336,8 @@ class UsageStatisticsService:
             site=self.site, sent_at=self.engine.now,
             interval=self.local.interval, seq=self._seq, full=True,
             user_table=user_table, user_idx=user_idx, bin_idx=bin_idx,
-            charges=charges, horizon=self.engine.now, boot=self.boot_id)
+            charges=charges, horizon=self.engine.now, boot=self.boot_id,
+            tctx=self._make_tctx())
 
     # -- receiving ---------------------------------------------------------
 
@@ -359,7 +406,16 @@ class UsageStatisticsService:
         self._recv_sent_at[message.site] = message.sent_at
         self._metrics["exchanges_received"].inc()
         self._note_horizon(message.site, message.usage_horizon)
-        self._remote_histogram(message.site).replace(message.snapshot)
+        tctx = message.tctx
+        if tctx is None:
+            self._remote_histogram(message.site).replace(message.snapshot)
+            return
+        with trace.span("uss.apply", trace=tctx.get("id"),
+                        origin=message.site, site=self.site, full=True,
+                        origin_pid=tctx.get("pid"),
+                        origin_vts=tctx.get("vts")):
+            self._remote_histogram(message.site).replace(message.snapshot)
+        self._note_applied_trace(tctx)
 
     def _on_delta(self, message: UsageDeltaMessage) -> None:
         self._note_boot(message.site, message.boot)
@@ -396,9 +452,23 @@ class UsageStatisticsService:
         self._recv_sent_at[message.site] = message.sent_at
         self._note_horizon(message.site, message.usage_horizon)
         self._metrics["exchanges_received"].inc()
-        self._remote_histogram(message.site).apply_arrays(
-            message.user_table, message.user_idx, message.bin_idx,
-            message.charges, full=message.full)
+        tctx = message.tctx
+        if tctx is None:
+            self._remote_histogram(message.site).apply_arrays(
+                message.user_table, message.user_idx, message.bin_idx,
+                message.charges, full=message.full)
+            return
+        # the remote end of the causal chain: same trace id as the
+        # origin's uss.publish, recorded from a *different* process
+        with trace.span("uss.apply", trace=tctx.get("id"),
+                        origin=message.site, site=self.site,
+                        seq=message.seq, full=message.full,
+                        origin_pid=tctx.get("pid"),
+                        origin_vts=tctx.get("vts")):
+            self._remote_histogram(message.site).apply_arrays(
+                message.user_table, message.user_idx, message.bin_idx,
+                message.charges, full=message.full)
+        self._note_applied_trace(tctx)
 
     def _serve_resync(self, request: UsageResyncRequest) -> None:
         if not self.publish or not self.delta_exchange:
@@ -408,8 +478,31 @@ class UsageStatisticsService:
         # with the same seq is redundant at the receiver (absolute values)
         if self._seq == 0:
             self._seq = 1
-        self.network.send(self._endpoint, f"uss:{request.site}",
-                          self._full_message())
+        with trace.span("uss.resync_serve", site=self.site,
+                        requester=request.site):
+            self.network.send(self._endpoint, f"uss:{request.site}",
+                              self._full_message())
+
+    # -- trace propagation -------------------------------------------------
+
+    def _note_applied_trace(self, tctx: Dict[str, Any]) -> None:
+        trace_id = tctx.get("id")
+        if trace_id:
+            self._applied_traces.append(str(trace_id))
+
+    def drain_applied_traces(self) -> List[str]:
+        """Trace ids applied since the last drain (exactly-once).
+
+        The UMS pulls these at refresh time and carries them into its
+        span args, handing the wire delta's causal identity down the
+        UMS → FCS → snapshot chain.
+        """
+        out: List[str] = []
+        while True:
+            try:
+                out.append(self._applied_traces.popleft())
+            except IndexError:
+                return out
 
     # -- queries ----------------------------------------------------------
 

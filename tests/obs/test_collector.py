@@ -1,0 +1,314 @@
+"""FleetCollector unit tests — fake daemons, manual clock, no sockets.
+
+The grid integration test (tests/grid/test_collector.py) proves the
+collector against real daemons; here every derived series and merge rule
+is pinned down deterministically via the ``client_factory`` seam.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.collector import (FleetCollector, bucket_quantile,
+                                 merge_exposition)
+
+
+class TestBucketQuantile:
+    def test_no_observations_is_zero(self):
+        assert bucket_quantile([], 0.0, 0.5) == 0.0
+        assert bucket_quantile([(1.0, 0.0)], 0.0, 0.5) == 0.0
+
+    def test_picks_smallest_covering_bound(self):
+        buckets = [(0.5, 2.0), (2.0, 8.0), (5.0, 10.0), (math.inf, 10.0)]
+        assert bucket_quantile(buckets, 10.0, 0.50) == 2.0
+        assert bucket_quantile(buckets, 10.0, 0.99) == 5.0
+        assert bucket_quantile(buckets, 10.0, 0.10) == 0.5
+
+    def test_only_inf_bucket_covers_returns_inf(self):
+        buckets = [(1.0, 0.0), (math.inf, 4.0)]
+        assert bucket_quantile(buckets, 4.0, 0.5) == math.inf
+
+
+class TestMergeExposition:
+    def test_site_label_forced_and_sorted(self):
+        text = merge_exposition({
+            "b": [("m", {}, 2.0)],
+            "a": [("m", {"op": "QUERY"}, 1.0)],
+        })
+        lines = text.strip().splitlines()
+        assert lines == ['m{op="QUERY",site="a"} 1.0', 'm{site="b"} 2.0']
+
+    def test_site_label_overrides_daemon_constant_label(self):
+        text = merge_exposition({"a": [("m", {"site": "stale"}, 1.0)]})
+        assert 'site="a"' in text and "stale" not in text
+
+    def test_label_values_escaped(self):
+        text = merge_exposition({"a": [("m", {"x": 'q"\\'}, 1.0)]})
+        assert '\\"' in text and "\\\\" in text
+
+    def test_empty_renders_empty(self):
+        assert merge_exposition({}) == ""
+
+
+class FakeDaemon:
+    """Canned front-door surface for one site; mutate fields between
+    scrapes to model counter movement."""
+
+    def __init__(self, site, peers=(), virtual_epoch=100.0):
+        self.site = site
+        self.peers = [p for p in peers if p != site]
+        self.virtual_epoch = virtual_epoch
+        self.requests = 0.0
+        self.frames_out = 0.0
+        self.reconnects = 0.0
+        self.dirty_fraction = 0.0
+        self.compiles = {}
+        self.bytes_out = {}      # dst -> cumulative bytes framed
+        self.bytes_in = {}       # src -> cumulative bytes received
+        self.staleness = {}      # origin -> seconds behind
+        self.hist = []           # (le_label, cumulative) staleness buckets
+        self.hist_count = 0.0
+        self.trace_dropped = 0.0
+        self.pending_events = []
+        self.fail = False
+        self.closed = False
+        self.exports = 0
+
+    # -- the client duck-type the collector dials -------------------------
+
+    def metrics(self):
+        if self.fail:
+            raise ConnectionError("down")
+        lines = [f"aequus_requests_total{{site=\"{self.site}\"}} "
+                 f"{self.requests}",
+                 f"aequus_grid_frames_total{{direction=\"out\"}} "
+                 f"{self.frames_out}",
+                 f"aequus_grid_reconnects_total {self.reconnects}",
+                 f"aequus_refresh_dirty_fraction {self.dirty_fraction}",
+                 f"aequus_trace_dropped_total {self.trace_dropped}"]
+        for kind, value in self.compiles.items():
+            lines.append(f"aequus_compile_total{{kind=\"{kind}\"}} {value}")
+        for dst, value in self.bytes_out.items():
+            lines.append('aequus_grid_peer_bytes_total{peer="uss:%s",'
+                         'direction="out"} %s' % (dst, value))
+        for src, value in self.bytes_in.items():
+            lines.append('aequus_grid_peer_bytes_total{peer="uss:%s",'
+                         'direction="in"} %s' % (src, value))
+        for le, cumulative in self.hist:
+            lines.append('aequus_snapshot_staleness_seconds_bucket'
+                         '{origin="peer",le="%s"} %s' % (le, cumulative))
+        if self.hist_count:
+            lines.append('aequus_snapshot_staleness_seconds_count'
+                         '{origin="peer"} %s' % self.hist_count)
+        return "\n".join(lines) + "\n"
+
+    def info(self):
+        if self.fail:
+            raise ConnectionError("down")
+        horizons = {origin: {"horizon": 0.0, "staleness": seconds}
+                    for origin, seconds in self.staleness.items()}
+        return {"ok": True, "info": {"site": self.site,
+                                     "usage_horizons": horizons}}
+
+    def trace_export(self):
+        if self.fail:
+            raise ConnectionError("down")
+        self.exports += 1
+        events, self.pending_events = self.pending_events, []
+        return {"ok": True, "site": self.site,
+                "virtual_epoch": self.virtual_epoch,
+                "events": events, "dropped": 0}
+
+    def close(self):
+        self.closed = True
+
+
+@pytest.fixture
+def fleet():
+    daemons = {name: FakeDaemon(name, peers=("a", "b"))
+               for name in ("a", "b")}
+
+    class ManualClock(FleetCollector):
+        t = 0.0
+
+        def now(self):
+            return self.t
+
+    collector = ManualClock(
+        {"a": ("x", 1), "b": ("x", 2)},
+        client_factory=lambda host, port: daemons[
+            {1: "a", 2: "b"}[port]])
+    return collector, daemons
+
+
+class TestScraping:
+    def test_rates_need_two_scrapes(self, fleet):
+        collector, daemons = fleet
+        daemons["a"].requests = 10.0
+        collector.scrape_once()
+        assert collector.store["qps/a"].last()[1] == 0.0
+        collector.t = 2.0
+        daemons["a"].requests = 110.0
+        collector.scrape_once()
+        assert collector.store["qps/a"].last() == (2.0, 50.0)
+        assert collector.scrapes == 2 and collector.scrape_errors == 0
+
+    def test_counter_reset_clamps_rate_to_zero(self, fleet):
+        collector, daemons = fleet
+        daemons["a"].requests = 100.0
+        collector.scrape_once()
+        collector.t = 1.0
+        daemons["a"].requests = 3.0  # daemon restarted
+        collector.scrape_once()
+        assert collector.store["qps/a"].last()[1] == 0.0
+
+    def test_staleness_excludes_own_site(self, fleet):
+        collector, daemons = fleet
+        daemons["a"].staleness = {"a": 99.0, "b": 1.5}
+        collector.scrape_once()
+        assert collector.store["staleness_max/a"].last()[1] == 1.5
+
+    def test_fleet_gauges(self, fleet):
+        collector, daemons = fleet
+        daemons["a"].staleness = {"b": 2.5}
+        daemons["b"].staleness = {"a": 0.5}
+        daemons["a"].dirty_fraction = 0.9
+        daemons["b"].dirty_fraction = 0.2
+        daemons["a"].requests = 10.0
+        daemons["b"].requests = 30.0
+        collector.scrape_once()
+        collector.t = 1.0
+        daemons["a"].requests = 20.0
+        daemons["b"].requests = 70.0
+        collector.scrape_once()
+        assert collector.store["fleet/max_staleness"].last()[1] == 2.5
+        assert collector.store["fleet/qps"].last()[1] == pytest.approx(50.0)
+        assert collector.store["fleet/dirty_fraction_spread"].last()[1] == \
+            pytest.approx(0.7)
+
+    def test_frame_backlog_per_directed_link(self, fleet):
+        collector, daemons = fleet
+        daemons["a"].bytes_out["b"] = 1000.0
+        daemons["b"].bytes_in["a"] = 800.0
+        collector.scrape_once()
+        assert collector.store["frame_backlog/a->b"].last()[1] == 200.0
+        # the reverse link saw no bytes: no series invented for it
+        assert "frame_backlog/b->a" not in collector.store
+
+    def test_down_site_marks_up_zero_and_keeps_scraping_others(self, fleet):
+        collector, daemons = fleet
+        collector.scrape_once()
+        client_a = collector._clients["a"]
+        daemons["a"].fail = True
+        daemons["b"].requests = 5.0
+        collector.t = 1.0
+        collector.scrape_once()
+        assert collector.scrape_errors == 1
+        assert collector.store["up/a"].last()[1] == 0.0
+        assert collector.store["up/b"].last()[1] == 1.0
+        assert client_a.closed  # dropped so the next scrape redials
+        assert "a" not in collector._clients
+
+
+class TestTraceMerging:
+    def test_events_shift_onto_the_fleet_timeline(self, fleet):
+        collector, daemons = fleet
+        # daemon epoch 100.0 s: a span stamped at wall 103.5 s lands at
+        # fleet t=3.5 s (in µs)
+        daemons["a"].pending_events = [
+            {"name": "uss.publish", "ph": "X", "ts": 103.5 * 1e6,
+             "dur": 10.0, "pid": 7, "tid": 1, "args": {"id": 1}}]
+        collector.scrape_once()
+        spans = [e for e in collector.events() if e["ph"] == "X"]
+        assert spans[0]["ts"] == pytest.approx(3.5 * 1e6)
+        assert spans[0]["args"]["site"] == "a"
+
+    def test_process_metadata_emitted_once_per_pid(self, fleet):
+        collector, daemons = fleet
+        for _ in range(2):
+            daemons["a"].pending_events = [
+                {"name": "x", "ph": "X", "ts": 0.0, "pid": 7, "args": {}}]
+            collector.scrape_once()
+        metas = [e for e in collector.events() if e["ph"] == "M"]
+        assert len(metas) == 1
+        assert metas[0]["args"]["name"] == "aequusd a [7]"
+
+    def test_each_export_drained_once_per_scrape(self, fleet):
+        collector, daemons = fleet
+        collector.scrape_once()
+        collector.scrape_once()
+        assert daemons["a"].exports == 2
+
+    def test_fault_instants_land_in_the_trace(self, fleet):
+        collector, daemons = fleet
+        collector.t = 4.0
+        collector.note_event("fault.partition", a="a", b="b")
+        (event,) = collector.events()
+        assert event["ph"] == "i" and event["s"] == "g"
+        assert event["ts"] == pytest.approx(4.0 * 1e6)
+        assert event["args"] == {"a": "a", "b": "b"}
+        assert event in collector.chrome_trace()["traceEvents"]
+
+    def test_event_cap_drops_oldest(self, fleet):
+        collector, daemons = fleet
+        collector.max_events = 3
+        daemons["a"].pending_events = [
+            {"name": f"s{i}", "ph": "X", "ts": float(i), "pid": 7,
+             "args": {}} for i in range(5)]
+        collector.scrape_once()
+        # 5 spans + 1 process_name metadata event, capped at 3: the
+        # oldest three (metadata, s0, s1) fall off the front
+        names = [e["name"] for e in collector.events() if e["ph"] == "X"]
+        assert names == ["s2", "s3", "s4"]
+        assert collector._events_dropped == 3
+
+
+class TestReadSurfaces:
+    def test_table_rows(self, fleet):
+        collector, daemons = fleet
+        a = daemons["a"]
+        a.requests = 10.0
+        a.reconnects = 2.0
+        a.trace_dropped = 5.0
+        a.compiles = {"full": 1.0, "incremental": 7.0}
+        a.hist = [("0.5", 2.0), ("2.0", 8.0), ("5.0", 10.0),
+                  ("+Inf", 10.0)]
+        a.hist_count = 10.0
+        a.staleness = {"b": 1.25}
+        collector.scrape_once()
+        collector.t = 1.0
+        a.requests = 40.0
+        collector.scrape_once()
+        row_a, row_b = collector.table()
+        assert row_a["site"] == "a" and row_a["up"]
+        assert row_a["qps"] == pytest.approx(30.0)
+        assert row_a["reconnects"] == 2.0
+        assert row_a["trace_dropped"] == 5.0
+        assert row_a["compiles"] == {"full": 1.0, "incremental": 7.0}
+        assert row_a["staleness_p50"] == 2.0
+        assert row_a["staleness_p99"] == 5.0
+        assert row_a["staleness_now"] == 1.25
+        assert row_b["site"] == "b" and row_b["qps"] == 0.0
+
+    def test_render_merged_covers_every_site(self, fleet):
+        collector, daemons = fleet
+        collector.scrape_once()
+        text = collector.render_merged()
+        assert 'aequus_requests_total{site="a"}' in text
+        assert 'aequus_requests_total{site="b"}' in text
+
+    def test_snapshot_writes_series_and_trace(self, fleet, tmp_path):
+        collector, daemons = fleet
+        daemons["a"].pending_events = [
+            {"name": "x", "ph": "X", "ts": 0.0, "pid": 7, "args": {}}]
+        collector.scrape_once()
+        paths = collector.snapshot(str(tmp_path / "fleet"))
+        with open(paths["trace"], encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        jsonl = (tmp_path / "fleet.jsonl").read_text()
+        assert '"series": "fleet/qps"' in jsonl.replace('","', '", "') \
+            or "fleet/qps" in jsonl
+        assert (tmp_path / "fleet.csv").read_text().startswith(
+            "series,time,value")

@@ -109,3 +109,49 @@ class TestSeriesStore:
         store.to_jsonl(path)
         loaded = SeriesStore.from_jsonl(path)
         assert loaded["x"].last() == (1.0, 2.0)
+
+
+class TestClockedSeries:
+    """Satellite fix: a series wired to the daemon's virtual-epoch clock
+    stamps samples itself and clamps (rather than raises on) the small
+    backward steps that wall-clock adjustments can produce."""
+
+    def test_clock_overrides_caller_timestamps(self):
+        ticks = iter([10.0, 11.0, 12.0])
+        s = RingSeries("x", capacity=8, clock=lambda: next(ticks))
+        s.append(999.0, 1.0)   # caller t is ignored
+        s.append(-5.0, 2.0)
+        assert s.times() == [10.0, 11.0]
+
+    def test_backward_clock_steps_clamp_instead_of_raising(self):
+        ticks = iter([10.0, 9.5, 11.0])
+        s = RingSeries("x", capacity=8, clock=lambda: next(ticks))
+        for v in (1.0, 2.0, 3.0):
+            s.append(0.0, v)
+        assert s.times() == [10.0, 10.0, 11.0]
+        assert s.clamped == 1
+        assert s.values() == [1.0, 2.0, 3.0]  # no sample was lost
+
+    def test_unclocked_series_still_rejects_backward_time(self):
+        s = RingSeries("x")
+        s.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.append(4.0, 2.0)
+
+    def test_store_clock_propagates_to_created_series(self):
+        ticks = iter([1.0, 2.0, 1.5])
+        store = SeriesStore(clock=lambda: next(ticks))
+        store.sample("a", 0.0, 1.0)
+        store.sample("a", 0.0, 2.0)
+        store.sample("a", 0.0, 3.0)
+        assert store["a"].times() == [1.0, 2.0, 2.0]
+        assert store["a"].clamped == 1
+
+    def test_from_jsonl_keeps_file_timestamps(self):
+        src = SeriesStore()
+        src.sample("a", 3.0, 1.0)
+        src.sample("a", 7.0, 2.0)
+        buf = io.StringIO()
+        src.to_jsonl(buf)
+        clone = SeriesStore.from_jsonl(io.StringIO(buf.getvalue()))
+        assert clone["a"].times() == [3.0, 7.0]

@@ -146,3 +146,103 @@ class TestDefaultTracer:
             assert replacement.events()[0]["args"]["k"] == "v"
         finally:
             set_default_tracer(previous)
+
+
+class TestDrain:
+    def test_drain_is_exactly_once(self, tracer):
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        first = tracer.drain()
+        assert [e["name"] for e in first] == ["a", "b", "c"]
+        assert tracer.drain() == []
+        # draining is a handoff, not a loss: nothing counts as dropped
+        assert tracer.dropped == 0
+        with tracer.span("d"):
+            pass
+        assert [e["name"] for e in tracer.drain()] == ["d"]
+
+    def test_dropped_counts_ring_evictions_only(self):
+        t = Tracer(capacity=2, enabled=True)
+        for name in ("a", "b", "c"):
+            with t.span(name):
+                pass
+        assert t.dropped == 1
+        t.drain()
+        assert t.dropped == 1  # drain did not add to the count
+
+
+class TestBindRegistry:
+    def test_counter_pre_created_and_tracks_evictions(self):
+        from repro.obs.export import render
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        t = Tracer(capacity=2, enabled=True)
+        t.bind_registry(registry)
+        # satellite: the family renders at zero before any eviction
+        assert "aequus_trace_dropped_total 0" in render(registry)
+        for name in ("a", "b", "c", "d"):
+            with t.span(name):
+                pass
+        assert "aequus_trace_dropped_total 2" in render(registry)
+
+    def test_bind_folds_in_pre_bind_evictions(self):
+        from repro.obs.export import render
+        from repro.obs.registry import MetricsRegistry
+
+        t = Tracer(capacity=1, enabled=True)
+        for name in ("a", "b", "c"):
+            with t.span(name):
+                pass
+        registry = MetricsRegistry(enabled=True)
+        t.bind_registry(registry)
+        assert "aequus_trace_dropped_total 2" in render(registry)
+
+
+class TestTraceSpool:
+    """The flock-guarded JSONL handoff between a daemon and its workers."""
+
+    def _spool(self, tmp_path):
+        from repro.obs.trace import TraceSpool
+        return TraceSpool(str(tmp_path / "spool.jsonl"))
+
+    def test_append_then_drain_round_trips(self, tmp_path):
+        spool = self._spool(tmp_path)
+        events = [{"name": "a", "ts": 1.0}, {"name": "b", "ts": 2.0}]
+        assert spool.append(events) == 2
+        assert spool.drain() == events
+
+    def test_drain_is_exactly_once_across_instances(self, tmp_path):
+        from repro.obs.trace import TraceSpool
+        spool = self._spool(tmp_path)
+        spool.append([{"name": "a"}])
+        # a second handle on the same path (another process, in real use)
+        other = TraceSpool(spool.path)
+        assert other.drain() == [{"name": "a"}]
+        assert spool.drain() == []
+        assert other.drain() == []
+
+    def test_missing_file_drains_empty(self, tmp_path):
+        spool = self._spool(tmp_path)
+        assert spool.drain() == []
+        spool.unlink()  # idempotent on a missing file
+
+    def test_append_accumulates_between_drains(self, tmp_path):
+        spool = self._spool(tmp_path)
+        spool.append([{"name": "a"}])
+        spool.append([{"name": "b"}])
+        assert [e["name"] for e in spool.drain()] == ["a", "b"]
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        spool = self._spool(tmp_path)
+        spool.append([{"name": "a"}])
+        with open(spool.path, "a", encoding="utf-8") as fh:
+            fh.write('{"name": "tor')  # a crashed writer's partial line
+        assert [e["name"] for e in spool.drain()] == ["a"]
+
+    def test_empty_append_is_a_no_op(self, tmp_path):
+        spool = self._spool(tmp_path)
+        assert spool.append([]) == 0
+        assert spool.drain() == []
+        spool.unlink()

@@ -16,7 +16,8 @@ FAST = ["quickstart.py", "vector_factors.py", "observability.py",
         "evaluation.py"]
 ALL = ["quickstart.py", "vector_factors.py", "national_grid.py",
        "workload_modeling.py", "partial_participation.py", "slurm_vs_maui.py",
-       "serving.py", "observability.py", "evaluation.py"]
+       "serving.py", "observability.py", "evaluation.py",
+       "fleet_observability.py"]
 
 
 class TestExamples:
